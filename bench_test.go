@@ -1,0 +1,276 @@
+// Package densim_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its table once (first iteration) and reports the
+// regeneration cost. The simulation-backed figures (3, 11, 13, 14, 15) share
+// one memoizing runner with the Quick preset; set DENSIM_BENCH_FULL=1 to use
+// the paper-faithful Full preset (30 s socket time constant, long windows —
+// expect a long run). EXPERIMENTS.md records the outputs.
+package densim_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"densim/internal/experiments"
+	"densim/internal/report"
+)
+
+var (
+	runnerOnce sync.Once
+	benchRun   *experiments.Runner
+	benchOpts  experiments.SimOptions
+)
+
+func runner() *experiments.Runner {
+	runnerOnce.Do(func() {
+		benchOpts = experiments.Quick()
+		if os.Getenv("DENSIM_BENCH_FULL") != "" {
+			benchOpts = experiments.Full()
+		}
+		benchRun = experiments.NewRunner(benchOpts)
+	})
+	return benchRun
+}
+
+// printOnce renders a table on the benchmark's first iteration only.
+func printOnce(i int, t *report.Table) {
+	if i == 0 {
+		fmt.Println()
+		fmt.Println(t)
+	}
+}
+
+func BenchmarkFig01ServerDensityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Fig1(7)
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkTable01SystemInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Table1()
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkTable02AirflowRequirements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Table2()
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig02CartridgeAirflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig03CoupledVsUncoupled(b *testing.B) {
+	runner() // establish benchOpts
+	for i := 0; i < b.N; i++ {
+		res, t, err := experiments.Fig3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		if i == 0 {
+			fmt.Printf("CF/HF uncoupled: %.3f (paper ~1.08)   HF/CF coupled: %.3f (paper ~1.05)\n",
+				res.CFOverHFUncoupled, res.HFOverCFCoupled)
+		}
+	}
+}
+
+func BenchmarkFig05EntryTemperatures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, t := experiments.Fig5()
+		if len(pts) != 125 {
+			b.Fatal("unexpected sweep size")
+		}
+		if i == 0 {
+			// The full 125-row table is long; print the headline subset.
+			sub := &report.Table{Title: t.Title + " (15W rows)", Header: t.Header}
+			for _, row := range t.Rows {
+				if row[0] == "15.000" {
+					sub.Rows = append(sub.Rows, row)
+				}
+			}
+			printOnce(i, sub)
+		}
+	}
+}
+
+func BenchmarkFig06JobDurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Fig6()
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig07PowerPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Fig7()
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig09DetailedThermalModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, t, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		if i == 0 {
+			s := experiments.SummarizeFig9(rows)
+			fmt.Printf("on-die dT range [%.2f, %.2f]C (paper: 4-7C); 30-fin advantage %.1fC hi / %.1fC lo (paper: 6-7C / 3-4C)\n",
+				s.MinDelta, s.MaxDelta, s.SinkAdvantageHigh, s.SinkAdvantageLow)
+		}
+	}
+}
+
+func BenchmarkFig10ModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, t, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		if i == 0 {
+			fmt.Printf("max |Eq.1 - detailed| = %.2fC (paper: within 2C)\n",
+				experiments.MaxAbsError(rows))
+		}
+	}
+}
+
+func BenchmarkTable03Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printOnce(i, experiments.Table3())
+	}
+}
+
+func BenchmarkFig11ExistingSchedulers(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.Fig11(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig12ZoneOrganization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Fig12()
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig13RegionBreakdown(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.Fig13(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig14RelativePerformance(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.Fig14(r, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig15EnergyDelaySquared(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.Fig15(r, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+// Extension benches: the design-choice ablations DESIGN.md calls out and the
+// migration extension from the paper's future work.
+
+func BenchmarkAblationCP(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.AblationCP(r, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkAblationBoostGovernor(b *testing.B) {
+	runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.AblationBoost(benchOpts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkExtensionMigration(b *testing.B) {
+	runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.MigrationStudy(benchOpts, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkExtensionCouplingDegree(b *testing.B) {
+	runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.CouplingDegreeStudy(benchOpts, 0.7, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkFig04EntryTemperatureStaircase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.Fig4()
+		printOnce(i, t)
+	}
+}
+
+func BenchmarkHeadlineSummary(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		_, t, err := experiments.Headline(r, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+	}
+}

@@ -1,0 +1,62 @@
+// Command catalog prints the survey data of the paper's Sections I and II:
+// the Figure 1 server-density study, the Table I density-optimized system
+// inventory, the Table II airflow requirements, and the Figure 5 analytical
+// entry-temperature sweep.
+//
+// Usage:
+//
+//	catalog            # everything
+//	catalog -only fig1 # one item: fig1, table1, table2, fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"densim/internal/experiments"
+	"densim/internal/report"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "limit output: fig1, table1, table2, fig5")
+		seed = flag.Uint64("seed", 7, "seed for the figure 1 scatter synthesis")
+	)
+	flag.Parse()
+
+	emit := func(t *report.Table) {
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "catalog:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	ran := false
+	if want("fig1") {
+		ran = true
+		_, t := experiments.Fig1(*seed)
+		emit(t)
+	}
+	if want("table1") {
+		ran = true
+		_, t := experiments.Table1()
+		emit(t)
+	}
+	if want("table2") {
+		ran = true
+		_, t := experiments.Table2()
+		emit(t)
+	}
+	if want("fig5") {
+		ran = true
+		_, t := experiments.Fig5()
+		emit(t)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "catalog: unknown -only %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command densim runs one scheduling simulation on the 180-socket density
+// optimized SUT and prints the resulting metrics.
+//
+// Usage:
+//
+//	densim -sched CP -workload Computation -load 0.7 -duration 30 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"densim/internal/core"
+	"densim/internal/metrics"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "CP", "scheduler: "+strings.Join(core.Schedulers(), ", "))
+		wl        = flag.String("workload", "GP", "workload set: "+strings.Join(core.Workloads(), ", "))
+		load      = flag.Float64("load", 0.5, "target utilization (0..1]")
+		duration  = flag.Float64("duration", 20, "arrival horizon in simulated seconds")
+		warmup    = flag.Float64("warmup", 0, "metrics warmup in seconds (default 30% of duration)")
+		sinkTau   = flag.Float64("sinktau", 0, "socket thermal time constant override in seconds (0 = paper's 30s)")
+		inlet     = flag.Float64("inlet", 0, "inlet temperature override in C (0 = paper's 18C)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		tracePath = flag.String("trace", "", "replay a recorded trace file (see cmd/tracegen) instead of the live generator")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Scheduler: *schedName,
+		Workload:  *wl,
+		Load:      *load,
+		Seed:      *seed,
+		Duration:  *duration,
+		Warmup:    *warmup,
+		SinkTau:   *sinkTau,
+		Inlet:     *inlet,
+		TracePath: *tracePath,
+	}
+	if *tracePath != "" {
+		// The trace defines arrivals; duration follows its horizon unless
+		// explicitly set.
+		opts.Duration = 0
+		if fl := flag.Lookup("duration"); fl != nil && fl.Value.String() != fl.DefValue {
+			opts.Duration = *duration
+		}
+	}
+	exp, err := core.NewExperiment(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "densim:", err)
+		os.Exit(1)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "densim:", err)
+		os.Exit(1)
+	}
+	printResult(*schedName, *wl, *load, res)
+}
+
+func printResult(schedName, wl string, load float64, r metrics.Result) {
+	fmt.Printf("scheduler=%s workload=%s load=%.0f%%\n", schedName, wl, load*100)
+	fmt.Printf("  jobs completed:        %d\n", r.Completed)
+	fmt.Printf("  mean runtime expansion: %.4f (1.0 = never below 1900MHz, no waiting)\n", r.MeanExpansion)
+	fmt.Printf("  mean service expansion: %.4f\n", r.MeanServiceExpansion)
+	fmt.Printf("  boost residency:       %.3f\n", r.BoostResidency)
+	fmt.Printf("  energy:                %.1f J over %v\n", float64(r.EnergyJ), r.Span)
+	fmt.Printf("  region breakdown (freq rel FMax / work share):\n")
+	for _, reg := range metrics.Regions {
+		fmt.Printf("    %-11s %.3f / %.3f\n", reg, r.RegionFreq[reg], r.RegionWorkShare[reg])
+	}
+	fmt.Printf("  zone work shares:      ")
+	for z := 1; z <= 6; z++ {
+		fmt.Printf("z%d=%.3f ", z, r.ZoneWorkShare[z])
+	}
+	fmt.Println()
+}

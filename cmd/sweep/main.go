@@ -1,0 +1,128 @@
+// Command sweep regenerates the paper's evaluation figures (3, 11, 13, 14,
+// 15) by sweeping schedulers, workloads, and load levels on the SUT, and
+// prints the corresponding tables. Figure 14/15 sweeps are expensive; use
+// -quick (default) for the shortened preset or -full for the paper-faithful
+// 30-second socket time constant.
+//
+// Usage:
+//
+//	sweep -fig 14                 # quick preset, all loads
+//	sweep -fig 14 -loads 0.3,0.8  # subset of loads
+//	sweep -fig 3 -full            # paper-faithful windows
+//	sweep -fig all -csv           # everything, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"densim/internal/experiments"
+	"densim/internal/report"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "14", "figure to regenerate: 3, 11, 13, 14, 15, or all")
+		full  = flag.Bool("full", false, "use the paper-faithful preset (slow)")
+		loads = flag.String("loads", "", "comma-separated load levels for figures 14/15 (default: paper's 10%..100%)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	loadList, err := parseLoads(*loads)
+	if err != nil {
+		fail(err)
+	}
+	runner := experiments.NewRunner(opts)
+
+	emit := func(t *report.Table) {
+		var renderErr error
+		if *csv {
+			renderErr = t.RenderCSV(os.Stdout)
+		} else {
+			renderErr = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if renderErr != nil {
+			fail(renderErr)
+		}
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	ran := false
+	if want("3") {
+		ran = true
+		res, t, err := experiments.Fig3(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+		fmt.Printf("CF over HF uncoupled: %.3f   HF over CF coupled: %.3f\n\n",
+			res.CFOverHFUncoupled, res.HFOverCFCoupled)
+	}
+	if want("11") {
+		ran = true
+		_, t, err := experiments.Fig11(runner)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if want("13") {
+		ran = true
+		_, t, err := experiments.Fig13(runner)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if want("14") {
+		ran = true
+		_, t, err := experiments.Fig14(runner, loadList)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if want("15") {
+		ran = true
+		_, t, err := experiments.Fig15(runner, loadList)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if !ran {
+		fail(fmt.Errorf("unknown figure %q (want 3, 11, 13, 14, 15, or all)", *fig))
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", part, err)
+		}
+		if v <= 0 || v > 1.5 {
+			return nil, fmt.Errorf("load %v out of range (0, 1.5]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command thermalmap prints the SUT's steady-state socket ambient
+// temperature field for a chosen per-socket power assignment — a text
+// rendition of the airflow model behind Figure 2 and Figure 4's
+// entry-temperature staircase.
+//
+// Usage:
+//
+//	thermalmap                  # all sockets at Computation-class power
+//	thermalmap -power 10        # uniform 10W per socket
+//	thermalmap -front-only      # only zones 1-3 powered (CF-like placement)
+//	thermalmap -back-only       # only zones 4-6 powered (MinHR-like placement)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/report"
+	"densim/internal/units"
+)
+
+func main() {
+	var (
+		power     = flag.Float64("power", 18.6, "per-socket power in W for powered sockets")
+		frontOnly = flag.Bool("front-only", false, "power only zones 1-3")
+		backOnly  = flag.Bool("back-only", false, "power only zones 4-6")
+		inlet     = flag.Float64("inlet", 0, "inlet override in C (0 = 18C)")
+	)
+	flag.Parse()
+	if *frontOnly && *backOnly {
+		fmt.Fprintln(os.Stderr, "thermalmap: -front-only and -back-only are exclusive")
+		os.Exit(1)
+	}
+
+	srv := geometry.SUT()
+	params := airflow.SUTParams()
+	if *inlet != 0 {
+		params.Inlet = units.Celsius(*inlet)
+	}
+	model, err := airflow.New(srv, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermalmap:", err)
+		os.Exit(1)
+	}
+
+	const gated = 2.2 // 10% of TDP
+	powers := make([]units.Watts, srv.NumSockets())
+	for _, sk := range srv.Sockets() {
+		on := true
+		if *frontOnly && !srv.IsFrontHalf(sk.ID) {
+			on = false
+		}
+		if *backOnly && srv.IsFrontHalf(sk.ID) {
+			on = false
+		}
+		if on {
+			powers[sk.ID] = units.Watts(*power)
+		} else {
+			powers[sk.ID] = gated
+		}
+	}
+	amb := model.Ambient(powers)
+
+	t := &report.Table{
+		Title: fmt.Sprintf("SUT ambient temperature field (inlet %v, powered sockets at %.1fW)",
+			model.Inlet(), *power),
+		Header: []string{"zone", "sink", "entry temp (C)", "rise over inlet (C)", "recirculation (C/W)"},
+	}
+	for p := 0; p < srv.Depth; p++ {
+		id := srv.SocketAt(0, 0, p).ID
+		t.AddRow(p+1, srv.Sink(id).String(),
+			float64(amb[id]),
+			float64(amb[id]-model.Inlet()),
+			model.RecirculationFactor(id))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "thermalmap:", err)
+		os.Exit(1)
+	}
+}

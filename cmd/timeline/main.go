@@ -1,0 +1,77 @@
+// Command timeline runs one SUT simulation while recording the per-zone
+// thermal and operating state, and emits the series as CSV — warm-up
+// curves, throttle onset, and the front/back asymmetry under different
+// schedulers, ready for plotting.
+//
+// Usage:
+//
+//	timeline -sched CF -workload Computation -load 0.8 -duration 30 > run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"densim/internal/airflow"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "CF", "scheduler: "+strings.Join(sched.Names(), ", "))
+		wl        = flag.String("workload", "Computation", "workload set: Computation, GP, Storage")
+		load      = flag.Float64("load", 0.8, "target utilization")
+		duration  = flag.Float64("duration", 20, "simulated seconds")
+		interval  = flag.Float64("interval", 0.1, "sampling interval in seconds")
+		sinkTau   = flag.Float64("sinktau", 0, "socket thermal time constant override (0 = 30s)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var class workload.Class
+	found := false
+	for _, c := range workload.Classes {
+		if c.String() == *wl {
+			class, found = c, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown workload %q", *wl))
+	}
+	scheduler, err := sched.ByName(*schedName, *seed)
+	if err != nil {
+		fail(err)
+	}
+	rec := sim.NewRecorder(units.Seconds(*interval))
+	cfg := sim.Config{
+		Scheduler: scheduler,
+		Airflow:   airflow.SUTParams(),
+		Mix:       workload.ClassMix(class),
+		Load:      *load,
+		Seed:      *seed,
+		Duration:  units.Seconds(*duration),
+		Warmup:    units.Seconds(*duration) * 0.1,
+		SinkTau:   units.Seconds(*sinkTau),
+		Probe:     rec.Probe,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	res := s.Run()
+	if err := rec.WriteCSV(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "completed %d jobs, mean expansion %.4f, boost %.3f, %d samples\n",
+		res.Completed, res.MeanExpansion, res.BoostResidency, len(rec.Samples()))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "timeline:", err)
+	os.Exit(1)
+}

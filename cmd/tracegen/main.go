@@ -1,0 +1,111 @@
+// Command tracegen captures synthetic VDI job-arrival traces — the
+// equivalent of the paper's Xperf capture sessions — and inspects existing
+// trace files. Traces replay deterministically through densim -trace.
+//
+// Usage:
+//
+//	tracegen -workload Computation -load 0.7 -horizon 30 -o comp70.dstr
+//	tracegen -workload GP -load 0.5 -horizon 10 -json -o gp50.json
+//	tracegen -inspect comp70.dstr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"densim/internal/trace"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "GP", "workload set: Computation, GP, Storage")
+		load    = flag.Float64("load", 0.5, "target utilization the trace represents")
+		sockets = flag.Int("sockets", 180, "socket count the load is scaled to")
+		horizon = flag.Float64("horizon", 10, "capture length in seconds")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		asJSON  = flag.Bool("json", false, "write JSON instead of the binary format")
+		inspect = flag.String("inspect", "", "print statistics of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectFile(*inspect); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var class workload.Class
+	found := false
+	for _, c := range workload.Classes {
+		if c.String() == *wl {
+			class, found = c, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown workload %q", *wl))
+	}
+	tr := trace.Capture(workload.ClassMix(class), *sockets, *load, *seed, units.Seconds(*horizon))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	var err error
+	if *asJSON {
+		err = tr.WriteJSON(w)
+	} else {
+		err = tr.WriteBinary(w)
+	}
+	if err != nil {
+		fail(err)
+	}
+	st := tr.Stats()
+	fmt.Fprintf(os.Stderr, "captured %d jobs over %.1fs (mean duration %v, mean gap %v)\n",
+		st.Jobs, *horizon, st.MeanDuration, st.MeanInterArrival)
+}
+
+func inspectFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if strings.HasSuffix(path, ".json") {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		return err
+	}
+	st := tr.Stats()
+	fmt.Printf("trace %s\n", path)
+	fmt.Printf("  mix:       %s (load %.0f%%, %d sockets, seed %d)\n",
+		tr.Meta.Mix, tr.Meta.Load*100, tr.Meta.Sockets, tr.Meta.Seed)
+	fmt.Printf("  horizon:   %.1fs\n", tr.Meta.Horizon)
+	fmt.Printf("  jobs:      %d\n", st.Jobs)
+	fmt.Printf("  durations: mean %v\n", st.MeanDuration)
+	fmt.Printf("  arrivals:  mean gap %v\n", st.MeanInterArrival)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command validate runs the repository's calibration checklist: the
+// quantitative anchors the substitute substrates are calibrated against.
+// Every check prints PASS/FAIL with the measured value, the target, and the
+// paper source; the exit code reports overall success.
+//
+// Usage:
+//
+//	validate          # fast checks only
+//	validate -sim     # also run the simulation smoke checks (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"densim/internal/chipmodel"
+	"densim/internal/entrytemp"
+	"densim/internal/experiments"
+	"densim/internal/thermo"
+	"densim/internal/workload"
+)
+
+type check struct {
+	name     string
+	measured float64
+	lo, hi   float64
+	source   string
+}
+
+func main() {
+	withSim := flag.Bool("sim", false, "include simulation smoke checks")
+	flag.Parse()
+
+	var checks []check
+	add := func(name string, measured, lo, hi float64, source string) {
+		checks = append(checks, check{name, measured, lo, hi, source})
+	}
+
+	// First-law airflow (Table II).
+	p1u, err := thermo.Profile(thermo.Class1U)
+	if err != nil {
+		fail(err)
+	}
+	add("1U airflow at deltaT=20C (CFM)", float64(p1u.AirflowPerU20), 18.0, 18.6, "Table II: 18.30")
+	pd, err := thermo.Profile(thermo.ClassDensityOpt)
+	if err != nil {
+		fail(err)
+	}
+	add("DensityOpt airflow at deltaT=20C (CFM)", float64(pd.AirflowPerU20), 51.2, 52.2, "Table II: 51.74")
+
+	// Cartridge airflow calibration (Figure 2).
+	f2, _, err := experiments.Fig2()
+	if err != nil {
+		fail(err)
+	}
+	add("cartridge downstream air rise (C)", float64(f2.Rise), 7.5, 8.7, "Figure 2: ~8C")
+
+	// Analytical entry-temperature example (Section II-B).
+	et := entrytemp.Default()
+	diff := float64(et.Mean(15, 6, 5) - et.Mean(15, 6, 1))
+	add("15W@6CFM mean entry diff DoC5 vs 1 (C)", diff, 7, 11, "Section II-B: ~10C")
+
+	// Workload anchors (Figures 6 and 7).
+	add("Computation power at 1900MHz (W)",
+		float64(workload.SetPowerAt(workload.Computation, chipmodel.FMax)), 17.9, 18.1, "Figure 7: 18W")
+	add("Storage power at 1900MHz (W)",
+		float64(workload.SetPowerAt(workload.Storage, chipmodel.FMax)), 10.4, 10.6, "Figure 7: 10.5W")
+	add("Computation perf drop at 1100MHz",
+		1-workload.SetRelPerf(workload.Computation, chipmodel.FMin), 0.30, 0.40, "Figure 7: ~35%")
+	for _, c := range workload.Classes {
+		add(fmt.Sprintf("%s duration CoV", c), workload.DurationCoV(c), 0.25, 0.33, "Figure 6: 0.25-0.33")
+	}
+
+	// Thermal model validation (Figure 10).
+	rows10, _, err := experiments.Fig10()
+	if err != nil {
+		fail(err)
+	}
+	add("Eq.1 vs detailed model max error (C)", float64(experiments.MaxAbsError(rows10)), 0, 2, "Figure 10: within 2C")
+
+	// Heat-sink calibration (Table III).
+	add("R_ext 18-fin (C/W)", chipmodel.RExt18, 1.578, 1.578, "Table III")
+	add("R_ext 30-fin (C/W)", chipmodel.RExt30, 1.056, 1.056, "Table III")
+	add("leakage at 90C / TDP", float64(chipmodel.NewLeakage(22).At(90))/22, 0.2999, 0.3001, "Section III-A: 30%")
+
+	if *withSim {
+		opts := experiments.Quick()
+		res, _, err := experiments.Fig3(opts)
+		if err != nil {
+			fail(err)
+		}
+		add("Fig3 uncoupled CF over HF", res.CFOverHFUncoupled, 1.0, 1.2, "Figure 3: CF wins uncoupled (~1.08)")
+		add("Fig3 coupled HF over CF", res.HFOverCFCoupled, 1.0, 1.5, "Figure 3: HF wins coupled (~1.05)")
+	}
+
+	failures := 0
+	for _, c := range checks {
+		status := "PASS"
+		if math.IsNaN(c.measured) || c.measured < c.lo || c.measured > c.hi {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-4s %-42s measured=%8.3f target=[%.3f, %.3f]  (%s)\n",
+			status, c.name, c.measured, c.lo, c.hi, c.source)
+	}
+	fmt.Printf("\n%d/%d checks passed\n", len(checks)-failures, len(checks))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "validate:", err)
+	os.Exit(1)
+}

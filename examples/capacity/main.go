@@ -1,0 +1,52 @@
+// Capacity planning: use the analytical entry-temperature model (the
+// paper's Section II-B) to explore how socket power, per-socket airflow,
+// and degree of coupling shape intra-server thermals — the Figure 5 design
+// space — and derive the airflow a new design would need.
+package main
+
+import (
+	"fmt"
+
+	"densim/internal/entrytemp"
+	"densim/internal/thermo"
+	"densim/internal/units"
+)
+
+func main() {
+	model := entrytemp.Default()
+
+	fmt.Println("Design space: mean socket entry temperature (C) by degree of coupling")
+	fmt.Println("(15W sockets; rows are per-socket airflow)")
+	degrees := []int{1, 2, 3, 5, 11}
+	fmt.Printf("%10s", "CFM\\DoC")
+	for _, d := range degrees {
+		fmt.Printf("%8d", d)
+	}
+	fmt.Println()
+	for _, flow := range []units.CFM{2, 4, 6, 8, 12} {
+		fmt.Printf("%10.1f", float64(flow))
+		for _, d := range degrees {
+			fmt.Printf("%8.1f", float64(model.Mean(15, flow, d)))
+		}
+		fmt.Println()
+	}
+
+	// The paper's worked example: a 15W part at 6 CFM gains ~10C of mean
+	// entry temperature going from an uncoupled design to degree 5.
+	diff := model.Mean(15, 6, 5) - model.Mean(15, 6, 1)
+	fmt.Printf("\n15W @ 6CFM, DoC 5 vs 1: +%.1fC mean entry temperature (paper: ~10C)\n", float64(diff))
+
+	// First-law provisioning: how much airflow does each server class need
+	// to hold a 20C inlet-outlet rise (Table II)?
+	fmt.Println("\nAirflow provisioning at deltaT = 20C (Table II):")
+	for _, p := range thermo.ClassProfiles() {
+		fmt.Printf("  %-11s %6.0f W/U  ->  %6.2f CFM/U\n",
+			p.Class, float64(p.PowerPerU), float64(p.AirflowPerU20))
+	}
+
+	// And the inverse: a hypothetical 30-sockets/U cartridge of 20W parts.
+	hypPower := units.Watts(30 * 20)
+	need := thermo.RequiredCFM(units.StandardAir, hypPower, 20)
+	fmt.Printf("\nHypothetical 30x20W sockets per U: %.0f W/U needs %.1f CFM/U\n",
+		float64(hypPower), float64(need))
+}

@@ -1,0 +1,3 @@
+module densim
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package airflow is densim's substitute for the paper's Ansys Icepak CFD
+// model: it computes per-socket ambient (entry) air temperatures from the
+// instantaneous socket powers and the server geometry.
+//
+// The model is an advection network. Each (row, lane) pair is an independent
+// air channel flowing from zone 1 to the outlet. A socket dissipating P
+// watts raises the temperature of the air arriving at a downstream socket by
+//
+//	dT = P / R_eff * exp(-(x_down - x_up) / L_mix)
+//
+// where R_eff is the *effective* heat capacity rate of the channel and L_mix
+// models the slow relaxation of the socket-level thermal plume into the bulk
+// stream. R_eff is smaller than the bulk m_dot*cp of the fan-rated 6.35 CFM
+// because the heat stays concentrated in the boundary layer at socket height
+// (the cartridge above acts as a lid, Figure 8); the Concentration parameter
+// captures that ratio. The defaults are calibrated against the paper's one
+// quantitative CFD observation: a 15 W upstream socket raises downstream
+// entry air by ~8 C in the M700 cartridge (Figure 2).
+//
+// Because the network is linear in the socket powers, it exports the
+// coupling coefficients directly; the MinHR scheduler's offline
+// heat-recirculation map and the CP scheduler's downwind table lookup are
+// exactly these coefficients.
+package airflow
+
+import (
+	"fmt"
+	"math"
+
+	"densim/internal/geometry"
+	"densim/internal/units"
+)
+
+// Params sets the physical constants of the advection network.
+type Params struct {
+	// Inlet is the server inlet temperature (Table III: 18C).
+	Inlet units.Celsius
+	// FlowPerLane is the fan-rated volumetric flow through one socket lane
+	// (Table III: 6.35 CFM at sockets).
+	FlowPerLane units.CFM
+	// Concentration is the ratio of bulk to effective heat capacity rate:
+	// how much hotter the socket-height air is than the fully mixed stream.
+	// Calibrated to the Figure 2 observation.
+	Concentration float64
+	// MixLength is the e-folding distance over which a plume's excess
+	// temperature relaxes into the bulk stream.
+	MixLength units.Meters
+	// AuxPerSocket is the non-SoC board power dissipated into the stream at
+	// each socket position — DRAM, SSD, and VRM losses of the cartridge
+	// node. It is present regardless of socket activity. The Figure 2 CFD
+	// calibration models bare sockets, so DefaultParams keeps this at 0;
+	// SUTParams sets the M700-class value.
+	AuxPerSocket units.Watts
+	// Air carries the fluid properties.
+	Air units.Air
+}
+
+// DefaultParams returns the calibrated parameters: with 6.35 CFM and
+// Concentration 2.0 the effective rate is ~1.81 W/K, so a 15 W socket raises
+// its 1.6-inch-downstream neighbor's entry air by ~8.1 C, matching Figure 2.
+func DefaultParams() Params {
+	return Params{
+		Inlet:         18,
+		FlowPerLane:   6.35,
+		Concentration: 2.0,
+		MixLength:     units.FromInches(60),
+		Air:           units.StandardAir,
+	}
+}
+
+// SUTParams returns the parameters for full-system M700-class runs: the
+// Figure 2 calibration plus 10 W of auxiliary board power per socket position
+// (each M700 cartridge node carries DRAM and an SSD whose heat shares the
+// socket airstream — roughly 4 W of DDR3, 2-5 W of SSD, ~3 W of VRM loss,
+// and a fabric/NIC share; the cartridge-level CFD of Figure 2 models bare sockets, so the
+// auxiliary term is zero there).
+func SUTParams() Params {
+	p := DefaultParams()
+	p.AuxPerSocket = 10
+	return p
+}
+
+// Model holds the precomputed linear coupling structure for one server.
+type Model struct {
+	server *geometry.Server
+	params Params
+	// coef[i] lists (upstream socket, C/W coefficient) pairs affecting i.
+	coef [][]term
+	// impact[j] is the summed downstream coefficient of socket j — the
+	// heat-recirculation factor the MinHR scheduler precomputes offline.
+	impact []float64
+}
+
+type term struct {
+	up SocketID
+	c  float64
+}
+
+// SocketID aliases geometry.SocketID for readability.
+type SocketID = geometry.SocketID
+
+// New builds the advection model for a server.
+func New(server *geometry.Server, p Params) (*Model, error) {
+	switch {
+	case server == nil:
+		return nil, fmt.Errorf("airflow: nil server")
+	case p.FlowPerLane <= 0:
+		return nil, fmt.Errorf("airflow: non-positive lane flow %v", p.FlowPerLane)
+	case p.Concentration <= 0:
+		return nil, fmt.Errorf("airflow: non-positive concentration %v", p.Concentration)
+	case p.MixLength <= 0:
+		return nil, fmt.Errorf("airflow: non-positive mix length %v", p.MixLength)
+	case p.AuxPerSocket < 0:
+		return nil, fmt.Errorf("airflow: negative auxiliary power %v", p.AuxPerSocket)
+	}
+	m := &Model{
+		server: server,
+		params: p,
+		coef:   make([][]term, server.NumSockets()),
+		impact: make([]float64, server.NumSockets()),
+	}
+	effRate := m.EffectiveRateWPerK()
+	for _, sk := range server.Sockets() {
+		xDown, _, _ := server.Position(sk.ID)
+		for _, up := range server.Upstream(sk.ID) {
+			xUp, _, _ := server.Position(up)
+			decay := expNeg(float64(xDown-xUp) / float64(p.MixLength))
+			c := decay / effRate
+			m.coef[sk.ID] = append(m.coef[sk.ID], term{up: up, c: c})
+			m.impact[up] += c
+		}
+	}
+	return m, nil
+}
+
+func expNeg(x float64) float64 { return math.Exp(-x) }
+
+// EffectiveRateWPerK returns the effective heat capacity rate of a lane:
+// bulk m_dot*cp divided by the concentration factor.
+func (m *Model) EffectiveRateWPerK() float64 {
+	return m.params.Air.HeatCapacityRateWPerK(m.params.FlowPerLane) / m.params.Concentration
+}
+
+// Inlet returns the inlet temperature.
+func (m *Model) Inlet() units.Celsius { return m.params.Inlet }
+
+// Ambient computes the steady-state entry temperature of every socket given
+// the current per-socket total powers. powers must have one entry per
+// socket.
+func (m *Model) Ambient(powers []units.Watts) []units.Celsius {
+	if len(powers) != m.server.NumSockets() {
+		panic(fmt.Sprintf("airflow: %d powers for %d sockets", len(powers), m.server.NumSockets()))
+	}
+	out := make([]units.Celsius, len(powers))
+	m.AmbientInto(powers, out)
+	return out
+}
+
+// AmbientInto is Ambient without the allocation; out must have one entry per
+// socket. The simulator calls this every power-manager tick.
+func (m *Model) AmbientInto(powers []units.Watts, out []units.Celsius) {
+	aux := float64(m.params.AuxPerSocket)
+	for i := range out {
+		t := float64(m.params.Inlet)
+		for _, tm := range m.coef[i] {
+			t += tm.c * (float64(powers[tm.up]) + aux)
+		}
+		out[i] = units.Celsius(t)
+	}
+}
+
+// AmbientAt computes one socket's entry temperature.
+func (m *Model) AmbientAt(id SocketID, powers []units.Watts) units.Celsius {
+	aux := float64(m.params.AuxPerSocket)
+	t := float64(m.params.Inlet)
+	for _, tm := range m.coef[id] {
+		t += tm.c * (float64(powers[tm.up]) + aux)
+	}
+	return units.Celsius(t)
+}
+
+// Coupling returns the coefficient (C per W) by which power at socket up
+// raises the entry temperature of socket down, 0 if unrelated. This is the
+// "table lookup" the CP scheduler uses for downwind predictions.
+func (m *Model) Coupling(up, down SocketID) float64 {
+	for _, tm := range m.coef[down] {
+		if tm.up == up {
+			return tm.c
+		}
+	}
+	return 0
+}
+
+// RecirculationFactor returns socket j's total downstream impact in C/W
+// summed over all affected sockets — the offline heat-recirculation map of
+// the MinHR scheduler [63].
+func (m *Model) RecirculationFactor(j SocketID) float64 { return m.impact[j] }
+
+// Server returns the topology the model was built for.
+func (m *Model) Server() *geometry.Server { return m.server }

@@ -1,0 +1,265 @@
+package airflow
+
+import (
+	"math"
+	"testing"
+
+	"densim/internal/geometry"
+	"densim/internal/units"
+)
+
+func newSUTModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(geometry.SUT(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestZeroPowerIsInlet(t *testing.T) {
+	m := newSUTModel(t)
+	amb := m.Ambient(make([]units.Watts, m.Server().NumSockets()))
+	for i, a := range amb {
+		if a != m.Inlet() {
+			t.Fatalf("socket %d ambient %v with zero power, want inlet", i, a)
+		}
+	}
+}
+
+func TestFigure2Calibration(t *testing.T) {
+	// The paper's CFD observation: in the 2x2 cartridge with 15W sockets,
+	// downstream entry air is ~8C above upstream entry air.
+	pair := geometry.CoupledPair()
+	m, err := New(pair, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := m.Ambient([]units.Watts{15, 15})
+	rise := float64(amb[1] - amb[0])
+	if rise < 7.5 || rise > 8.7 {
+		t.Errorf("downstream rise = %.2fC, want ~8C (Figure 2)", rise)
+	}
+	// Upstream socket sees the inlet regardless of downstream power.
+	if amb[0] != m.Inlet() {
+		t.Errorf("upstream ambient = %v, want inlet", amb[0])
+	}
+}
+
+func TestCouplingIsUnidirectional(t *testing.T) {
+	m := newSUTModel(t)
+	s := m.Server()
+	up := s.SocketAt(2, 0, 1).ID
+	down := s.SocketAt(2, 0, 4).ID
+	if m.Coupling(up, down) <= 0 {
+		t.Error("upstream socket has no coupling to downstream socket")
+	}
+	if m.Coupling(down, up) != 0 {
+		t.Error("downstream socket couples to upstream socket")
+	}
+	if m.Coupling(up, up) != 0 {
+		t.Error("socket couples to itself")
+	}
+}
+
+func TestNoCouplingAcrossLanesOrRows(t *testing.T) {
+	// Section III-B: coupling across the width (z direction) is small and
+	// not modeled.
+	m := newSUTModel(t)
+	s := m.Server()
+	a := s.SocketAt(3, 0, 0).ID
+	otherLane := s.SocketAt(3, 1, 3).ID
+	otherRow := s.SocketAt(4, 0, 3).ID
+	if m.Coupling(a, otherLane) != 0 {
+		t.Error("coupling across lanes")
+	}
+	if m.Coupling(a, otherRow) != 0 {
+		t.Error("coupling across rows")
+	}
+}
+
+func TestCouplingDecaysWithDistance(t *testing.T) {
+	m := newSUTModel(t)
+	s := m.Server()
+	src := s.SocketAt(0, 0, 0).ID
+	prev := math.Inf(1)
+	for p := 1; p < s.Depth; p++ {
+		c := m.Coupling(src, s.SocketAt(0, 0, p).ID)
+		if c <= 0 {
+			t.Fatalf("no coupling to pos %d", p)
+		}
+		if c >= prev {
+			t.Fatalf("coupling did not decay at pos %d: %v >= %v", p, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestIntraCartridgeStrongerThanInter(t *testing.T) {
+	// Zones 1->2 are 1.6in apart; zones 2->3 are 3in apart. The per-watt
+	// coupling must reflect that asymmetry.
+	m := newSUTModel(t)
+	s := m.Server()
+	z1, z2, z3 := s.SocketAt(0, 0, 0).ID, s.SocketAt(0, 0, 1).ID, s.SocketAt(0, 0, 2).ID
+	if m.Coupling(z1, z2) <= m.Coupling(z2, z3) {
+		t.Errorf("intra-cartridge coupling %v not stronger than inter-cartridge %v",
+			m.Coupling(z1, z2), m.Coupling(z2, z3))
+	}
+}
+
+func TestAmbientMonotoneDownstream(t *testing.T) {
+	// With all sockets at equal power, entry temps must increase along the
+	// flow — the entry-temperature staircase of Figure 4.
+	m := newSUTModel(t)
+	s := m.Server()
+	powers := make([]units.Watts, s.NumSockets())
+	for i := range powers {
+		powers[i] = 18
+	}
+	amb := m.Ambient(powers)
+	for r := 0; r < s.Rows; r++ {
+		for l := 0; l < s.Lanes; l++ {
+			for p := 1; p < s.Depth; p++ {
+				cur := amb[s.SocketAt(r, l, p).ID]
+				prevT := amb[s.SocketAt(r, l, p-1).ID]
+				if cur <= prevT {
+					t.Fatalf("row %d lane %d: ambient not increasing at pos %d", r, l, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFullLoadBackZoneHotEnoughToThrottle(t *testing.T) {
+	// The dynamics that drive the paper's results: at full power the last
+	// zone's ambient must be high enough (>58C) that Computation-class jobs
+	// lose boost (see chipmodel), while zone 1 stays at the 18C inlet.
+	m := newSUTModel(t)
+	s := m.Server()
+	powers := make([]units.Watts, s.NumSockets())
+	for i := range powers {
+		powers[i] = 18 // Computation-class total power near the limit
+	}
+	amb := m.Ambient(powers)
+	z6 := amb[s.SocketAt(7, 0, 5).ID]
+	z1 := amb[s.SocketAt(7, 0, 0).ID]
+	if z1 != m.Inlet() {
+		t.Errorf("zone 1 ambient = %v, want inlet", z1)
+	}
+	if z6 < 55 || z6 > 75 {
+		t.Errorf("zone 6 full-load ambient = %v, want ~58-70C for throttling dynamics", z6)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	m := newSUTModel(t)
+	n := m.Server().NumSockets()
+	p1 := make([]units.Watts, n)
+	p2 := make([]units.Watts, n)
+	p1[0], p1[5] = 10, 20
+	p2[1], p2[5] = 7, 3
+	sum := make([]units.Watts, n)
+	for i := range sum {
+		sum[i] = p1[i] + p2[i]
+	}
+	a1, a2, asum := m.Ambient(p1), m.Ambient(p2), m.Ambient(sum)
+	inlet := float64(m.Inlet())
+	for i := 0; i < n; i++ {
+		want := (float64(a1[i]) - inlet) + (float64(a2[i]) - inlet) + inlet
+		if math.Abs(float64(asum[i])-want) > 1e-9 {
+			t.Fatalf("linearity violated at socket %d", i)
+		}
+	}
+}
+
+func TestRecirculationFactorShape(t *testing.T) {
+	// Upstream sockets hurt more sockets: the recirculation factor must
+	// decrease monotonically along the flow and be zero at the last zone.
+	m := newSUTModel(t)
+	s := m.Server()
+	prev := math.Inf(1)
+	for p := 0; p < s.Depth; p++ {
+		f := m.RecirculationFactor(s.SocketAt(9, 1, p).ID)
+		if f >= prev {
+			t.Fatalf("recirculation factor not decreasing at pos %d", p)
+		}
+		prev = f
+	}
+	if last := m.RecirculationFactor(s.SocketAt(9, 1, s.Depth-1).ID); last != 0 {
+		t.Errorf("last zone recirculation factor = %v, want 0", last)
+	}
+}
+
+func TestRecirculationMatchesCouplingSum(t *testing.T) {
+	m := newSUTModel(t)
+	s := m.Server()
+	for _, sk := range s.Sockets() {
+		var sum float64
+		for _, other := range s.Sockets() {
+			sum += m.Coupling(sk.ID, other.ID)
+		}
+		if math.Abs(sum-m.RecirculationFactor(sk.ID)) > 1e-12 {
+			t.Fatalf("socket %d: coupling sum %v != recirculation factor %v",
+				sk.ID, sum, m.RecirculationFactor(sk.ID))
+		}
+	}
+}
+
+func TestAmbientAtMatchesAmbient(t *testing.T) {
+	m := newSUTModel(t)
+	n := m.Server().NumSockets()
+	powers := make([]units.Watts, n)
+	for i := range powers {
+		powers[i] = units.Watts(i % 23)
+	}
+	all := m.Ambient(powers)
+	for i := 0; i < n; i++ {
+		if one := m.AmbientAt(SocketID(i), powers); one != all[i] {
+			t.Fatalf("AmbientAt(%d) = %v, Ambient[%d] = %v", i, one, i, all[i])
+		}
+	}
+}
+
+func TestUncoupledPairNoInteraction(t *testing.T) {
+	m, err := New(geometry.UncoupledPair(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := m.Ambient([]units.Watts{22, 22})
+	for i, a := range amb {
+		if a != m.Inlet() {
+			t.Errorf("uncoupled socket %d ambient = %v, want inlet", i, a)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultParams()); err == nil {
+		t.Error("nil server accepted")
+	}
+	p := DefaultParams()
+	p.FlowPerLane = 0
+	if _, err := New(geometry.SUT(), p); err == nil {
+		t.Error("zero flow accepted")
+	}
+	p = DefaultParams()
+	p.Concentration = 0
+	if _, err := New(geometry.SUT(), p); err == nil {
+		t.Error("zero concentration accepted")
+	}
+	p = DefaultParams()
+	p.MixLength = 0
+	if _, err := New(geometry.SUT(), p); err == nil {
+		t.Error("zero mix length accepted")
+	}
+}
+
+func TestAmbientPanicsOnSizeMismatch(t *testing.T) {
+	m := newSUTModel(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Ambient with wrong size did not panic")
+		}
+	}()
+	m.Ambient([]units.Watts{1, 2, 3})
+}

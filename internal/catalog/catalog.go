@@ -1,0 +1,155 @@
+// Package catalog carries the survey data of the paper's Section I and II:
+// the Table I inventory of real density optimized systems and a generative
+// reconstruction of the Figure 1 SPECpower_ssj2008 server-density study.
+package catalog
+
+import (
+	"densim/internal/stats"
+	"densim/internal/thermo"
+	"densim/internal/units"
+)
+
+// System is one row of the paper's Table I.
+type System struct {
+	Organization     string
+	System           string
+	Details          string
+	Domain           string
+	FormFactorU      int
+	OrganizationDesc string
+	TotalSockets     int
+	SocketsPerU      float64
+	SocketTDP        units.Watts
+	CPU              string
+	DegreeOfCoupling int
+}
+
+// Table1 returns the paper's Table I inventory of recent density optimized
+// systems.
+func Table1() []System {
+	return []System{
+		{"QCT/Facebook", "Rackgo X", "Open compute server", "General purpose", 2, "2 tray x 3 blade x 2 socket", 12, 6, 45, "Intel Xeon D-1500", 1},
+		{"AMD", "AMD SeaMicro", "SM15000e-OP", "Scale-out applications", 10, "4 row x 16 card x 1 socket", 64, 6.4, 140, "AMD Opteron 6300", 1},
+		{"Cisco", "UCS M4308", "M2814", "Scale-out applications", 2, "2 row x 2 card x 2 socket", 8, 4, 120, "Intel Xeon E5", 1},
+		{"HP Enterprise", "Moonshot", "ProLiant M710P", "Big data analytics", 4, "15 row x 3 cartridge x 1 socket", 45, 11.25, 69, "Intel Xeon E3", 2},
+		{"Dell", "Copper", "Prototype system", "Scale-out applications", 3, "12 sled x 4 socket", 48, 16, 15, "32-bit ARM", 3},
+		{"Mitac", "Datun project", "Prototype system", "Scale-out applications", 1, "2 row x 4 socket", 8, 8, 50, "Applied Micro X-Gene", 3},
+		{"Seamicro", "SeaMicro", "SM15000-64", "Scale-out applications", 10, "4 row x 16 card x 4 socket", 256, 25.6, 8.5, "Intel Atom N570", 3},
+		{"HP Enterprise", "Moonshot", "ProLiant M350", "Web hosting", 4, "15 row x 3 cartridge x 4 socket", 180, 45, 20, "Intel Atom C2750", 5},
+		{"HP Enterprise", "Moonshot", "ProLiant M700", "Virtual desktop (VDI)", 4, "15 row x 3 cartridge x 4 socket", 180, 45, 22, "AMD Opteron X2150", 5},
+		{"HP Enterprise", "Moonshot", "ProLiant M800", "Digital signal processing", 4, "15 row x 3 cartridge x 4 socket", 180, 45, 14, "TI Keystone II", 5},
+		{"HP", "Redstone", "Development server", "Scale-out applications", 4, "4 tray x 6 row x 3 cartridge x 4 socket", 288, 72, 5, "Calxeda EnergyCore", 11},
+	}
+}
+
+// SUTSystem returns the Table I row the paper picks as the system under
+// test: the ProLiant M700 VDI cartridge system.
+func SUTSystem() System {
+	for _, s := range Table1() {
+		if s.Details == "ProLiant M700" {
+			return s
+		}
+	}
+	panic("catalog: M700 missing from Table 1")
+}
+
+// ServerSample is one server design in the Figure 1 study.
+type ServerSample struct {
+	Class       thermo.ServerClass
+	PowerPerU   units.Watts
+	SocketsPerU float64
+}
+
+// classSpec drives the generative reconstruction of the Figure 1 scatter:
+// class counts approximating the 400-design SPECpower study plus the 10
+// density optimized designs, with per-class means fixed to the paper's
+// published values.
+type classSpec struct {
+	class    thermo.ServerClass
+	count    int
+	powerCoV float64
+	socketSD float64
+}
+
+// Figure1Study synthesizes the server sample set. Per-class means match the
+// paper exactly; the scatter is lognormal around those means with the given
+// seed. The 400 rack/blade designs and 10 density optimized designs are
+// returned together.
+func Figure1Study(seed uint64) []ServerSample {
+	rng := stats.NewRNG(seed)
+	specs := []classSpec{
+		{thermo.Class1U, 150, 0.35, 0.55},
+		{thermo.Class2U, 150, 0.35, 0.40},
+		{thermo.ClassOther, 80, 0.40, 0.30},
+		{thermo.ClassBlade, 20, 0.25, 0.80},
+		{thermo.ClassDensityOpt, 10, 0.30, 8.0},
+	}
+	var out []ServerSample
+	for _, sp := range specs {
+		profile, err := thermo.Profile(sp.class)
+		if err != nil {
+			panic("catalog: " + err.Error())
+		}
+		powers := make([]float64, sp.count)
+		sockets := make([]float64, sp.count)
+		var pSum, sSum float64
+		pd := stats.Lognormal{Mean: float64(profile.PowerPerU), CoV: sp.powerCoV}
+		for i := 0; i < sp.count; i++ {
+			powers[i] = pd.Sample(rng)
+			sockets[i] = profile.SocketsPerU + sp.socketSD*rng.NormFloat64()
+			if sockets[i] < 0.25 {
+				sockets[i] = 0.25
+			}
+			pSum += powers[i]
+			sSum += sockets[i]
+		}
+		// Re-center the sample on the published class means so the study
+		// reproduces Figure 1's averages exactly at any seed.
+		pScale := float64(profile.PowerPerU) * float64(sp.count) / pSum
+		sShift := profile.SocketsPerU - sSum/float64(sp.count)
+		for i := 0; i < sp.count; i++ {
+			out = append(out, ServerSample{
+				Class:       sp.class,
+				PowerPerU:   units.Watts(powers[i] * pScale),
+				SocketsPerU: sockets[i] + sShift,
+			})
+		}
+	}
+	return out
+}
+
+// ClassMeans aggregates a sample set per class — the bars of Figure 1.
+type ClassMeans struct {
+	Class       thermo.ServerClass
+	Count       int
+	PowerPerU   units.Watts
+	SocketsPerU float64
+}
+
+// Figure1Means computes per-class averages of a study.
+func Figure1Means(samples []ServerSample) []ClassMeans {
+	order := []thermo.ServerClass{
+		thermo.Class1U, thermo.Class2U, thermo.ClassOther,
+		thermo.ClassBlade, thermo.ClassDensityOpt,
+	}
+	agg := map[thermo.ServerClass]*ClassMeans{}
+	for _, s := range samples {
+		m := agg[s.Class]
+		if m == nil {
+			m = &ClassMeans{Class: s.Class}
+			agg[s.Class] = m
+		}
+		m.Count++
+		m.PowerPerU += s.PowerPerU
+		m.SocketsPerU += s.SocketsPerU
+	}
+	var out []ClassMeans
+	for _, c := range order {
+		if m, ok := agg[c]; ok {
+			m.PowerPerU /= units.Watts(m.Count)
+			m.SocketsPerU /= float64(m.Count)
+			out = append(out, *m)
+		}
+	}
+	return out
+}

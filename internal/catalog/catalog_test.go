@@ -1,0 +1,120 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"densim/internal/thermo"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 11 {
+		t.Fatalf("Table I has %d rows, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalSockets <= 0 || r.SocketsPerU <= 0 || r.SocketTDP <= 0 || r.DegreeOfCoupling < 1 {
+			t.Errorf("row %s/%s has invalid fields: %+v", r.Organization, r.Details, r)
+		}
+		// Socket density consistency: sockets per U times form factor should
+		// equal total sockets.
+		if got := r.SocketsPerU * float64(r.FormFactorU); math.Abs(got-float64(r.TotalSockets)) > 0.5 {
+			t.Errorf("%s: %f sockets/U x %dU = %f != %d sockets",
+				r.Details, r.SocketsPerU, r.FormFactorU, got, r.TotalSockets)
+		}
+	}
+}
+
+func TestTable1DensityRange(t *testing.T) {
+	// Section II-A: density varies from about 4 sockets/U to 72 sockets/U;
+	// degree of coupling from 1 to 11.
+	var minD, maxD = math.Inf(1), math.Inf(-1)
+	var maxC int
+	for _, r := range Table1() {
+		minD = math.Min(minD, r.SocketsPerU)
+		maxD = math.Max(maxD, r.SocketsPerU)
+		if r.DegreeOfCoupling > maxC {
+			maxC = r.DegreeOfCoupling
+		}
+	}
+	if minD != 4 || maxD != 72 {
+		t.Errorf("density range [%v, %v], want [4, 72]", minD, maxD)
+	}
+	if maxC != 11 {
+		t.Errorf("max degree of coupling = %d, want 11", maxC)
+	}
+}
+
+func TestSUTSystem(t *testing.T) {
+	s := SUTSystem()
+	if s.TotalSockets != 180 || s.SocketsPerU != 45 || s.SocketTDP != 22 || s.DegreeOfCoupling != 5 {
+		t.Errorf("SUT = %+v", s)
+	}
+	if s.Domain != "Virtual desktop (VDI)" {
+		t.Errorf("SUT domain = %q", s.Domain)
+	}
+}
+
+func TestFigure1StudySize(t *testing.T) {
+	samples := Figure1Study(1)
+	if len(samples) != 410 { // 400 SPECpower designs + 10 density optimized
+		t.Fatalf("study size = %d, want 410", len(samples))
+	}
+}
+
+func TestFigure1MeansMatchPaper(t *testing.T) {
+	means := Figure1Means(Figure1Study(7))
+	want := map[thermo.ServerClass][2]float64{
+		thermo.Class1U:         {208, 1.79},
+		thermo.Class2U:         {147, 1.15},
+		thermo.ClassOther:      {114, 0.78},
+		thermo.ClassBlade:      {421, 3.47},
+		thermo.ClassDensityOpt: {588, 25.0},
+	}
+	if len(means) != 5 {
+		t.Fatalf("got %d classes", len(means))
+	}
+	for _, m := range means {
+		w := want[m.Class]
+		if math.Abs(float64(m.PowerPerU)-w[0]) > 0.01 {
+			t.Errorf("%s power mean = %v, want %v", m.Class, m.PowerPerU, w[0])
+		}
+		if math.Abs(m.SocketsPerU-w[1]) > 0.01 {
+			t.Errorf("%s socket mean = %v, want %v", m.Class, m.SocketsPerU, w[1])
+		}
+	}
+}
+
+func TestFigure1MeansSeedInvariant(t *testing.T) {
+	// The recentering must make class means exact for any seed.
+	a := Figure1Means(Figure1Study(1))
+	b := Figure1Means(Figure1Study(999))
+	for i := range a {
+		if math.Abs(float64(a[i].PowerPerU-b[i].PowerPerU)) > 1e-6 {
+			t.Errorf("%s power mean varies with seed", a[i].Class)
+		}
+	}
+}
+
+func TestFigure1ScatterHasSpread(t *testing.T) {
+	samples := Figure1Study(3)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		if s.Class != thermo.Class1U {
+			continue
+		}
+		lo = math.Min(lo, float64(s.PowerPerU))
+		hi = math.Max(hi, float64(s.PowerPerU))
+	}
+	if hi/lo < 2 {
+		t.Errorf("1U power scatter [%v, %v] too narrow for a realistic study", lo, hi)
+	}
+}
+
+func TestSamplesPositive(t *testing.T) {
+	for _, s := range Figure1Study(11) {
+		if s.PowerPerU <= 0 || s.SocketsPerU <= 0 {
+			t.Fatalf("non-positive sample %+v", s)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package chipmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densim/internal/units"
+)
+
+func TestThetaTable3(t *testing.T) {
+	// theta(Power, 18-fin) = 4.41 - 0.0896P; theta(Power, 30-fin) = 4.45 - 0.0916P.
+	if got := Sink18Fin.Theta(0); math.Abs(float64(got)-4.41) > 1e-12 {
+		t.Errorf("theta18(0) = %v", got)
+	}
+	if got := Sink18Fin.Theta(10); math.Abs(float64(got)-(4.41-0.896)) > 1e-12 {
+		t.Errorf("theta18(10) = %v", got)
+	}
+	if got := Sink30Fin.Theta(10); math.Abs(float64(got)-(4.45-0.916)) > 1e-12 {
+		t.Errorf("theta30(10) = %v", got)
+	}
+}
+
+func TestRExt(t *testing.T) {
+	if Sink18Fin.RExt() != RExt18 || Sink30Fin.RExt() != RExt30 {
+		t.Error("RExt mismatch with Table III")
+	}
+}
+
+func TestSinkString(t *testing.T) {
+	if Sink18Fin.String() != "18-fin" || Sink30Fin.String() != "30-fin" {
+		t.Error("Sink String mismatch")
+	}
+	if Sink(9).String() != "Sink(9)" {
+		t.Error("unknown sink String mismatch")
+	}
+}
+
+func TestPeakTempEquation1(t *testing.T) {
+	// Hand-computed: amb 30C, 18W on 18-fin:
+	// 30 + 18*(0.205+1.578) + (4.41 - 18*0.0896) = 30 + 32.094 + 2.7972.
+	got := PeakTemp(30, 18, Sink18Fin)
+	want := 30 + 18*(0.205+1.578) + (4.41 - 18*0.0896)
+	if math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("PeakTemp = %v, want %v", got, want)
+	}
+}
+
+func TestPeakTempMonotonicity(t *testing.T) {
+	f := func(amb, p float64) bool {
+		amb = 10 + math.Mod(math.Abs(amb), 40)
+		p = math.Mod(math.Abs(p), 25)
+		if math.IsNaN(amb) || math.IsNaN(p) {
+			return true
+		}
+		// Increasing power raises peak; 30-fin always cooler at equal power.
+		base := PeakTemp(units.Celsius(amb), units.Watts(p), Sink18Fin)
+		more := PeakTemp(units.Celsius(amb), units.Watts(p+1), Sink18Fin)
+		cooler := PeakTemp(units.Celsius(amb), units.Watts(p), Sink30Fin)
+		return more > base && (p == 0 || cooler < base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func Test30FinAdvantageGrowsWithPower(t *testing.T) {
+	// Figure 9(b): the 30-fin sink is ~6-7C better at high power, 3-4C at
+	// low power. Equation 1 with Table III constants reproduces that.
+	lo := float64(PeakTemp(30, 8, Sink18Fin) - PeakTemp(30, 8, Sink30Fin))
+	hi := float64(PeakTemp(30, 18, Sink18Fin) - PeakTemp(30, 18, Sink30Fin))
+	if lo < 3 || lo > 5 {
+		t.Errorf("low-power advantage = %.2fC, want ~4C", lo)
+	}
+	if hi < 6 || hi > 10 {
+		t.Errorf("high-power advantage = %.2fC, want ~9C", hi)
+	}
+	if hi <= lo {
+		t.Error("advantage should grow with power")
+	}
+}
+
+func TestLeakageAnchor(t *testing.T) {
+	leak := NewLeakage(22)
+	// 30% of TDP at the 90C reference.
+	if got := leak.At(LeakageRefTemp); math.Abs(float64(got)-6.6) > 1e-9 {
+		t.Errorf("leakage at 90C = %v, want 6.6W", got)
+	}
+	// Doubles every 25C.
+	if got := leak.At(LeakageRefTemp + 25); math.Abs(float64(got)-13.2) > 1e-6 {
+		t.Errorf("leakage at 115C = %v, want 13.2W", got)
+	}
+}
+
+func TestLeakageMonotoneAndCapped(t *testing.T) {
+	leak := NewLeakage(22)
+	prev := units.Watts(-1)
+	for temp := units.Celsius(20); temp <= 150; temp += 5 {
+		l := leak.At(temp)
+		if l < prev {
+			t.Fatalf("leakage decreased at %v", temp)
+		}
+		prev = l
+	}
+	if got := leak.At(400); float64(got) > 2*6.6+1e-9 {
+		t.Errorf("leakage not capped: %v", got)
+	}
+}
+
+func TestSolvePeakSelfConsistent(t *testing.T) {
+	leak := NewLeakage(22)
+	temp, total := SolvePeak(30, 12, Sink18Fin, leak)
+	// The returned pair must satisfy both equations simultaneously.
+	if want := 12 + leak.At(temp); math.Abs(float64(total-want)) > 1e-3 {
+		t.Errorf("total power %v inconsistent with leakage at %v (want %v)", total, temp, want)
+	}
+	if want := PeakTemp(30, total, Sink18Fin); math.Abs(float64(temp-want)) > 1e-3 {
+		t.Errorf("temp %v inconsistent with Eq.1 at %v (want %v)", temp, total, want)
+	}
+	// And exceed the leakage-free prediction.
+	if temp <= PeakTemp(30, 12, Sink18Fin) {
+		t.Error("self-consistent peak should exceed leakage-free peak")
+	}
+}
+
+func TestPredictTwoStepNearSolve(t *testing.T) {
+	// The scheduler's cheap two-step prediction should track the fixed
+	// point within a fraction of a degree at operating conditions.
+	leak := NewLeakage(22)
+	for _, amb := range []units.Celsius{18, 30, 45} {
+		for _, dyn := range []units.Watts{4, 8, 12} {
+			exact, _ := SolvePeak(amb, dyn, Sink30Fin, leak)
+			approx := PredictTwoStep(amb, dyn, Sink30Fin, leak)
+			if math.Abs(float64(exact-approx)) > 1.0 {
+				t.Errorf("amb=%v dyn=%v: two-step %v vs exact %v", amb, dyn, approx, exact)
+			}
+		}
+	}
+}
+
+func TestFirstOrderStep(t *testing.T) {
+	f := FirstOrder{Tau: 1}
+	// After one tau, ~63.2% of the gap is closed.
+	got := f.Step(0, 100, 1)
+	if math.Abs(float64(got)-63.212) > 0.01 {
+		t.Errorf("one-tau step = %v, want 63.212", got)
+	}
+	// Zero dt leaves the state alone.
+	if f.Step(42, 100, 0) != 42 {
+		t.Error("zero-dt step changed state")
+	}
+	// Convergence from either side.
+	if down := f.Step(100, 0, 10); float64(down) > 0.01 {
+		t.Errorf("decay after 10 tau = %v", down)
+	}
+}
+
+func TestFirstOrderNeverOvershoots(t *testing.T) {
+	f := func(cur, tgt, dt float64) bool {
+		if math.IsNaN(cur) || math.IsNaN(tgt) || math.IsNaN(dt) ||
+			math.Abs(cur) > 1e6 || math.Abs(tgt) > 1e6 {
+			return true
+		}
+		dt = math.Abs(dt)
+		fo := FirstOrder{Tau: 0.005}
+		next := float64(fo.Step(units.Celsius(cur), units.Celsius(tgt), units.Seconds(dt)))
+		lo, hi := math.Min(cur, tgt), math.Max(cur, tgt)
+		return next >= lo-1e-9 && next <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponses(t *testing.T) {
+	if ChipResponse().Tau != ChipTimeConstant {
+		t.Error("chip response tau mismatch")
+	}
+	if SocketResponse().Tau != SocketTimeConstant {
+		t.Error("socket response tau mismatch")
+	}
+}
+
+func TestPredictTwoStepMonotoneInAmbient(t *testing.T) {
+	leak := NewLeakage(22)
+	f := func(a, b, p float64) bool {
+		a = 10 + math.Mod(math.Abs(a), 70)
+		b = 10 + math.Mod(math.Abs(b), 70)
+		p = math.Mod(math.Abs(p), 15)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(p) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		tl := PredictTwoStep(units.Celsius(lo), units.Watts(p), Sink18Fin, leak)
+		th := PredictTwoStep(units.Celsius(hi), units.Watts(p), Sink18Fin, leak)
+		return tl <= th+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePeakMonotoneInPower(t *testing.T) {
+	leak := NewLeakage(22)
+	f := func(p1, p2 float64) bool {
+		p1 = math.Mod(math.Abs(p1), 16)
+		p2 = math.Mod(math.Abs(p2), 16)
+		if math.IsNaN(p1) || math.IsNaN(p2) {
+			return true
+		}
+		lo, hi := math.Min(p1, p2), math.Max(p1, p2)
+		tl, _ := SolvePeak(30, units.Watts(lo), Sink30Fin, leak)
+		th, _ := SolvePeak(30, units.Watts(hi), Sink30Fin, leak)
+		return tl <= th+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

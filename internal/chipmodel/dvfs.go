@@ -1,0 +1,82 @@
+package chipmodel
+
+import (
+	"fmt"
+
+	"densim/internal/units"
+)
+
+// The DVFS ladder of the AMD Opteron X2150-class part (Table III /
+// Section III-D): 1.1 GHz to 1.9 GHz in 200 MHz steps. The top two states
+// are boost states used opportunistically when thermal headroom exists; a
+// fully loaded socket at reasonable ambient sustains 1500 MHz.
+var (
+	// Frequencies lists the P-states from slowest to fastest.
+	Frequencies = []units.MHz{1100, 1300, 1500, 1700, 1900}
+	// MaxSustained is the highest non-boost frequency.
+	MaxSustained units.MHz = 1500
+	// FMax is the top boost frequency; performance is reported relative
+	// to it.
+	FMax units.MHz = 1900
+	// FMin is the floor frequency a busy socket never drops below.
+	FMin units.MHz = 1100
+)
+
+// IsBoost reports whether f is one of the opportunistic boost states.
+func IsBoost(f units.MHz) bool { return f > MaxSustained }
+
+// FreqIndex returns the ladder index of f, or an error if f is not a
+// P-state.
+func FreqIndex(f units.MHz) (int, error) {
+	for i, v := range Frequencies {
+		if v == f {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("chipmodel: %v is not a P-state", f)
+}
+
+// StepDown returns the next lower P-state, clamping at FMin.
+func StepDown(f units.MHz) units.MHz {
+	for i := len(Frequencies) - 1; i > 0; i-- {
+		if Frequencies[i] == f {
+			return Frequencies[i-1]
+		}
+	}
+	return FMin
+}
+
+// DynamicPowerFn maps a P-state to the dynamic power a particular job draws
+// at that frequency. The workload package supplies these curves.
+type DynamicPowerFn func(f units.MHz) units.Watts
+
+// PickFrequency implements the power-management policy of Section III-D:
+// run at the highest frequency (including boost) whose self-consistent
+// Equation-1 peak temperature stays below the 95C limit. If even the lowest
+// frequency violates the limit the lowest frequency is returned — the chip
+// cannot stop, it only throttles (the paper's systems never gate busy
+// sockets).
+func PickFrequency(ambient units.Celsius, dyn DynamicPowerFn, sink Sink, leak Leakage) units.MHz {
+	for i := len(Frequencies) - 1; i >= 0; i-- {
+		f := Frequencies[i]
+		temp, _ := SolvePeak(ambient, dyn(f), sink, leak)
+		if temp <= TempLimit {
+			return f
+		}
+	}
+	return FMin
+}
+
+// PredictFrequency is the scheduler-side equivalent of PickFrequency using
+// the cheap two-step leakage compensation of Section IV-C rather than the
+// exact fixed point. Schedulers use it to estimate how fast a job would run
+// on a candidate socket.
+func PredictFrequency(ambient units.Celsius, dyn DynamicPowerFn, sink Sink, leak Leakage) units.MHz {
+	for i := len(Frequencies) - 1; i >= 0; i-- {
+		f := Frequencies[i]
+		if PredictTwoStep(ambient, dyn(f), sink, leak) <= TempLimit {
+			return f
+		}
+	}
+	return FMin
+}

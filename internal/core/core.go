@@ -1,0 +1,237 @@
+// Package core is densim's public facade: a compact API for running
+// thermal-coupling scheduling studies on density optimized servers without
+// touching the individual substrate packages.
+//
+// The typical flow is three lines:
+//
+//	exp, _ := core.NewExperiment(core.Options{Scheduler: "CP", Workload: "Computation", Load: 0.7})
+//	result, _ := exp.Run()
+//	fmt.Println(result.MeanExpansion)
+//
+// Options covers the SUT studies of the paper; callers needing custom
+// topologies, traces, or schedulers drop down to the sim, geometry, trace,
+// and sched packages, which are designed to compose (see
+// examples/customsched).
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/metrics"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/trace"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Options selects a simulation study on the 180-socket SUT.
+type Options struct {
+	// Scheduler is a policy name from Schedulers() (default "CP").
+	Scheduler string
+	// Workload is "Computation", "GP", or "Storage" (default "GP").
+	Workload string
+	// Load is the target utilization in [0, 1+] (default 0.5).
+	Load float64
+	// Seed fixes the run's randomness (default 1).
+	Seed uint64
+	// Duration is the arrival horizon in seconds (default 10).
+	Duration float64
+	// Warmup discards metrics before this time (default 0.3*Duration).
+	Warmup float64
+	// SinkTau overrides the 30s socket thermal time constant; 0 keeps the
+	// paper's value. Short exploratory runs use ~1s so the thermal field
+	// settles inside the window.
+	SinkTau float64
+	// Inlet overrides the server inlet temperature (default 18C).
+	Inlet float64
+	// CustomScheduler plugs in a user-defined policy; it overrides
+	// Scheduler when non-nil.
+	CustomScheduler sched.Scheduler
+	// TracePath replays a recorded job trace (see cmd/tracegen) instead of
+	// the live Workload/Load generator. Files ending in .json are read as
+	// JSON; everything else as the binary format. Duration defaults to the
+	// trace's capture horizon.
+	TracePath string
+}
+
+// Schedulers lists the available policy names in the paper's order.
+func Schedulers() []string { return sched.Names() }
+
+// Workloads lists the benchmark-set names.
+func Workloads() []string {
+	out := make([]string, len(workload.Classes))
+	for i, c := range workload.Classes {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// classByName resolves a workload name.
+func classByName(name string) (workload.Class, error) {
+	for _, c := range workload.Classes {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown workload %q (have %v)", name, Workloads())
+}
+
+// Experiment is a configured, runnable SUT study.
+type Experiment struct {
+	cfg       sim.Config
+	replay    *trace.Trace
+	schedName string // rebuilt per Run for stateful policies; "" = custom
+	seed      uint64
+}
+
+// NewExperiment validates options and builds the study.
+func NewExperiment(o Options) (*Experiment, error) {
+	if o.Scheduler == "" {
+		o.Scheduler = "CP"
+	}
+	if o.Workload == "" {
+		o.Workload = "GP"
+	}
+	if o.Load == 0 {
+		o.Load = 0.5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	var replay *trace.Trace
+	if o.TracePath != "" {
+		var err error
+		replay, err = readTrace(o.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		if o.Duration == 0 {
+			o.Duration = traceHorizon(replay)
+		}
+	}
+	if o.Duration == 0 {
+		o.Duration = 10
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 0.3 * o.Duration
+	}
+	class, err := classByName(o.Workload)
+	if err != nil {
+		return nil, err
+	}
+	scheduler := o.CustomScheduler
+	if scheduler == nil {
+		scheduler, err = sched.ByName(o.Scheduler, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	params := airflow.SUTParams()
+	if o.Inlet != 0 {
+		params.Inlet = units.Celsius(o.Inlet)
+	}
+	cfg := sim.Config{
+		Server:    geometry.SUT(),
+		Airflow:   params,
+		Scheduler: scheduler,
+		Mix:       workload.ClassMix(class),
+		Load:      o.Load,
+		Seed:      o.Seed,
+		Duration:  units.Seconds(o.Duration),
+		Warmup:    units.Seconds(o.Warmup),
+		SinkTau:   units.Seconds(o.SinkTau),
+	}
+	// Validate eagerly so callers see configuration errors here, not at
+	// Run time.
+	if _, err := sim.New(cfg); err != nil {
+		return nil, err
+	}
+	exp := &Experiment{cfg: cfg, replay: replay, seed: o.Seed}
+	if o.CustomScheduler == nil {
+		exp.schedName = o.Scheduler
+	}
+	return exp, nil
+}
+
+// readTrace loads a trace file, deciding the encoding by extension.
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening trace: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return trace.ReadJSON(f)
+	}
+	return trace.ReadBinary(f)
+}
+
+// traceHorizon returns the trace's capture horizon, falling back to the last
+// arrival time for hand-made traces without metadata.
+func traceHorizon(t *trace.Trace) float64 {
+	if t.Meta.Horizon > 0 {
+		return t.Meta.Horizon
+	}
+	if n := len(t.Records); n > 0 {
+		return float64(t.Records[n-1].At) + 0.001
+	}
+	return 1
+}
+
+// Run executes the study and returns its metrics. Each call creates a fresh
+// simulator (and a fresh trace player when replaying), so Run is repeatable
+// and safe to call multiple times.
+func (e *Experiment) Run() (metrics.Result, error) {
+	cfg := e.cfg
+	if e.replay != nil {
+		cfg.Source = trace.NewPlayer(e.replay)
+	}
+	if e.schedName != "" {
+		// Stochastic policies carry RNG state; rebuild so every Run starts
+		// from the same seed.
+		scheduler, err := sched.ByName(e.schedName, e.seed)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		cfg.Scheduler = scheduler
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// Compare runs the same study under several schedulers and reports each
+// one's performance relative to the first (the baseline).
+func Compare(base Options, schedulers []string) (map[string]float64, error) {
+	if len(schedulers) == 0 {
+		return nil, fmt.Errorf("core: no schedulers to compare")
+	}
+	results := make(map[string]metrics.Result, len(schedulers))
+	for _, name := range schedulers {
+		o := base
+		o.Scheduler = name
+		o.CustomScheduler = nil
+		exp, err := NewExperiment(o)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exp.Run()
+		if err != nil {
+			return nil, err
+		}
+		results[name] = res
+	}
+	baseline := results[schedulers[0]]
+	out := make(map[string]float64, len(schedulers))
+	for name, res := range results {
+		out[name] = res.RelativePerformance(baseline)
+	}
+	return out, nil
+}

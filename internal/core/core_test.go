@@ -1,0 +1,195 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"densim/internal/geometry"
+	"densim/internal/job"
+	"densim/internal/metrics"
+	"densim/internal/sched"
+	"densim/internal/trace"
+	"densim/internal/workload"
+)
+
+func TestNewExperimentDefaults(t *testing.T) {
+	exp, err := NewExperiment(Options{Duration: 2, SinkTau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Error("default experiment completed nothing")
+	}
+	if res.MeanExpansion < 1.0-1e-9 {
+		t.Errorf("expansion = %v", res.MeanExpansion)
+	}
+}
+
+func TestNewExperimentValidation(t *testing.T) {
+	if _, err := NewExperiment(Options{Scheduler: "FIFO"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := NewExperiment(Options{Workload: "Gaming"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := NewExperiment(Options{Load: -1}); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestRunRepeatable(t *testing.T) {
+	exp, err := NewExperiment(Options{Scheduler: "CF", Workload: "Storage", Load: 0.3, Duration: 2, SinkTau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.MeanExpansion != b.MeanExpansion {
+		t.Error("Run not repeatable")
+	}
+}
+
+func TestSchedulersAndWorkloads(t *testing.T) {
+	if len(Schedulers()) != 10 {
+		t.Errorf("schedulers = %v", Schedulers())
+	}
+	if len(Workloads()) != 3 {
+		t.Errorf("workloads = %v", Workloads())
+	}
+}
+
+func TestInletOverride(t *testing.T) {
+	cool, err := NewExperiment(Options{Scheduler: "CF", Workload: "Computation", Load: 0.8, Duration: 3, SinkTau: 0.5, Inlet: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewExperiment(Options{Scheduler: "CF", Workload: "Computation", Load: 0.8, Duration: 3, SinkTau: 0.5, Inlet: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cool.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := hot.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.BoostResidency >= rc.BoostResidency {
+		t.Errorf("hot inlet boost %v >= cool inlet boost %v", rh.BoostResidency, rc.BoostResidency)
+	}
+}
+
+// trivialSched exercises the custom-scheduler hook.
+type trivialSched struct{}
+
+func (trivialSched) Name() string { return "first-idle" }
+func (trivialSched) Pick(_ sched.State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	return idle[0]
+}
+
+func TestCustomScheduler(t *testing.T) {
+	exp, err := NewExperiment(Options{
+		CustomScheduler: trivialSched{},
+		Workload:        "Storage",
+		Load:            0.2,
+		Duration:        2,
+		SinkTau:         0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Error("custom scheduler completed nothing")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rel, err := Compare(Options{Workload: "Storage", Load: 0.3, Duration: 2, SinkTau: 0.5},
+		[]string{"CF", "Random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel["CF"] != 1 {
+		t.Errorf("baseline rel perf = %v", rel["CF"])
+	}
+	if rel["Random"] <= 0 {
+		t.Errorf("Random rel perf = %v", rel["Random"])
+	}
+	if _, err := Compare(Options{}, nil); err == nil {
+		t.Error("empty scheduler list accepted")
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	// Capture a small trace, write it in both encodings, and replay through
+	// the facade.
+	tr := trace.Capture(workload.ClassMix(workload.Storage), 180, 0.3, 5, 1.5)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "t.dstr")
+	jsonPath := filepath.Join(dir, "t.json")
+	fb, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(fb); err != nil {
+		t.Fatal(err)
+	}
+	fb.Close()
+	fj, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(fj); err != nil {
+		t.Fatal(err)
+	}
+	fj.Close()
+
+	run := func(path string) metrics.Result {
+		exp, err := NewExperiment(Options{
+			Scheduler: "CF", Workload: "Storage", TracePath: path,
+			SinkTau: 0.5, Warmup: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(binPath)
+	b := run(jsonPath)
+	if a.Completed == 0 {
+		t.Fatal("replay completed nothing")
+	}
+	if a.Completed != b.Completed || a.MeanExpansion != b.MeanExpansion {
+		t.Error("binary and JSON replays disagree")
+	}
+	// Replay is repeatable.
+	if c := run(binPath); c.MeanExpansion != a.MeanExpansion {
+		t.Error("replay not repeatable")
+	}
+}
+
+func TestTraceReplayMissingFile(t *testing.T) {
+	if _, err := NewExperiment(Options{TracePath: "/does/not/exist.dstr"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

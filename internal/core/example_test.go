@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"densim/internal/core"
+)
+
+// The three-line flow from the package documentation: configure, run, read.
+func Example() {
+	exp, err := core.NewExperiment(core.Options{
+		Scheduler: "CP",
+		Workload:  "Storage",
+		Load:      0.3,
+		Duration:  2,
+		SinkTau:   0.5,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := exp.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expansion >= 1: %v\n", res.MeanExpansion >= 1-1e-9)
+	fmt.Printf("jobs completed: %v\n", res.Completed > 0)
+	// Output:
+	// expansion >= 1: true
+	// jobs completed: true
+}
+
+// Comparing schedulers against a baseline.
+func ExampleCompare() {
+	rel, err := core.Compare(core.Options{
+		Workload: "Storage",
+		Load:     0.2,
+		Duration: 1.5,
+		SinkTau:  0.5,
+	}, []string{"CF", "CP"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("CF baseline: %.1f\n", rel["CF"])
+	fmt.Printf("CP at least as fast: %v\n", rel["CP"] >= 0.99)
+	// Output:
+	// CF baseline: 1.0
+	// CP at least as fast: true
+}

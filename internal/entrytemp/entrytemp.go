@@ -1,0 +1,114 @@
+// Package entrytemp implements the paper's analytical model of socket entry
+// temperature (Section II-B, Figure 5).
+//
+// The model considers a chain of identical sockets sharing one cooling air
+// stream — the defining trait of density optimized servers. "Socket entry
+// temperature" is the average temperature of the air just before it passes
+// over a socket. With a degree of coupling N (the number of sockets that
+// share the stream), socket k (0-indexed, in airflow order) sees
+//
+//	T_entry(k) = T_inlet + sum_{j<k} P_j / (m_dot * cp)
+//
+// — every upstream socket deposits its heat into the stream first. The model
+// deliberately ignores heat-sink details and mixing losses; it exists to
+// expose the structural effect of socket organization on intra-server
+// thermals, complementing the CFD-class model in internal/airflow.
+package entrytemp
+
+import (
+	"densim/internal/stats"
+	"densim/internal/units"
+)
+
+// Model evaluates analytical entry temperatures for a coupled socket chain.
+type Model struct {
+	// Inlet is the server inlet air temperature (paper: 18C typical).
+	Inlet units.Celsius
+	// Air carries the thermophysical properties of the cooling air.
+	Air units.Air
+}
+
+// Default returns the model with the paper's inlet temperature and standard
+// air.
+func Default() Model {
+	return Model{Inlet: 18, Air: units.StandardAir}
+}
+
+// EntryTemps returns the entry temperature of every socket in a chain of
+// `degree` thermally coupled sockets, each dissipating power watts into a
+// per-socket airflow of flow CFM. Socket 0 is the most upstream and always
+// sees the inlet temperature.
+func (m Model) EntryTemps(power units.Watts, flow units.CFM, degree int) []units.Celsius {
+	if degree <= 0 {
+		panic("entrytemp: degree of coupling must be positive")
+	}
+	rise := float64(power) / m.Air.HeatCapacityRateWPerK(flow)
+	out := make([]units.Celsius, degree)
+	for k := range out {
+		out[k] = m.Inlet + units.Celsius(float64(k)*rise)
+	}
+	return out
+}
+
+// Mean returns the mean socket entry temperature of the chain — the metric
+// of Figure 5(a).
+func (m Model) Mean(power units.Watts, flow units.CFM, degree int) units.Celsius {
+	temps := m.EntryTemps(power, flow, degree)
+	var sum float64
+	for _, t := range temps {
+		sum += float64(t)
+	}
+	return units.Celsius(sum / float64(degree))
+}
+
+// CoV returns the coefficient of variation of socket entry temperatures —
+// the inter-socket heterogeneity metric of Figure 5(b).
+func (m Model) CoV(power units.Watts, flow units.CFM, degree int) float64 {
+	temps := m.EntryTemps(power, flow, degree)
+	xs := make([]float64, len(temps))
+	for i, t := range temps {
+		xs[i] = float64(t)
+	}
+	return stats.Summarize(xs).CoV()
+}
+
+// Point is one cell of a design-space sweep.
+type Point struct {
+	Power  units.Watts
+	Flow   units.CFM
+	Degree int
+	Mean   units.Celsius
+	CoV    float64
+}
+
+// Sweep evaluates the model across the cross product of the given socket
+// powers, per-socket airflows, and degrees of coupling, in deterministic
+// order (power-major, then flow, then degree). This regenerates the data
+// behind Figure 5.
+func (m Model) Sweep(powers []units.Watts, flows []units.CFM, degrees []int) []Point {
+	out := make([]Point, 0, len(powers)*len(flows)*len(degrees))
+	for _, p := range powers {
+		for _, f := range flows {
+			for _, d := range degrees {
+				out = append(out, Point{
+					Power:  p,
+					Flow:   f,
+					Degree: d,
+					Mean:   m.Mean(p, f, d),
+					CoV:    m.CoV(p, f, d),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// PaperSweep returns the sweep over the ranges the paper's Figure 5 covers:
+// socket powers representative of Table I (5W to 140W), per-socket airflow
+// levels bounded by Table II per-1U budgets, and degrees of coupling 1-11.
+func (m Model) PaperSweep() []Point {
+	powers := []units.Watts{5, 15, 22, 50, 140}
+	flows := []units.CFM{2, 4, 6, 8, 12}
+	degrees := []int{1, 2, 3, 5, 11}
+	return m.Sweep(powers, flows, degrees)
+}

@@ -1,0 +1,144 @@
+package entrytemp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densim/internal/units"
+)
+
+func TestFirstSocketSeesInlet(t *testing.T) {
+	m := Default()
+	temps := m.EntryTemps(140, 2, 11)
+	if temps[0] != m.Inlet {
+		t.Errorf("upstream socket entry = %v, want inlet %v", temps[0], m.Inlet)
+	}
+}
+
+func TestEntryTempsMonotoneDownstream(t *testing.T) {
+	m := Default()
+	f := func(p, fl float64, d int) bool {
+		p = 1 + math.Mod(math.Abs(p), 200)
+		fl = 1 + math.Mod(math.Abs(fl), 20)
+		d = 1 + (d&0x7fffffff)%12
+		temps := m.EntryTemps(units.Watts(p), units.CFM(fl), d)
+		for i := 1; i < len(temps); i++ {
+			if temps[i] <= temps[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeOnePoint(t *testing.T) {
+	m := Default()
+	if got := m.Mean(140, 2, 1); got != m.Inlet {
+		t.Errorf("degree-1 mean = %v, want inlet", got)
+	}
+	if got := m.CoV(140, 2, 1); got != 0 {
+		t.Errorf("degree-1 CoV = %v, want 0", got)
+	}
+}
+
+func TestPaperExample15WAt6CFM(t *testing.T) {
+	// Section II-B: "a 15 Watt part with 6CFM of airflow can have about a
+	// 10C mean entry temperature difference for a system with degree of
+	// coupling 5, as compared to a system with degree of coupling 1."
+	m := Default()
+	diff := float64(m.Mean(15, 6, 5) - m.Mean(15, 6, 1))
+	if diff < 7 || diff > 11 {
+		t.Errorf("mean entry diff (DoC 5 vs 1) = %.2fC, want ~8-10C", diff)
+	}
+}
+
+func TestMeanIncreasesWithDegree(t *testing.T) {
+	m := Default()
+	prev := units.Celsius(-1)
+	for _, d := range []int{1, 2, 3, 5, 11} {
+		mean := m.Mean(22, 6.35, d)
+		if mean <= prev {
+			t.Fatalf("mean not increasing at degree %d: %v <= %v", d, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestCoVIncreasesWithDegree(t *testing.T) {
+	// Figure 5(b): inter-socket variation increases with degree of coupling.
+	m := Default()
+	prev := -1.0
+	for _, d := range []int{1, 2, 3, 5, 11} {
+		cov := m.CoV(22, 6.35, d)
+		if cov <= prev {
+			t.Fatalf("CoV not increasing at degree %d: %v <= %v", d, cov, prev)
+		}
+		prev = cov
+	}
+}
+
+func TestMeanScalesWithPowerAndFlow(t *testing.T) {
+	m := Default()
+	// Higher power -> higher mean entry temp.
+	if m.Mean(140, 6, 5) <= m.Mean(5, 6, 5) {
+		t.Error("mean entry temp not increasing in power")
+	}
+	// More airflow -> lower mean entry temp.
+	if m.Mean(22, 12, 5) >= m.Mean(22, 2, 5) {
+		t.Error("mean entry temp not decreasing in airflow")
+	}
+}
+
+func TestEntryTempExactValue(t *testing.T) {
+	m := Model{Inlet: 18, Air: units.StandardAir}
+	// At 6.35 CFM the heat capacity rate is ~3.614 W/K; one upstream 15W
+	// socket raises the second socket's entry temp by 15/3.614 = 4.15C.
+	temps := m.EntryTemps(15, 6.35, 2)
+	want := 18 + 15/units.StandardAir.HeatCapacityRateWPerK(6.35)
+	if math.Abs(float64(temps[1])-want) > 1e-9 {
+		t.Errorf("second socket entry = %v, want %v", temps[1], want)
+	}
+}
+
+func TestSweepShapeAndOrder(t *testing.T) {
+	m := Default()
+	pts := m.Sweep([]units.Watts{5, 15}, []units.CFM{2, 4}, []int{1, 3})
+	if len(pts) != 8 {
+		t.Fatalf("sweep size = %d, want 8", len(pts))
+	}
+	// Power-major deterministic order.
+	if pts[0].Power != 5 || pts[0].Flow != 2 || pts[0].Degree != 1 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[7].Power != 15 || pts[7].Flow != 4 || pts[7].Degree != 3 {
+		t.Errorf("last point = %+v", pts[7])
+	}
+}
+
+func TestPaperSweepCoverage(t *testing.T) {
+	pts := Default().PaperSweep()
+	if len(pts) != 5*5*5 {
+		t.Fatalf("paper sweep size = %d, want 125", len(pts))
+	}
+	for _, p := range pts {
+		if p.Mean < 18 {
+			t.Fatalf("mean entry temp below inlet: %+v", p)
+		}
+		if p.CoV < 0 {
+			t.Fatalf("negative CoV: %+v", p)
+		}
+	}
+}
+
+func TestPanicsOnZeroDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EntryTemps(degree=0) did not panic")
+		}
+	}()
+	Default().EntryTemps(10, 5, 0)
+}

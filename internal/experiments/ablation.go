@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"densim/internal/airflow"
+	"densim/internal/report"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/workload"
+)
+
+// CPVariants lists the CouplingPredictor ablation points: the full scheduler
+// plus one variant per removed design ingredient (see sched.CPOptions).
+func CPVariants() []string {
+	return []string{"CP", "CP-nocoupling", "CP-idleweighted", "CP-nobudget", "CP-global"}
+}
+
+// AblationCPRow is one (variant, load) measurement relative to full CP.
+type AblationCPRow struct {
+	Variant string
+	Load    float64
+	// RelPerf is performance relative to the full CP (1 = equal; below 1 =
+	// the removed ingredient was helping).
+	RelPerf float64
+}
+
+// AblationCP measures each CP design ingredient's contribution on the
+// Computation workload: relative performance of each ablated variant versus
+// the full scheduler across load levels.
+func AblationCP(r *Runner, loads []float64) ([]AblationCPRow, *report.Table, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.3, 0.5, 0.7, 0.9}
+	}
+	var cells []Cell
+	for _, load := range loads {
+		for _, v := range CPVariants() {
+			cells = append(cells, Cell{Sched: v, Class: workload.Computation, Load: load})
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title:  "CP ablation: performance of each variant relative to full CP (Computation)",
+		Header: append([]string{"variant"}, loadHeaders(loads)...),
+	}
+	var rows []AblationCPRow
+	perVariant := map[string][]float64{}
+	for _, load := range loads {
+		full, err := r.Result(Cell{Sched: "CP", Class: workload.Computation, Load: load})
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range CPVariants() {
+			res, err := r.Result(Cell{Sched: v, Class: workload.Computation, Load: load})
+			if err != nil {
+				return nil, nil, err
+			}
+			rel := res.RelativePerformance(full)
+			rows = append(rows, AblationCPRow{Variant: v, Load: load, RelPerf: rel})
+			perVariant[v] = append(perVariant[v], rel)
+		}
+	}
+	for _, v := range CPVariants() {
+		cells := make([]interface{}, 0, len(loads)+1)
+		cells = append(cells, v)
+		for _, rel := range perVariant[v] {
+			cells = append(cells, rel)
+		}
+		t.AddRow(cells...)
+	}
+	return rows, t, nil
+}
+
+// AblationBoostRow is one (governor, load) point of the boost ablation.
+type AblationBoostRow struct {
+	Governor string
+	Load     float64
+	// MeanExpansion is the absolute mean runtime expansion.
+	MeanExpansion float64
+}
+
+// AblationBoost compares the responsive governor (opportunistic boost under
+// the budget) against a conservative no-boost governor, both under the CP
+// scheduler on the Computation workload. It quantifies how much of the
+// system's performance comes from boost residency — the quantity the
+// paper's schedulers compete over.
+func AblationBoost(opts SimOptions, loads []float64) ([]AblationBoostRow, *report.Table, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.3, 0.7}
+	}
+	t := &report.Table{
+		Title:  "Governor ablation: mean runtime expansion with and without boost states (CP, Computation)",
+		Header: append([]string{"governor"}, loadHeaders(loads)...),
+	}
+	var rows []AblationBoostRow
+	for _, governor := range []string{"responsive", "no-boost"} {
+		cells := make([]interface{}, 0, len(loads)+1)
+		cells = append(cells, governor)
+		for _, load := range loads {
+			var acc []float64
+			for _, seed := range opts.Seeds {
+				scheduler, err := sched.ByName("CP", 1)
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg := sim.Config{
+					Scheduler:    scheduler,
+					Airflow:      airflow.SUTParams(),
+					Mix:          workload.ClassMix(workload.Computation),
+					Load:         load,
+					Seed:         seed,
+					Duration:     opts.Duration,
+					Warmup:       opts.Warmup,
+					SinkTau:      opts.SinkTau,
+					DisableBoost: governor == "no-boost",
+				}
+				s, err := sim.New(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				acc = append(acc, s.Run().MeanExpansion)
+			}
+			var mean float64
+			for _, v := range acc {
+				mean += v / float64(len(acc))
+			}
+			rows = append(rows, AblationBoostRow{Governor: governor, Load: load, MeanExpansion: mean})
+			cells = append(cells, mean)
+		}
+		t.AddRow(cells...)
+	}
+	return rows, t, nil
+}
+
+func loadHeaders(loads []float64) []string {
+	out := make([]string, len(loads))
+	for i, l := range loads {
+		out[i] = fmt.Sprintf("%.0f%%", l*100)
+	}
+	return out
+}

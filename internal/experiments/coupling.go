@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/report"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/workload"
+)
+
+// CouplingDegreeRow is one (degree, scheduler) point of the design study.
+type CouplingDegreeRow struct {
+	Degree int
+	Sched  string
+	// MeanExpansion is the absolute mean runtime expansion.
+	MeanExpansion float64
+	// RelPerfVsCF is performance relative to CF on the same topology.
+	RelPerfVsCF float64
+}
+
+// CouplingDegreeStudy extends the paper's Section II design-space analysis
+// to the scheduling question: 180 sockets are arranged at degrees of
+// coupling from 1 (fully uncoupled, traditional racks) to 12 (Redstone-class
+// chains), and CF, Random, and CP race at a fixed Computation load. The
+// paper's thesis predicts the coupling-aware scheduler's advantage grows
+// with the degree of coupling, and that degree 1 shows none.
+func CouplingDegreeStudy(opts SimOptions, load float64, degrees []int) ([]CouplingDegreeRow, *report.Table, error) {
+	if load <= 0 {
+		load = 0.7
+	}
+	if len(degrees) == 0 {
+		degrees = []int{1, 2, 3, 6, 12}
+	}
+	schemes := []string{"CF", "Random", "CP"}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Coupling-degree study: 180 sockets, Computation at %.0f%% load", load*100),
+		Header: []string{"degree", "scheduler", "mean expansion", "rel perf vs CF"},
+	}
+	var rows []CouplingDegreeRow
+	for _, degree := range degrees {
+		if 180%degree != 0 {
+			return nil, nil, fmt.Errorf("experiments: degree %d does not divide 180 sockets", degree)
+		}
+		var cfExp float64
+		for _, name := range schemes {
+			var expSum float64
+			for _, seed := range opts.Seeds {
+				srv, err := geometry.DenseSystem(
+					fmt.Sprintf("doc%d", degree), 180/degree, 1, degree)
+				if err != nil {
+					return nil, nil, err
+				}
+				scheduler, err := sched.ByName(name, seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg := sim.Config{
+					Server:    srv,
+					Scheduler: scheduler,
+					Airflow:   airflow.SUTParams(),
+					Mix:       workload.ClassMix(workload.Computation),
+					Load:      load,
+					Seed:      seed,
+					Duration:  opts.Duration,
+					Warmup:    opts.Warmup,
+					SinkTau:   opts.SinkTau,
+				}
+				s, err := sim.New(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				expSum += s.Run().MeanExpansion / float64(len(opts.Seeds))
+			}
+			if name == "CF" {
+				cfExp = expSum
+			}
+			row := CouplingDegreeRow{
+				Degree:        degree,
+				Sched:         name,
+				MeanExpansion: expSum,
+				RelPerfVsCF:   cfExp / expSum,
+			}
+			rows = append(rows, row)
+			t.AddRow(degree, name, row.MeanExpansion, row.RelPerfVsCF)
+		}
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Fig*/Table* function is deterministic given its options
+// and returns both typed data and a rendered report table; the repository's
+// top-level benchmarks and the cmd/ tools are thin wrappers around this
+// package.
+//
+// Simulation-backed experiments (Figures 3, 11, 13, 14, 15) accept
+// SimOptions. Quick() — the default — shortens the socket thermal time
+// constant and the measurement window so a full sweep finishes in minutes;
+// Full() keeps the paper's 30-second socket time constant with a
+// proportionally longer window. Shapes are stable across the two; see
+// EXPERIMENTS.md for recorded outputs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"densim/internal/airflow"
+	"densim/internal/metrics"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// SimOptions parameterizes the simulation-backed experiments.
+type SimOptions struct {
+	// Duration and Warmup are per-run simulated seconds.
+	Duration units.Seconds
+	Warmup   units.Seconds
+	// SinkTau is the socket thermal time constant (Table III: 30 s; Quick
+	// shrinks it with the window so the thermal field still reaches
+	// steady state before measurement).
+	SinkTau units.Seconds
+	// Seeds lists the seeds averaged per cell.
+	Seeds []uint64
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+}
+
+// Quick returns the fast preset used by tests and default benches.
+func Quick() SimOptions {
+	return SimOptions{Duration: 10, Warmup: 4, SinkTau: 1, Seeds: []uint64{7}}
+}
+
+// Full returns the paper-faithful preset: the real 30 s socket time constant
+// with a window long enough to reach and measure the quasi-steady field.
+func Full() SimOptions {
+	return SimOptions{Duration: 150, Warmup: 90, SinkTau: 30, Seeds: []uint64{7, 8}}
+}
+
+func (o SimOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// Cell identifies one (scheduler, workload, load) simulation point on the
+// SUT.
+type Cell struct {
+	Sched string
+	Class workload.Class
+	Load  float64
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%.0f%%", c.Sched, c.Class, c.Load*100)
+}
+
+// Runner executes and memoizes SUT simulation cells.
+type Runner struct {
+	opts SimOptions
+
+	mu    sync.Mutex
+	cache map[Cell]metrics.Result
+}
+
+// NewRunner creates a memoizing runner.
+func NewRunner(opts SimOptions) *Runner {
+	return &Runner{opts: opts, cache: map[Cell]metrics.Result{}}
+}
+
+// Result returns the (possibly cached) averaged result of a cell.
+func (r *Runner) Result(c Cell) (metrics.Result, error) {
+	r.mu.Lock()
+	if res, ok := r.cache[c]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	res, err := r.runCell(c)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	r.mu.Lock()
+	r.cache[c] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Prefetch computes a batch of cells in parallel.
+func (r *Runner) Prefetch(cells []Cell) error {
+	sem := make(chan struct{}, r.opts.workers())
+	errCh := make(chan error, len(cells))
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		r.mu.Lock()
+		_, done := r.cache[c]
+		r.mu.Unlock()
+		if done {
+			continue
+		}
+		wg.Add(1)
+		go func(c Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Result(c); err != nil {
+				errCh <- fmt.Errorf("cell %s: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// runCell executes one cell across the configured seeds and averages.
+func (r *Runner) runCell(c Cell) (metrics.Result, error) {
+	scheduler, err := sched.ByName(c.Sched, 1)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	results := make([]metrics.Result, 0, len(r.opts.Seeds))
+	for _, seed := range r.opts.Seeds {
+		cfg := sim.Config{
+			Scheduler: scheduler,
+			Airflow:   airflow.SUTParams(),
+			Mix:       workload.ClassMix(c.Class),
+			Load:      c.Load,
+			Seed:      seed,
+			Duration:  r.opts.Duration,
+			Warmup:    r.opts.Warmup,
+			SinkTau:   r.opts.SinkTau,
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		results = append(results, s.Run())
+	}
+	return averageResults(results), nil
+}
+
+// averageResults merges per-seed results by arithmetic mean.
+func averageResults(rs []metrics.Result) metrics.Result {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	n := float64(len(rs))
+	out := metrics.Result{
+		RegionFreq:      map[metrics.Region]float64{},
+		RegionWorkShare: map[metrics.Region]float64{},
+		ZoneWorkShare:   map[int]float64{},
+		ZoneFreq:        map[int]float64{},
+	}
+	for _, r := range rs {
+		out.Completed += r.Completed
+		out.MeanExpansion += r.MeanExpansion / n
+		out.MeanServiceExpansion += r.MeanServiceExpansion / n
+		out.EnergyJ += r.EnergyJ / units.Joules(n)
+		out.Span += r.Span / units.Seconds(n)
+		out.BoostResidency += r.BoostResidency / n
+		for k, v := range r.RegionFreq {
+			out.RegionFreq[k] += v / n
+		}
+		for k, v := range r.RegionWorkShare {
+			out.RegionWorkShare[k] += v / n
+		}
+		for k, v := range r.ZoneWorkShare {
+			out.ZoneWorkShare[k] += v / n
+		}
+		for k, v := range r.ZoneFreq {
+			out.ZoneFreq[k] += v / n
+		}
+	}
+	return out
+}
+
+// PaperLoads lists the load levels of Figures 14 and 15.
+func PaperLoads() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}

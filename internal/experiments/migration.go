@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"densim/internal/airflow"
+	"densim/internal/report"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// MigrationRow is one (period, load) measurement of the migration extension.
+type MigrationRow struct {
+	// PeriodMS is the migration re-evaluation period (0 = disabled).
+	PeriodMS float64
+	Load     float64
+	// MeanExpansion is the absolute mean runtime expansion.
+	MeanExpansion float64
+	// Migrations is the number of job moves performed.
+	Migrations int
+}
+
+// MigrationStudy evaluates the paper's future-work extension: using the
+// scheduler's placement machinery to migrate running jobs. The base policy
+// is CF — the scheduler whose placements go stale as the thermal field
+// shifts under them — so migration has real mistakes to correct. Heavy-tail
+// jobs parked on throttled sockets are the target population; shorter
+// re-evaluation periods catch more of them at the price of more transfers.
+func MigrationStudy(opts SimOptions, loads []float64, periodsMS []float64) ([]MigrationRow, *report.Table, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.5, 0.8}
+	}
+	if len(periodsMS) == 0 {
+		periodsMS = []float64{0, 50, 10}
+	}
+	t := &report.Table{
+		Title:  "Migration extension: CF with periodic job migration (Computation)",
+		Header: []string{"period", "load", "mean expansion", "migrations"},
+	}
+	var rows []MigrationRow
+	for _, periodMS := range periodsMS {
+		for _, load := range loads {
+			var expSum float64
+			migrations := 0
+			for _, seed := range opts.Seeds {
+				scheduler, err := sched.ByName("CF", seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg := sim.Config{
+					Scheduler: scheduler,
+					Airflow:   airflow.SUTParams(),
+					Mix:       workload.ClassMix(workload.Computation),
+					Load:      load,
+					Seed:      seed,
+					Duration:  opts.Duration,
+					Warmup:    opts.Warmup,
+					SinkTau:   opts.SinkTau,
+					Migration: sim.MigrationConfig{Period: units.Seconds(periodMS / 1000)},
+				}
+				s, err := sim.New(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				res := s.Run()
+				expSum += res.MeanExpansion / float64(len(opts.Seeds))
+				migrations += s.Migrations()
+			}
+			row := MigrationRow{PeriodMS: periodMS, Load: load, MeanExpansion: expSum, Migrations: migrations}
+			rows = append(rows, row)
+			label := "off"
+			if periodMS > 0 {
+				label = fmt.Sprintf("%.0fms", periodMS)
+			}
+			t.AddRow(label, fmt.Sprintf("%.0f%%", load*100), expSum, migrations)
+		}
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"densim/internal/airflow"
+	"densim/internal/catalog"
+	"densim/internal/chipmodel"
+	"densim/internal/entrytemp"
+	"densim/internal/geometry"
+	"densim/internal/report"
+	"densim/internal/thermo"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Fig1 reproduces the Figure 1 server-density study: per-class mean power
+// per 1U and sockets per 1U over the (reconstructed) 410-design sample.
+func Fig1(seed uint64) ([]catalog.ClassMeans, *report.Table) {
+	means := catalog.Figure1Means(catalog.Figure1Study(seed))
+	t := &report.Table{
+		Title:  "Figure 1: power and socket density per server class",
+		Header: []string{"class", "designs", "watt/U", "sockets/U"},
+	}
+	for _, m := range means {
+		t.AddRow(string(m.Class), m.Count, float64(m.PowerPerU), m.SocketsPerU)
+	}
+	return means, t
+}
+
+// Table1 reproduces the paper's Table I system inventory.
+func Table1() ([]catalog.System, *report.Table) {
+	rows := catalog.Table1()
+	t := &report.Table{
+		Title: "Table I: recent density optimized systems",
+		Header: []string{"organization", "system", "details", "domain", "U",
+			"sockets", "sockets/U", "TDP(W)", "CPU", "coupling"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Organization, r.System, r.Details, r.Domain, r.FormFactorU,
+			r.TotalSockets, r.SocketsPerU, float64(r.SocketTDP), r.CPU, r.DegreeOfCoupling)
+	}
+	return rows, t
+}
+
+// Table2 reproduces Table II: the airflow required per 1U to hold a 20C
+// inlet-outlet rise for each server class.
+func Table2() ([]thermo.ClassProfile, *report.Table) {
+	profiles := thermo.ClassProfiles()
+	t := &report.Table{
+		Title:  "Table II: airflow requirements for server systems (deltaT = 20C)",
+		Header: []string{"class", "power/U (W)", "airflow/U (CFM)"},
+	}
+	for _, p := range profiles {
+		t.AddRow(string(p.Class), float64(p.PowerPerU), float64(p.AirflowPerU20))
+	}
+	return profiles, t
+}
+
+// Fig2Result is the cartridge airflow experiment of Figure 2.
+type Fig2Result struct {
+	UpstreamEntry   units.Celsius
+	DownstreamEntry units.Celsius
+	Rise            units.Celsius
+}
+
+// Fig2 reproduces the Figure 2 CFD observation with the airflow substitute:
+// a 2x2 cartridge of 15 W sockets, reporting the average entry-temperature
+// difference between the upstream and downstream socket columns (paper: 8C).
+func Fig2() (Fig2Result, *report.Table, error) {
+	// The cartridge: one row, two lanes, two sockets deep.
+	srv, err := geometry.New("m700-cartridge", 1, 2,
+		[]units.Meters{0, units.FromInches(1.6)},
+		[]chipmodel.Sink{chipmodel.Sink18Fin, chipmodel.Sink30Fin},
+		units.FromInches(1.75), units.FromInches(2.5))
+	if err != nil {
+		return Fig2Result{}, nil, err
+	}
+	model, err := airflow.New(srv, airflow.DefaultParams())
+	if err != nil {
+		return Fig2Result{}, nil, err
+	}
+	powers := make([]units.Watts, srv.NumSockets())
+	for i := range powers {
+		powers[i] = 15
+	}
+	amb := model.Ambient(powers)
+	var up, down float64
+	for _, sk := range srv.Sockets() {
+		if sk.Pos == 0 {
+			up += float64(amb[sk.ID]) / 2
+		} else {
+			down += float64(amb[sk.ID]) / 2
+		}
+	}
+	res := Fig2Result{
+		UpstreamEntry:   units.Celsius(up),
+		DownstreamEntry: units.Celsius(down),
+		Rise:            units.Celsius(down - up),
+	}
+	t := &report.Table{
+		Title:  "Figure 2: cartridge airflow model (4 sockets x 15W)",
+		Header: []string{"column", "entry temp (C)"},
+	}
+	t.AddRow("upstream", up)
+	t.AddRow("downstream", down)
+	t.AddRow("difference", down-up)
+	return res, t, nil
+}
+
+// Fig5 reproduces Figure 5: mean socket entry temperature and its
+// coefficient of variation across socket power, per-socket airflow, and
+// degree of coupling.
+func Fig5() ([]entrytemp.Point, *report.Table) {
+	points := entrytemp.Default().PaperSweep()
+	t := &report.Table{
+		Title:  "Figure 5: analytical socket entry temperatures",
+		Header: []string{"power (W)", "airflow (CFM)", "coupling", "mean entry (C)", "CoV"},
+	}
+	for _, p := range points {
+		t.AddRow(float64(p.Power), float64(p.Flow), p.Degree, float64(p.Mean), p.CoV)
+	}
+	return points, t
+}
+
+// Fig6Row summarizes one benchmark set's job durations.
+type Fig6Row struct {
+	Class        workload.Class
+	MeanDuration units.Seconds
+	CoV          float64
+}
+
+// Fig6 reproduces Figure 6: average job duration per benchmark set and the
+// coefficient of variation of mean durations within each set.
+func Fig6() ([]Fig6Row, *report.Table) {
+	t := &report.Table{
+		Title:  "Figure 6: job durations per benchmark set",
+		Header: []string{"set", "avg duration (ms)", "CoV across benchmarks"},
+	}
+	var rows []Fig6Row
+	for _, c := range workload.Classes {
+		r := Fig6Row{Class: c, MeanDuration: workload.MeanDuration(c), CoV: workload.DurationCoV(c)}
+		rows = append(rows, r)
+		t.AddRow(c.String(), r.MeanDuration.Milliseconds(), r.CoV)
+	}
+	return rows, t
+}
+
+// Fig7Row is one (set, frequency) point of the workload model.
+type Fig7Row struct {
+	Class   workload.Class
+	Freq    units.MHz
+	PowerW  units.Watts
+	RelPerf float64
+}
+
+// Fig7 reproduces Figure 7: set-level power (at 90C) and relative
+// performance across the P-state ladder.
+func Fig7() ([]Fig7Row, *report.Table) {
+	t := &report.Table{
+		Title:  "Figure 7: workload power and relative performance vs frequency",
+		Header: []string{"set", "freq (MHz)", "power (W)", "rel perf"},
+	}
+	var rows []Fig7Row
+	for _, c := range workload.Classes {
+		for i := len(chipmodel.Frequencies) - 1; i >= 0; i-- {
+			f := chipmodel.Frequencies[i]
+			r := Fig7Row{
+				Class:   c,
+				Freq:    f,
+				PowerW:  workload.SetPowerAt(c, f),
+				RelPerf: workload.SetRelPerf(c, f),
+			}
+			rows = append(rows, r)
+			t.AddRow(c.String(), int(f), float64(r.PowerW), r.RelPerf)
+		}
+	}
+	return rows, t
+}
+
+// Fig12 renders the SUT zone organization of Figure 12.
+func Fig12() (*geometry.Server, *report.Table) {
+	srv := geometry.SUT()
+	t := &report.Table{
+		Title: fmt.Sprintf("Figure 12: zone organization of the SUT (%d sockets, %d rows x %d lanes x %d zones)",
+			srv.NumSockets(), srv.Rows, srv.Lanes, srv.Depth),
+		Header: []string{"zone", "heat sink", "x (in)", "sockets", "half"},
+	}
+	for p := 0; p < srv.Depth; p++ {
+		id := srv.SocketAt(0, 0, p).ID
+		half := "front"
+		if !srv.IsFrontHalf(id) {
+			half = "back"
+		}
+		t.AddRow(p+1, srv.Sink(id).String(), srv.XPositions[p].Inches(), srv.Rows*srv.Lanes, half)
+	}
+	return srv, t
+}
+
+// Table3 renders the simulation parameters of Table III as implemented.
+func Table3() *report.Table {
+	t := &report.Table{
+		Title:  "Table III: overall simulation model parameters",
+		Header: []string{"parameter", "value", "source"},
+	}
+	t.AddRow("Frequency range", "1900MHz - 1100MHz (200MHz steps)", "product data sheet")
+	t.AddRow("Boost states", "1700MHz, 1900MHz", "BKDG")
+	t.AddRow("Temperature limit", chipmodel.TempLimit.String(), "Table III")
+	t.AddRow("Frequency change interval", "1ms", "Table III")
+	t.AddRow("Power management", "highest frequency under 95C", "Table III")
+	t.AddRow("On-chip thermal time constant", "5ms", "Table III")
+	t.AddRow("Socket thermal time constant", "30s", "Table III")
+	t.AddRow("Server inlet temperature", "18C", "Table III")
+	t.AddRow("Airflow at sockets", "6.35CFM", "Table III")
+	t.AddRow("R_int", fmt.Sprintf("%.3f C/W", chipmodel.RInt), "Table III")
+	t.AddRow("R_ext 18-fin", fmt.Sprintf("%.3f C/W", chipmodel.RExt18), "Table III")
+	t.AddRow("R_ext 30-fin", fmt.Sprintf("%.3f C/W", chipmodel.RExt30), "Table III")
+	t.AddRow("theta(P, 18-fin)", "4.41 - 0.0896*P", "Table III")
+	t.AddRow("theta(P, 30-fin)", "4.45 - 0.0916*P", "Table III")
+	t.AddRow("Leakage", "30% of TDP at 90C, doubling per 25C, capped 2x", "Section III-A")
+	t.AddRow("Power-gated socket", "10% of TDP", "Section III-D")
+	t.AddRow("TDP", workload.TDP.String(), "X2150 datasheet")
+	t.AddRow("Auxiliary board power", "10W per socket position (SUT runs)", "substitution; see DESIGN.md")
+	t.AddRow("Boost budget", "tiered: 1900 below 0.85 util, 1700 to 0.95, else 1500 (2s EWMA)", "BKDG [36]; see DESIGN.md")
+	return t
+}
+
+// Fig4Row is one socket-organization case of the Figure 4 illustration.
+type Fig4Row struct {
+	Organization string
+	Degree       int
+	// EntryTemps lists each socket's entry temperature along the chain
+	// when all sockets draw the same power.
+	EntryTemps []units.Celsius
+}
+
+// Fig4 reproduces the Figure 4 illustration quantitatively: the socket
+// entry-temperature staircase for un-coupled, coupled-pair, and
+// higher-degree organizations when every socket consumes the same power
+// (22 W X2150-class at the SUT's per-socket airflow).
+func Fig4() ([]Fig4Row, *report.Table) {
+	model := entrytemp.Default()
+	cases := []struct {
+		name   string
+		degree int
+	}{
+		{"un-coupled", 1},
+		{"coupled pair", 2},
+		{"coupled x3", 3},
+		{"coupled x5 (M700-class)", 5},
+	}
+	t := &report.Table{
+		Title:  "Figure 4: socket entry temperatures by organization (22W sockets, 6.35CFM)",
+		Header: []string{"organization", "degree", "entry temps (C)"},
+	}
+	var rows []Fig4Row
+	for _, c := range cases {
+		temps := model.EntryTemps(22, 6.35, c.degree)
+		rows = append(rows, Fig4Row{Organization: c.name, Degree: c.degree, EntryTemps: temps})
+		var list string
+		for i, temp := range temps {
+			if i > 0 {
+				list += " -> "
+			}
+			list += fmt.Sprintf("%.1f", float64(temp))
+		}
+		t.AddRow(c.name, c.degree, list)
+	}
+	return rows, t
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"densim/internal/thermo"
+	"densim/internal/workload"
+)
+
+func TestFig1(t *testing.T) {
+	means, tbl := Fig1(7)
+	if len(means) != 5 {
+		t.Fatalf("classes = %d", len(means))
+	}
+	var dense, blade float64
+	for _, m := range means {
+		if m.Class == thermo.ClassDensityOpt {
+			dense = float64(m.PowerPerU)
+		}
+		if m.Class == thermo.ClassBlade {
+			blade = float64(m.PowerPerU)
+		}
+	}
+	if dense <= blade {
+		t.Error("density optimized class not denser than blades")
+	}
+	if !strings.Contains(tbl.String(), "DensityOpt") {
+		t.Error("table missing DensityOpt row")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, tbl := Table1()
+	if len(rows) != 11 || len(tbl.Rows) != 11 {
+		t.Fatalf("Table I rows = %d/%d", len(rows), len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "ProLiant M700") {
+		t.Error("missing the SUT row")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	profiles, tbl := Table2()
+	if len(profiles) != 5 || len(tbl.Rows) != 5 {
+		t.Fatalf("Table II rows = %d", len(profiles))
+	}
+	// Spot check the paper's numbers (Table II: 18.30 and 51.74 CFM).
+	if v := float64(profiles[0].AirflowPerU20); math.Abs(v-18.30) > 0.15 {
+		t.Errorf("1U airflow = %v, want ~18.30", v)
+	}
+	if v := float64(profiles[4].AirflowPerU20); math.Abs(v-51.74) > 0.3 {
+		t.Errorf("DensityOpt airflow = %v, want ~51.74", v)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, tbl, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rise < 7.5 || res.Rise > 8.7 {
+		t.Errorf("cartridge rise = %v, want ~8C (paper Figure 2)", res.Rise)
+	}
+	if res.UpstreamEntry != 18 {
+		t.Errorf("upstream entry = %v, want inlet 18C", res.UpstreamEntry)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("table rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig5(t *testing.T) {
+	points, tbl := Fig5()
+	if len(points) != 125 || len(tbl.Rows) != 125 {
+		t.Fatalf("sweep points = %d", len(points))
+	}
+}
+
+func TestFig6(t *testing.T) {
+	rows, _ := Fig6()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CoV < 0.25 || r.CoV > 0.33 {
+			t.Errorf("%v CoV = %v outside the paper's window", r.Class, r.CoV)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	rows, _ := Fig7()
+	if len(rows) != 15 { // 3 sets x 5 P-states
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Anchor check: Computation at 1900 = 18W, Storage = 10.5W.
+	for _, r := range rows {
+		if r.Freq != 1900 {
+			continue
+		}
+		switch r.Class {
+		case workload.Computation:
+			if math.Abs(float64(r.PowerW)-18) > 0.05 {
+				t.Errorf("Computation power = %v", r.PowerW)
+			}
+		case workload.Storage:
+			if math.Abs(float64(r.PowerW)-10.5) > 0.05 {
+				t.Errorf("Storage power = %v", r.PowerW)
+			}
+		}
+		if math.Abs(r.RelPerf-1) > 1e-9 {
+			t.Errorf("%v rel perf at FMax = %v", r.Class, r.RelPerf)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	srv, tbl := Fig12()
+	if srv.NumSockets() != 180 {
+		t.Errorf("SUT sockets = %d", srv.NumSockets())
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("zone rows = %d", len(tbl.Rows))
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "18-fin") || !strings.Contains(out, "30-fin") {
+		t.Error("zone table missing sink labels")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	tbl := Table3()
+	out := tbl.String()
+	for _, want := range []string{"95.00°C", "0.205", "1.578", "1.056", "30s", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III output missing %q", want)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	rows, tbl := Fig4()
+	if len(rows) != 4 || len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.EntryTemps) != r.Degree {
+			t.Errorf("%s: %d temps for degree %d", r.Organization, len(r.EntryTemps), r.Degree)
+		}
+		// Staircase: strictly increasing along the chain.
+		for i := 1; i < len(r.EntryTemps); i++ {
+			if r.EntryTemps[i] <= r.EntryTemps[i-1] {
+				t.Errorf("%s: entry temps not increasing", r.Organization)
+			}
+		}
+		// First socket always breathes inlet air.
+		if r.EntryTemps[0] != 18 {
+			t.Errorf("%s: first socket entry %v", r.Organization, r.EntryTemps[0])
+		}
+	}
+}

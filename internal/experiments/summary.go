@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"densim/internal/report"
+	"densim/internal/workload"
+)
+
+// HeadlineRow aggregates one workload's CP-vs-baseline gains the way the
+// paper's abstract and conclusion state them.
+type HeadlineRow struct {
+	Class workload.Class
+	// MeanGainVsCF is CP's performance gain over CF averaged across all
+	// load levels (paper: 6.5% Computation, 6% GP, 2.5% Storage).
+	MeanGainVsCF float64
+	// MaxGainVsCF is CP's largest single-load gain over CF (paper: up to
+	// 17% for Computation).
+	MaxGainVsCF float64
+	// MinGainVsBest is CP's worst-case standing against the best other
+	// scheduler at each load (0 = never worse than anyone).
+	MinGainVsBest float64
+}
+
+// Headline computes the paper's summary claims from the Figure 14 grid:
+// CP's mean and peak gains over CF per workload, and its worst-case standing
+// against the best competing scheduler at any load.
+func Headline(r *Runner, loads []float64) ([]HeadlineRow, *report.Table, error) {
+	if len(loads) == 0 {
+		loads = PaperLoads()
+	}
+	rows14, _, err := Fig14(r, loads)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title: "Headline: CP gains in the paper's summary form",
+		Header: []string{"workload", "mean gain vs CF", "max gain vs CF",
+			"worst standing vs best rival"},
+	}
+	var out []HeadlineRow
+	for _, class := range workload.Classes {
+		row := HeadlineRow{Class: class, MinGainVsBest: 1e18}
+		n := 0
+		for _, load := range loads {
+			var cp float64
+			bestRival := 0.0
+			for _, p := range rows14 {
+				if p.Class != class || p.Load != load {
+					continue
+				}
+				if p.Sched == "CP" {
+					cp = p.RelPerf
+				} else if p.RelPerf > bestRival {
+					bestRival = p.RelPerf
+				}
+			}
+			gain := cp - 1
+			row.MeanGainVsCF += gain
+			if gain > row.MaxGainVsCF {
+				row.MaxGainVsCF = gain
+			}
+			if standing := cp - bestRival; standing < row.MinGainVsBest {
+				row.MinGainVsBest = standing
+			}
+			n++
+		}
+		row.MeanGainVsCF /= float64(n)
+		out = append(out, row)
+		t.AddRow(class.String(),
+			percent(row.MeanGainVsCF), percent(row.MaxGainVsCF), percent(row.MinGainVsBest))
+	}
+	return out, t, nil
+}
+
+func percent(v float64) string {
+	sign := "+"
+	if v < 0 {
+		sign = ""
+	}
+	return sign + report.FormatPercent(v)
+}

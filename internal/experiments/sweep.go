@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/metrics"
+	"densim/internal/report"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Fig3Result holds the motivational coupled-vs-uncoupled comparison.
+type Fig3Result struct {
+	// Expansion holds mean runtime expansion per (topology, scheduler).
+	Expansion map[string]map[string]float64
+	// CFOverHFUncoupled and HFOverCFCoupled are the paper's two headline
+	// ratios: CF ~8% faster uncoupled, HF ~5% faster coupled.
+	CFOverHFUncoupled float64
+	HFOverCFCoupled   float64
+}
+
+// Fig3TDP is the socket class of the Figure 3 experiment: the 2-socket
+// systems of Figure 3(a) are traditional server boards, modeled with
+// 45 W Xeon-D-class parts (Table I) rather than the SUT's 22 W cartridges.
+const Fig3TDP units.Watts = 45
+
+// Fig3Inlet is the intake temperature of the Figure 3 experiment — a
+// hot-aisle value (the paper cites production hot aisles up to 49C). At
+// this intake the 18-fin socket of the pair cannot hold boost while busy,
+// which is what makes the CF-vs-HF contrast of Figure 3 visible on a
+// 2-socket system.
+const Fig3Inlet units.Celsius = 45
+
+// Fig3FlowPerLane is the per-lane airflow of the compact 2-socket enclosure:
+// tighter than the SUT's 6.35 CFM, so the upstream socket's heat dominates
+// the downstream socket's intake air (the coupling the experiment is about)
+// rather than being canceled by the heat-sink asymmetry.
+const Fig3FlowPerLane units.CFM = 3
+
+// Fig3 reproduces the Figure 3 motivational experiment: Coolest First vs
+// Hottest First on a thermally coupled socket pair and on the uncoupled
+// control, at 50% utilization with a computation-heavy workload.
+func Fig3(opts SimOptions) (Fig3Result, *report.Table, error) {
+	res := Fig3Result{Expansion: map[string]map[string]float64{}}
+	mix := workload.ScaledClassMix(workload.Computation, Fig3TDP)
+	topologies := []struct {
+		name  string
+		build func() *geometry.Server
+	}{
+		{"coupled", geometry.CoupledPair},
+		{"uncoupled", geometry.UncoupledPair},
+	}
+	t := &report.Table{
+		Title:  "Figure 3: CF vs HF on coupled and uncoupled 2-socket systems (50% util)",
+		Header: []string{"topology", "scheduler", "mean expansion", "rel perf vs CF"},
+	}
+	for _, topo := range topologies {
+		res.Expansion[topo.name] = map[string]float64{}
+		var cfExp float64
+		for _, name := range []string{"CF", "HF"} {
+			var exps []metrics.Result
+			for _, seed := range opts.Seeds {
+				scheduler, err := sched.ByName(name, 1)
+				if err != nil {
+					return res, nil, err
+				}
+				params := airflow.DefaultParams()
+				params.Inlet = Fig3Inlet
+				params.FlowPerLane = Fig3FlowPerLane
+				cfg := sim.Config{
+					Server:    topo.build(),
+					Airflow:   params,
+					Scheduler: scheduler,
+					Mix:       mix,
+					Load:      0.5,
+					Seed:      seed,
+					Duration:  opts.Duration,
+					Warmup:    opts.Warmup,
+					SinkTau:   opts.SinkTau,
+					TDP:       Fig3TDP,
+				}
+				s, err := sim.New(cfg)
+				if err != nil {
+					return res, nil, err
+				}
+				exps = append(exps, s.Run())
+			}
+			avg := averageResults(exps)
+			// Service expansion: with only two servers and heavy-tailed job
+			// durations, queueing-tail noise would swamp the placement
+			// signal the experiment is about.
+			res.Expansion[topo.name][name] = avg.MeanServiceExpansion
+			if name == "CF" {
+				cfExp = avg.MeanServiceExpansion
+			}
+			t.AddRow(topo.name, name, avg.MeanServiceExpansion, cfExp/avg.MeanServiceExpansion)
+		}
+	}
+	res.CFOverHFUncoupled = res.Expansion["uncoupled"]["HF"] / res.Expansion["uncoupled"]["CF"]
+	res.HFOverCFCoupled = res.Expansion["coupled"]["CF"] / res.Expansion["coupled"]["HF"]
+	return res, t, nil
+}
+
+// existingSchemes lists the prior-work policies of Figure 11 in the paper's
+// order (everything except CP).
+func existingSchemes() []string {
+	return []string{"CF", "HF", "Random", "MinHR", "CN", "Balanced", "Balanced-L", "A-Random", "Predictive"}
+}
+
+// Fig11Row is one (scheme, load) runtime-expansion measurement normalized to
+// CF.
+type Fig11Row struct {
+	Sched string
+	Load  float64
+	// ExpansionVsCF is mean runtime expansion divided by CF's (lower is
+	// better; CF = 1).
+	ExpansionVsCF float64
+}
+
+// Fig11 reproduces Figure 11: average runtime expansion of the existing
+// thermal-aware schedulers relative to CF, for the Computation workload at
+// 30% and 70% load.
+func Fig11(r *Runner) ([]Fig11Row, *report.Table, error) {
+	loads := []float64{0.3, 0.7}
+	var cells []Cell
+	for _, load := range loads {
+		for _, s := range existingSchemes() {
+			cells = append(cells, Cell{Sched: s, Class: workload.Computation, Load: load})
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title:  "Figure 11: runtime expansion vs CF, Computation workload (lower is better)",
+		Header: []string{"scheduler", "30% load", "70% load"},
+	}
+	var rows []Fig11Row
+	byLoad := map[float64]map[string]float64{}
+	for _, load := range loads {
+		cf, err := r.Result(Cell{Sched: "CF", Class: workload.Computation, Load: load})
+		if err != nil {
+			return nil, nil, err
+		}
+		byLoad[load] = map[string]float64{}
+		for _, s := range existingSchemes() {
+			res, err := r.Result(Cell{Sched: s, Class: workload.Computation, Load: load})
+			if err != nil {
+				return nil, nil, err
+			}
+			v := res.MeanExpansion / cf.MeanExpansion
+			byLoad[load][s] = v
+			rows = append(rows, Fig11Row{Sched: s, Load: load, ExpansionVsCF: v})
+		}
+	}
+	for _, s := range existingSchemes() {
+		t.AddRow(s, byLoad[0.3][s], byLoad[0.7][s])
+	}
+	return rows, t, nil
+}
+
+// Fig13Row is one (scheme, load) region breakdown.
+type Fig13Row struct {
+	Sched string
+	Load  float64
+	// FreqFront/FreqBack/FreqEven are busy-time mean relative frequencies.
+	FreqFront, FreqBack, FreqEven float64
+	// WorkFront/WorkBack/WorkEven are completed-work shares.
+	WorkFront, WorkBack, WorkEven float64
+}
+
+// Fig13 reproduces Figure 13: average frequency and work performed in the
+// front half, back half, and even zones at 30% and 70% load (Computation).
+func Fig13(r *Runner) ([]Fig13Row, *report.Table, error) {
+	schemes := append(existingSchemes(), "CP")
+	loads := []float64{0.3, 0.7}
+	var cells []Cell
+	for _, load := range loads {
+		for _, s := range schemes {
+			cells = append(cells, Cell{Sched: s, Class: workload.Computation, Load: load})
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title: "Figure 13: frequency and workdone by region, Computation workload",
+		Header: []string{"load", "scheduler", "freq front", "freq back", "freq even",
+			"work front", "work back", "work even"},
+	}
+	var rows []Fig13Row
+	for _, load := range loads {
+		for _, s := range schemes {
+			res, err := r.Result(Cell{Sched: s, Class: workload.Computation, Load: load})
+			if err != nil {
+				return nil, nil, err
+			}
+			row := Fig13Row{
+				Sched:     s,
+				Load:      load,
+				FreqFront: res.RegionFreq[metrics.FrontHalf],
+				FreqBack:  res.RegionFreq[metrics.BackHalf],
+				FreqEven:  res.RegionFreq[metrics.EvenZones],
+				WorkFront: res.RegionWorkShare[metrics.FrontHalf],
+				WorkBack:  res.RegionWorkShare[metrics.BackHalf],
+				WorkEven:  res.RegionWorkShare[metrics.EvenZones],
+			}
+			rows = append(rows, row)
+			t.AddRow(fmt.Sprintf("%.0f%%", load*100), s,
+				row.FreqFront, row.FreqBack, row.FreqEven,
+				row.WorkFront, row.WorkBack, row.WorkEven)
+		}
+	}
+	return rows, t, nil
+}
+
+// Fig14Row is one (class, load, scheme) relative-performance point.
+type Fig14Row struct {
+	Class workload.Class
+	Load  float64
+	Sched string
+	// RelPerf is performance relative to CF (above 1 = faster than CF).
+	RelPerf float64
+}
+
+// fig14Cells enumerates the full sweep grid.
+func fig14Cells(loads []float64) []Cell {
+	schemes := append(existingSchemes(), "CP")
+	var cells []Cell
+	for _, class := range workload.Classes {
+		for _, load := range loads {
+			for _, s := range schemes {
+				cells = append(cells, Cell{Sched: s, Class: class, Load: load})
+			}
+		}
+	}
+	return cells
+}
+
+// Fig14 reproduces Figure 14: relative performance versus CF for every
+// scheduler across load levels and the three workloads.
+func Fig14(r *Runner, loads []float64) ([]Fig14Row, *report.Table, error) {
+	if len(loads) == 0 {
+		loads = PaperLoads()
+	}
+	if err := r.Prefetch(fig14Cells(loads)); err != nil {
+		return nil, nil, err
+	}
+	schemes := append(existingSchemes(), "CP")
+	t := &report.Table{
+		Title:  "Figure 14: performance relative to CF (higher is better)",
+		Header: append([]string{"workload", "load"}, schemes...),
+	}
+	var rows []Fig14Row
+	for _, class := range workload.Classes {
+		for _, load := range loads {
+			cf, err := r.Result(Cell{Sched: "CF", Class: class, Load: load})
+			if err != nil {
+				return nil, nil, err
+			}
+			cells := make([]interface{}, 0, len(schemes)+2)
+			cells = append(cells, class.String(), fmt.Sprintf("%.0f%%", load*100))
+			for _, s := range schemes {
+				res, err := r.Result(Cell{Sched: s, Class: class, Load: load})
+				if err != nil {
+					return nil, nil, err
+				}
+				rel := res.RelativePerformance(cf)
+				rows = append(rows, Fig14Row{Class: class, Load: load, Sched: s, RelPerf: rel})
+				cells = append(cells, rel)
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return rows, t, nil
+}
+
+// Fig15Row is one (class, load, scheme) relative-ED2 point.
+type Fig15Row struct {
+	Class workload.Class
+	Load  float64
+	Sched string
+	// RelED2 is the energy-delay-squared product normalized to CF (below
+	// 1 = better than CF).
+	RelED2 float64
+}
+
+// Fig15 reproduces Figure 15: ED^2 versus the CF baseline across loads,
+// schedulers, and workloads. It shares cells with Fig14 through the runner.
+func Fig15(r *Runner, loads []float64) ([]Fig15Row, *report.Table, error) {
+	if len(loads) == 0 {
+		loads = PaperLoads()
+	}
+	if err := r.Prefetch(fig14Cells(loads)); err != nil {
+		return nil, nil, err
+	}
+	schemes := append(existingSchemes(), "CP")
+	t := &report.Table{
+		Title:  "Figure 15: ED^2 relative to CF (lower is better)",
+		Header: append([]string{"workload", "load"}, schemes...),
+	}
+	var rows []Fig15Row
+	for _, class := range workload.Classes {
+		for _, load := range loads {
+			cf, err := r.Result(Cell{Sched: "CF", Class: class, Load: load})
+			if err != nil {
+				return nil, nil, err
+			}
+			cells := make([]interface{}, 0, len(schemes)+2)
+			cells = append(cells, class.String(), fmt.Sprintf("%.0f%%", load*100))
+			for _, s := range schemes {
+				res, err := r.Result(Cell{Sched: s, Class: class, Load: load})
+				if err != nil {
+					return nil, nil, err
+				}
+				rel := res.RelativeED2(cf)
+				rows = append(rows, Fig15Row{Class: class, Load: load, Sched: s, RelED2: rel})
+				cells = append(cells, rel)
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return rows, t, nil
+}

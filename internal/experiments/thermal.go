@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+
+	"densim/internal/chipmodel"
+	"densim/internal/floorplan"
+	"densim/internal/heatsink"
+	"densim/internal/hotspot"
+	"densim/internal/report"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Fig9Ambient is the socket ambient temperature at which the detailed
+// thermal model is exercised for Figures 9 and 10 — a representative
+// mid-server value under load.
+const Fig9Ambient units.Celsius = 45
+
+// Fig9Row is one (benchmark, heatsink) evaluation of the detailed RC model.
+type Fig9Row struct {
+	Benchmark  string
+	Class      workload.Class
+	Sink       chipmodel.Sink
+	Power      units.Watts
+	OnDieDelta units.Celsius // hottest minus coolest block (Figure 9a)
+	MaxTemp    units.Celsius // hottest block (Figure 9b)
+}
+
+// Fig9 runs the HotSpot-class RC network for all 19 benchmarks on both heat
+// sinks: on-die temperature spreads (Figure 9a) and maximum temperature
+// versus power (Figure 9b).
+func Fig9() ([]Fig9Row, *report.Table, error) {
+	fp := floorplan.Kabini()
+	sinks := []struct {
+		kind  chipmodel.Sink
+		model heatsink.FinArray
+	}{
+		{chipmodel.Sink18Fin, heatsink.Preset18Fin()},
+		{chipmodel.Sink30Fin, heatsink.Preset30Fin()},
+	}
+	t := &report.Table{
+		Title:  "Figure 9: detailed-model on-die spreads and peak temperatures (ambient 45C)",
+		Header: []string{"benchmark", "set", "sink", "power (W)", "on-die dT (C)", "Tmax (C)"},
+	}
+	var rows []Fig9Row
+	for _, s := range sinks {
+		nw, err := hotspot.New(fp, s.model, heatsink.CalibrationFlow, hotspot.DefaultParams())
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b := range workload.Benchmarks() {
+			pm, err := workload.PowerMapFor(b, fp, b.PowerAt90C)
+			if err != nil {
+				return nil, nil, err
+			}
+			state, err := nw.Steady(pm, Fig9Ambient)
+			if err != nil {
+				return nil, nil, err
+			}
+			hot, cold := nw.Extremes(state)
+			row := Fig9Row{
+				Benchmark:  b.Name,
+				Class:      b.Class,
+				Sink:       s.kind,
+				Power:      b.PowerAt90C,
+				OnDieDelta: hot - cold,
+				MaxTemp:    hot,
+			}
+			rows = append(rows, row)
+			t.AddRow(b.Name, b.Class.String(), s.kind.String(),
+				float64(b.PowerAt90C), float64(row.OnDieDelta), float64(row.MaxTemp))
+		}
+	}
+	return rows, t, nil
+}
+
+// Fig9Summary condenses Fig9 rows into the paper's headline observations.
+type Fig9Summary struct {
+	// MinDelta and MaxDelta bound the on-die spreads (paper: 4C-7C).
+	MinDelta, MaxDelta units.Celsius
+	// SinkAdvantageHigh and SinkAdvantageLow are the 30-fin peak-temperature
+	// advantages for the hottest and coolest benchmark (paper: 6-7C and
+	// 3-4C).
+	SinkAdvantageHigh, SinkAdvantageLow units.Celsius
+}
+
+// SummarizeFig9 computes the headline quantities from Fig9 rows.
+func SummarizeFig9(rows []Fig9Row) Fig9Summary {
+	s := Fig9Summary{MinDelta: units.Celsius(math.Inf(1)), MaxDelta: units.Celsius(math.Inf(-1))}
+	peak := map[string][2]units.Celsius{} // benchmark -> [18fin, 30fin] peak
+	var hiPower, loPower units.Watts = 0, units.Watts(math.Inf(1))
+	var hiName, loName string
+	for _, r := range rows {
+		if r.OnDieDelta < s.MinDelta {
+			s.MinDelta = r.OnDieDelta
+		}
+		if r.OnDieDelta > s.MaxDelta {
+			s.MaxDelta = r.OnDieDelta
+		}
+		p := peak[r.Benchmark]
+		p[int(r.Sink)] = r.MaxTemp
+		peak[r.Benchmark] = p
+		if r.Power > hiPower {
+			hiPower, hiName = r.Power, r.Benchmark
+		}
+		if r.Power < loPower {
+			loPower, loName = r.Power, r.Benchmark
+		}
+	}
+	s.SinkAdvantageHigh = peak[hiName][0] - peak[hiName][1]
+	s.SinkAdvantageLow = peak[loName][0] - peak[loName][1]
+	return s
+}
+
+// Fig10Row is one validation point of the simplified Equation-1 model
+// against the detailed RC model.
+type Fig10Row struct {
+	Benchmark string
+	Sink      chipmodel.Sink
+	Detailed  units.Celsius
+	Simple    units.Celsius
+	Error     units.Celsius // Simple - Detailed
+}
+
+// Fig10 validates the Equation-1 peak-temperature model against the detailed
+// RC network across all benchmarks and both sinks (paper: within 2C).
+func Fig10() ([]Fig10Row, *report.Table, error) {
+	detailed, _, err := Fig9()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title:  "Figure 10: simplified model (Eq. 1) vs detailed model",
+		Header: []string{"benchmark", "sink", "detailed Tmax (C)", "Eq.1 Tmax (C)", "error (C)"},
+	}
+	var rows []Fig10Row
+	for _, d := range detailed {
+		simple := chipmodel.PeakTemp(Fig9Ambient, d.Power, d.Sink)
+		row := Fig10Row{
+			Benchmark: d.Benchmark,
+			Sink:      d.Sink,
+			Detailed:  d.MaxTemp,
+			Simple:    simple,
+			Error:     simple - d.MaxTemp,
+		}
+		rows = append(rows, row)
+		t.AddRow(d.Benchmark, d.Sink.String(), float64(d.MaxTemp), float64(simple), float64(row.Error))
+	}
+	return rows, t, nil
+}
+
+// MaxAbsError returns the largest |error| across Fig10 rows.
+func MaxAbsError(rows []Fig10Row) units.Celsius {
+	var max units.Celsius
+	for _, r := range rows {
+		e := r.Error
+		if e < 0 {
+			e = -e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"densim/internal/chipmodel"
+)
+
+func TestFig9Shapes(t *testing.T) {
+	rows, tbl, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 38 { // 19 benchmarks x 2 sinks
+		t.Fatalf("rows = %d, want 38", len(rows))
+	}
+	if len(tbl.Rows) != 38 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+	s := SummarizeFig9(rows)
+	// Paper: on-die differences are "fairly low", 4-7C; our substitute's
+	// calibrated window is 2.5-5.5C (see EXPERIMENTS.md).
+	if s.MinDelta < 1.5 || s.MaxDelta > 7.5 {
+		t.Errorf("on-die delta range [%v, %v] outside the small-die envelope", s.MinDelta, s.MaxDelta)
+	}
+	if s.MaxDelta <= s.MinDelta {
+		t.Error("delta range degenerate")
+	}
+	// 30-fin advantage grows with power and stays in the paper's ballpark
+	// (3-4C low power, 6-7C high power; Eq.1 with Table III constants
+	// implies slightly larger values at the top).
+	if s.SinkAdvantageHigh <= s.SinkAdvantageLow {
+		t.Errorf("sink advantage should grow with power: high %v <= low %v",
+			s.SinkAdvantageHigh, s.SinkAdvantageLow)
+	}
+	if s.SinkAdvantageLow < 2 || s.SinkAdvantageHigh > 11 {
+		t.Errorf("sink advantage [%v, %v] out of range", s.SinkAdvantageLow, s.SinkAdvantageHigh)
+	}
+}
+
+func TestFig9PeakTracksPower(t *testing.T) {
+	rows, _, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one sink, peak temperature must correlate with power: the
+	// hottest benchmark is the highest-powered one.
+	for _, sink := range []chipmodel.Sink{chipmodel.Sink18Fin, chipmodel.Sink30Fin} {
+		var maxPower, maxTemp, powerAtMaxTemp float64
+		for _, r := range rows {
+			if r.Sink != sink {
+				continue
+			}
+			if float64(r.Power) > maxPower {
+				maxPower = float64(r.Power)
+			}
+			if float64(r.MaxTemp) > maxTemp {
+				maxTemp = float64(r.MaxTemp)
+				powerAtMaxTemp = float64(r.Power)
+			}
+		}
+		if powerAtMaxTemp != maxPower {
+			t.Errorf("%v: hottest benchmark draws %vW, max is %vW", sink, powerAtMaxTemp, maxPower)
+		}
+	}
+}
+
+func TestFig10Within2C(t *testing.T) {
+	rows, tbl, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 38 || len(tbl.Rows) != 38 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's validation claim: the simplified model is within 2C of
+	// the detailed model, irrespective of heatsink.
+	if maxErr := MaxAbsError(rows); maxErr > 2 {
+		t.Errorf("max |error| = %v, want <= 2C (Figure 10)", maxErr)
+	}
+}
+
+func TestMaxAbsErrorEmpty(t *testing.T) {
+	if MaxAbsError(nil) != 0 {
+		t.Error("empty error not 0")
+	}
+}

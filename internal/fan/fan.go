@@ -1,0 +1,150 @@
+// Package fan models the server's cooling air movers — the ActiveCool-class
+// fans the paper's Table III derives its 400 CFM total airflow from — and
+// the power they consume doing it.
+//
+// Fan behaviour follows the classical affinity laws: volumetric flow scales
+// linearly with speed, static pressure with speed squared, and shaft power
+// with speed cubed. A fan is specified by its rated operating point; the
+// laws interpolate everything else. The package also provides the
+// chassis-level view: how much fan power a target airflow costs, and how
+// the inlet-to-outlet temperature budget constrains the required flow
+// (closing the loop with internal/thermo).
+package fan
+
+import (
+	"fmt"
+	"math"
+
+	"densim/internal/thermo"
+	"densim/internal/units"
+)
+
+// Fan is one air mover described by its rated point.
+type Fan struct {
+	// Name labels the model.
+	Name string
+	// RatedCFM is the free-flow volumetric rate at rated speed.
+	RatedCFM units.CFM
+	// RatedRPM is the rated rotational speed.
+	RatedRPM float64
+	// RatedPowerW is the electrical power at rated speed.
+	RatedPowerW units.Watts
+	// MinRPMFrac is the lowest controllable speed as a fraction of rated
+	// (fans stall below it).
+	MinRPMFrac float64
+}
+
+// ActiveCool returns the ActiveCool-class 60mm dual-rotor server fan the
+// Moonshot-era enclosures used: ~100 CFM class at full tilt, ~60W each,
+// controllable down to 20% speed. Four of them supply the SUT's 400 CFM.
+func ActiveCool() Fan {
+	return Fan{
+		Name:        "activecool-60",
+		RatedCFM:    100,
+		RatedRPM:    12000,
+		RatedPowerW: 60,
+		MinRPMFrac:  0.2,
+	}
+}
+
+// Validate reports whether the specification is usable.
+func (f Fan) Validate() error {
+	switch {
+	case f.RatedCFM <= 0 || f.RatedRPM <= 0 || f.RatedPowerW <= 0:
+		return fmt.Errorf("fan %s: non-positive rated point", f.Name)
+	case f.MinRPMFrac <= 0 || f.MinRPMFrac >= 1:
+		return fmt.Errorf("fan %s: MinRPMFrac %v outside (0,1)", f.Name, f.MinRPMFrac)
+	}
+	return nil
+}
+
+// FlowAt returns the volumetric flow at a speed fraction of rated RPM
+// (affinity: flow ~ speed).
+func (f Fan) FlowAt(speedFrac float64) units.CFM {
+	return units.CFM(float64(f.RatedCFM) * speedFrac)
+}
+
+// PowerAt returns electrical power at a speed fraction (affinity: power ~
+// speed cubed).
+func (f Fan) PowerAt(speedFrac float64) units.Watts {
+	return units.Watts(float64(f.RatedPowerW) * speedFrac * speedFrac * speedFrac)
+}
+
+// SpeedFor returns the speed fraction needed for a target flow, clamped to
+// [MinRPMFrac, 1]. The second return reports whether the target is
+// achievable without clamping at the top.
+func (f Fan) SpeedFor(flow units.CFM) (float64, bool) {
+	frac := float64(flow) / float64(f.RatedCFM)
+	switch {
+	case frac > 1:
+		return 1, false
+	case frac < f.MinRPMFrac:
+		return f.MinRPMFrac, true
+	default:
+		return frac, true
+	}
+}
+
+// Bank is a set of identical fans sharing the flow evenly.
+type Bank struct {
+	Fan   Fan
+	Count int
+}
+
+// SUTBank returns the SUT's cooling bank: four ActiveCool-class fans
+// delivering the 400 CFM of Table III at full speed.
+func SUTBank() Bank {
+	return Bank{Fan: ActiveCool(), Count: 4}
+}
+
+// Validate checks the bank.
+func (b Bank) Validate() error {
+	if b.Count <= 0 {
+		return fmt.Errorf("fan bank: non-positive count %d", b.Count)
+	}
+	return b.Fan.Validate()
+}
+
+// MaxFlow returns the bank's total flow at full speed.
+func (b Bank) MaxFlow() units.CFM {
+	return units.CFM(float64(b.Fan.RatedCFM) * float64(b.Count))
+}
+
+// PowerFor returns the electrical power the bank draws to deliver a total
+// flow, and whether the flow is achievable. Flow is split evenly; the cubic
+// law makes even splitting optimal for identical fans.
+func (b Bank) PowerFor(flow units.CFM) (units.Watts, bool) {
+	per := units.CFM(float64(flow) / float64(b.Count))
+	frac, ok := b.Fan.SpeedFor(per)
+	return units.Watts(float64(b.Fan.PowerAt(frac)) * float64(b.Count)), ok
+}
+
+// CoolingOperatingPoint describes a chassis cooling solution for a given
+// heat load.
+type CoolingOperatingPoint struct {
+	// HeatW is the IT heat to remove.
+	HeatW units.Watts
+	// Flow is the airflow delivering the target rise.
+	Flow units.CFM
+	// FanPowerW is the electrical cost of that airflow.
+	FanPowerW units.Watts
+	// Achievable is false if the bank cannot deliver the required flow.
+	Achievable bool
+}
+
+// OperatingPoint computes the flow and fan power needed to remove heatW
+// within the given inlet-outlet temperature rise.
+func (b Bank) OperatingPoint(air units.Air, heatW units.Watts, rise units.Celsius) CoolingOperatingPoint {
+	flow := thermo.RequiredCFM(air, heatW, rise)
+	p, ok := b.PowerFor(flow)
+	return CoolingOperatingPoint{HeatW: heatW, Flow: flow, FanPowerW: p, Achievable: ok}
+}
+
+// CoolingEfficiency returns the heat removed per watt of fan power at an
+// operating point (higher is better). Returns +Inf for zero fan power.
+func (p CoolingOperatingPoint) CoolingEfficiency() float64 {
+	if p.FanPowerW == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.HeatW) / float64(p.FanPowerW)
+}

@@ -1,0 +1,141 @@
+package fan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densim/internal/units"
+)
+
+func TestActiveCoolValidates(t *testing.T) {
+	if err := ActiveCool().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SUTBank().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Fan{
+		{Name: "no-flow", RatedRPM: 1, RatedPowerW: 1, MinRPMFrac: 0.5},
+		{Name: "bad-min", RatedCFM: 1, RatedRPM: 1, RatedPowerW: 1, MinRPMFrac: 1.5},
+		{Name: "zero-min", RatedCFM: 1, RatedRPM: 1, RatedPowerW: 1, MinRPMFrac: 0},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s validated", f.Name)
+		}
+	}
+	if err := (Bank{Fan: ActiveCool(), Count: 0}).Validate(); err == nil {
+		t.Error("empty bank validated")
+	}
+}
+
+func TestAffinityLaws(t *testing.T) {
+	f := ActiveCool()
+	// Flow linear, power cubic.
+	if got := float64(f.FlowAt(0.5)); math.Abs(got-50) > 1e-9 {
+		t.Errorf("flow at half speed = %v", got)
+	}
+	if got := float64(f.PowerAt(0.5)); math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("power at half speed = %v, want 60/8", got)
+	}
+	if got := float64(f.PowerAt(1)); got != 60 {
+		t.Errorf("rated power = %v", got)
+	}
+}
+
+func TestSpeedForClamps(t *testing.T) {
+	f := ActiveCool()
+	if frac, ok := f.SpeedFor(50); !ok || math.Abs(frac-0.5) > 1e-12 {
+		t.Errorf("SpeedFor(50) = %v, %v", frac, ok)
+	}
+	if frac, ok := f.SpeedFor(500); ok || frac != 1 {
+		t.Errorf("over-capacity SpeedFor = %v, %v", frac, ok)
+	}
+	if frac, ok := f.SpeedFor(1); !ok || frac != f.MinRPMFrac {
+		t.Errorf("under-floor SpeedFor = %v, %v", frac, ok)
+	}
+}
+
+func TestSUTBankDelivers400CFM(t *testing.T) {
+	b := SUTBank()
+	if got := float64(b.MaxFlow()); got < 400 {
+		t.Errorf("bank max flow = %v, want >= 400 (Table III)", got)
+	}
+	p, ok := b.PowerFor(400)
+	if !ok {
+		t.Fatal("400 CFM not achievable")
+	}
+	// Four fans at full speed would be 240W; 400 CFM needs exactly rated
+	// speed on this bank.
+	if float64(p) <= 0 || float64(p) > 240 {
+		t.Errorf("bank power at 400 CFM = %v", p)
+	}
+}
+
+func TestCubicSavingsAtPartialFlow(t *testing.T) {
+	// Halving airflow should cut fan power by ~8x — the big lever in
+	// cooling-energy optimization.
+	b := SUTBank()
+	full, _ := b.PowerFor(400)
+	half, _ := b.PowerFor(200)
+	if ratio := float64(full) / float64(half); math.Abs(ratio-8) > 0.01 {
+		t.Errorf("full/half power ratio = %v, want 8 (cubic law)", ratio)
+	}
+}
+
+func TestPowerMonotoneInFlow(t *testing.T) {
+	b := SUTBank()
+	f := func(a, c float64) bool {
+		a = 80 + math.Mod(math.Abs(a), 320) // above the bank's floor region
+		c = 80 + math.Mod(math.Abs(c), 320)
+		if math.IsNaN(a) || math.IsNaN(c) {
+			return true
+		}
+		lo, hi := math.Min(a, c), math.Max(a, c)
+		pl, _ := b.PowerFor(units.CFM(lo))
+		ph, _ := b.PowerFor(units.CFM(hi))
+		return pl <= ph
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperatingPoint(t *testing.T) {
+	b := SUTBank()
+	// The SUT's worst case: 180 sockets x 22W = 3960W at a 20C rise.
+	op := b.OperatingPoint(units.StandardAir, 3960, 20)
+	if !op.Achievable {
+		t.Fatalf("SUT heat load not coolable: needs %v", op.Flow)
+	}
+	if float64(op.Flow) < 300 || float64(op.Flow) > 420 {
+		t.Errorf("required flow = %v, want ~348 CFM", op.Flow)
+	}
+	if op.CoolingEfficiency() < 10 {
+		t.Errorf("cooling efficiency = %v W/W, implausibly low", op.CoolingEfficiency())
+	}
+	// A tighter rise budget costs more fan power.
+	tight := b.OperatingPoint(units.StandardAir, 3960, 10)
+	if tight.FanPowerW <= op.FanPowerW {
+		t.Error("tighter temperature budget should cost more fan power")
+	}
+}
+
+func TestOperatingPointUnachievable(t *testing.T) {
+	b := Bank{Fan: ActiveCool(), Count: 1}
+	op := b.OperatingPoint(units.StandardAir, 10000, 10)
+	if op.Achievable {
+		t.Error("10kW on one fan at 10C rise reported achievable")
+	}
+}
+
+func TestCoolingEfficiencyZeroPower(t *testing.T) {
+	p := CoolingOperatingPoint{HeatW: 100, FanPowerW: 0}
+	if !math.IsInf(p.CoolingEfficiency(), 1) {
+		t.Error("zero fan power should give +Inf efficiency")
+	}
+}

@@ -1,0 +1,229 @@
+// Package floorplan describes the die floorplan of the modeled processor —
+// an AMD Opteron X2150-class ("Kabini") SoC of roughly 100 mm^2 (Section
+// III-C; the paper attributes the small on-die temperature differences of
+// 4-7C to this die being 3.5x-6x smaller than big server dies).
+//
+// The floorplan is consumed by internal/hotspot to build the detailed RC
+// thermal network, and by the workload model to distribute benchmark power
+// across blocks (computation-heavy benchmarks concentrate power in the CPU
+// cores; storage-heavy ones spread it across the IO and memory blocks).
+package floorplan
+
+import (
+	"fmt"
+)
+
+// Block is one rectangular unit of the die floorplan. Coordinates are in
+// meters with the origin at the die's lower-left corner.
+type Block struct {
+	Name string
+	X, Y float64 // lower-left corner
+	W, H float64 // width (x extent) and height (y extent)
+}
+
+// AreaM2 returns the block area in m^2.
+func (b Block) AreaM2() float64 { return b.W * b.H }
+
+// CenterX and CenterY return the block centroid.
+func (b Block) CenterX() float64 { return b.X + b.W/2 }
+
+// CenterY returns the y coordinate of the block centroid.
+func (b Block) CenterY() float64 { return b.Y + b.H/2 }
+
+// SharedEdge returns the length of the boundary shared between two blocks
+// (0 if they do not touch). Lateral heat conduction flows across shared
+// edges.
+func SharedEdge(a, b Block) float64 {
+	const eps = 1e-9
+	// Vertical adjacency: a's right edge touches b's left edge or vice versa.
+	if abs(a.X+a.W-b.X) < eps || abs(b.X+b.W-a.X) < eps {
+		return overlap(a.Y, a.Y+a.H, b.Y, b.Y+b.H)
+	}
+	// Horizontal adjacency.
+	if abs(a.Y+a.H-b.Y) < eps || abs(b.Y+b.H-a.Y) < eps {
+		return overlap(a.X, a.X+a.W, b.X, b.X+b.W)
+	}
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := a0
+	if b0 > lo {
+		lo = b0
+	}
+	hi := a1
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Floorplan is a complete die description.
+type Floorplan struct {
+	Name   string
+	Blocks []Block
+	// DieThicknessM is the silicon thickness.
+	DieThicknessM float64
+}
+
+// AreaM2 returns the total die area.
+func (f Floorplan) AreaM2() float64 {
+	var a float64
+	for _, b := range f.Blocks {
+		a += b.AreaM2()
+	}
+	return a
+}
+
+// Index returns the position of the named block, or an error.
+func (f Floorplan) Index(name string) (int, error) {
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("floorplan %s: no block %q", f.Name, name)
+}
+
+// Validate checks that blocks are positive-sized and non-overlapping.
+func (f Floorplan) Validate() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("floorplan %s: no blocks", f.Name)
+	}
+	if f.DieThicknessM <= 0 {
+		return fmt.Errorf("floorplan %s: non-positive die thickness", f.Name)
+	}
+	seen := map[string]bool{}
+	for i, b := range f.Blocks {
+		if b.W <= 0 || b.H <= 0 {
+			return fmt.Errorf("floorplan %s: block %s has non-positive size", f.Name, b.Name)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("floorplan %s: duplicate block %q", f.Name, b.Name)
+		}
+		seen[b.Name] = true
+		for j := 0; j < i; j++ {
+			o := f.Blocks[j]
+			ox := overlap(b.X, b.X+b.W, o.X, o.X+o.W)
+			oy := overlap(b.Y, b.Y+b.H, o.Y, o.Y+o.H)
+			if ox > 1e-9 && oy > 1e-9 {
+				return fmt.Errorf("floorplan %s: blocks %s and %s overlap", f.Name, b.Name, o.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Block names of the Kabini-class floorplan.
+const (
+	BlockCore0 = "core0"
+	BlockCore1 = "core1"
+	BlockCore2 = "core2"
+	BlockCore3 = "core3"
+	BlockL2    = "l2"
+	BlockGPU   = "gpu"
+	BlockNB    = "nb" // north bridge / memory controller
+	BlockMM    = "mm" // multimedia engines (video decode/encode)
+	BlockIO    = "io" // fusion controller hub / IO
+)
+
+// Kabini returns the modeled X2150-class floorplan: a 10.4 mm x 9.7 mm die
+// (~101 mm^2) with four Jaguar-class cores plus L2 along the top edge, a GCN
+// GPU filling the lower-left quadrant, and NB/MM/IO blocks on the right.
+//
+// Layout (to scale in meters, y grows upward):
+//
+//	+--------+--------+--------+--------+----------+
+//	| core0  | core1  | core2  | core3  |    l2    |  row y=7.0..9.7mm
+//	+--------+--------+--------+--------+----------+
+//	|                          |   nb   |          |
+//	|           gpu            +--------+    io    |  y=0..7.0mm
+//	|                          |   mm   |          |
+//	+--------------------------+--------+----------+
+func Kabini() Floorplan {
+	const mm = 1e-3
+	return Floorplan{
+		Name:          "kabini-x2150",
+		DieThicknessM: 0.4 * mm,
+		Blocks: []Block{
+			{Name: BlockCore0, X: 0.0 * mm, Y: 7.0 * mm, W: 1.8 * mm, H: 2.7 * mm},
+			{Name: BlockCore1, X: 1.8 * mm, Y: 7.0 * mm, W: 1.8 * mm, H: 2.7 * mm},
+			{Name: BlockCore2, X: 3.6 * mm, Y: 7.0 * mm, W: 1.8 * mm, H: 2.7 * mm},
+			{Name: BlockCore3, X: 5.4 * mm, Y: 7.0 * mm, W: 1.8 * mm, H: 2.7 * mm},
+			{Name: BlockL2, X: 7.2 * mm, Y: 7.0 * mm, W: 3.2 * mm, H: 2.7 * mm},
+			{Name: BlockGPU, X: 0.0 * mm, Y: 0.0 * mm, W: 6.4 * mm, H: 7.0 * mm},
+			{Name: BlockNB, X: 6.4 * mm, Y: 3.5 * mm, W: 2.0 * mm, H: 3.5 * mm},
+			{Name: BlockMM, X: 6.4 * mm, Y: 0.0 * mm, W: 2.0 * mm, H: 3.5 * mm},
+			{Name: BlockIO, X: 8.4 * mm, Y: 0.0 * mm, W: 2.0 * mm, H: 7.0 * mm},
+		},
+	}
+}
+
+// Gridded subdivides every block into cells no larger than maxCell on a
+// side, returning the refined floorplan and, parallel to its Blocks, the
+// name of each cell's parent block. This is the HotSpot-style grid mode:
+// the block-level RC network is the coarse solution, and the gridded
+// network checks that block granularity is fine enough for the die at hand.
+func Gridded(f Floorplan, maxCell float64) (Floorplan, []string, error) {
+	if maxCell <= 0 {
+		return Floorplan{}, nil, fmt.Errorf("floorplan %s: non-positive cell size", f.Name)
+	}
+	out := Floorplan{Name: f.Name + "-grid", DieThicknessM: f.DieThicknessM}
+	var parents []string
+	for _, b := range f.Blocks {
+		nx := int(b.W/maxCell) + 1
+		ny := int(b.H/maxCell) + 1
+		cw := b.W / float64(nx)
+		ch := b.H / float64(ny)
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				out.Blocks = append(out.Blocks, Block{
+					Name: fmt.Sprintf("%s.%d.%d", b.Name, i, j),
+					X:    b.X + float64(i)*cw,
+					Y:    b.Y + float64(j)*ch,
+					W:    cw,
+					H:    ch,
+				})
+				parents = append(parents, b.Name)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return Floorplan{}, nil, err
+	}
+	return out, parents, nil
+}
+
+// SpreadPower distributes per-parent-block powers across a gridded
+// floorplan's cells by area, producing a power map aligned with the gridded
+// Blocks order.
+func SpreadPower(gridded Floorplan, parents []string, parentPower map[string]float64) ([]float64, error) {
+	if len(parents) != len(gridded.Blocks) {
+		return nil, fmt.Errorf("floorplan %s: %d parents for %d cells",
+			gridded.Name, len(parents), len(gridded.Blocks))
+	}
+	// Total area per parent.
+	area := map[string]float64{}
+	for i, b := range gridded.Blocks {
+		area[parents[i]] += b.AreaM2()
+	}
+	out := make([]float64, len(gridded.Blocks))
+	for i, b := range gridded.Blocks {
+		p, ok := parentPower[parents[i]]
+		if !ok {
+			return nil, fmt.Errorf("floorplan %s: no power for parent %q", gridded.Name, parents[i])
+		}
+		out[i] = p * b.AreaM2() / area[parents[i]]
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKabiniValidates(t *testing.T) {
+	if err := Kabini().Validate(); err != nil {
+		t.Fatalf("Kabini floorplan invalid: %v", err)
+	}
+}
+
+func TestKabiniAreaAbout100mm2(t *testing.T) {
+	// Section III-C: die size "about 100mm^2".
+	area := Kabini().AreaM2()
+	mm2 := area * 1e6
+	if mm2 < 95 || mm2 > 110 {
+		t.Errorf("die area = %.1f mm^2, want ~100", mm2)
+	}
+}
+
+func TestKabiniBlockCount(t *testing.T) {
+	fp := Kabini()
+	if len(fp.Blocks) != 9 {
+		t.Errorf("block count = %d, want 9", len(fp.Blocks))
+	}
+	for _, name := range []string{BlockCore0, BlockCore3, BlockL2, BlockGPU, BlockNB, BlockMM, BlockIO} {
+		if _, err := fp.Index(name); err != nil {
+			t.Errorf("missing block: %v", err)
+		}
+	}
+}
+
+func TestIndexUnknown(t *testing.T) {
+	if _, err := Kabini().Index("fpu7"); err == nil {
+		t.Error("Index of unknown block did not error")
+	}
+}
+
+func TestSharedEdges(t *testing.T) {
+	fp := Kabini()
+	blk := func(name string) Block {
+		i, err := fp.Index(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp.Blocks[i]
+	}
+	// core0-core1 share their full 2.7mm vertical edge.
+	if got := SharedEdge(blk(BlockCore0), blk(BlockCore1)); math.Abs(got-2.7e-3) > 1e-9 {
+		t.Errorf("core0-core1 shared edge = %v, want 2.7mm", got)
+	}
+	// Symmetric.
+	if a, b := SharedEdge(blk(BlockCore0), blk(BlockCore1)), SharedEdge(blk(BlockCore1), blk(BlockCore0)); a != b {
+		t.Errorf("SharedEdge not symmetric: %v vs %v", a, b)
+	}
+	// gpu-core0 share core0's 1.8mm bottom edge.
+	if got := SharedEdge(blk(BlockGPU), blk(BlockCore0)); math.Abs(got-1.8e-3) > 1e-9 {
+		t.Errorf("gpu-core0 shared edge = %v, want 1.8mm", got)
+	}
+	// core0 and core2 do not touch.
+	if got := SharedEdge(blk(BlockCore0), blk(BlockCore2)); got != 0 {
+		t.Errorf("core0-core2 shared edge = %v, want 0", got)
+	}
+	// nb-mm horizontal adjacency.
+	if got := SharedEdge(blk(BlockNB), blk(BlockMM)); math.Abs(got-2.0e-3) > 1e-9 {
+		t.Errorf("nb-mm shared edge = %v, want 2.0mm", got)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	fp := Floorplan{
+		Name:          "bad",
+		DieThicknessM: 1e-4,
+		Blocks: []Block{
+			{Name: "a", X: 0, Y: 0, W: 2, H: 2},
+			{Name: "b", X: 1, Y: 1, W: 2, H: 2},
+		},
+	}
+	if err := fp.Validate(); err == nil {
+		t.Error("overlapping floorplan validated")
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	fp := Floorplan{
+		Name:          "dup",
+		DieThicknessM: 1e-4,
+		Blocks: []Block{
+			{Name: "a", X: 0, Y: 0, W: 1, H: 1},
+			{Name: "a", X: 2, Y: 2, W: 1, H: 1},
+		},
+	}
+	if err := fp.Validate(); err == nil {
+		t.Error("duplicate-name floorplan validated")
+	}
+}
+
+func TestValidateCatchesEmptyAndZeroThickness(t *testing.T) {
+	if err := (Floorplan{Name: "empty", DieThicknessM: 1e-4}).Validate(); err == nil {
+		t.Error("empty floorplan validated")
+	}
+	fp := Kabini()
+	fp.DieThicknessM = 0
+	if err := fp.Validate(); err == nil {
+		t.Error("zero-thickness floorplan validated")
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	b := Block{Name: "x", X: 1, Y: 2, W: 3, H: 4}
+	if b.AreaM2() != 12 {
+		t.Errorf("area = %v", b.AreaM2())
+	}
+	if b.CenterX() != 2.5 || b.CenterY() != 4 {
+		t.Errorf("center = (%v,%v)", b.CenterX(), b.CenterY())
+	}
+}
+
+func TestCoresAreSmallFractionOfDie(t *testing.T) {
+	// Power density contrast between cores and the rest of the die is what
+	// creates hotspots; the four cores must be a minority of total area.
+	fp := Kabini()
+	var coreArea float64
+	for _, b := range fp.Blocks {
+		switch b.Name {
+		case BlockCore0, BlockCore1, BlockCore2, BlockCore3:
+			coreArea += b.AreaM2()
+		}
+	}
+	frac := coreArea / fp.AreaM2()
+	if frac < 0.1 || frac > 0.35 {
+		t.Errorf("core area fraction = %v, want ~0.2", frac)
+	}
+}
+
+func TestGridded(t *testing.T) {
+	fp := Kabini()
+	grid, parents, err := Gridded(fp, 1e-3) // 1 mm cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Blocks) <= len(fp.Blocks) {
+		t.Fatalf("grid has %d cells, original %d blocks", len(grid.Blocks), len(fp.Blocks))
+	}
+	if len(parents) != len(grid.Blocks) {
+		t.Fatal("parents not parallel to cells")
+	}
+	// Area is preserved exactly.
+	if math.Abs(grid.AreaM2()-fp.AreaM2()) > 1e-12 {
+		t.Errorf("grid area %v != original %v", grid.AreaM2(), fp.AreaM2())
+	}
+	// Every cell fits inside its parent.
+	byName := map[string]Block{}
+	for _, b := range fp.Blocks {
+		byName[b.Name] = b
+	}
+	for i, c := range grid.Blocks {
+		p := byName[parents[i]]
+		if c.X < p.X-1e-12 || c.Y < p.Y-1e-12 ||
+			c.X+c.W > p.X+p.W+1e-9 || c.Y+c.H > p.Y+p.H+1e-9 {
+			t.Fatalf("cell %s escapes parent %s", c.Name, p.Name)
+		}
+	}
+	if _, _, err := Gridded(fp, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+}
+
+func TestSpreadPower(t *testing.T) {
+	fp := Kabini()
+	grid, parents, err := Gridded(fp, 1.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := map[string]float64{}
+	for _, b := range fp.Blocks {
+		power[b.Name] = 2.0
+	}
+	cells, err := SpreadPower(grid, parents, power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-parent power conserved.
+	sums := map[string]float64{}
+	for i, w := range cells {
+		if w < 0 {
+			t.Fatal("negative cell power")
+		}
+		sums[parents[i]] += w
+	}
+	for name, s := range sums {
+		if math.Abs(s-2.0) > 1e-9 {
+			t.Errorf("parent %s power %v, want 2", name, s)
+		}
+	}
+	// Missing parent power errors.
+	delete(power, BlockGPU)
+	if _, err := SpreadPower(grid, parents, power); err == nil {
+		t.Error("missing parent accepted")
+	}
+	if _, err := SpreadPower(grid, parents[:3], power); err == nil {
+		t.Error("mismatched parents accepted")
+	}
+}

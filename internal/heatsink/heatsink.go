@@ -1,0 +1,168 @@
+// Package heatsink models the two finned heat sinks of the M700-class
+// cartridge (Section II / III-C of the paper: an 18-fin sink on upstream
+// sockets and a 30-fin sink on downstream sockets).
+//
+// The model is a classical fin-array analysis: forced air flows through the
+// channels between parallel plate fins; a flat-plate laminar convection
+// correlation gives the heat transfer coefficient from the channel velocity;
+// fin efficiency accounts for the temperature drop along each fin; and a
+// fixed base resistance lumps base spreading plus the thermal interface
+// material. The presets calibrate the base term so that the total external
+// resistance at the SUT's per-socket airflow (6.35 CFM) reproduces the
+// paper's Table III values exactly: 1.578 C/W for the 18-fin sink and
+// 1.056 C/W for the 30-fin sink. The flow dependence away from that point
+// comes from the physics.
+package heatsink
+
+import (
+	"fmt"
+	"math"
+
+	"densim/internal/units"
+)
+
+// Air-side transport properties around 25C used by the convection
+// correlation.
+const (
+	airConductivityWmK   = 0.026   // thermal conductivity of air
+	airKinematicVisc     = 1.6e-05 // kinematic viscosity, m^2/s
+	airPrandtl           = 0.71    // Prandtl number
+	aluminumConductivity = 200.0   // fin material conductivity, W/(m*K)
+)
+
+// FinArray describes a parallel-plate fin heat sink.
+type FinArray struct {
+	// Name labels the sink in reports ("18-fin", "30-fin").
+	Name string
+	// FinCount is the number of fins across the base width.
+	FinCount int
+	// FinHeightM, FinThicknessM are the fin dimensions in meters.
+	FinHeightM    float64
+	FinThicknessM float64
+	// BaseWidthM is the base dimension across the airflow; BaseLengthM is
+	// the dimension along the airflow (also the fin length).
+	BaseWidthM  float64
+	BaseLengthM float64
+	// BaseResistance lumps base spreading plus the thermal interface
+	// material, in C/W. Calibrated in the presets.
+	BaseResistance float64
+}
+
+// Validate reports whether the geometry is physically meaningful.
+func (f FinArray) Validate() error {
+	switch {
+	case f.FinCount < 2:
+		return fmt.Errorf("heatsink %s: need at least 2 fins, have %d", f.Name, f.FinCount)
+	case f.FinHeightM <= 0 || f.FinThicknessM <= 0 || f.BaseWidthM <= 0 || f.BaseLengthM <= 0:
+		return fmt.Errorf("heatsink %s: non-positive dimension", f.Name)
+	case float64(f.FinCount)*f.FinThicknessM >= f.BaseWidthM:
+		return fmt.Errorf("heatsink %s: fins wider than base", f.Name)
+	case f.BaseResistance < 0:
+		return fmt.Errorf("heatsink %s: negative base resistance", f.Name)
+	}
+	return nil
+}
+
+// FreeFlowAreaM2 returns the open cross-section between fins that the air
+// stream must pass through.
+func (f FinArray) FreeFlowAreaM2() float64 {
+	gaps := f.FinCount - 1
+	gapWidth := (f.BaseWidthM - float64(f.FinCount)*f.FinThicknessM) / float64(gaps)
+	return float64(gaps) * gapWidth * f.FinHeightM
+}
+
+// ChannelVelocityMS returns the mean air velocity in the fin channels at the
+// given volumetric flow.
+func (f FinArray) ChannelVelocityMS(flow units.CFM) float64 {
+	return flow.CubicMetersPerSecond() / f.FreeFlowAreaM2()
+}
+
+// ReynoldsNumber returns the flow-length Reynolds number in the channels.
+func (f FinArray) ReynoldsNumber(flow units.CFM) float64 {
+	return f.ChannelVelocityMS(flow) * f.BaseLengthM / airKinematicVisc
+}
+
+// heatTransferCoefficient returns h in W/(m^2*K) from the laminar flat-plate
+// correlation Nu = 0.664 * Re^0.5 * Pr^(1/3) averaged over the fin length.
+func (f FinArray) heatTransferCoefficient(flow units.CFM) float64 {
+	re := f.ReynoldsNumber(flow)
+	nu := 0.664 * math.Sqrt(re) * math.Cbrt(airPrandtl)
+	return nu * airConductivityWmK / f.BaseLengthM
+}
+
+// FinEfficiency returns the classical straight-fin efficiency
+// tanh(mH)/(mH) with m = sqrt(2h/(k*t)).
+func (f FinArray) FinEfficiency(flow units.CFM) float64 {
+	h := f.heatTransferCoefficient(flow)
+	m := math.Sqrt(2 * h / (aluminumConductivity * f.FinThicknessM))
+	mh := m * f.FinHeightM
+	if mh == 0 {
+		return 1
+	}
+	return math.Tanh(mh) / mh
+}
+
+// ConvectiveResistance returns the air-side thermal resistance of the fin
+// array (C/W) at the given flow, excluding the base term.
+func (f FinArray) ConvectiveResistance(flow units.CFM) float64 {
+	if flow <= 0 {
+		panic("heatsink: ConvectiveResistance requires positive airflow")
+	}
+	h := f.heatTransferCoefficient(flow)
+	finArea := float64(f.FinCount) * 2 * f.FinHeightM * f.BaseLengthM
+	baseExposed := f.BaseLengthM * (f.BaseWidthM - float64(f.FinCount)*f.FinThicknessM)
+	effArea := f.FinEfficiency(flow)*finArea + baseExposed
+	return 1 / (h * effArea)
+}
+
+// Resistance returns the total sink-to-air thermal resistance (C/W): the
+// calibrated base term plus the flow-dependent convective term. At 6.35 CFM
+// the presets return the paper's R_ext values.
+func (f FinArray) Resistance(flow units.CFM) float64 {
+	return f.BaseResistance + f.ConvectiveResistance(flow)
+}
+
+// The SUT's per-socket airflow (Table III) at which presets are calibrated,
+// and the target external resistances from Table III.
+const (
+	CalibrationFlow units.CFM = 6.35
+	RExt18Fin                 = 1.578
+	RExt30Fin                 = 1.056
+)
+
+// sharedGeometry returns the common cartridge sink footprint: a 50 mm by
+// 50 mm base with 8 mm tall, 0.8 mm thick fins (Kabini-class package).
+func sharedGeometry(name string, fins int) FinArray {
+	return FinArray{
+		Name:          name,
+		FinCount:      fins,
+		FinHeightM:    0.008,
+		FinThicknessM: 0.0008,
+		BaseWidthM:    0.050,
+		BaseLengthM:   0.050,
+	}
+}
+
+// calibrate sets BaseResistance so Resistance(CalibrationFlow) == target.
+func calibrate(f FinArray, target float64) FinArray {
+	conv := f.ConvectiveResistance(CalibrationFlow)
+	if conv >= target {
+		panic(fmt.Sprintf("heatsink %s: convective resistance %.3f exceeds calibration target %.3f",
+			f.Name, conv, target))
+	}
+	f.BaseResistance = target - conv
+	return f
+}
+
+// Preset18Fin returns the upstream socket's 18-fin sink, calibrated to
+// R_ext = 1.578 C/W at 6.35 CFM.
+func Preset18Fin() FinArray {
+	return calibrate(sharedGeometry("18-fin", 18), RExt18Fin)
+}
+
+// Preset30Fin returns the downstream socket's 30-fin sink, calibrated to
+// R_ext = 1.056 C/W at 6.35 CFM. The denser fin array moves more heat, which
+// is why the cartridge designers placed it where intake air is pre-heated.
+func Preset30Fin() FinArray {
+	return calibrate(sharedGeometry("30-fin", 30), RExt30Fin)
+}

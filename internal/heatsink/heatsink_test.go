@@ -1,0 +1,134 @@
+package heatsink
+
+import (
+	"math"
+	"testing"
+
+	"densim/internal/units"
+)
+
+func TestPresetsMatchTable3(t *testing.T) {
+	if got := Preset18Fin().Resistance(CalibrationFlow); math.Abs(got-RExt18Fin) > 1e-9 {
+		t.Errorf("18-fin R_ext = %v, want %v", got, RExt18Fin)
+	}
+	if got := Preset30Fin().Resistance(CalibrationFlow); math.Abs(got-RExt30Fin) > 1e-9 {
+		t.Errorf("30-fin R_ext = %v, want %v", got, RExt30Fin)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, s := range []FinArray{Preset18Fin(), Preset30Fin()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []FinArray{
+		{Name: "one-fin", FinCount: 1, FinHeightM: 0.01, FinThicknessM: 0.001, BaseWidthM: 0.05, BaseLengthM: 0.05},
+		{Name: "zero-height", FinCount: 10, FinHeightM: 0, FinThicknessM: 0.001, BaseWidthM: 0.05, BaseLengthM: 0.05},
+		{Name: "too-wide", FinCount: 100, FinHeightM: 0.01, FinThicknessM: 0.001, BaseWidthM: 0.05, BaseLengthM: 0.05},
+		{Name: "neg-base", FinCount: 10, FinHeightM: 0.01, FinThicknessM: 0.001, BaseWidthM: 0.05, BaseLengthM: 0.05, BaseResistance: -1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid geometry", c.Name)
+		}
+	}
+}
+
+func Test30FinBeats18Fin(t *testing.T) {
+	// The denser array must have lower resistance at every flow level —
+	// this is the heat-sink asymmetry the paper's schedulers exploit.
+	s18, s30 := Preset18Fin(), Preset30Fin()
+	for _, flow := range []units.CFM{2, 4, 6.35, 8, 12} {
+		r18 := s18.Resistance(flow)
+		r30 := s30.Resistance(flow)
+		if r30 >= r18 {
+			t.Errorf("at %v: 30-fin R %.3f >= 18-fin R %.3f", flow, r30, r18)
+		}
+	}
+}
+
+func TestResistanceDecreasesWithFlow(t *testing.T) {
+	for _, s := range []FinArray{Preset18Fin(), Preset30Fin()} {
+		prev := math.Inf(1)
+		for _, flow := range []units.CFM{1, 2, 4, 6.35, 8, 12, 20} {
+			r := s.Resistance(flow)
+			if r >= prev {
+				t.Errorf("%s: resistance not decreasing at %v (%v >= %v)", s.Name, flow, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestFinEfficiencyInUnitRange(t *testing.T) {
+	for _, s := range []FinArray{Preset18Fin(), Preset30Fin()} {
+		for _, flow := range []units.CFM{1, 6.35, 20} {
+			eta := s.FinEfficiency(flow)
+			if eta <= 0 || eta > 1 {
+				t.Errorf("%s: fin efficiency %v out of (0,1] at %v", s.Name, eta, flow)
+			}
+		}
+	}
+}
+
+func TestFinEfficiencyDropsWithFlow(t *testing.T) {
+	// Higher h makes fins less efficient (steeper temperature gradient).
+	for _, s := range []FinArray{Preset18Fin(), Preset30Fin()} {
+		if s.FinEfficiency(20) >= s.FinEfficiency(1) {
+			t.Errorf("%s: fin efficiency did not drop with flow", s.Name)
+		}
+	}
+}
+
+func TestChannelVelocityDenserIsFaster(t *testing.T) {
+	// Same flow through a smaller free area must be faster.
+	v18 := Preset18Fin().ChannelVelocityMS(CalibrationFlow)
+	v30 := Preset30Fin().ChannelVelocityMS(CalibrationFlow)
+	if v30 <= v18 {
+		t.Errorf("30-fin velocity %v <= 18-fin velocity %v", v30, v18)
+	}
+}
+
+func TestReynoldsLaminar(t *testing.T) {
+	// The correlation used assumes laminar flow (Re < 5e5) at operating
+	// points; verify the presets stay inside its envelope.
+	for _, s := range []FinArray{Preset18Fin(), Preset30Fin()} {
+		re := s.ReynoldsNumber(12)
+		if re >= 5e5 {
+			t.Errorf("%s: Re = %v exceeds laminar envelope at 12 CFM", s.Name, re)
+		}
+		if re <= 0 {
+			t.Errorf("%s: non-positive Re", s.Name)
+		}
+	}
+}
+
+func TestConvectiveResistancePanicsOnZeroFlow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ConvectiveResistance(0) did not panic")
+		}
+	}()
+	Preset18Fin().ConvectiveResistance(0)
+}
+
+func TestBaseResistancePositive(t *testing.T) {
+	if Preset18Fin().BaseResistance <= 0 {
+		t.Error("18-fin preset has non-positive base resistance; calibration target unreachable")
+	}
+	if Preset30Fin().BaseResistance <= 0 {
+		t.Error("30-fin preset has non-positive base resistance; calibration target unreachable")
+	}
+}
+
+func TestFreeFlowAreaPositive(t *testing.T) {
+	for _, s := range []FinArray{Preset18Fin(), Preset30Fin()} {
+		if s.FreeFlowAreaM2() <= 0 {
+			t.Errorf("%s: non-positive free flow area", s.Name)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package hotspot implements a compact RC thermal network of the modeled
+// processor package, in the tradition of the HotSpot model [75] the paper
+// cites. It plays the role of the paper's "validated proprietary HotSpot
+// like model": the detailed reference against which the simplified Equation
+// 1 peak-temperature model (internal/chipmodel) is validated (Figure 10),
+// and the source of the on-die temperature-difference data (Figure 9).
+//
+// Network topology (one node per floorplan block, plus package nodes):
+//
+//	block_i --(lateral silicon conduction)-- block_j      (shared edges)
+//	block_i --(die bulk + TIM1, per area)--- spreader
+//	spreader --(spreading + TIM2)----------- sink
+//	sink --(fin array convection)----------- ambient
+//
+// The vertical resistances are calibrated so that uniformly distributed
+// power reproduces the paper's lumped internal resistance
+// R_int = 0.205 C/W; the sink-to-ambient term comes from the calibrated
+// heatsink model, so the network agrees with Table III by construction in
+// the lumped limit while still resolving per-block temperature differences.
+package hotspot
+
+import (
+	"fmt"
+	"math"
+
+	"densim/internal/floorplan"
+	"densim/internal/heatsink"
+	"densim/internal/linalg"
+	"densim/internal/units"
+)
+
+// Params collects the material and calibration constants of the network.
+type Params struct {
+	// SiliconConductivityWmK is the lateral conduction coefficient of the
+	// die (doped silicon near operating temperature).
+	SiliconConductivityWmK float64
+	// DieToSpreaderArealRKm2W is the areal resistance (m^2*K/W) of the
+	// local vertical path: die bulk plus the first thermal interface.
+	DieToSpreaderArealRKm2W float64
+	// LumpedInternalRKW is the total internal resistance R_int (C/W) the
+	// network must present for uniform power (paper Table III: 0.205).
+	// The spreader-to-sink resistance is derived from it.
+	LumpedInternalRKW float64
+	// SiliconVolumetricHeatJm3K and package capacitances set the transient
+	// behaviour.
+	SiliconVolumetricHeatJm3K float64
+	SpreaderCapacitanceJK     float64
+	SinkCapacitanceJK         float64
+}
+
+// DefaultParams returns the calibrated constants for the Kabini-class
+// package.
+func DefaultParams() Params {
+	return Params{
+		SiliconConductivityWmK:    60,
+		DieToSpreaderArealRKm2W:   1e-5,
+		LumpedInternalRKW:         0.205,
+		SiliconVolumetricHeatJm3K: 1.75e6,
+		SpreaderCapacitanceJK:     4.0,
+		SinkCapacitanceJK:         28.0,
+	}
+}
+
+// Network is an assembled RC thermal network for one (floorplan, heatsink,
+// airflow) combination.
+type Network struct {
+	fp       floorplan.Floorplan
+	sink     heatsink.FinArray
+	params   Params
+	nBlocks  int
+	n        int // nBlocks + 2 (spreader, sink)
+	g        *linalg.Matrix
+	gAmbient []float64 // conductance from each node to ambient
+	capJK    []float64 // per-node heat capacity
+	steadyLU *linalg.LU
+}
+
+// Node indices beyond the blocks.
+func (n *Network) spreaderIdx() int { return n.nBlocks }
+func (n *Network) sinkIdx() int     { return n.nBlocks + 1 }
+
+// New builds the network for a floorplan, heatsink, and airflow level.
+func New(fp floorplan.Floorplan, sink heatsink.FinArray, flow units.CFM, p Params) (*Network, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sink.Validate(); err != nil {
+		return nil, err
+	}
+	if flow <= 0 {
+		return nil, fmt.Errorf("hotspot: non-positive airflow %v", flow)
+	}
+	nb := len(fp.Blocks)
+	nw := &Network{
+		fp:       fp,
+		sink:     sink,
+		params:   p,
+		nBlocks:  nb,
+		n:        nb + 2,
+		gAmbient: make([]float64, nb+2),
+		capJK:    make([]float64, nb+2),
+	}
+
+	type edge struct {
+		a, b int
+		g    float64
+	}
+	var edges []edge
+
+	// Lateral silicon conduction across shared block edges.
+	for i := 0; i < nb; i++ {
+		for j := i + 1; j < nb; j++ {
+			shared := floorplan.SharedEdge(fp.Blocks[i], fp.Blocks[j])
+			if shared <= 0 {
+				continue
+			}
+			dx := fp.Blocks[i].CenterX() - fp.Blocks[j].CenterX()
+			dy := fp.Blocks[i].CenterY() - fp.Blocks[j].CenterY()
+			dist := math.Hypot(dx, dy)
+			g := p.SiliconConductivityWmK * shared * fp.DieThicknessM / dist
+			edges = append(edges, edge{i, j, g})
+		}
+	}
+
+	// Vertical: block -> spreader through the local areal resistance.
+	for i := 0; i < nb; i++ {
+		g := fp.Blocks[i].AreaM2() / p.DieToSpreaderArealRKm2W
+		edges = append(edges, edge{i, nw.spreaderIdx(), g})
+	}
+
+	// Spreader -> sink: the remainder of the lumped internal resistance.
+	localR := p.DieToSpreaderArealRKm2W / fp.AreaM2()
+	spreadR := p.LumpedInternalRKW - localR
+	if spreadR <= 0 {
+		return nil, fmt.Errorf("hotspot: local vertical resistance %.4f exceeds lumped R_int %.4f",
+			localR, p.LumpedInternalRKW)
+	}
+	edges = append(edges, edge{nw.spreaderIdx(), nw.sinkIdx(), 1 / spreadR})
+
+	// Sink -> ambient through the fin array.
+	nw.gAmbient[nw.sinkIdx()] = 1 / sink.Resistance(flow)
+
+	// Capacitances.
+	for i := 0; i < nb; i++ {
+		vol := fp.Blocks[i].AreaM2() * fp.DieThicknessM
+		nw.capJK[i] = p.SiliconVolumetricHeatJm3K * vol
+	}
+	nw.capJK[nw.spreaderIdx()] = p.SpreaderCapacitanceJK
+	nw.capJK[nw.sinkIdx()] = p.SinkCapacitanceJK
+
+	// Assemble the conductance (Laplacian) matrix.
+	nw.g = linalg.NewMatrix(nw.n)
+	for _, e := range edges {
+		nw.g.Add(e.a, e.a, e.g)
+		nw.g.Add(e.b, e.b, e.g)
+		nw.g.Add(e.a, e.b, -e.g)
+		nw.g.Add(e.b, e.a, -e.g)
+	}
+	for i, ga := range nw.gAmbient {
+		nw.g.Add(i, i, ga)
+	}
+
+	lu, err := linalg.Factor(nw.g)
+	if err != nil {
+		return nil, fmt.Errorf("hotspot: steady-state system singular: %w", err)
+	}
+	nw.steadyLU = lu
+	return nw, nil
+}
+
+// NumBlocks returns the number of die blocks (nodes 0..NumBlocks-1).
+func (n *Network) NumBlocks() int { return n.nBlocks }
+
+// BlockName returns the floorplan name of block i.
+func (n *Network) BlockName(i int) string { return n.fp.Blocks[i].Name }
+
+// PowerMap assigns power to die blocks, aligned with the floorplan's block
+// order.
+type PowerMap []units.Watts
+
+// Total returns the summed power.
+func (p PowerMap) Total() units.Watts {
+	var t units.Watts
+	for _, w := range p {
+		t += w
+	}
+	return t
+}
+
+// State is a temperature assignment for all network nodes.
+type State struct {
+	TempC []float64 // one per node: blocks, then spreader, then sink
+}
+
+// BlockTemp returns the temperature of die block i in Celsius.
+func (s State) BlockTemp(i int) units.Celsius { return units.Celsius(s.TempC[i]) }
+
+// Steady solves the steady-state temperatures for the given block powers and
+// ambient (socket intake air) temperature.
+func (n *Network) Steady(power PowerMap, ambient units.Celsius) (State, error) {
+	if len(power) != n.nBlocks {
+		return State{}, fmt.Errorf("hotspot: power map has %d entries, floorplan has %d blocks",
+			len(power), n.nBlocks)
+	}
+	// Work relative to ambient: G*T_rel = P, ambient coupling already on the
+	// diagonal.
+	b := make([]float64, n.n)
+	for i, w := range power {
+		b[i] = float64(w)
+	}
+	rel := n.steadyLU.Solve(b)
+	temps := make([]float64, n.n)
+	for i, r := range rel {
+		temps[i] = r + float64(ambient)
+	}
+	return State{TempC: temps}, nil
+}
+
+// Transient advances a state by dt seconds under the given powers and
+// ambient, using one implicit-Euler step: (C/dt + G) T' = C/dt T + P + G_amb*T_amb.
+// For accuracy dt should be comfortably below the die time constant
+// (~milliseconds); the solver is unconditionally stable regardless.
+func (n *Network) Transient(s State, power PowerMap, ambient units.Celsius, dt units.Seconds) (State, error) {
+	if len(power) != n.nBlocks {
+		return State{}, fmt.Errorf("hotspot: power map has %d entries, floorplan has %d blocks",
+			len(power), n.nBlocks)
+	}
+	if len(s.TempC) != n.n {
+		return State{}, fmt.Errorf("hotspot: state has %d nodes, network has %d", len(s.TempC), n.n)
+	}
+	if dt <= 0 {
+		return State{}, fmt.Errorf("hotspot: non-positive time step %v", dt)
+	}
+	a := n.g.Clone()
+	b := make([]float64, n.n)
+	for i := 0; i < n.n; i++ {
+		cdt := n.capJK[i] / float64(dt)
+		a.Add(i, i, cdt)
+		b[i] = cdt * s.TempC[i]
+		b[i] += n.gAmbient[i] * float64(ambient)
+	}
+	for i, w := range power {
+		b[i] += float64(w)
+	}
+	x, err := linalg.SolveSystem(a, b)
+	if err != nil {
+		return State{}, err
+	}
+	return State{TempC: x}, nil
+}
+
+// InitState returns a state with every node at the ambient temperature.
+func (n *Network) InitState(ambient units.Celsius) State {
+	t := make([]float64, n.n)
+	for i := range t {
+		t[i] = float64(ambient)
+	}
+	return State{TempC: t}
+}
+
+// Extremes returns the hottest and coolest die-block temperatures of a
+// state — the quantities behind the paper's Figure 9(a).
+func (n *Network) Extremes(s State) (hottest, coolest units.Celsius) {
+	hot, cold := math.Inf(-1), math.Inf(1)
+	for i := 0; i < n.nBlocks; i++ {
+		t := s.TempC[i]
+		if t > hot {
+			hot = t
+		}
+		if t < cold {
+			cold = t
+		}
+	}
+	return units.Celsius(hot), units.Celsius(cold)
+}
+
+// Peak returns the hottest die-block temperature.
+func (n *Network) Peak(s State) units.Celsius {
+	h, _ := n.Extremes(s)
+	return h
+}
+
+// LumpedResistance returns the effective junction-to-ambient resistance the
+// network presents to uniformly distributed power: (T_avg - T_amb) / P.
+// By construction this approximates R_int + R_ext of Table III.
+func (n *Network) LumpedResistance(total units.Watts) (float64, error) {
+	if total <= 0 {
+		return 0, fmt.Errorf("hotspot: non-positive power %v", total)
+	}
+	pm := make(PowerMap, n.nBlocks)
+	area := n.fp.AreaM2()
+	for i, b := range n.fp.Blocks {
+		pm[i] = units.Watts(float64(total) * b.AreaM2() / area)
+	}
+	s, err := n.Steady(pm, 0)
+	if err != nil {
+		return 0, err
+	}
+	var wsum float64
+	for i, b := range n.fp.Blocks {
+		wsum += s.TempC[i] * b.AreaM2()
+	}
+	return wsum / area / float64(total), nil
+}
+
+// StepResponse runs the network from thermal equilibrium at ambient through
+// a power step and samples the peak die temperature every dt seconds for n
+// steps. The trajectory is the raw material for time-constant estimation.
+func (n *Network) StepResponse(power PowerMap, ambient units.Celsius, dt units.Seconds, steps int) ([]units.Celsius, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("hotspot: non-positive step count %d", steps)
+	}
+	s := n.InitState(ambient)
+	out := make([]units.Celsius, steps)
+	var err error
+	for i := 0; i < steps; i++ {
+		s, err = n.Transient(s, power, ambient, dt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n.Peak(s)
+	}
+	return out, nil
+}
+
+// DominantTimeConstant estimates the slowest exponential time constant of a
+// step response: the time to close 63.2% of the gap between the initial and
+// final values, interpolated between samples. It returns an error when the
+// trajectory has not settled enough to measure.
+func DominantTimeConstant(resp []units.Celsius, dt units.Seconds) (units.Seconds, error) {
+	if len(resp) < 3 {
+		return 0, fmt.Errorf("hotspot: need at least 3 samples, have %d", len(resp))
+	}
+	start := float64(resp[0])
+	final := float64(resp[len(resp)-1])
+	if math.Abs(final-start) < 1e-6 {
+		return 0, fmt.Errorf("hotspot: flat step response")
+	}
+	target := start + (final-start)*(1-math.Exp(-1))
+	for i := 1; i < len(resp); i++ {
+		a, b := float64(resp[i-1]), float64(resp[i])
+		if (a-target)*(b-target) <= 0 && a != b {
+			frac := (target - a) / (b - a)
+			return units.Seconds(float64(i-1)+frac) * dt, nil
+		}
+	}
+	return 0, fmt.Errorf("hotspot: response never crossed the 1-1/e point; extend the window")
+}

@@ -1,0 +1,392 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+
+	"densim/internal/floorplan"
+	"densim/internal/heatsink"
+	"densim/internal/units"
+)
+
+func newTestNetwork(t *testing.T, sink heatsink.FinArray) *Network {
+	t.Helper()
+	n, err := New(floorplan.Kabini(), sink, 6.35, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// computationMap concentrates power in the cores, as a computation-heavy
+// benchmark would.
+func computationMap(n *Network, total units.Watts) PowerMap {
+	pm := make(PowerMap, n.NumBlocks())
+	frac := map[string]float64{
+		floorplan.BlockCore0: 0.16, floorplan.BlockCore1: 0.16,
+		floorplan.BlockCore2: 0.16, floorplan.BlockCore3: 0.16,
+		floorplan.BlockL2: 0.10, floorplan.BlockGPU: 0.10,
+		floorplan.BlockNB: 0.08, floorplan.BlockMM: 0.03, floorplan.BlockIO: 0.05,
+	}
+	for i := 0; i < n.NumBlocks(); i++ {
+		pm[i] = units.Watts(float64(total) * frac[n.BlockName(i)])
+	}
+	return pm
+}
+
+func TestZeroPowerEqualsAmbient(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	s, err := n.Steady(make(PowerMap, n.NumBlocks()), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range s.TempC {
+		if math.Abs(temp-25) > 1e-9 {
+			t.Errorf("node %d at %v with zero power, want 25", i, temp)
+		}
+	}
+}
+
+func TestLumpedResistanceMatchesTable3(t *testing.T) {
+	// Uniform power must see approximately R_int + R_ext.
+	for _, tc := range []struct {
+		sink heatsink.FinArray
+		want float64
+	}{
+		{heatsink.Preset18Fin(), 0.205 + 1.578},
+		{heatsink.Preset30Fin(), 0.205 + 1.056},
+	} {
+		n := newTestNetwork(t, tc.sink)
+		got, err := n.LumpedResistance(18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 0.05*tc.want {
+			t.Errorf("%s lumped R = %.3f, want ~%.3f", tc.sink.Name, got, tc.want)
+		}
+	}
+}
+
+func TestSteadySuperposition(t *testing.T) {
+	// The network is linear: steady(P1+P2) - ambient == (steady(P1)-amb) + (steady(P2)-amb).
+	n := newTestNetwork(t, heatsink.Preset30Fin())
+	p1 := computationMap(n, 10)
+	p2 := make(PowerMap, n.NumBlocks())
+	p2[0] = 5
+	sum := make(PowerMap, n.NumBlocks())
+	for i := range sum {
+		sum[i] = p1[i] + p2[i]
+	}
+	s1, _ := n.Steady(p1, 20)
+	s2, _ := n.Steady(p2, 20)
+	s12, _ := n.Steady(sum, 20)
+	for i := range s12.TempC {
+		want := (s1.TempC[i] - 20) + (s2.TempC[i] - 20) + 20
+		if math.Abs(s12.TempC[i]-want) > 1e-6 {
+			t.Fatalf("superposition violated at node %d: %v vs %v", i, s12.TempC[i], want)
+		}
+	}
+}
+
+func TestAmbientShiftIsAdditive(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	pm := computationMap(n, 15)
+	s20, _ := n.Steady(pm, 20)
+	s30, _ := n.Steady(pm, 30)
+	for i := range s20.TempC {
+		if math.Abs((s30.TempC[i]-s20.TempC[i])-10) > 1e-6 {
+			t.Fatalf("ambient shift not additive at node %d", i)
+		}
+	}
+}
+
+func TestOnDieDeltaInPaperRange(t *testing.T) {
+	// Figure 9(a): hottest-coolest spot differences range 4C-7C for the
+	// ~100mm^2 die across PCMark-class benchmarks. Check a representative
+	// computation-heavy map at TDP-class power.
+	for _, sink := range []heatsink.FinArray{heatsink.Preset18Fin(), heatsink.Preset30Fin()} {
+		n := newTestNetwork(t, sink)
+		s, err := n.Steady(computationMap(n, 18), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, cold := n.Extremes(s)
+		delta := float64(hot - cold)
+		if delta < 3 || delta > 8 {
+			t.Errorf("%s: on-die delta = %.2fC, want in [3,8] (paper: 4-7C)", sink.Name, delta)
+		}
+	}
+}
+
+func Test30FinCoolerThan18Fin(t *testing.T) {
+	// Figure 9(b): the 30-fin heatsink gives ~6-7C better peak temperature
+	// at high power and ~3-4C at low power.
+	n18 := newTestNetwork(t, heatsink.Preset18Fin())
+	n30 := newTestNetwork(t, heatsink.Preset30Fin())
+	highDelta := peakDelta(t, n18, n30, 18)
+	lowDelta := peakDelta(t, n18, n30, 8)
+	if highDelta < 4 || highDelta > 10 {
+		t.Errorf("high-power peak advantage = %.2fC, want ~6-7C", highDelta)
+	}
+	if lowDelta < 2 || lowDelta > 6 {
+		t.Errorf("low-power peak advantage = %.2fC, want ~3-4C", lowDelta)
+	}
+	if lowDelta >= highDelta {
+		t.Errorf("advantage should grow with power: low %.2f >= high %.2f", lowDelta, highDelta)
+	}
+}
+
+func peakDelta(t *testing.T, n18, n30 *Network, total units.Watts) float64 {
+	t.Helper()
+	s18, err := n18.Steady(computationMap(n18, total), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s30, err := n30.Steady(computationMap(n30, total), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(n18.Peak(s18) - n30.Peak(s30))
+}
+
+func TestPeakCorrelatesWithPower(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	prev := -1.0
+	for _, w := range []units.Watts{5, 10, 15, 20} {
+		s, err := n.Steady(computationMap(n, w), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := float64(n.Peak(s))
+		if p <= prev {
+			t.Fatalf("peak not increasing with power at %v", w)
+		}
+		prev = p
+	}
+}
+
+func TestTransientConvergesToSteady(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset30Fin())
+	pm := computationMap(n, 15)
+	want, err := n.Steady(pm, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.InitState(25)
+	// Sink time constant is tens of seconds; step well past it.
+	for i := 0; i < 4000; i++ {
+		s, err = n.Transient(s, pm, 25, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want.TempC {
+		if math.Abs(s.TempC[i]-want.TempC[i]) > 0.1 {
+			t.Errorf("node %d: transient %v vs steady %v", i, s.TempC[i], want.TempC[i])
+		}
+	}
+}
+
+func TestTransientMonotoneWarmup(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	pm := computationMap(n, 18)
+	s := n.InitState(20)
+	prevPeak := float64(n.Peak(s))
+	for i := 0; i < 50; i++ {
+		var err error
+		s, err = n.Transient(s, pm, 20, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := float64(n.Peak(s))
+		if p < prevPeak-1e-9 {
+			t.Fatalf("peak decreased during warm-up at step %d", i)
+		}
+		prevPeak = p
+	}
+}
+
+func TestDieRespondsFasterThanSink(t *testing.T) {
+	// The die should approach its quasi-steady offset within milliseconds
+	// while the sink barely moves — the separation of time scales behind the
+	// paper's two time constants (5ms chip, 30s socket).
+	n := newTestNetwork(t, heatsink.Preset30Fin())
+	pm := computationMap(n, 18)
+	s := n.InitState(25)
+	var err error
+	for i := 0; i < 20; i++ { // 20ms
+		s, err = n.Transient(s, pm, 25, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sinkRise := s.TempC[n.sinkIdx()] - 25
+	dieRise := float64(n.Peak(s)) - 25
+	if dieRise < 1 {
+		t.Errorf("die rise after 20ms = %.3fC, want noticeable", dieRise)
+	}
+	if sinkRise > dieRise/4 {
+		t.Errorf("sink rise %.3fC not much slower than die rise %.3fC", sinkRise, dieRise)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	if _, err := n.Steady(PowerMap{1, 2}, 20); err == nil {
+		t.Error("Steady with wrong power-map size did not error")
+	}
+	if _, err := n.Transient(State{TempC: []float64{1}}, make(PowerMap, n.NumBlocks()), 20, 0.001); err == nil {
+		t.Error("Transient with wrong state size did not error")
+	}
+	if _, err := n.Transient(n.InitState(20), make(PowerMap, n.NumBlocks()), 20, 0); err == nil {
+		t.Error("Transient with zero dt did not error")
+	}
+	if _, err := n.LumpedResistance(0); err == nil {
+		t.Error("LumpedResistance(0) did not error")
+	}
+	if _, err := New(floorplan.Kabini(), heatsink.Preset18Fin(), 0, DefaultParams()); err == nil {
+		t.Error("New with zero flow did not error")
+	}
+	bad := DefaultParams()
+	bad.DieToSpreaderArealRKm2W = 1 // exceeds lumped R_int over the die area
+	if _, err := New(floorplan.Kabini(), heatsink.Preset18Fin(), 6.35, bad); err == nil {
+		t.Error("New with inconsistent resistances did not error")
+	}
+}
+
+func TestHotBlockIsACore(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	s, err := n.Steady(computationMap(n, 18), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotIdx, hotT := 0, math.Inf(-1)
+	for i := 0; i < n.NumBlocks(); i++ {
+		if s.TempC[i] > hotT {
+			hotIdx, hotT = i, s.TempC[i]
+		}
+	}
+	name := n.BlockName(hotIdx)
+	isCore := name == floorplan.BlockCore0 || name == floorplan.BlockCore1 ||
+		name == floorplan.BlockCore2 || name == floorplan.BlockCore3
+	if !isCore {
+		t.Errorf("hottest block under computation load = %s, want a core", name)
+	}
+}
+
+func TestGridRefinementAgreesWithBlockModel(t *testing.T) {
+	// HotSpot-style resolution check: solving the same power map on a
+	// 1mm-gridded floorplan should agree with the block-level network on
+	// the peak temperature within ~1.5C — evidence that block granularity
+	// is adequate for this ~100mm^2 die.
+	fp := floorplan.Kabini()
+	sink := heatsink.Preset30Fin()
+	coarse, err := New(fp, sink, 6.35, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, parents, err := floorplan.Gridded(fp, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := New(grid, sink, 6.35, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pm := computationMap(coarse, 18)
+	parentPower := map[string]float64{}
+	for i := 0; i < coarse.NumBlocks(); i++ {
+		parentPower[coarse.BlockName(i)] = float64(pm[i])
+	}
+	cellPower, err := floorplan.SpreadPower(grid, parents, parentPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finePM := make(PowerMap, len(cellPower))
+	for i, w := range cellPower {
+		finePM[i] = units.Watts(w)
+	}
+
+	sc, err := coarse.Steady(pm, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := fine.Steady(finePM, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakCoarse := float64(coarse.Peak(sc))
+	peakFine := float64(fine.Peak(sf))
+	if d := math.Abs(peakCoarse - peakFine); d > 1.5 {
+		t.Errorf("grid peak %v vs block peak %v (diff %.2fC), want <= 1.5C", peakFine, peakCoarse, d)
+	}
+	// The lumped behaviour must be identical by construction.
+	rc, err := coarse.LumpedResistance(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fine.LumpedResistance(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rc-rf) > 0.01 {
+		t.Errorf("lumped resistance differs: block %v vs grid %v", rc, rf)
+	}
+}
+
+func TestDominantTimeConstantTensOfSeconds(t *testing.T) {
+	// The paper (citing [40][64]) notes socket-level thermals have time
+	// constants of tens of seconds — the justification for Table III's 30s
+	// socket constant. The RC network's step response, dominated by the
+	// sink mass, must land in that regime.
+	n := newTestNetwork(t, heatsink.Preset30Fin())
+	pm := computationMap(n, 18)
+	resp, err := n.StepResponse(pm, 25, 0.5, 400) // 200 simulated seconds
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := DominantTimeConstant(resp, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 5 || tau > 90 {
+		t.Errorf("dominant time constant = %v, want tens of seconds", tau)
+	}
+}
+
+func TestDominantTimeConstantExactExponential(t *testing.T) {
+	// A synthetic pure exponential recovers its own tau.
+	const tau = 7.0
+	var resp []units.Celsius
+	for i := 0; i < 200; i++ {
+		x := float64(i) * 0.25
+		resp = append(resp, units.Celsius(100*(1-math.Exp(-x/tau))))
+	}
+	got, err := DominantTimeConstant(resp, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got)-tau) > 0.3 {
+		t.Errorf("estimated tau = %v, want %v", got, tau)
+	}
+}
+
+func TestDominantTimeConstantErrors(t *testing.T) {
+	if _, err := DominantTimeConstant([]units.Celsius{1, 2}, 1); err == nil {
+		t.Error("short response accepted")
+	}
+	if _, err := DominantTimeConstant([]units.Celsius{5, 5, 5, 5}, 1); err == nil {
+		t.Error("flat response accepted")
+	}
+}
+
+func TestStepResponseErrors(t *testing.T) {
+	n := newTestNetwork(t, heatsink.Preset18Fin())
+	if _, err := n.StepResponse(computationMap(n, 10), 25, 0.5, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := n.StepResponse(PowerMap{1}, 25, 0.5, 5); err == nil {
+		t.Error("bad power map accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package job
+
+import (
+	"testing"
+
+	"densim/internal/stats"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+func bench() workload.Benchmark { return workload.Benchmarks()[0] }
+
+func TestNewJob(t *testing.T) {
+	j := New(7, bench(), 1.5, 0.004)
+	if j.ID != 7 || j.Arrival != 1.5 || j.Work != 0.004 || j.NominalDuration != 0.004 {
+		t.Errorf("job = %+v", j)
+	}
+}
+
+func TestNewPanicsOnBadDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with zero duration did not panic")
+		}
+	}()
+	New(1, bench(), 0, 0)
+}
+
+func TestExpansion(t *testing.T) {
+	j := New(1, bench(), 0, 0.004)
+	j.Started = 1.0
+	j.Done = 1.006
+	if got := j.Expansion(); got < 1.499 || got > 1.501 {
+		t.Errorf("expansion = %v, want 1.5", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Error("empty queue misbehaves")
+	}
+	jobs := make([]*Job, 100)
+	for i := range jobs {
+		jobs[i] = New(ID(i), bench(), 0, 0.001)
+		q.Push(jobs[i])
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if q.Peek() != jobs[0] {
+		t.Error("peek is not oldest")
+	}
+	for i := range jobs {
+		if got := q.Pop(); got != jobs[i] {
+			t.Fatalf("pop %d returned job %v", i, got.ID)
+		}
+	}
+	if q.Len() != 0 || q.Pop() != nil {
+		t.Error("queue not empty after draining")
+	}
+}
+
+func TestQueueInterleaved(t *testing.T) {
+	// Push/pop interleaving exercises ring wrap-around.
+	var q Queue
+	rng := stats.NewRNG(5)
+	next := ID(0)
+	expect := ID(0)
+	for step := 0; step < 10000; step++ {
+		if rng.Float64() < 0.55 {
+			q.Push(New(next, bench(), 0, 0.001))
+			next++
+		} else if j := q.Pop(); j != nil {
+			if j.ID != expect {
+				t.Fatalf("step %d: popped %d, want %d", step, j.ID, expect)
+			}
+			expect++
+		}
+	}
+	for j := q.Pop(); j != nil; j = q.Pop() {
+		if j.ID != expect {
+			t.Fatalf("drain: popped %d, want %d", j.ID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Errorf("drained %d jobs, pushed %d", expect, next)
+	}
+}
+
+func TestSourceInterface(t *testing.T) {
+	var src Source = workload.NewArrivals(workload.ClassMix(workload.Storage), 10, 0.5, stats.NewRNG(1))
+	at0 := src.Peek()
+	at, b, dur := src.Next()
+	if at != at0 {
+		t.Error("Peek disagrees with Next")
+	}
+	if b.Class != workload.Storage || dur <= 0 {
+		t.Error("source produced invalid job")
+	}
+	if src.Peek() <= at {
+		t.Error("source times not increasing")
+	}
+	_ = units.Seconds(0)
+}

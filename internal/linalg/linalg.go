@@ -1,0 +1,139 @@
+// Package linalg provides the small dense linear-algebra kernels the thermal
+// solvers need: LU factorization with partial pivoting and triangular
+// solves. The thermal networks in this project have tens of nodes, so a
+// straightforward O(n^3) dense factorization is both simple and fast.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a matrix has no usable pivot.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N, row-major
+}
+
+// NewMatrix allocates a zero n x n matrix.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic("linalg: non-positive matrix size")
+	}
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = M * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.N {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.N))
+	}
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LU is an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on and above)
+	perm []int
+}
+
+// Factor computes the LU factorization of a. The input is not modified.
+func Factor(a *Matrix) (*LU, error) {
+	n := a.N
+	f := &LU{n: n, lu: append([]float64(nil), a.Data...), perm: make([]int, n)}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in column at or below diagonal.
+		pivRow, pivVal := col, math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(f.lu[r*n+col]); v > pivVal {
+				pivRow, pivVal = r, v
+			}
+		}
+		if pivVal == 0 {
+			return nil, ErrSingular
+		}
+		if pivRow != col {
+			for j := 0; j < n; j++ {
+				f.lu[col*n+j], f.lu[pivRow*n+j] = f.lu[pivRow*n+j], f.lu[col*n+j]
+			}
+			f.perm[col], f.perm[pivRow] = f.perm[pivRow], f.perm[col]
+		}
+		piv := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			factor := f.lu[r*n+col] / piv
+			f.lu[r*n+col] = factor
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= factor * f.lu[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with A*x = b. The input is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("linalg: Solve dimension mismatch %d vs %d", len(b), f.n))
+	}
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation and forward-substitute L.
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// SolveSystem is a convenience that factors and solves in one call.
+func SolveSystem(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

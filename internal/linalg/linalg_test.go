@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densim/internal/stats"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	x, err := SolveSystem(a, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{4, 5, 6} {
+		if math.Abs(x[i]-want) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveSystem(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveSystem(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveSystem(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveRoundTripRandom(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64()*2-1)
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Add(i, i, float64(n))
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.Float64()*10 - 5
+		}
+		b := a.MulVec(want)
+		got, err := SolveSystem(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFactorDoesNotMutateInput(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	before := append([]float64(nil), a.Data...)
+	if _, err := Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if a.Data[i] != before[i] {
+			t.Fatal("Factor mutated its input")
+		}
+	}
+}
+
+func TestLUReuse(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 0)
+	a.Set(1, 0, 0)
+	a.Set(1, 1, 4)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := f.Solve([]float64{2, 4})
+	x2 := f.Solve([]float64{4, 8})
+	if math.Abs(x1[0]-1) > 1e-12 || math.Abs(x2[0]-2) > 1e-12 {
+		t.Errorf("reused LU gave %v and %v", x1, x2)
+	}
+}
+
+func TestMulVecProperty(t *testing.T) {
+	// (A*(x+y)) == A*x + A*y
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64())
+			}
+		}
+		sum := make([]float64, n)
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		ax := a.MulVec(x)
+		ay := a.MulVec(y)
+		asum := a.MulVec(sum)
+		for i := range asum {
+			if math.Abs(asum[i]-(ax[i]+ay[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0) did not panic")
+		}
+	}()
+	NewMatrix(0)
+}
+
+func TestMulVecDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec with wrong dimension did not panic")
+		}
+	}()
+	NewMatrix(3).MulVec([]float64{1, 2})
+}

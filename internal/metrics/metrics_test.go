@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegionString(t *testing.T) {
+	if FrontHalf.String() != "front-half" || BackHalf.String() != "back-half" || EvenZones.String() != "even-zones" {
+		t.Error("region strings mismatch")
+	}
+	if Region(42).String() != "Region(42)" {
+		t.Error("unknown region string mismatch")
+	}
+}
+
+func TestJobAccounting(t *testing.T) {
+	c := NewCollector()
+	// Job 1: nominal 2ms, sojourn 3ms, service 2.5ms, front even zone 2.
+	c.OnJobComplete(0.002, 0.003, 0.0025, JobPlacement{Zone: 2, FrontHalf: true, EvenZone: true})
+	// Job 2: nominal 4ms, sojourn 4ms, service 4ms, back odd zone 5.
+	c.OnJobComplete(0.004, 0.004, 0.004, JobPlacement{Zone: 5, FrontHalf: false, EvenZone: false})
+	r := c.Finalize()
+	if r.Completed != 2 {
+		t.Errorf("completed = %d", r.Completed)
+	}
+	wantExp := (1.5 + 1.0) / 2
+	if math.Abs(r.MeanExpansion-wantExp) > 1e-12 {
+		t.Errorf("mean expansion = %v, want %v", r.MeanExpansion, wantExp)
+	}
+	wantSvc := (1.25 + 1.0) / 2
+	if math.Abs(r.MeanServiceExpansion-wantSvc) > 1e-12 {
+		t.Errorf("mean service expansion = %v, want %v", r.MeanServiceExpansion, wantSvc)
+	}
+	// Waits: job 1 waited 0.5ms, job 2 waited 0.
+	if math.Abs(r.MeanWaitSeconds-0.00025) > 1e-12 {
+		t.Errorf("mean wait = %v, want 0.00025", r.MeanWaitSeconds)
+	}
+	// Work shares: total 6ms; front 2ms, back 4ms, even 2ms.
+	if math.Abs(r.RegionWorkShare[FrontHalf]-2.0/6) > 1e-12 {
+		t.Errorf("front share = %v", r.RegionWorkShare[FrontHalf])
+	}
+	if math.Abs(r.RegionWorkShare[BackHalf]-4.0/6) > 1e-12 {
+		t.Errorf("back share = %v", r.RegionWorkShare[BackHalf])
+	}
+	if math.Abs(r.RegionWorkShare[EvenZones]-2.0/6) > 1e-12 {
+		t.Errorf("even share = %v", r.RegionWorkShare[EvenZones])
+	}
+	if math.Abs(r.ZoneWorkShare[2]-2.0/6) > 1e-12 || math.Abs(r.ZoneWorkShare[5]-4.0/6) > 1e-12 {
+		t.Errorf("zone shares = %v", r.ZoneWorkShare)
+	}
+}
+
+func TestBusySegments(t *testing.T) {
+	c := NewCollector()
+	front := JobPlacement{Zone: 1, FrontHalf: true}
+	back := JobPlacement{Zone: 6, FrontHalf: false, EvenZone: true}
+	c.OnBusySegment(1.0, 1.0, true, front)  // 1s at full boost in front
+	c.OnBusySegment(1.0, 0.5, false, front) // 1s at half speed in front
+	c.OnBusySegment(2.0, 0.8, false, back)
+	// Zero and negative segments ignored.
+	c.OnBusySegment(0, 1.0, true, front)
+	c.OnBusySegment(-1, 1.0, true, front)
+	r := c.Finalize()
+	if math.Abs(r.RegionFreq[FrontHalf]-0.75) > 1e-12 {
+		t.Errorf("front freq = %v, want 0.75", r.RegionFreq[FrontHalf])
+	}
+	if math.Abs(r.RegionFreq[BackHalf]-0.8) > 1e-12 {
+		t.Errorf("back freq = %v", r.RegionFreq[BackHalf])
+	}
+	if math.Abs(r.RegionFreq[EvenZones]-0.8) > 1e-12 {
+		t.Errorf("even freq = %v", r.RegionFreq[EvenZones])
+	}
+	if math.Abs(r.BoostResidency-0.25) > 1e-12 {
+		t.Errorf("boost residency = %v, want 0.25", r.BoostResidency)
+	}
+	if math.Abs(r.ZoneFreq[1]-0.75) > 1e-12 || math.Abs(r.ZoneFreq[6]-0.8) > 1e-12 {
+		t.Errorf("zone freqs = %v", r.ZoneFreq)
+	}
+}
+
+func TestEnergyAndSpan(t *testing.T) {
+	c := NewCollector()
+	c.OnEnergy(100)
+	c.OnEnergy(50)
+	c.SetSpan(1, 11)
+	r := c.Finalize()
+	if r.EnergyJ != 150 {
+		t.Errorf("energy = %v", r.EnergyJ)
+	}
+	if r.Span != 10 {
+		t.Errorf("span = %v", r.Span)
+	}
+}
+
+func TestRelativePerformance(t *testing.T) {
+	fast := Result{MeanExpansion: 1.0}
+	slow := Result{MeanExpansion: 1.25}
+	if got := fast.RelativePerformance(slow); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("relative perf = %v, want 1.25", got)
+	}
+	if got := slow.RelativePerformance(fast); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("relative perf = %v, want 0.8", got)
+	}
+	if (Result{}).RelativePerformance(fast) != 0 {
+		t.Error("zero-expansion result should return 0")
+	}
+}
+
+func TestED2(t *testing.T) {
+	a := Result{EnergyJ: 100, MeanExpansion: 2}
+	if got := a.ED2(); got != 400 {
+		t.Errorf("ED2 = %v", got)
+	}
+	b := Result{EnergyJ: 200, MeanExpansion: 1}
+	if got := b.RelativeED2(a); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("relative ED2 = %v, want 0.5", got)
+	}
+	if a.RelativeED2(Result{}) != 0 {
+		t.Error("zero baseline should return 0")
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	r := NewCollector().Finalize()
+	if r.Completed != 0 || r.MeanExpansion != 0 || r.BoostResidency != 0 {
+		t.Errorf("empty result = %+v", r)
+	}
+	for _, reg := range Regions {
+		if r.RegionWorkShare[reg] != 0 {
+			t.Error("empty collector has work share")
+		}
+	}
+}

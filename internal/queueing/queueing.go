@@ -1,0 +1,117 @@
+// Package queueing provides classical multi-server queueing approximations
+// — Erlang C for M/M/c and the Allen–Cunneen correction for M/G/c — used to
+// cross-validate the simulator's queueing behaviour and to reason about the
+// load knees in Figure 14: once thermal throttling erodes effective
+// capacity below the offered load, waiting times diverge exactly as these
+// formulas predict.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc describes an M/M/c queue: Poisson arrivals at rate Lambda, c servers,
+// exponential service with mean ServiceTime.
+type MMc struct {
+	// Lambda is the arrival rate (jobs per second).
+	Lambda float64
+	// ServiceTime is the mean service time (seconds).
+	ServiceTime float64
+	// Servers is the server count.
+	Servers int
+}
+
+// Validate reports whether the queue is well formed.
+func (q MMc) Validate() error {
+	switch {
+	case q.Lambda < 0:
+		return fmt.Errorf("queueing: negative arrival rate %v", q.Lambda)
+	case q.ServiceTime <= 0:
+		return fmt.Errorf("queueing: non-positive service time %v", q.ServiceTime)
+	case q.Servers <= 0:
+		return fmt.Errorf("queueing: non-positive server count %d", q.Servers)
+	}
+	return nil
+}
+
+// OfferedLoad returns the offered load a = lambda * E[S] in Erlangs.
+func (q MMc) OfferedLoad() float64 { return q.Lambda * q.ServiceTime }
+
+// Utilization returns rho = a / c.
+func (q MMc) Utilization() float64 { return q.OfferedLoad() / float64(q.Servers) }
+
+// Stable reports whether the queue has a steady state (rho < 1).
+func (q MMc) Stable() bool { return q.Utilization() < 1 }
+
+// ErlangC returns the probability an arriving job waits (all servers busy),
+// computed with the numerically stable iterative form of the Erlang C
+// formula.
+func (q MMc) ErlangC() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 1, nil
+	}
+	a := q.OfferedLoad()
+	c := q.Servers
+	// Iterate the Erlang B recurrence: B(0)=1; B(k) = a*B(k-1)/(k+a*B(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Utilization()
+	return b / (1 - rho + rho*b), nil
+}
+
+// MeanWait returns the expected queueing delay Wq (excluding service).
+func (q MMc) MeanWait() (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return math.Inf(1), nil
+	}
+	c := float64(q.Servers)
+	mu := 1 / q.ServiceTime
+	return pw / (c*mu - q.Lambda), nil
+}
+
+// MGc is an M/G/c queue: like MMc but with a general service distribution
+// summarized by its coefficient of variation.
+type MGc struct {
+	MMc
+	// ServiceCoV is the coefficient of variation of the service time (1 for
+	// exponential; the VDI workload model uses ~2.5).
+	ServiceCoV float64
+}
+
+// MeanWait returns the Allen–Cunneen approximation:
+// Wq(M/G/c) ~= Wq(M/M/c) * (1 + CoV^2) / 2.
+func (q MGc) MeanWait() (float64, error) {
+	if q.ServiceCoV < 0 {
+		return 0, fmt.Errorf("queueing: negative service CoV %v", q.ServiceCoV)
+	}
+	base, err := q.MMc.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return base * (1 + q.ServiceCoV*q.ServiceCoV) / 2, nil
+}
+
+// MeanSojourn returns the expected total time in system (wait + service).
+func (q MGc) MeanSojourn() (float64, error) {
+	w, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w + q.ServiceTime, nil
+}
+
+// CriticalLoad returns the utilization at which a system whose servers slow
+// to relPerf of nominal speed becomes unstable: load > relPerf diverges.
+// This is the knee position in Figure 14 — e.g. sockets capped at 1500 MHz
+// running Computation (relPerf 0.835) destabilize above 83.5% load.
+func CriticalLoad(relPerf float64) float64 { return relPerf }

@@ -1,0 +1,134 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []MMc{
+		{Lambda: -1, ServiceTime: 1, Servers: 1},
+		{Lambda: 1, ServiceTime: 0, Servers: 1},
+		{Lambda: 1, ServiceTime: 1, Servers: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+		if _, err := q.ErlangC(); err == nil {
+			t.Errorf("case %d ErlangC accepted", i)
+		}
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic textbook values: c=1 reduces to rho; c=2, a=1 -> 1/3.
+	q1 := MMc{Lambda: 0.5, ServiceTime: 1, Servers: 1}
+	if pw, _ := q1.ErlangC(); math.Abs(pw-0.5) > 1e-12 {
+		t.Errorf("M/M/1 rho=0.5 wait prob = %v, want 0.5", pw)
+	}
+	q2 := MMc{Lambda: 1, ServiceTime: 1, Servers: 2}
+	if pw, _ := q2.ErlangC(); math.Abs(pw-1.0/3) > 1e-12 {
+		t.Errorf("M/M/2 a=1 wait prob = %v, want 1/3", pw)
+	}
+}
+
+func TestMM1MeanWait(t *testing.T) {
+	// M/M/1: Wq = rho/(mu - lambda).
+	q := MMc{Lambda: 0.8, ServiceTime: 1, Servers: 1}
+	w, err := q.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8 / (1 - 0.8)
+	if math.Abs(w-want) > 1e-9 {
+		t.Errorf("M/M/1 Wq = %v, want %v", w, want)
+	}
+}
+
+func TestUnstableQueue(t *testing.T) {
+	q := MMc{Lambda: 3, ServiceTime: 1, Servers: 2}
+	if q.Stable() {
+		t.Error("overloaded queue reported stable")
+	}
+	if pw, _ := q.ErlangC(); pw != 1 {
+		t.Errorf("unstable wait prob = %v", pw)
+	}
+	if w, _ := q.MeanWait(); !math.IsInf(w, 1) {
+		t.Errorf("unstable mean wait = %v", w)
+	}
+}
+
+func TestWaitMonotoneInLoad(t *testing.T) {
+	f := func(l1, l2 float64) bool {
+		l1 = math.Mod(math.Abs(l1), 0.99)
+		l2 = math.Mod(math.Abs(l2), 0.99)
+		if math.IsNaN(l1) || math.IsNaN(l2) {
+			return true
+		}
+		lo, hi := math.Min(l1, l2), math.Max(l1, l2)
+		wl, err1 := (MMc{Lambda: lo * 4, ServiceTime: 1, Servers: 4}).MeanWait()
+		wh, err2 := (MMc{Lambda: hi * 4, ServiceTime: 1, Servers: 4}).MeanWait()
+		return err1 == nil && err2 == nil && wl <= wh+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolingEffect(t *testing.T) {
+	// At equal utilization, more servers means less waiting.
+	small := MMc{Lambda: 0.8, ServiceTime: 1, Servers: 1}
+	big := MMc{Lambda: 80, ServiceTime: 1, Servers: 100}
+	ws, _ := small.MeanWait()
+	wb, _ := big.MeanWait()
+	if wb >= ws {
+		t.Errorf("pooled wait %v >= single wait %v", wb, ws)
+	}
+	// 180 pooled servers at 50% load: waits are negligible — why the SUT
+	// shows no queueing below the throttling knee.
+	sut := MMc{Lambda: 0.5 * 180 / 0.003, ServiceTime: 0.003, Servers: 180}
+	w, _ := sut.MeanWait()
+	if w > 1e-6 {
+		t.Errorf("SUT wait at 50%% = %v, want ~0", w)
+	}
+}
+
+func TestAllenCunneen(t *testing.T) {
+	base := MMc{Lambda: 1.5, ServiceTime: 1, Servers: 2}
+	exp := MGc{MMc: base, ServiceCoV: 1}
+	heavy := MGc{MMc: base, ServiceCoV: 2.5}
+	we, _ := exp.MeanWait()
+	wm, _ := base.MeanWait()
+	if math.Abs(we-wm) > 1e-12 {
+		t.Errorf("CoV=1 M/G/c wait %v != M/M/c wait %v", we, wm)
+	}
+	wh, _ := heavy.MeanWait()
+	if ratio := wh / wm; math.Abs(ratio-(1+2.5*2.5)/2) > 1e-9 {
+		t.Errorf("heavy-tail multiplier = %v, want %v", ratio, (1+2.5*2.5)/2)
+	}
+	if _, err := (MGc{MMc: base, ServiceCoV: -1}).MeanWait(); err == nil {
+		t.Error("negative CoV accepted")
+	}
+}
+
+func TestMeanSojourn(t *testing.T) {
+	q := MGc{MMc: MMc{Lambda: 0.5, ServiceTime: 2, Servers: 1}, ServiceCoV: 1}
+	s, err := q.MeanSojourn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := q.MeanWait()
+	if math.Abs(s-(w+2)) > 1e-12 {
+		t.Errorf("sojourn = %v, want wait+service = %v", s, w+2)
+	}
+}
+
+func TestCriticalLoad(t *testing.T) {
+	// Computation at a 1500MHz cap: relPerf = 1/(0.26 + 0.74*1900/1500).
+	rel := 1 / (0.26 + 0.74*1900.0/1500.0)
+	if c := CriticalLoad(rel); math.Abs(c-rel) > 1e-12 || c < 0.8 || c > 0.87 {
+		t.Errorf("critical load = %v, want ~0.835", c)
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Header: []string{"name", "value"}}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("b", 42)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[3], "1.500") {
+		t.Errorf("row = %q", lines[3])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1.500") {
+		t.Errorf("misaligned value column:\n%s", out)
+	}
+}
+
+func TestRenderWideCells(t *testing.T) {
+	tb := &Table{Header: []string{"x"}}
+	tb.AddRow("something-much-wider-than-header")
+	out := tb.String()
+	if !strings.Contains(out, "something-much-wider-than-header") {
+		t.Errorf("wide cell lost:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow(`say "hi"`, "x,y")
+	tb.AddRow("plain", 7)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n\"say \"\"hi\"\"\",\"x,y\"\nplain,7\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tb := &Table{Header: []string{"v"}}
+	tb.AddRow(3.14159)
+	tb.AddRow(7)
+	tb.AddRow("str")
+	if tb.Rows[0][0] != "3.142" || tb.Rows[1][0] != "7" || tb.Rows[2][0] != "str" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestEmptyTableRenders(t *testing.T) {
+	tb := &Table{Header: []string{"only", "header"}}
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("empty table output: %q", out)
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(0.065); got != "6.5%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+	if got := FormatPercent(-0.02); got != "-2.0%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+}

@@ -1,0 +1,9 @@
+package sched
+
+import "densim/internal/stats"
+
+// rng is the deterministic generator stochastic policies use. A thin alias
+// keeps scheduler code concise.
+type rng = *stats.RNG
+
+func newRNG(seed uint64) rng { return stats.NewRNG(seed) }

@@ -1,0 +1,330 @@
+// Package sched implements the job placement policies of Section IV: the
+// existing chip-level and data-center-level temperature-aware schedulers the
+// paper evaluates (CF, HF, Random, MinHR, CN, Balanced, Balanced-L,
+// A-Random, Predictive) and the paper's proposed CouplingPredictor (CP).
+//
+// A Scheduler sees the system through the State interface the simulator
+// implements and picks one socket from the idle set for each pending job.
+// Schedulers must be deterministic given their construction-time seed.
+package sched
+
+import (
+	"fmt"
+
+	"densim/internal/airflow"
+	"densim/internal/chipmodel"
+	"densim/internal/geometry"
+	"densim/internal/job"
+	"densim/internal/units"
+)
+
+// State is the scheduler's view of the live system.
+type State interface {
+	// Server returns the topology.
+	Server() *geometry.Server
+	// Airflow returns the thermal-coupling model (the offline heat-transfer
+	// map of MinHR and the table lookup of CP).
+	Airflow() *airflow.Model
+	// ChipTemp returns the socket's current estimated peak chip
+	// temperature (fast, 5 ms time constant).
+	ChipTemp(geometry.SocketID) units.Celsius
+	// SocketTemp returns the lumped socket temperature (heatsink mass,
+	// 30 s time constant) — the paper's "instantaneous socket temperature"
+	// that the temperature-ordering policies read.
+	SocketTemp(geometry.SocketID) units.Celsius
+	// AmbientTemp returns the socket's current entry air temperature.
+	AmbientTemp(geometry.SocketID) units.Celsius
+	// HistoricalTemp returns a slow-moving average of the socket's chip
+	// temperature (the history input of A-Random).
+	HistoricalTemp(geometry.SocketID) units.Celsius
+	// Busy reports whether the socket is currently running a job.
+	Busy(geometry.SocketID) bool
+	// RunningJob returns the job on a busy socket, nil otherwise.
+	RunningJob(geometry.SocketID) *job.Job
+	// Frequency returns the socket's current P-state (meaningful while
+	// busy).
+	Frequency(geometry.SocketID) units.MHz
+	// Leakage returns the socket leakage model.
+	Leakage() chipmodel.Leakage
+	// BoostCap returns the highest P-state the socket's boost budget
+	// currently permits (the BKDG boost budget [36]): FMax with plenty of
+	// idle residency, stepping down to the sustained frequency for
+	// fully-loaded sockets.
+	BoostCap(geometry.SocketID) units.MHz
+}
+
+// Scheduler picks a socket for a job from the non-empty idle set.
+type Scheduler interface {
+	// Name returns the policy's display name (matching the paper's labels).
+	Name() string
+	// Pick returns the chosen socket. idle is non-empty and sorted by ID.
+	Pick(s State, j *job.Job, idle []geometry.SocketID) geometry.SocketID
+}
+
+// argBest returns the idle socket minimizing score, breaking ties by lowest
+// socket ID for determinism.
+func argBest(idle []geometry.SocketID, score func(geometry.SocketID) float64) geometry.SocketID {
+	best := idle[0]
+	bestScore := score(best)
+	for _, id := range idle[1:] {
+		if s := score(id); s < bestScore {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// CoolestFirst (CF) assigns jobs to the coldest socket [63][76][80] — the
+// classical data-center policy the paper uses as the baseline.
+type CoolestFirst struct{}
+
+// Name implements Scheduler.
+func (CoolestFirst) Name() string { return "CF" }
+
+// Pick implements Scheduler.
+func (CoolestFirst) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		return float64(s.SocketTemp(id))
+	})
+}
+
+// HottestFirst (HF) is the exact opposite of CF: it schedules work on the
+// warmest idle socket. Counterintuitively strong in coupled systems because
+// it keeps work away from upstream sockets.
+type HottestFirst struct{}
+
+// Name implements Scheduler.
+func (HottestFirst) Name() string { return "HF" }
+
+// Pick implements Scheduler.
+func (HottestFirst) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		return -float64(s.SocketTemp(id))
+	})
+}
+
+// Random assigns jobs uniformly at random [63][76], approximating uniform
+// power and thermal distribution.
+type Random struct {
+	rng rng
+}
+
+// NewRandom builds the policy with a deterministic seed.
+func NewRandom(seed uint64) *Random { return &Random{rng: newRNG(seed)} }
+
+// Name implements Scheduler.
+func (*Random) Name() string { return "Random" }
+
+// Pick implements Scheduler.
+func (r *Random) Pick(_ State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	return idle[r.rng.Intn(len(idle))]
+}
+
+// MinHR minimizes heat recirculation [63]: using the offline heat-transfer
+// map (the airflow model's coupling coefficients), it places each job on the
+// idle socket whose heat affects the rest of the server least; ties (all
+// sockets of the same zone have equal recirculation factors) are broken by
+// current coolness.
+type MinHR struct{}
+
+// Name implements Scheduler.
+func (MinHR) Name() string { return "MinHR" }
+
+// Pick implements Scheduler.
+func (MinHR) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	af := s.Airflow()
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		// Primary: recirculation factor; secondary: temperature.
+		return af.RecirculationFactor(id)*1e6 + float64(s.SocketTemp(id))
+	})
+}
+
+// CoolestNeighbors (CN) [54] extends CF with the neighborhood: it scores a
+// location by its own temperature plus the mean of its neighbors', placing
+// jobs where the whole vicinity is cool.
+type CoolestNeighbors struct{}
+
+// Name implements Scheduler.
+func (CoolestNeighbors) Name() string { return "CN" }
+
+// Pick implements Scheduler.
+func (CoolestNeighbors) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	srv := s.Server()
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		own := float64(s.SocketTemp(id))
+		var nsum float64
+		neigh := srv.Neighbors(id)
+		for _, n := range neigh {
+			nsum += float64(s.SocketTemp(n))
+		}
+		if len(neigh) == 0 {
+			return own * 2
+		}
+		return own + nsum/float64(len(neigh))
+	})
+}
+
+// Balanced [54][55] maintains a uniform thermal profile by scheduling work
+// as far as possible from the current hottest point of the server.
+type Balanced struct{}
+
+// Name implements Scheduler.
+func (Balanced) Name() string { return "Balanced" }
+
+// Pick implements Scheduler.
+func (Balanced) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	srv := s.Server()
+	// Locate the hottest socket in the whole server.
+	hottest := geometry.SocketID(0)
+	hotT := units.Celsius(-1e9)
+	for _, sk := range srv.Sockets() {
+		if t := s.SocketTemp(sk.ID); t > hotT {
+			hottest, hotT = sk.ID, t
+		}
+	}
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		return -float64(srv.Distance(hottest, id))
+	})
+}
+
+// BalancedLocations (Balanced-L) [55] prefers locations that are expected to
+// be coolest structurally — those nearest the air inlets — breaking ties by
+// current temperature.
+type BalancedLocations struct{}
+
+// Name implements Scheduler.
+func (BalancedLocations) Name() string { return "Balanced-L" }
+
+// Pick implements Scheduler.
+func (BalancedLocations) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	srv := s.Server()
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		x, _, _ := srv.Position(id)
+		return float64(x)*1e6 + float64(s.SocketTemp(id))
+	})
+}
+
+// AdaptiveRandom (A-Random) [54] is a CF variant with memory: among the
+// sockets whose current temperature is within a band of the coolest, it
+// picks randomly from those with the lowest historical temperature, weeding
+// out locations that are consistently hot.
+type AdaptiveRandom struct {
+	rng rng
+	// Band is the temperature slack (C) for candidate sets.
+	Band float64
+}
+
+// NewAdaptiveRandom builds the policy with a deterministic seed and the
+// default 1C candidate band.
+func NewAdaptiveRandom(seed uint64) *AdaptiveRandom {
+	return &AdaptiveRandom{rng: newRNG(seed), Band: 1.0}
+}
+
+// Name implements Scheduler.
+func (*AdaptiveRandom) Name() string { return "A-Random" }
+
+// Pick implements Scheduler.
+func (a *AdaptiveRandom) Pick(s State, _ *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	// Coolest-current band.
+	minCur := float64(s.SocketTemp(idle[0]))
+	for _, id := range idle[1:] {
+		if t := float64(s.SocketTemp(id)); t < minCur {
+			minCur = t
+		}
+	}
+	var cands []geometry.SocketID
+	for _, id := range idle {
+		if float64(s.SocketTemp(id)) <= minCur+a.Band {
+			cands = append(cands, id)
+		}
+	}
+	// Lowest-history band within the candidates.
+	minHist := float64(s.HistoricalTemp(cands[0]))
+	for _, id := range cands[1:] {
+		if t := float64(s.HistoricalTemp(id)); t < minHist {
+			minHist = t
+		}
+	}
+	var finals []geometry.SocketID
+	for _, id := range cands {
+		if float64(s.HistoricalTemp(id)) <= minHist+a.Band {
+			finals = append(finals, id)
+		}
+	}
+	return finals[a.rng.Intn(len(finals))]
+}
+
+// Predictive [81][43] estimates, for every idle socket, the frequency the
+// job would achieve there (through the Equation-1 two-step prediction) and
+// places the job where it runs fastest; ties break toward cooler ambient.
+type Predictive struct{}
+
+// Name implements Scheduler.
+func (Predictive) Name() string { return "Predictive" }
+
+// Pick implements Scheduler.
+func (Predictive) Pick(s State, j *job.Job, idle []geometry.SocketID) geometry.SocketID {
+	srv := s.Server()
+	leak := s.Leakage()
+	dyn := j.Benchmark.DynamicPower()
+	return argBest(idle, func(id geometry.SocketID) float64 {
+		f := PredictSocketFrequency(s, id, dyn, srv.Sink(id), leak)
+		// Maximize frequency; among equal frequencies prefer cooler air.
+		return -float64(f)*1e3 + float64(s.AmbientTemp(id))
+	})
+}
+
+// PredictSocketFrequency estimates the frequency a job with the given
+// dynamic-power curve would achieve on a socket: the Equation-1 two-step
+// thermal prediction, capped at what the socket's boost budget permits.
+func PredictSocketFrequency(s State, id geometry.SocketID, dyn chipmodel.DynamicPowerFn, sink chipmodel.Sink, leak chipmodel.Leakage) units.MHz {
+	f := chipmodel.PredictFrequency(s.AmbientTemp(id), dyn, sink, leak)
+	if cap := s.BoostCap(id); f > cap {
+		return cap
+	}
+	return f
+}
+
+// ByName constructs a scheduler from its paper label. Stochastic policies
+// receive the given seed.
+func ByName(name string, seed uint64) (Scheduler, error) {
+	switch name {
+	case "CF":
+		return CoolestFirst{}, nil
+	case "HF":
+		return HottestFirst{}, nil
+	case "Random":
+		return NewRandom(seed), nil
+	case "MinHR":
+		return MinHR{}, nil
+	case "CN":
+		return CoolestNeighbors{}, nil
+	case "Balanced":
+		return Balanced{}, nil
+	case "Balanced-L":
+		return BalancedLocations{}, nil
+	case "A-Random":
+		return NewAdaptiveRandom(seed), nil
+	case "Predictive":
+		return Predictive{}, nil
+	case "CP":
+		return NewCouplingPredictor(seed), nil
+	// CP ablation variants (not part of the paper's scheme set; used by the
+	// ablation experiment and bench).
+	case "CP-global":
+		return NewCouplingPredictorOpts(seed, CPOptions{GlobalSearch: true}), nil
+	case "CP-idleweighted":
+		return NewCouplingPredictorOpts(seed, CPOptions{IdleWeighted: true}), nil
+	case "CP-nobudget":
+		return NewCouplingPredictorOpts(seed, CPOptions{IgnoreBudget: true}), nil
+	case "CP-nocoupling":
+		return NewCouplingPredictorOpts(seed, CPOptions{NoCoupling: true}), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q", name)
+	}
+}
+
+// Names lists all policies in the paper's presentation order.
+func Names() []string {
+	return []string{"CF", "HF", "Random", "MinHR", "CN", "Balanced", "Balanced-L", "A-Random", "Predictive", "CP"}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/airflow"
+	"densim/internal/sched"
+	"densim/internal/workload"
+)
+
+// benchRun executes one simulated second on the full SUT at the given load
+// under the given scheduler — the simulator's core cost unit.
+func benchRun(b *testing.B, schedName string, load float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		scheduler, err := sched.ByName(schedName, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Config{
+			Scheduler: scheduler,
+			Airflow:   airflow.SUTParams(),
+			Mix:       workload.ClassMix(workload.Computation),
+			Load:      load,
+			Seed:      uint64(i + 1),
+			Duration:  1,
+			Warmup:    0.1,
+			SinkTau:   1,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		if load > 0 && res.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+func BenchmarkSimSecondIdle(b *testing.B)         { benchRun(b, "CF", 0) }
+func BenchmarkSimSecondCF50(b *testing.B)         { benchRun(b, "CF", 0.5) }
+func BenchmarkSimSecondCF90(b *testing.B)         { benchRun(b, "CF", 0.9) }
+func BenchmarkSimSecondCP50(b *testing.B)         { benchRun(b, "CP", 0.5) }
+func BenchmarkSimSecondCP90(b *testing.B)         { benchRun(b, "CP", 0.9) }
+func BenchmarkSimSecondPredictive90(b *testing.B) { benchRun(b, "Predictive", 0.9) }

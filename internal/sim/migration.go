@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"densim/internal/chipmodel"
+	"densim/internal/geometry"
+	"densim/internal/sched"
+	"densim/internal/units"
+)
+
+// Migration support — the paper's Section VI observation that "our
+// scheduling strategy can just as easily be used to choose sockets for
+// workload migration ... or even identify when migration would be
+// profitable". When enabled, the simulator periodically re-evaluates
+// running jobs: a job whose socket is throttled gets moved to an idle
+// socket the configured scheduler picks, provided the predicted frequency
+// gain clears a threshold and the job has enough work left to amortize the
+// transfer cost.
+//
+// Migration matters exactly where the workload's heavy tail lives: the mean
+// job is a few milliseconds and never sees a migration window, but the
+// 100x-tail jobs (Figure 6) occupy sockets for hundreds of milliseconds —
+// long enough for the thermal field to shift under them.
+
+// MigrationConfig tunes the optional migration pass.
+type MigrationConfig struct {
+	// Period is how often running jobs are re-evaluated (0 disables
+	// migration).
+	Period units.Seconds
+	// Cost is the work-time penalty a migrated job pays for state
+	// transfer (default 0.5 ms).
+	Cost units.Seconds
+	// MinGainMHz is the predicted frequency improvement required to move
+	// (default one P-state bin, 200 MHz).
+	MinGainMHz float64
+	// MinRemainingWork gates churn: jobs with less remaining work than
+	// this multiple of Cost stay put (default 5x).
+	MinRemainingWork float64
+}
+
+func (m MigrationConfig) withDefaults() MigrationConfig {
+	if m.Cost <= 0 {
+		m.Cost = 0.0005
+	}
+	if m.MinGainMHz <= 0 {
+		m.MinGainMHz = 200
+	}
+	if m.MinRemainingWork <= 0 {
+		m.MinRemainingWork = 5
+	}
+	return m
+}
+
+// runMigrations performs one migration pass at the current time. Sockets
+// are visited hottest-first (the most throttled jobs benefit most); each
+// migration consumes one idle socket.
+func (s *Simulator) runMigrations() {
+	idle := append([]geometry.SocketID(nil), s.idleSockets()...)
+	if len(idle) == 0 {
+		return
+	}
+	mc := s.cfg.Migration
+	for i := range s.sockets {
+		if len(idle) == 0 {
+			return
+		}
+		src := &s.sockets[i]
+		if !src.busy {
+			continue
+		}
+		j := src.j
+		if float64(j.Work) < mc.MinRemainingWork*float64(mc.Cost) {
+			continue
+		}
+		curFreq := src.freq
+		if curFreq >= chipmodel.FMax {
+			continue // nothing to gain
+		}
+		dest := s.cfg.Scheduler.Pick(s, j, idle)
+		predicted := sched.PredictSocketFrequency(s, dest, j.Benchmark.DynamicPower(),
+			s.srv.Sink(dest), s.leak)
+		if float64(predicted-curFreq) < mc.MinGainMHz {
+			continue
+		}
+		s.migrate(geometry.SocketID(i), dest)
+		// Remove dest from the idle pool.
+		for k, id := range idle {
+			if id == dest {
+				idle = append(idle[:k], idle[k+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// migrate moves the job on src to dst, charging the transfer cost.
+func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
+	src := &s.sockets[srcID]
+	dst := &s.sockets[dstID]
+	j := src.j
+
+	// Settle accounting on both sockets up to now.
+	s.advanceSocketTo(int(srcID), s.now)
+	s.advanceSocketTo(int(dstID), s.now)
+
+	// Source goes idle (gated).
+	src.busy = false
+	src.j = nil
+	src.freq = 0
+	src.power = units.Watts(chipmodel.GatedPowerFrac * float64(s.cfg.TDP))
+	s.powers[srcID] = src.power
+
+	// Transfer cost: the job pays extra work-time.
+	j.Work += s.cfg.Migration.Cost
+
+	// Destination starts the job at its locally picked frequency.
+	dst.busy = true
+	dst.j = j
+	dst.freq = s.pickFrequencyIndexed(dstID, dst)
+	dst.power = s.busyPower(dst)
+	s.powers[dstID] = dst.power
+
+	s.migrations++
+}

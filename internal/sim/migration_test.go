@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/workload"
+)
+
+func TestMigrationConfigDefaults(t *testing.T) {
+	m := MigrationConfig{Period: 0.05}.withDefaults()
+	if m.Cost != 0.0005 || m.MinGainMHz != 200 || m.MinRemainingWork != 5 {
+		t.Errorf("defaults = %+v", m)
+	}
+	// Explicit values survive.
+	m2 := MigrationConfig{Period: 1, Cost: 0.001, MinGainMHz: 400, MinRemainingWork: 10}.withDefaults()
+	if m2.Cost != 0.001 || m2.MinGainMHz != 400 || m2.MinRemainingWork != 10 {
+		t.Errorf("explicit config overridden: %+v", m2)
+	}
+}
+
+func TestMigrationDisabledByDefault(t *testing.T) {
+	cfg := smallConfig("CP", 0.6, workload.Computation)
+	_, s := runOne(t, cfg)
+	if s.Migrations() != 0 {
+		t.Errorf("migrations = %d without migration enabled", s.Migrations())
+	}
+}
+
+func TestMigrationMovesThrottledTailJobs(t *testing.T) {
+	// Under a hot inlet with CF placement, long-tail jobs get parked on
+	// throttled sockets; a migration pass must find and move some of them.
+	cfg := smallConfig("CF", 0.7, workload.Computation)
+	cfg.Duration = 4
+	cfg.Warmup = 1
+	cfg.SinkTau = 0.4
+	cfg.Airflow.Inlet = 40
+	cfg.Migration = MigrationConfig{Period: 0.02}
+	_, s := runOne(t, cfg)
+	if s.Migrations() == 0 {
+		t.Error("no migrations despite throttled sockets and a 20ms period")
+	}
+}
+
+func TestMigrationDoesNotHurt(t *testing.T) {
+	// With the gain threshold and cost gate, enabling migration should not
+	// meaningfully worsen mean expansion.
+	base := smallConfig("CF", 0.7, workload.Computation)
+	base.Duration = 4
+	base.Warmup = 1
+	base.SinkTau = 0.4
+	base.Airflow.Inlet = 40
+
+	off, _ := runOne(t, base)
+	on := base
+	on.Migration = MigrationConfig{Period: 0.02}
+	onRes, s := runOne(t, on)
+
+	if s.Migrations() == 0 {
+		t.Skip("no migrations triggered; nothing to compare")
+	}
+	if onRes.MeanExpansion > off.MeanExpansion*1.02 {
+		t.Errorf("migration worsened expansion: %v -> %v", off.MeanExpansion, onRes.MeanExpansion)
+	}
+}
+
+func TestMigrationDeterministic(t *testing.T) {
+	// Scheduler instances carry RNG state, so each run needs a fresh one.
+	mk := func() Config {
+		cfg := smallConfig("CP", 0.7, workload.Computation)
+		cfg.Duration = 3
+		cfg.SinkTau = 0.4
+		cfg.Airflow.Inlet = 40
+		cfg.Migration = MigrationConfig{Period: 0.05}
+		return cfg
+	}
+	a, sa := runOne(t, mk())
+	b, sb := runOne(t, mk())
+	if sa.Migrations() != sb.Migrations() || a.MeanExpansion != b.MeanExpansion {
+		t.Errorf("migration runs not deterministic: %d/%v vs %d/%v",
+			sa.Migrations(), a.MeanExpansion, sb.Migrations(), b.MeanExpansion)
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"densim/internal/workload"
+)
+
+func TestRecorderCapturesSeries(t *testing.T) {
+	rec := NewRecorder(0.1)
+	cfg := smallConfig("CF", 0.6, workload.Computation)
+	cfg.Duration = 1
+	cfg.Warmup = 0.1
+	cfg.SinkTau = 0.3
+	cfg.Probe = rec.Probe
+	_, s := runOne(t, cfg)
+	samples := rec.Samples()
+	if len(samples) < 8 {
+		t.Fatalf("captured %d samples over ~1s at 0.1s interval", len(samples))
+	}
+	depth := s.Server().Depth
+	for _, smp := range samples {
+		if len(smp.Ambient) != depth+1 {
+			t.Fatalf("sample has %d zones", len(smp.Ambient)-1)
+		}
+		for z := 1; z <= depth; z++ {
+			if smp.Ambient[z] < 17 || smp.Ambient[z] > 120 {
+				t.Fatalf("zone %d ambient %v out of range", z, smp.Ambient[z])
+			}
+			if smp.Busy[z] < 0 || smp.Busy[z] > 30 {
+				t.Fatalf("zone %d busy %d out of range", z, smp.Busy[z])
+			}
+		}
+	}
+	// The field warms up: the last sample's zone-6 ambient exceeds the first's.
+	first, last := samples[0], samples[len(samples)-1]
+	if last.Ambient[depth] <= first.Ambient[depth] {
+		t.Errorf("zone %d ambient did not warm: %v -> %v", depth, first.Ambient[depth], last.Ambient[depth])
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	rec := NewRecorder(0.2)
+	cfg := smallConfig("Random", 0.3, workload.Storage)
+	cfg.Duration = 0.6
+	cfg.Warmup = 0.1
+	cfg.Probe = rec.Probe
+	runOne(t, cfg)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time_s,zone,") {
+		t.Errorf("missing header: %q", out[:40])
+	}
+	lines := strings.Count(out, "\n")
+	want := len(rec.Samples())*6 + 1
+	if lines != want {
+		t.Errorf("CSV lines = %d, want %d", lines, want)
+	}
+}
+
+func TestRecorderPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRecorder(0) did not panic")
+		}
+	}()
+	NewRecorder(0)
+}

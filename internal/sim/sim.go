@@ -1,0 +1,602 @@
+// Package sim is the trace-driven simulator of Section III-D: a 180-socket
+// density optimized server executing a probabilistic VDI job stream under a
+// pluggable scheduling policy, with the thermal chain
+//
+//	socket powers --airflow network--> ambient targets
+//	    --30s socket lag--> per-socket ambient
+//	    --Equation 1 + 5ms chip lag--> peak chip temperature --> DVFS
+//
+// closed at every power-manager tick.
+//
+// Mechanics, following Table III and the surrounding prose:
+//
+//   - Jobs arrive by a Poisson process scaled to the target load and enter a
+//     FIFO queue; a central controller places the head job on an idle socket
+//     chosen by the scheduling policy (the paper's 1 usec scheduler poll is
+//     modeled exactly by scheduling at arrival and completion instants —
+//     nothing changes in between).
+//   - The power manager runs every 1 ms: it updates the thermal state,
+//     re-picks every busy socket's P-state (highest frequency whose
+//     predicted peak stays under the 95 C limit, boost states included),
+//     and power-gates idle sockets (which still draw 10% of TDP).
+//   - Between ticks frequencies are constant, so job completions are
+//     computed exactly, not discretized.
+//   - Heat moves through two first-order stages per socket, matching the
+//     two time constants of Table III: the socket-level ambient field
+//     (stream air buffered by the heatsink masses) approaches the airflow
+//     network's steady state with the 30 s socket time constant, and the
+//     chip approaches the Equation-1 peak temperature for that ambient with
+//     the 5 ms chip time constant.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"densim/internal/airflow"
+	"densim/internal/chipmodel"
+	"densim/internal/geometry"
+	"densim/internal/job"
+	"densim/internal/metrics"
+	"densim/internal/sched"
+	"densim/internal/stats"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Server is the topology; defaults to the 180-socket SUT.
+	Server *geometry.Server
+	// Airflow sets the thermal coupling model; zero value means defaults.
+	Airflow airflow.Params
+	// Scheduler is the placement policy (required).
+	Scheduler sched.Scheduler
+	// Mix and Load define the job stream (ignored if Source is set).
+	Mix  workload.Mix
+	Load float64
+	// Source optionally replays a recorded trace instead of Mix/Load.
+	Source job.Source
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Duration is the arrival horizon: jobs arrive in [0, Duration) and the
+	// run continues until the queue drains (bounded by DrainLimit).
+	Duration units.Seconds
+	// Warmup discards metrics before this time so results reflect the
+	// quasi-steady thermal field rather than the cold start.
+	Warmup units.Seconds
+	// TickPeriod is the power manager period (Table III: 1 ms).
+	TickPeriod units.Seconds
+	// DrainLimit caps the post-horizon drain phase. Zero means
+	// Duration + max(10s, Duration).
+	DrainLimit units.Seconds
+	// TDP of each socket (default: the X2150's 22 W).
+	TDP units.Watts
+	// HistoryTau is the time constant of the historical-temperature EWMA
+	// used by A-Random (default 120 s).
+	HistoryTau units.Seconds
+	// SinkTau and ChipTau override the Table III thermal time constants
+	// (30 s socket, 5 ms chip). Tests use a shortened SinkTau to reach the
+	// quasi-steady thermal field quickly; experiments keep the defaults.
+	SinkTau units.Seconds
+	ChipTau units.Seconds
+	// DisableBoost removes the opportunistic boost states entirely: the
+	// ladder tops out at the sustained 1500 MHz (the conservative-governor
+	// ablation).
+	DisableBoost bool
+	// BoostWindow, BoostTier1Util and BoostTier2Util implement the BKDG
+	// boost budget the paper cites [36]: boost states are opportunistic,
+	// replenished by idle residency. A socket whose recent utilization
+	// (EWMA over BoostWindow) is at most BoostTier1Util may use the full
+	// 1900 MHz boost; up to BoostTier2Util it may use 1700 MHz; beyond
+	// that it is capped at the sustained 1500 MHz — "a fully loaded socket
+	// is expected to only be able to sustain the highest non-boosted
+	// frequency". Defaults: 2 s window, tiers at 0.85 and 0.95.
+	BoostWindow    units.Seconds
+	BoostTier1Util float64
+	BoostTier2Util float64
+	// Migration optionally re-evaluates running jobs periodically and moves
+	// throttled long jobs to faster sockets (see migration.go).
+	Migration MigrationConfig
+	// Probe, if set, is called after every power-manager tick with the live
+	// simulator — for time-series capture and debugging. It must not mutate
+	// the simulator.
+	Probe func(s *Simulator, now units.Seconds)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Scheduler == nil {
+		return c, fmt.Errorf("sim: no scheduler configured")
+	}
+	if c.Server == nil {
+		c.Server = geometry.SUT()
+	}
+	if c.Airflow == (airflow.Params{}) {
+		c.Airflow = airflow.DefaultParams()
+	}
+	if c.TickPeriod <= 0 {
+		c.TickPeriod = 0.001
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("sim: non-positive duration %v", c.Duration)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return c, fmt.Errorf("sim: warmup %v outside [0, duration)", c.Warmup)
+	}
+	if c.DrainLimit <= 0 {
+		extra := c.Duration
+		if extra < 10 {
+			extra = 10
+		}
+		c.DrainLimit = c.Duration + extra
+	}
+	if c.TDP <= 0 {
+		c.TDP = workload.TDP
+	}
+	if c.HistoryTau <= 0 {
+		c.HistoryTau = 120
+	}
+	if c.SinkTau <= 0 {
+		c.SinkTau = chipmodel.SocketTimeConstant
+	}
+	if c.BoostWindow <= 0 {
+		c.BoostWindow = 2
+	}
+	if c.BoostTier1Util <= 0 {
+		c.BoostTier1Util = 0.85
+	}
+	if c.BoostTier2Util <= 0 {
+		c.BoostTier2Util = 0.95
+	}
+	if c.ChipTau <= 0 {
+		c.ChipTau = chipmodel.ChipTimeConstant
+	}
+	c.Migration = c.Migration.withDefaults()
+	if c.Source == nil {
+		if c.Load < 0 {
+			return c, fmt.Errorf("sim: negative load %v", c.Load)
+		}
+		if len(c.Mix.Benchmarks()) == 0 {
+			return c, fmt.Errorf("sim: no mix and no source configured")
+		}
+	}
+	return c, nil
+}
+
+// socketState is the live state of one socket.
+type socketState struct {
+	busy       bool
+	j          *job.Job
+	freq       units.MHz
+	ambient    units.Celsius // socket ambient temperature (30 s lag)
+	chipTemp   units.Celsius // peak chip temperature (5 ms lag)
+	histTemp   units.Celsius // slow EWMA for A-Random
+	utilEWMA   float64       // recent utilization for the boost budget
+	powerEWMA  units.Watts   // 30 s power average behind the socket temperature
+	power      units.Watts   // current total draw (dynamic + leakage or gated)
+	lastUpdate units.Seconds
+	placement  metrics.JobPlacement
+}
+
+// Simulator runs one configured simulation. It implements sched.State.
+type Simulator struct {
+	cfg     Config
+	srv     *geometry.Server
+	af      *airflow.Model
+	leak    chipmodel.Leakage
+	sockets []socketState
+	powers  []units.Watts
+	queue   job.Queue
+	source  job.Source
+	col     *metrics.Collector
+	now     units.Seconds
+	nextID  job.ID
+	// Reusable buffers for the per-tick and per-event hot paths.
+	ambBuf  []units.Celsius
+	idleBuf []geometry.SocketID
+	// Diagnostics.
+	arrived    int
+	unfinished int
+	migrations int
+}
+
+// New builds a simulator, validating the configuration.
+func New(cfg Config) (*Simulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	af, err := airflow.New(cfg.Server, cfg.Airflow)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		srv:     cfg.Server,
+		af:      af,
+		leak:    chipmodel.NewLeakage(cfg.TDP),
+		sockets: make([]socketState, cfg.Server.NumSockets()),
+		powers:  make([]units.Watts, cfg.Server.NumSockets()),
+		col:     metrics.NewCollector(),
+		ambBuf:  make([]units.Celsius, cfg.Server.NumSockets()),
+		idleBuf: make([]geometry.SocketID, 0, cfg.Server.NumSockets()),
+	}
+	if cfg.Source != nil {
+		s.source = cfg.Source
+	} else {
+		s.source = workload.NewArrivals(cfg.Mix, s.srv.NumSockets(), cfg.Load, stats.NewRNG(cfg.Seed))
+	}
+	inlet := af.Inlet()
+	gated := units.Watts(chipmodel.GatedPowerFrac * float64(cfg.TDP))
+	for i := range s.sockets {
+		id := geometry.SocketID(i)
+		s.sockets[i] = socketState{
+			ambient:  inlet,
+			chipTemp: inlet,
+			histTemp: inlet,
+			power:    gated,
+			placement: metrics.JobPlacement{
+				Zone:      s.srv.Zone(id),
+				FrontHalf: s.srv.IsFrontHalf(id),
+				EvenZone:  s.srv.IsEvenZone(id),
+			},
+		}
+		s.powers[i] = gated
+	}
+	return s, nil
+}
+
+// sched.State implementation -------------------------------------------------
+
+// Server implements sched.State.
+func (s *Simulator) Server() *geometry.Server { return s.srv }
+
+// Airflow implements sched.State.
+func (s *Simulator) Airflow() *airflow.Model { return s.af }
+
+// ChipTemp implements sched.State.
+func (s *Simulator) ChipTemp(id geometry.SocketID) units.Celsius { return s.sockets[id].chipTemp }
+
+// SocketTemp implements sched.State: the heatsink-mass (lumped socket)
+// temperature — ambient plus the socket's 30-second power average across the
+// external resistance. This is the "instantaneous socket temperature" the
+// temperature-ordering policies (CF, HF, CN, Balanced, A-Random) read.
+func (s *Simulator) SocketTemp(id geometry.SocketID) units.Celsius {
+	st := &s.sockets[id]
+	return st.ambient + units.Celsius(float64(st.powerEWMA)*s.srv.Sink(id).RExt())
+}
+
+// AmbientTemp implements sched.State.
+func (s *Simulator) AmbientTemp(id geometry.SocketID) units.Celsius { return s.sockets[id].ambient }
+
+// HistoricalTemp implements sched.State.
+func (s *Simulator) HistoricalTemp(id geometry.SocketID) units.Celsius {
+	return s.sockets[id].histTemp
+}
+
+// Busy implements sched.State.
+func (s *Simulator) Busy(id geometry.SocketID) bool { return s.sockets[id].busy }
+
+// RunningJob implements sched.State.
+func (s *Simulator) RunningJob(id geometry.SocketID) *job.Job { return s.sockets[id].j }
+
+// Frequency implements sched.State.
+func (s *Simulator) Frequency(id geometry.SocketID) units.MHz { return s.sockets[id].freq }
+
+// Leakage implements sched.State.
+func (s *Simulator) Leakage() chipmodel.Leakage { return s.leak }
+
+// BoostCap implements sched.State: the highest P-state the socket's boost
+// budget currently permits.
+func (s *Simulator) BoostCap(id geometry.SocketID) units.MHz {
+	return s.boostCap(s.sockets[id].utilEWMA)
+}
+
+func (s *Simulator) boostCap(util float64) units.MHz {
+	switch {
+	case s.cfg.DisableBoost:
+		return chipmodel.MaxSustained
+	case util <= s.cfg.BoostTier1Util:
+		return chipmodel.FMax
+	case util <= s.cfg.BoostTier2Util:
+		return 1700
+	default:
+		return chipmodel.MaxSustained
+	}
+}
+
+var _ sched.State = (*Simulator)(nil)
+
+// Run executes the simulation to completion and returns the metrics.
+func (s *Simulator) Run() metrics.Result {
+	tick := s.cfg.TickPeriod
+	hardStop := s.cfg.DrainLimit
+	nextMigration := units.Seconds(0)
+	if s.cfg.Migration.Period > 0 {
+		nextMigration = s.cfg.Migration.Period
+	}
+	for {
+		tickEnd := s.now + tick
+		s.processEventsUntil(tickEnd)
+		s.advanceAllTo(tickEnd)
+		s.now = tickEnd
+		s.powerManagerTick(tick)
+		if s.cfg.Migration.Period > 0 && s.now >= nextMigration {
+			s.runMigrations()
+			nextMigration += s.cfg.Migration.Period
+		}
+		if s.cfg.Probe != nil {
+			s.cfg.Probe(s, s.now)
+		}
+		if s.finished() || s.now >= hardStop {
+			break
+		}
+	}
+	for i := range s.sockets {
+		if s.sockets[i].busy {
+			s.unfinished++
+		}
+	}
+	s.unfinished += s.queue.Len()
+	s.col.SetSpan(s.cfg.Warmup, s.now)
+	return s.col.Finalize()
+}
+
+// finished reports whether arrivals are exhausted and all work is done.
+func (s *Simulator) finished() bool {
+	if s.now < s.cfg.Duration {
+		return false
+	}
+	if s.queue.Len() > 0 {
+		return false
+	}
+	for i := range s.sockets {
+		if s.sockets[i].busy {
+			return false
+		}
+	}
+	return true
+}
+
+// processEventsUntil handles all arrivals and completions in [s.now, end).
+func (s *Simulator) processEventsUntil(end units.Seconds) {
+	for {
+		arrT := s.nextArrivalTime()
+		compT, compID := s.nextCompletion()
+		t := arrT
+		isComp := false
+		if compT < t {
+			t, isComp = compT, true
+		}
+		if t >= end {
+			return
+		}
+		if isComp {
+			s.advanceSocketTo(int(compID), t)
+			s.completeJob(compID, t)
+		} else {
+			at, b, dur := s.source.Next()
+			j := job.New(s.nextID, b, at, dur)
+			s.nextID++
+			s.arrived++
+			s.queue.Push(j)
+		}
+		s.drainQueue(t)
+	}
+}
+
+// nextArrivalTime returns the next admissible arrival instant, +inf once the
+// horizon has passed.
+func (s *Simulator) nextArrivalTime() units.Seconds {
+	t := s.source.Peek()
+	if t >= s.cfg.Duration {
+		return units.Seconds(math.Inf(1))
+	}
+	return t
+}
+
+// nextCompletion scans busy sockets for the earliest completion.
+func (s *Simulator) nextCompletion() (units.Seconds, geometry.SocketID) {
+	best := units.Seconds(math.Inf(1))
+	var id geometry.SocketID
+	for i := range s.sockets {
+		st := &s.sockets[i]
+		if !st.busy {
+			continue
+		}
+		rate := st.j.Benchmark.RelPerf(st.freq)
+		t := st.lastUpdate + units.Seconds(float64(st.j.Work)/rate)
+		if t < best {
+			best, id = t, geometry.SocketID(i)
+		}
+	}
+	return best, id
+}
+
+// completeJob finishes the job on socket id at time t.
+func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
+	st := &s.sockets[id]
+	j := st.j
+	j.Done = t
+	j.Work = 0
+	if t >= s.cfg.Warmup {
+		s.col.OnJobComplete(j.NominalDuration, j.Done-j.Arrival, j.Done-j.Started, st.placement)
+	}
+	st.busy = false
+	st.j = nil
+	st.freq = 0
+	st.power = units.Watts(chipmodel.GatedPowerFrac * float64(s.cfg.TDP))
+	s.powers[id] = st.power
+}
+
+// drainQueue places queued jobs on idle sockets until one side is exhausted.
+func (s *Simulator) drainQueue(t units.Seconds) {
+	for s.queue.Len() > 0 {
+		idle := s.idleSockets()
+		if len(idle) == 0 {
+			return
+		}
+		j := s.queue.Pop()
+		pick := s.cfg.Scheduler.Pick(s, j, idle)
+		s.placeJob(pick, j, t)
+	}
+}
+
+// idleSockets returns the sorted idle set. The returned slice aliases an
+// internal buffer valid until the next call.
+func (s *Simulator) idleSockets() []geometry.SocketID {
+	out := s.idleBuf[:0]
+	for i := range s.sockets {
+		if !s.sockets[i].busy {
+			out = append(out, geometry.SocketID(i))
+		}
+	}
+	return out
+}
+
+// placeJob starts j on socket id at time t.
+func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) {
+	st := &s.sockets[id]
+	if st.busy {
+		panic(fmt.Sprintf("sim: scheduler %s picked busy socket %d", s.cfg.Scheduler.Name(), id))
+	}
+	s.advanceSocketTo(int(id), t)
+	st.busy = true
+	st.j = j
+	j.Started = t
+	st.freq = s.pickFrequencyIndexed(id, st)
+	st.power = s.busyPower(st)
+	s.powers[id] = st.power
+}
+
+// busyPower returns dynamic power at the socket's frequency plus leakage at
+// its current chip temperature.
+func (s *Simulator) busyPower(st *socketState) units.Watts {
+	return st.j.Benchmark.DynamicPowerAt(st.freq) + s.leak.At(st.chipTemp)
+}
+
+// advanceSocketTo accrues work, busy-frequency time, and energy on one
+// socket up to time t.
+func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
+	st := &s.sockets[i]
+	dt := t - st.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	if st.busy {
+		rate := st.j.Benchmark.RelPerf(st.freq)
+		st.j.Work -= units.Seconds(float64(dt) * rate)
+		if st.j.Work < 0 {
+			st.j.Work = 0
+		}
+		if t > s.cfg.Warmup {
+			seg := dt
+			if st.lastUpdate < s.cfg.Warmup {
+				seg = t - s.cfg.Warmup
+			}
+			rel := float64(st.freq) / float64(chipmodel.FMax)
+			s.col.OnBusySegment(seg, rel, chipmodel.IsBoost(st.freq), st.placement)
+		}
+	}
+	if t > s.cfg.Warmup {
+		seg := dt
+		if st.lastUpdate < s.cfg.Warmup {
+			seg = t - s.cfg.Warmup
+		}
+		s.col.OnEnergy(units.Joules(float64(st.power) * float64(seg)))
+	}
+	st.lastUpdate = t
+}
+
+// advanceAllTo brings every socket to time t.
+func (s *Simulator) advanceAllTo(t units.Seconds) {
+	for i := range s.sockets {
+		s.advanceSocketTo(i, t)
+	}
+}
+
+// powerManagerTick updates the thermal chain and re-picks P-states; dt is
+// the elapsed tick period.
+func (s *Simulator) powerManagerTick(dt units.Seconds) {
+	// 1) Ambient air follows current powers instantly.
+	ambients := s.ambBuf
+	s.af.AmbientInto(s.powers, ambients)
+
+	chipResp := chipmodel.FirstOrder{Tau: s.cfg.ChipTau}
+	sinkResp := chipmodel.FirstOrder{Tau: s.cfg.SinkTau}
+	histResp := chipmodel.FirstOrder{Tau: s.cfg.HistoryTau}
+	utilResp := chipmodel.FirstOrder{Tau: s.cfg.BoostWindow}
+
+	for i := range s.sockets {
+		st := &s.sockets[i]
+		id := geometry.SocketID(i)
+		sink := s.srv.Sink(id)
+
+		// 2) The socket ambient moves toward the airflow steady state on
+		// the 30 s socket time constant (the heatsink masses buffer the
+		// local air temperature).
+		st.ambient = sinkResp.Step(st.ambient, ambients[i], dt)
+
+		// 3) The chip moves toward the Equation-1 peak for the current
+		// ambient on the 5 ms chip time constant.
+		chipTarget := chipmodel.PeakTemp(st.ambient, st.power, sink)
+		st.chipTemp = chipResp.Step(st.chipTemp, chipTarget, dt)
+
+		// 4) The socket power average (the 30 s heatsink-mass state behind
+		// SocketTemp), the history EWMA for A-Random, and the boost-budget
+		// utilization EWMA.
+		st.powerEWMA = units.Watts(sinkResp.Step(units.Celsius(st.powerEWMA), units.Celsius(st.power), dt))
+		st.histTemp = histResp.Step(st.histTemp, s.SocketTemp(geometry.SocketID(i)), dt)
+		target := units.Celsius(0)
+		if st.busy {
+			target = 1
+		}
+		st.utilEWMA = float64(utilResp.Step(units.Celsius(st.utilEWMA), target, dt))
+
+		// 5) DVFS re-pick for busy sockets; refresh power either way.
+		if st.busy {
+			st.freq = s.pickFrequencyIndexed(id, st)
+			st.power = s.busyPower(st)
+		} else {
+			st.power = units.Watts(chipmodel.GatedPowerFrac * float64(s.cfg.TDP))
+		}
+		s.powers[i] = st.power
+	}
+}
+
+// pickFrequencyIndexed implements the power-management policy of Table III:
+// the highest P-state (boost included, subject to the boost budget) whose
+// *predicted steady* Equation-1 peak temperature at the socket's current
+// (slow-moving) ambient stays under the 95C limit. Using the steady
+// prediction rather than the transient chip temperature keeps the policy
+// conservative — a millisecond job cannot outrun the thermal model — and
+// makes the power manager agree exactly with the schedulers' frequency
+// predictor.
+func (s *Simulator) pickFrequencyIndexed(id geometry.SocketID, st *socketState) units.MHz {
+	sink := s.srv.Sink(id)
+	cap := s.boostCap(st.utilEWMA)
+	dyn := st.j.Benchmark.DynamicPower()
+	for i := len(chipmodel.Frequencies) - 1; i >= 0; i-- {
+		f := chipmodel.Frequencies[i]
+		if f > cap {
+			continue
+		}
+		if chipmodel.PredictTwoStep(st.ambient, dyn(f), sink, s.leak) <= chipmodel.TempLimit {
+			return f
+		}
+	}
+	return chipmodel.FMin
+}
+
+// Arrived returns the number of jobs admitted.
+func (s *Simulator) Arrived() int { return s.arrived }
+
+// Unfinished returns the number of jobs still in flight when the run ended
+// (nonzero only if the drain limit was hit).
+func (s *Simulator) Unfinished() int { return s.unfinished }
+
+// Migrations returns how many job migrations the run performed.
+func (s *Simulator) Migrations() int { return s.migrations }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() units.Seconds { return s.now }

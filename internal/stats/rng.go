@@ -1,0 +1,89 @@
+// Package stats provides the deterministic random-number machinery and the
+// descriptive statistics used by the simulator and the experiment harness.
+//
+// Simulation research lives and dies by reproducibility: every stochastic
+// component in densim draws from an explicitly seeded RNG so that a run is a
+// pure function of (configuration, seed). The package also implements the
+// distributions the workload model needs (exponential inter-arrivals,
+// lognormal job durations) and the summary statistics the paper reports
+// (means, coefficients of variation).
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator based on
+// SplitMix64. It is not safe for concurrent use; give each goroutine its own
+// stream via Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams on every platform.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from the current one. The child's
+// stream is a deterministic function of the parent state at the time of the
+// call, so fan-out remains reproducible.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform (polar rejection form, which avoids trig calls).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // population standard deviation
+	Min    float64
+	Max    float64
+}
+
+// CoV returns the coefficient of variation StdDev/Mean, the dispersion
+// measure the paper uses in Figures 5(b) and 6(b). It is 0 for an empty
+// sample or a sample with zero mean.
+func (s Summary) CoV() float64 {
+	if s.N == 0 || s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}
+
+// Summarize computes descriptive statistics over xs in one pass using
+// Welford's algorithm for numerical stability.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	var m2 float64
+	for _, x := range xs {
+		s.N++
+		delta := x - s.Mean
+		s.Mean += delta / float64(s.N)
+		m2 += delta * (x - s.Mean)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.N == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	s.StdDev = math.Sqrt(m2 / float64(s.N))
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Welford accumulates streaming (optionally weighted) mean/variance without
+// storing samples; the simulator uses it for time-weighted per-zone
+// frequency statistics over millions of segments.
+type Welford struct {
+	wsum float64 // total weight (count, for unweighted use)
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation with weight 1.
+func (w *Welford) Add(x float64) { w.AddWeighted(x, 1) }
+
+// AddWeighted incorporates an observation with a positive weight, treating
+// the weight as a (possibly fractional) repetition count. Non-positive
+// weights are ignored.
+func (w *Welford) AddWeighted(x, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	w.wsum += weight
+	delta := x - w.mean
+	w.mean += delta * weight / w.wsum
+	w.m2 += weight * delta * (x - w.mean)
+}
+
+// N returns the accumulated weight truncated to an integer — the exact
+// observation count for unweighted use.
+func (w *Welford) N() int { return int(w.wsum) }
+
+// Mean returns the running weighted mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the running weighted population standard deviation.
+func (w *Welford) StdDev() float64 {
+	if w.wsum == 0 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / w.wsum)
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); values outside
+// the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []uint64
+	samples uint64
+}
+
+// NewHistogram creates a histogram with n buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.samples++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.samples }
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("StdDev = %v, want sqrt(2)", s.StdDev)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s.CoV() != 0 {
+		t.Errorf("empty CoV = %v", s.CoV())
+	}
+}
+
+func TestCoV(t *testing.T) {
+	s := Summarize([]float64{10, 10, 10})
+	if s.CoV() != 0 {
+		t.Errorf("constant sample CoV = %v", s.CoV())
+	}
+	s2 := Summarize([]float64{5, 15})
+	if math.Abs(s2.CoV()-0.5) > 1e-12 {
+		t.Errorf("CoV = %v, want 0.5", s2.CoV())
+	}
+}
+
+func TestSummarizeMatchesWelford(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		var w Welford
+		for _, x := range clean {
+			w.Add(x)
+		}
+		return math.Abs(s.Mean-w.Mean()) < 1e-6 && math.Abs(s.StdDev-w.StdDev()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Errorf("p100 = %v", got)
+	}
+	// Interpolation: p25 over 9 sorted values is rank 2.0 exactly -> 3.
+	if got := Percentile(xs, 25); got != 3 {
+		t.Errorf("p25 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 of {0,10} = %v, want 5", got)
+	}
+	if got := Percentile(xs, 75); got != 7.5 {
+		t.Errorf("p75 of {0,10} = %v, want 7.5", got)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(empty) did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestWelfordWeighted(t *testing.T) {
+	var w Welford
+	w.AddWeighted(10, 2)
+	w.AddWeighted(20, 2)
+	if math.Abs(w.Mean()-15) > 1e-12 {
+		t.Errorf("weighted mean = %v, want 15", w.Mean())
+	}
+	// Zero and negative weights are ignored.
+	w.AddWeighted(1000, 0)
+	w.AddWeighted(1000, -5)
+	if math.Abs(w.Mean()-15) > 1e-12 {
+		t.Errorf("mean after ignored weights = %v", w.Mean())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1.5, 5, 9.9, -3, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 { // 0.5, 1.5, -3 (clamped)
+		t.Errorf("bucket 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[2] != 1 { // 5
+		t.Errorf("bucket 2 = %d, want 1", h.Counts[2])
+	}
+	if h.Counts[4] != 2 { // 9.9, 42 (clamped)
+		t.Errorf("bucket 4 = %d, want 2", h.Counts[4])
+	}
+	if got := h.BucketCenter(0); got != 1 {
+		t.Errorf("BucketCenter(0) = %v, want 1", got)
+	}
+	if got := h.BucketCenter(4); got != 9 {
+		t.Errorf("BucketCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 0, 5}, {1, 0, 5}, {0, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.n)
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+// Package thermo implements the first-law-of-thermodynamics cooling
+// computations the paper uses for Table II and for the analytical
+// socket-entry-temperature model.
+//
+// Forced-air cooling removes heat by warming an air stream: a component
+// dissipating P watts into a stream with heat capacity rate m_dot*cp (W/K)
+// raises the stream temperature by P/(m_dot*cp). Everything in this package
+// is a rearrangement of that identity, using the "standardized total cooling
+// requirements" formulation from fan-vendor application notes [25].
+package thermo
+
+import (
+	"fmt"
+
+	"densim/internal/units"
+)
+
+// StreamRise returns the temperature increase of an air stream that absorbs
+// power watts at the given volumetric flow.
+func StreamRise(air units.Air, power units.Watts, flow units.CFM) units.Celsius {
+	if flow <= 0 {
+		panic("thermo: StreamRise requires positive airflow")
+	}
+	return units.Celsius(float64(power) / air.HeatCapacityRateWPerK(flow))
+}
+
+// RequiredCFM returns the airflow needed to carry away power watts while
+// keeping the outlet no more than deltaT above the inlet. This is the
+// calculation behind the paper's Table II (e.g. 208 W/U at deltaT = 20C
+// requires ~18.3 CFM per 1U).
+func RequiredCFM(air units.Air, power units.Watts, deltaT units.Celsius) units.CFM {
+	if deltaT <= 0 {
+		panic("thermo: RequiredCFM requires positive deltaT")
+	}
+	m3s := float64(power) / (air.DensityKgM3 * air.SpecificHeatJKgK * float64(deltaT))
+	return units.FromCubicMetersPerSecond(m3s)
+}
+
+// RemovablePower returns the power a stream can absorb at the given flow
+// within the allowed temperature rise — the inverse of RequiredCFM.
+func RemovablePower(air units.Air, flow units.CFM, deltaT units.Celsius) units.Watts {
+	return units.Watts(air.HeatCapacityRateWPerK(flow) * float64(deltaT))
+}
+
+// ServerClass identifies a server form-factor category from the paper's
+// SPECpower study (Section I / Table II).
+type ServerClass string
+
+// Server classes analyzed in the paper's Figure 1 and Table II.
+const (
+	Class1U         ServerClass = "1U"
+	Class2U         ServerClass = "2U"
+	ClassOther      ServerClass = "Other"
+	ClassBlade      ServerClass = "Blade"
+	ClassDensityOpt ServerClass = "DensityOpt"
+)
+
+// ClassProfile carries the per-1U averages the paper reports for a server
+// class: Section I gives power density and socket density, Table II derives
+// the airflow requirement.
+type ClassProfile struct {
+	Class         ServerClass
+	PowerPerU     units.Watts // average power per 1U of rack space
+	SocketsPerU   float64     // average sockets per 1U of rack space
+	AirflowPerU20 units.CFM   // CFM per 1U to hold a 20C inlet-outlet rise
+}
+
+// ClassProfiles returns the five server classes with the paper's published
+// power and socket densities, and the airflow requirement computed from the
+// first law at deltaT = 20C. The computed airflow matches Table II.
+func ClassProfiles() []ClassProfile {
+	classes := []struct {
+		class    ServerClass
+		powerU   units.Watts
+		socketsU float64
+	}{
+		{Class1U, 208, 1.79},
+		{Class2U, 147, 1.15},
+		{ClassOther, 114, 0.78},
+		{ClassBlade, 421, 3.47},
+		{ClassDensityOpt, 588, 25.0},
+	}
+	out := make([]ClassProfile, len(classes))
+	for i, c := range classes {
+		out[i] = ClassProfile{
+			Class:         c.class,
+			PowerPerU:     c.powerU,
+			SocketsPerU:   c.socketsU,
+			AirflowPerU20: RequiredCFM(units.StandardAir, c.powerU, 20),
+		}
+	}
+	return out
+}
+
+// Profile returns the profile for one class or an error if unknown.
+func Profile(class ServerClass) (ClassProfile, error) {
+	for _, p := range ClassProfiles() {
+		if p.Class == class {
+			return p, nil
+		}
+	}
+	return ClassProfile{}, fmt.Errorf("thermo: unknown server class %q", class)
+}

@@ -1,0 +1,129 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densim/internal/units"
+)
+
+func TestStreamRise(t *testing.T) {
+	// 30W into a 6.35 CFM stream: the paper's Figure 2 cartridge observation.
+	rise := StreamRise(units.StandardAir, 30, 6.35)
+	if rise < 7.8 || rise > 8.8 {
+		t.Errorf("rise = %v, want ~8.3C", rise)
+	}
+}
+
+func TestStreamRiseLinearity(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Mod(math.Abs(p), 1000)
+		if math.IsNaN(p) {
+			return true
+		}
+		one := StreamRise(units.StandardAir, units.Watts(p), 10)
+		two := StreamRise(units.StandardAir, units.Watts(2*p), 10)
+		return math.Abs(float64(two)-2*float64(one)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamRisePanicsOnZeroFlow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StreamRise with zero flow did not panic")
+		}
+	}()
+	StreamRise(units.StandardAir, 10, 0)
+}
+
+func TestRequiredCFMTable2(t *testing.T) {
+	// Paper Table II: airflow per 1U for a 20C inlet-outlet rise.
+	cases := []struct {
+		power units.Watts
+		want  float64 // CFM
+	}{
+		{208, 18.30},
+		{147, 12.94},
+		{114, 10.03},
+		{421, 37.05},
+		{588, 51.74},
+	}
+	for _, tc := range cases {
+		got := RequiredCFM(units.StandardAir, tc.power, 20)
+		if math.Abs(float64(got)-tc.want) > 0.15 {
+			t.Errorf("RequiredCFM(%v) = %.2f CFM, want %.2f (Table II)", tc.power, float64(got), tc.want)
+		}
+	}
+}
+
+func TestRequiredCFMPanicsOnBadDeltaT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RequiredCFM with zero deltaT did not panic")
+		}
+	}()
+	RequiredCFM(units.StandardAir, 100, 0)
+}
+
+func TestRemovablePowerInverse(t *testing.T) {
+	f := func(p float64) bool {
+		p = 1 + math.Mod(math.Abs(p), 1000)
+		if math.IsNaN(p) {
+			return true
+		}
+		flow := RequiredCFM(units.StandardAir, units.Watts(p), 20)
+		back := RemovablePower(units.StandardAir, flow, 20)
+		return math.Abs(float64(back)-p) < 1e-6*p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassProfiles(t *testing.T) {
+	ps := ClassProfiles()
+	if len(ps) != 5 {
+		t.Fatalf("got %d classes, want 5", len(ps))
+	}
+	// Density optimized servers: ~50%+ power density over blades, ~6x
+	// socket density (Section I).
+	var blade, dense ClassProfile
+	for _, p := range ps {
+		switch p.Class {
+		case ClassBlade:
+			blade = p
+		case ClassDensityOpt:
+			dense = p
+		}
+	}
+	if ratio := float64(dense.PowerPerU) / float64(blade.PowerPerU); ratio < 1.3 || ratio > 1.5 {
+		t.Errorf("power density ratio dense/blade = %v, want ~1.4", ratio)
+	}
+	if ratio := dense.SocketsPerU / blade.SocketsPerU; ratio < 6 || ratio > 8 {
+		t.Errorf("socket density ratio dense/blade = %v, want ~7", ratio)
+	}
+	// Airflow must be monotone in power.
+	for _, p := range ps {
+		want := RequiredCFM(units.StandardAir, p.PowerPerU, 20)
+		if p.AirflowPerU20 != want {
+			t.Errorf("%s airflow = %v, want %v", p.Class, p.AirflowPerU20, want)
+		}
+	}
+}
+
+func TestProfileLookup(t *testing.T) {
+	p, err := Profile(Class1U)
+	if err != nil {
+		t.Fatalf("Profile(1U): %v", err)
+	}
+	if p.PowerPerU != 208 {
+		t.Errorf("1U power = %v", p.PowerPerU)
+	}
+	if _, err := Profile("42U"); err == nil {
+		t.Error("Profile(42U) did not error")
+	}
+}

@@ -1,0 +1,321 @@
+// Package trace records and replays job-arrival traces — densim's
+// stand-in for the Windows Xperf captures the paper used to build its job
+// arrival model (Section III-A).
+//
+// A trace is a sequence of (arrival time, benchmark, nominal duration)
+// records plus capture metadata. Two encodings are provided: a JSON form
+// for inspection and interchange, and a compact binary form (magic "DSTR")
+// for multi-million-job traces. Traces replay through Player, which
+// implements job.Source, so a simulation driven by a recorded trace is
+// bit-identical to the live run that produced it.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"densim/internal/job"
+	"densim/internal/stats"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Record is one captured job arrival.
+type Record struct {
+	At        units.Seconds `json:"at"`
+	Benchmark string        `json:"benchmark"`
+	Duration  units.Seconds `json:"duration"`
+}
+
+// Meta describes how a trace was captured.
+type Meta struct {
+	Mix     string  `json:"mix"`
+	Sockets int     `json:"sockets"`
+	Load    float64 `json:"load"`
+	Seed    uint64  `json:"seed"`
+	Horizon float64 `json:"horizon_seconds"`
+}
+
+// Trace is a complete recorded arrival stream.
+type Trace struct {
+	Meta    Meta     `json:"meta"`
+	Records []Record `json:"records"`
+}
+
+// Capture synthesizes a trace by running the workload arrival model for
+// horizon seconds — the equivalent of an Xperf capture session.
+func Capture(mix workload.Mix, sockets int, load float64, seed uint64, horizon units.Seconds) *Trace {
+	arr := workload.NewArrivals(mix, sockets, load, stats.NewRNG(seed))
+	t := &Trace{Meta: Meta{
+		Mix:     mix.Name(),
+		Sockets: sockets,
+		Load:    load,
+		Seed:    seed,
+		Horizon: float64(horizon),
+	}}
+	for arr.Peek() <= horizon {
+		at, b, dur := arr.Next()
+		t.Records = append(t.Records, Record{At: at, Benchmark: b.Name, Duration: dur})
+	}
+	return t
+}
+
+// Validate checks record ordering, benchmark names, and durations.
+func (t *Trace) Validate() error {
+	prev := units.Seconds(math.Inf(-1))
+	for i, r := range t.Records {
+		if r.At < prev {
+			return fmt.Errorf("trace: record %d out of order (%v after %v)", i, r.At, prev)
+		}
+		if r.Duration <= 0 {
+			return fmt.Errorf("trace: record %d has non-positive duration", i)
+		}
+		if _, err := workload.ByName(r.Benchmark); err != nil {
+			return fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		prev = r.At
+	}
+	return nil
+}
+
+// Stats summarizes a trace: job count, capture horizon, mean duration and
+// mean inter-arrival gap.
+type Stats struct {
+	Jobs             int
+	MeanDuration     units.Seconds
+	MeanInterArrival units.Seconds
+}
+
+// Stats computes trace statistics.
+func (t *Trace) Stats() Stats {
+	s := Stats{Jobs: len(t.Records)}
+	if len(t.Records) == 0 {
+		return s
+	}
+	var durSum float64
+	for _, r := range t.Records {
+		durSum += float64(r.Duration)
+	}
+	s.MeanDuration = units.Seconds(durSum / float64(len(t.Records)))
+	if len(t.Records) > 1 {
+		span := float64(t.Records[len(t.Records)-1].At - t.Records[0].At)
+		s.MeanInterArrival = units.Seconds(span / float64(len(t.Records)-1))
+	}
+	return s
+}
+
+// WriteJSON encodes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON decodes a JSON trace and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Binary format:
+//
+//	magic "DSTR" | u16 version | meta JSON (u32 length + bytes)
+//	u32 benchmark-name table size | names (u16 length + bytes each)
+//	u64 record count | records (u16 name index, f64 at, f64 duration)
+var (
+	binMagic   = [4]byte{'D', 'S', 'T', 'R'}
+	binVersion = uint16(1)
+)
+
+// ErrBadMagic is returned when a binary stream is not a densim trace.
+var ErrBadMagic = errors.New("trace: bad magic; not a densim binary trace")
+
+// WriteBinary encodes the trace in the compact binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, binVersion); err != nil {
+		return err
+	}
+	metaBytes, err := json.Marshal(t.Meta)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(metaBytes))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(metaBytes); err != nil {
+		return err
+	}
+	// Name table.
+	nameIdx := map[string]uint16{}
+	var names []string
+	for _, r := range t.Records {
+		if _, ok := nameIdx[r.Benchmark]; !ok {
+			nameIdx[r.Benchmark] = uint16(len(names))
+			names = append(names, r.Benchmark)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(n))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(n); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Records))); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if err := binary.Write(bw, binary.LittleEndian, nameIdx[r.Benchmark]); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, float64(r.At)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, float64(r.Duration)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes and validates a binary trace.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, ErrBadMagic
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var metaLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &metaLen); err != nil {
+		return nil, err
+	}
+	if metaLen > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable meta length %d", metaLen)
+	}
+	metaBytes := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaBytes); err != nil {
+		return nil, err
+	}
+	t := &Trace{}
+	if err := json.Unmarshal(metaBytes, &t.Meta); err != nil {
+		return nil, fmt.Errorf("trace: decoding meta: %w", err)
+	}
+	var nNames uint32
+	if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
+		return nil, err
+	}
+	if nNames > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name count %d", nNames)
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		var l uint16
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		names[i] = string(buf)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > 1<<34 {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+	}
+	t.Records = make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var idx uint16
+		var at, dur float64
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &at); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &dur); err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(names) {
+			return nil, fmt.Errorf("trace: record %d references name %d of %d", i, idx, len(names))
+		}
+		t.Records = append(t.Records, Record{
+			At:        units.Seconds(at),
+			Benchmark: names[idx],
+			Duration:  units.Seconds(dur),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Player replays a trace as a job.Source.
+type Player struct {
+	records []Record
+	pos     int
+}
+
+// NewPlayer creates a player positioned at the first record.
+func NewPlayer(t *Trace) *Player {
+	return &Player{records: t.Records}
+}
+
+// Peek implements job.Source.
+func (p *Player) Peek() units.Seconds {
+	if p.pos >= len(p.records) {
+		return units.Seconds(math.Inf(1))
+	}
+	return p.records[p.pos].At
+}
+
+// Next implements job.Source. It panics if the benchmark name is unknown —
+// Validate on load makes that unreachable for traces read through this
+// package.
+func (p *Player) Next() (units.Seconds, workload.Benchmark, units.Seconds) {
+	r := p.records[p.pos]
+	p.pos++
+	b, err := workload.ByName(r.Benchmark)
+	if err != nil {
+		panic("trace: " + err.Error())
+	}
+	return r.At, b, r.Duration
+}
+
+// Remaining returns how many records are left to replay.
+func (p *Player) Remaining() int { return len(p.records) - p.pos }
+
+var _ job.Source = (*Player)(nil)

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+func captureSmall(t *testing.T) *Trace {
+	t.Helper()
+	tr := Capture(workload.ClassMix(workload.GeneralPurpose), 20, 0.6, 99, 0.5)
+	if len(tr.Records) == 0 {
+		t.Fatal("capture produced no records")
+	}
+	return tr
+}
+
+func TestCaptureValidates(t *testing.T) {
+	tr := captureSmall(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Mix != "GP" || tr.Meta.Sockets != 20 || tr.Meta.Load != 0.6 || tr.Meta.Seed != 99 {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+}
+
+func TestCaptureApproximatesRate(t *testing.T) {
+	mix := workload.ClassMix(workload.Storage)
+	tr := Capture(mix, 180, 0.5, 7, 2.0)
+	wantJobs := mix.ArrivalRate(180, 0.5) * 2.0
+	got := float64(len(tr.Records))
+	if math.Abs(got-wantJobs)/wantJobs > 0.05 {
+		t.Errorf("captured %v jobs, want ~%v", got, wantJobs)
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	a := Capture(workload.ClassMix(workload.Computation), 10, 0.5, 42, 1)
+	b := Capture(workload.ClassMix(workload.Computation), 10, 0.5, 42, 1)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("capture lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("capture not deterministic")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := captureSmall(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta != tr.Meta || len(back.Records) != len(tr.Records) {
+		t.Fatal("JSON round trip lost data")
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != back.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := captureSmall(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta != tr.Meta || len(back.Records) != len(tr.Records) {
+		t.Fatal("binary round trip lost data")
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != back.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestBinaryMoreCompactThanJSON(t *testing.T) {
+	tr := Capture(workload.ClassMix(workload.Computation), 180, 0.8, 3, 1.0)
+	var jbuf, bbuf bytes.Buffer
+	if err := tr.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if bbuf.Len() >= jbuf.Len() {
+		t.Errorf("binary %dB not smaller than JSON %dB", bbuf.Len(), jbuf.Len())
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE definitely not a trace")); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated stream: valid header then cut off.
+	tr := captureSmall(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Unknown benchmark name.
+	bad := `{"meta":{"mix":"GP"},"records":[{"at":0,"benchmark":"doom","duration":0.001}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	// Out-of-order records.
+	bad2 := `{"meta":{"mix":"GP"},"records":[
+		{"at":1,"benchmark":"web-browse","duration":0.001},
+		{"at":0.5,"benchmark":"web-browse","duration":0.001}]}`
+	if _, err := ReadJSON(strings.NewReader(bad2)); err == nil {
+		t.Error("out-of-order records accepted")
+	}
+	// Non-positive duration.
+	bad3 := `{"meta":{"mix":"GP"},"records":[{"at":0,"benchmark":"web-browse","duration":0}]}`
+	if _, err := ReadJSON(strings.NewReader(bad3)); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestPlayerReplaysExactly(t *testing.T) {
+	tr := captureSmall(t)
+	p := NewPlayer(tr)
+	if p.Remaining() != len(tr.Records) {
+		t.Fatalf("remaining = %d", p.Remaining())
+	}
+	for i, r := range tr.Records {
+		if p.Peek() != r.At {
+			t.Fatalf("record %d: Peek %v, want %v", i, p.Peek(), r.At)
+		}
+		at, b, dur := p.Next()
+		if at != r.At || b.Name != r.Benchmark || dur != r.Duration {
+			t.Fatalf("record %d replayed as (%v,%s,%v)", i, at, b.Name, dur)
+		}
+	}
+	if p.Remaining() != 0 {
+		t.Error("player not exhausted")
+	}
+	if !math.IsInf(float64(p.Peek()), 1) {
+		t.Error("exhausted player Peek not +inf")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{At: 0, Benchmark: "web-browse", Duration: 0.002},
+		{At: 0.5, Benchmark: "web-browse", Duration: 0.004},
+		{At: 1.0, Benchmark: "web-browse", Duration: 0.006},
+	}}
+	s := tr.Stats()
+	if s.Jobs != 3 {
+		t.Errorf("jobs = %d", s.Jobs)
+	}
+	if math.Abs(float64(s.MeanDuration)-0.004) > 1e-12 {
+		t.Errorf("mean duration = %v", s.MeanDuration)
+	}
+	if math.Abs(float64(s.MeanInterArrival)-0.5) > 1e-12 {
+		t.Errorf("mean gap = %v", s.MeanInterArrival)
+	}
+	empty := (&Trace{}).Stats()
+	if empty.Jobs != 0 || empty.MeanDuration != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+	_ = units.Seconds(0)
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"densim/internal/units"
+)
+
+// Slice returns the sub-trace with arrivals in [from, to), re-based so the
+// first retained arrival keeps its absolute time. Metadata is copied with
+// the horizon adjusted.
+func (t *Trace) Slice(from, to units.Seconds) (*Trace, error) {
+	if to <= from {
+		return nil, fmt.Errorf("trace: empty slice window [%v, %v)", from, to)
+	}
+	out := &Trace{Meta: t.Meta}
+	out.Meta.Horizon = float64(to)
+	for _, r := range t.Records {
+		if r.At >= from && r.At < to {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out, nil
+}
+
+// Merge combines several traces into one time-ordered stream — the
+// multi-tenant scenario where different workload mixes share the server.
+// Record order ties break by input order; metadata takes the first trace's
+// sockets/seed, concatenates mix names, and sums loads.
+func Merge(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	out := &Trace{Meta: traces[0].Meta}
+	total := 0
+	for i, tr := range traces {
+		total += len(tr.Records)
+		if i > 0 {
+			out.Meta.Mix += "+" + tr.Meta.Mix
+			out.Meta.Load += tr.Meta.Load
+			if tr.Meta.Horizon > out.Meta.Horizon {
+				out.Meta.Horizon = tr.Meta.Horizon
+			}
+		}
+	}
+	out.Records = make([]Record, 0, total)
+	for _, tr := range traces {
+		out.Records = append(out.Records, tr.Records...)
+	}
+	sort.SliceStable(out.Records, func(i, j int) bool {
+		return out.Records[i].At < out.Records[j].At
+	})
+	return out, nil
+}
+
+// ScaleRate returns a copy with arrival times divided by factor — a trace
+// captured at one load replayed as if arrivals came factor times faster
+// (factor > 1 compresses, < 1 stretches). Durations are untouched.
+func (t *Trace) ScaleRate(factor float64) (*Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("trace: non-positive rate factor %v", factor)
+	}
+	out := &Trace{Meta: t.Meta}
+	out.Meta.Load *= factor
+	out.Meta.Horizon /= factor
+	out.Records = make([]Record, len(t.Records))
+	for i, r := range t.Records {
+		r.At = units.Seconds(float64(r.At) / factor)
+		out.Records[i] = r
+	}
+	return out, nil
+}

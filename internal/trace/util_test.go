@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"densim/internal/workload"
+)
+
+func TestSlice(t *testing.T) {
+	tr := captureSmall(t)
+	mid := tr.Records[len(tr.Records)/2].At
+	head, err := tr.Slice(0, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := tr.Slice(mid, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head.Records)+len(tail.Records) != len(tr.Records) {
+		t.Errorf("slice partition lost records: %d + %d != %d",
+			len(head.Records), len(tail.Records), len(tr.Records))
+	}
+	for _, r := range head.Records {
+		if r.At >= mid {
+			t.Fatal("head slice contains late record")
+		}
+	}
+	if err := head.Validate(); err != nil {
+		t.Errorf("sliced trace invalid: %v", err)
+	}
+	if _, err := tr.Slice(5, 5); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Capture(workload.ClassMix(workload.Storage), 20, 0.3, 1, 0.5)
+	b := Capture(workload.ClassMix(workload.Computation), 20, 0.2, 2, 0.5)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != len(a.Records)+len(b.Records) {
+		t.Errorf("merged %d records, want %d", len(m.Records), len(a.Records)+len(b.Records))
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("merged trace invalid: %v", err)
+	}
+	if m.Meta.Mix != "Storage+Computation" {
+		t.Errorf("merged mix = %q", m.Meta.Mix)
+	}
+	if math.Abs(m.Meta.Load-0.5) > 1e-12 {
+		t.Errorf("merged load = %v", m.Meta.Load)
+	}
+	// Both benchmark populations present.
+	classes := map[workload.Class]bool{}
+	for _, r := range m.Records {
+		bench, err := workload.ByName(r.Benchmark)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[bench.Class] = true
+	}
+	if !classes[workload.Storage] || !classes[workload.Computation] {
+		t.Error("merged trace missing a class")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestScaleRate(t *testing.T) {
+	tr := captureSmall(t)
+	fast, err := tr.ScaleRate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Validate(); err != nil {
+		t.Errorf("scaled trace invalid: %v", err)
+	}
+	if len(fast.Records) != len(tr.Records) {
+		t.Fatal("record count changed")
+	}
+	for i := range tr.Records {
+		if math.Abs(float64(fast.Records[i].At)*2-float64(tr.Records[i].At)) > 1e-12 {
+			t.Fatal("arrival times not halved")
+		}
+		if fast.Records[i].Duration != tr.Records[i].Duration {
+			t.Fatal("durations changed")
+		}
+	}
+	if math.Abs(fast.Meta.Load-2*tr.Meta.Load) > 1e-12 {
+		t.Errorf("scaled load = %v", fast.Meta.Load)
+	}
+	if _, err := tr.ScaleRate(0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}

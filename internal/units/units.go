@@ -1,0 +1,123 @@
+// Package units defines the physical quantities used throughout densim and
+// the conversions between the unit systems that appear in the paper
+// (imperial airflow in CFM, SI heat transfer, temperatures in Celsius,
+// frequencies in MHz).
+//
+// All quantities are simple named float64 types so they compose with the
+// math package without friction, while still catching unit mix-ups at the
+// API boundary.
+package units
+
+import "fmt"
+
+// Celsius is a temperature or a temperature difference in degrees Celsius.
+type Celsius float64
+
+// Kelvin converts an absolute Celsius temperature to Kelvin.
+func (c Celsius) Kelvin() float64 { return float64(c) + 273.15 }
+
+// String implements fmt.Stringer.
+func (c Celsius) String() string { return fmt.Sprintf("%.2f°C", float64(c)) }
+
+// Watts is a power level.
+type Watts float64
+
+// String implements fmt.Stringer.
+func (w Watts) String() string { return fmt.Sprintf("%.2fW", float64(w)) }
+
+// Joules is an energy amount.
+type Joules float64
+
+// String implements fmt.Stringer.
+func (j Joules) String() string { return fmt.Sprintf("%.2fJ", float64(j)) }
+
+// MHz is a clock frequency in megahertz.
+type MHz float64
+
+// String implements fmt.Stringer.
+func (f MHz) String() string { return fmt.Sprintf("%dMHz", int(f)) }
+
+// Hz returns the frequency in hertz.
+func (f MHz) Hz() float64 { return float64(f) * 1e6 }
+
+// CFM is a volumetric air flow in cubic feet per minute, the unit used by
+// fan datasheets and by the paper's Table II.
+type CFM float64
+
+// String implements fmt.Stringer.
+func (c CFM) String() string { return fmt.Sprintf("%.2fCFM", float64(c)) }
+
+// CubicMetersPerSecond converts the flow to SI volumetric flow.
+func (c CFM) CubicMetersPerSecond() float64 { return float64(c) * cubicMetersPerCubicFoot / 60.0 }
+
+// FromCubicMetersPerSecond converts an SI volumetric flow to CFM.
+func FromCubicMetersPerSecond(m3s float64) CFM {
+	return CFM(m3s * 60.0 / cubicMetersPerCubicFoot)
+}
+
+// Meters is a length. The paper quotes socket spacing in inches; use
+// Inches/FromInches to convert.
+type Meters float64
+
+// Inches reports the length in inches.
+func (m Meters) Inches() float64 { return float64(m) / metersPerInch }
+
+// FromInches builds a length from inches.
+func FromInches(in float64) Meters { return Meters(in * metersPerInch) }
+
+// Seconds is a duration in seconds. The simulator uses float seconds rather
+// than time.Duration because thermal math mixes durations with physical
+// constants constantly.
+type Seconds float64
+
+// Milliseconds reports the duration in milliseconds.
+func (s Seconds) Milliseconds() float64 { return float64(s) * 1e3 }
+
+// Microseconds reports the duration in microseconds.
+func (s Seconds) Microseconds() float64 { return float64(s) * 1e6 }
+
+// FromMilliseconds builds a duration from milliseconds.
+func FromMilliseconds(ms float64) Seconds { return Seconds(ms / 1e3) }
+
+// String implements fmt.Stringer.
+func (s Seconds) String() string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", float64(s)*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.3fms", float64(s)*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", float64(s))
+	}
+}
+
+const (
+	metersPerInch           = 0.0254
+	cubicMetersPerCubicFoot = 0.0283168466
+)
+
+// Air holds the thermophysical properties of air used by the first-law
+// cooling computations, matching the "standardized total cooling
+// requirements" formulation the paper cites for Table II.
+type Air struct {
+	// DensityKgM3 is the mass density in kg/m^3.
+	DensityKgM3 float64
+	// SpecificHeatJKgK is the isobaric specific heat capacity in J/(kg*K).
+	SpecificHeatJKgK float64
+}
+
+// StandardAir is dry air around 20°C at sea level (rho = 1.20 kg/m^3,
+// cp = 1005 J/(kg*K)). With these values the first-law airflow requirement
+// reproduces the paper's Table II (208 W/U at a 20°C rise -> 18.3 CFM/U).
+var StandardAir = Air{DensityKgM3: 1.20, SpecificHeatJKgK: 1005}
+
+// MassFlowKgS returns the mass flow rate in kg/s for a volumetric flow.
+func (a Air) MassFlowKgS(flow CFM) float64 {
+	return flow.CubicMetersPerSecond() * a.DensityKgM3
+}
+
+// HeatCapacityRateWPerK returns the heat capacity rate m_dot*cp in W/K for a
+// volumetric flow: the wattage that raises the stream temperature by 1 K.
+func (a Air) HeatCapacityRateWPerK(flow CFM) float64 {
+	return a.MassFlowKgS(flow) * a.SpecificHeatJKgK
+}

@@ -1,0 +1,140 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCelsiusKelvin(t *testing.T) {
+	cases := []struct {
+		c Celsius
+		k float64
+	}{
+		{0, 273.15},
+		{100, 373.15},
+		{-273.15, 0},
+		{25, 298.15},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Kelvin(); !almostEqual(got, tc.k, 1e-9) {
+			t.Errorf("Celsius(%v).Kelvin() = %v, want %v", tc.c, got, tc.k)
+		}
+	}
+}
+
+func TestCFMRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true
+		}
+		c := CFM(v)
+		back := FromCubicMetersPerSecond(c.CubicMetersPerSecond())
+		return almostEqual(float64(back), v, 1e-6*math.Max(1, math.Abs(v)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCFMToSI(t *testing.T) {
+	// 1 CFM = 0.0283168466 m^3 / 60 s = 4.719e-4 m^3/s.
+	got := CFM(1).CubicMetersPerSecond()
+	if !almostEqual(got, 4.71947443e-4, 1e-9) {
+		t.Errorf("1 CFM = %v m^3/s, want 4.71947e-4", got)
+	}
+}
+
+func TestLengthInches(t *testing.T) {
+	m := FromInches(1.6)
+	if !almostEqual(float64(m), 0.04064, 1e-9) {
+		t.Errorf("1.6in = %v m, want 0.04064", float64(m))
+	}
+	if !almostEqual(m.Inches(), 1.6, 1e-9) {
+		t.Errorf("round trip inches = %v, want 1.6", m.Inches())
+	}
+}
+
+func TestSecondsConversions(t *testing.T) {
+	s := FromMilliseconds(1)
+	if !almostEqual(float64(s), 0.001, 1e-15) {
+		t.Fatalf("1ms = %v s", float64(s))
+	}
+	if !almostEqual(s.Milliseconds(), 1, 1e-12) {
+		t.Errorf("Milliseconds = %v, want 1", s.Milliseconds())
+	}
+	if !almostEqual(s.Microseconds(), 1000, 1e-9) {
+		t.Errorf("Microseconds = %v, want 1000", s.Microseconds())
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		s    Seconds
+		want string
+	}{
+		{Seconds(5e-6), "5.0µs"},
+		{Seconds(0.0025), "2.500ms"},
+		{Seconds(2.5), "2.500s"},
+	}
+	for _, tc := range cases {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(tc.s), got, tc.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Celsius(95).String(); got != "95.00°C" {
+		t.Errorf("Celsius String = %q", got)
+	}
+	if got := Watts(22).String(); got != "22.00W" {
+		t.Errorf("Watts String = %q", got)
+	}
+	if got := MHz(1900).String(); got != "1900MHz" {
+		t.Errorf("MHz String = %q", got)
+	}
+	if got := CFM(6.35).String(); got != "6.35CFM" {
+		t.Errorf("CFM String = %q", got)
+	}
+	if got := Joules(1.5).String(); got != "1.50J" {
+		t.Errorf("Joules String = %q", got)
+	}
+}
+
+func TestMHzHz(t *testing.T) {
+	if got := MHz(1900).Hz(); !almostEqual(got, 1.9e9, 1) {
+		t.Errorf("1900MHz = %v Hz", got)
+	}
+}
+
+func TestAirHeatCapacityRate(t *testing.T) {
+	// At 6.35 CFM: m_dot = 6.35 * 4.7195e-4 * 1.20 = 3.596e-3 kg/s.
+	// m_dot*cp = 3.596e-3 * 1005 = 3.614 W/K. This is the number that makes
+	// the paper's Figure 2 come out: two 15W sockets raise downstream air by
+	// 30/3.614 = 8.3C, matching the measured ~8C.
+	rate := StandardAir.HeatCapacityRateWPerK(6.35)
+	if !almostEqual(rate, 3.614, 0.01) {
+		t.Errorf("heat capacity rate at 6.35CFM = %v W/K, want ~3.614", rate)
+	}
+	rise := 30.0 / rate
+	if rise < 7.8 || rise > 8.8 {
+		t.Errorf("air rise from 30W at 6.35CFM = %vC, want ~8.3C (paper Fig 2 ~8C)", rise)
+	}
+}
+
+func TestAirMassFlowMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) || a > 1e9 || b > 1e9 {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return StandardAir.MassFlowKgS(CFM(lo)) <= StandardAir.MassFlowKgS(CFM(hi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

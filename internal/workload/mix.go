@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+
+	"densim/internal/stats"
+	"densim/internal/units"
+)
+
+// Mix is a job population: a set of benchmarks sampled with equal
+// probability, the way the paper exercises each benchmark set as one
+// workload.
+type Mix struct {
+	name       string
+	benchmarks []Benchmark
+}
+
+// NewMix builds a mix over an explicit benchmark list.
+func NewMix(name string, bs []Benchmark) (Mix, error) {
+	if len(bs) == 0 {
+		return Mix{}, fmt.Errorf("workload: empty mix %q", name)
+	}
+	return Mix{name: name, benchmarks: append([]Benchmark(nil), bs...)}, nil
+}
+
+// ClassMix returns the mix for one benchmark set.
+func ClassMix(c Class) Mix {
+	m, err := NewMix(c.String(), ByClass(c))
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return m
+}
+
+// ScaledClassMix returns the mix for one benchmark set re-targeted at a
+// different socket TDP class via Benchmark.ScaleTo.
+func ScaledClassMix(c Class, tdp units.Watts) Mix {
+	bs := ByClass(c)
+	scaled := make([]Benchmark, len(bs))
+	for i, b := range bs {
+		scaled[i] = b.ScaleTo(tdp)
+	}
+	m, err := NewMix(fmt.Sprintf("%s-%dW", c, int(tdp)), scaled)
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return m
+}
+
+// Name returns the mix label.
+func (m Mix) Name() string { return m.name }
+
+// Benchmarks returns the mix members.
+func (m Mix) Benchmarks() []Benchmark { return m.benchmarks }
+
+// Sample draws one benchmark uniformly.
+func (m Mix) Sample(r *stats.RNG) Benchmark {
+	return m.benchmarks[r.Intn(len(m.benchmarks))]
+}
+
+// MeanDuration returns the expected job duration at FMax across the mix.
+func (m Mix) MeanDuration() units.Seconds {
+	var sum float64
+	for _, b := range m.benchmarks {
+		sum += float64(b.MeanDuration)
+	}
+	return units.Seconds(sum / float64(len(m.benchmarks)))
+}
+
+// ArrivalRate returns the Poisson job arrival rate (jobs/second) that loads
+// a system of numSockets to the target utilization, assuming jobs run at
+// FMax: rate = load * sockets / meanDuration. Thermal throttling stretches
+// service times, so the achieved utilization can exceed the target — which
+// is exactly the effect the paper's schedulers compete on.
+func (m Mix) ArrivalRate(numSockets int, load float64) float64 {
+	if load < 0 || numSockets <= 0 {
+		panic(fmt.Sprintf("workload: bad arrival parameters load=%v sockets=%d", load, numSockets))
+	}
+	return load * float64(numSockets) / float64(m.MeanDuration())
+}
+
+// Arrivals generates a deterministic Poisson arrival sequence for a mix.
+type Arrivals struct {
+	mix  Mix
+	rng  *stats.RNG
+	rate float64
+	next units.Seconds
+}
+
+// NewArrivals creates the arrival process; the first arrival is sampled
+// immediately.
+func NewArrivals(mix Mix, numSockets int, load float64, rng *stats.RNG) *Arrivals {
+	a := &Arrivals{mix: mix, rng: rng, rate: mix.ArrivalRate(numSockets, load)}
+	a.advance()
+	return a
+}
+
+func (a *Arrivals) advance() {
+	if a.rate <= 0 {
+		a.next = units.Seconds(inf)
+		return
+	}
+	gap := stats.Exponential{Mean: 1 / a.rate}.Sample(a.rng)
+	a.next += units.Seconds(gap)
+}
+
+const inf = 1e300
+
+// Peek returns the time of the next arrival.
+func (a *Arrivals) Peek() units.Seconds { return a.next }
+
+// Next consumes the next arrival, returning its time, benchmark, and
+// sampled nominal duration (the FMax run time).
+func (a *Arrivals) Next() (at units.Seconds, b Benchmark, dur units.Seconds) {
+	at = a.next
+	b = a.mix.Sample(a.rng)
+	dur = b.SampleDuration(a.rng)
+	a.advance()
+	return at, b, dur
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+
+	"densim/internal/floorplan"
+	"densim/internal/units"
+)
+
+// BlockFractions returns how a benchmark class distributes socket power
+// across the die floorplan blocks. Computation concentrates power in the
+// cores; Storage spreads it across the IO, memory, and multimedia paths; GP
+// sits in between. The fractions sum to 1.
+func BlockFractions(c Class) map[string]float64 {
+	switch c {
+	case Computation:
+		return map[string]float64{
+			floorplan.BlockCore0: 0.15, floorplan.BlockCore1: 0.15,
+			floorplan.BlockCore2: 0.15, floorplan.BlockCore3: 0.15,
+			floorplan.BlockL2: 0.12, floorplan.BlockGPU: 0.10,
+			floorplan.BlockNB: 0.08, floorplan.BlockMM: 0.04, floorplan.BlockIO: 0.06,
+		}
+	case GeneralPurpose:
+		return map[string]float64{
+			floorplan.BlockCore0: 0.13, floorplan.BlockCore1: 0.13,
+			floorplan.BlockCore2: 0.13, floorplan.BlockCore3: 0.13,
+			floorplan.BlockL2: 0.10, floorplan.BlockGPU: 0.14,
+			floorplan.BlockNB: 0.10, floorplan.BlockMM: 0.06, floorplan.BlockIO: 0.08,
+		}
+	case Storage:
+		return map[string]float64{
+			floorplan.BlockCore0: 0.05, floorplan.BlockCore1: 0.05,
+			floorplan.BlockCore2: 0.05, floorplan.BlockCore3: 0.05,
+			floorplan.BlockL2: 0.06, floorplan.BlockGPU: 0.06,
+			floorplan.BlockNB: 0.20, floorplan.BlockMM: 0.12, floorplan.BlockIO: 0.36,
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown class %v", c))
+	}
+}
+
+// PowerMapFor distributes a total socket power across the blocks of a
+// floorplan according to the benchmark's class profile. The result aligns
+// with fp.Blocks order.
+func PowerMapFor(b Benchmark, fp floorplan.Floorplan, total units.Watts) ([]units.Watts, error) {
+	frac := BlockFractions(b.Class)
+	out := make([]units.Watts, len(fp.Blocks))
+	var covered float64
+	for i, blk := range fp.Blocks {
+		f, ok := frac[blk.Name]
+		if !ok {
+			return nil, fmt.Errorf("workload: class %v has no fraction for block %q", b.Class, blk.Name)
+		}
+		out[i] = units.Watts(float64(total) * f)
+		covered += f
+	}
+	if covered < 0.999 || covered > 1.001 {
+		return nil, fmt.Errorf("workload: class %v fractions cover %.3f of power on floorplan %s",
+			b.Class, covered, fp.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"densim/internal/chipmodel"
+	"densim/internal/stats"
+)
+
+func TestCatalogHas19Benchmarks(t *testing.T) {
+	if got := len(Benchmarks()); got != 19 {
+		t.Fatalf("catalog size = %d, want 19 (Section III-A)", got)
+	}
+	counts := map[Class]int{}
+	names := map[string]bool{}
+	for _, b := range Benchmarks() {
+		counts[b.Class]++
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	if counts[Computation] == 0 || counts[GeneralPurpose] == 0 || counts[Storage] == 0 {
+		t.Errorf("class counts = %v, want all three sets populated", counts)
+	}
+}
+
+func TestFigure6MeanDurations(t *testing.T) {
+	// Average job durations on the order of a few milliseconds.
+	for _, c := range Classes {
+		mean := float64(MeanDuration(c))
+		if mean < 0.001 || mean > 0.010 {
+			t.Errorf("%v mean duration = %v s, want a few ms", c, mean)
+		}
+	}
+}
+
+func TestFigure6CoV(t *testing.T) {
+	// "The coefficient of variance ranges between 0.25 to 0.33."
+	for _, c := range Classes {
+		cov := DurationCoV(c)
+		if cov < 0.25 || cov > 0.33 {
+			t.Errorf("%v duration CoV = %.3f, want in [0.25, 0.33]", c, cov)
+		}
+	}
+}
+
+func TestFigure6HeavyTail(t *testing.T) {
+	// Maximum durations almost two orders of magnitude above the set mean.
+	rng := stats.NewRNG(42)
+	for _, c := range Classes {
+		maxRatio := 0.0
+		for _, b := range ByClass(c) {
+			for i := 0; i < 20000; i++ {
+				d := float64(b.SampleDuration(rng))
+				if r := d / float64(b.MeanDuration); r > maxRatio {
+					maxRatio = r
+				}
+			}
+		}
+		if maxRatio < 20 {
+			t.Errorf("%v max/mean duration ratio = %.1f, want > 20 (two orders)", c, maxRatio)
+		}
+	}
+}
+
+func TestFigure7PowerAnchors(t *testing.T) {
+	// 18W Computation vs 10.5W Storage at the highest frequency (at 90C).
+	if got := float64(SetPowerAt(Computation, chipmodel.FMax)); math.Abs(got-18) > 0.05 {
+		t.Errorf("Computation power at FMax = %v, want 18W", got)
+	}
+	if got := float64(SetPowerAt(Storage, chipmodel.FMax)); math.Abs(got-10.5) > 0.05 {
+		t.Errorf("Storage power at FMax = %v, want 10.5W", got)
+	}
+	gp := float64(SetPowerAt(GeneralPurpose, chipmodel.FMax))
+	if gp <= 10.5 || gp >= 18 {
+		t.Errorf("GP power at FMax = %v, want between Storage and Computation", gp)
+	}
+}
+
+func TestFigure7PowerDropsWithFrequency(t *testing.T) {
+	// Power decreases with frequency, "more so for Computation than Storage".
+	compDrop := float64(SetPowerAt(Computation, chipmodel.FMax) - SetPowerAt(Computation, chipmodel.FMin))
+	storDrop := float64(SetPowerAt(Storage, chipmodel.FMax) - SetPowerAt(Storage, chipmodel.FMin))
+	if compDrop <= storDrop {
+		t.Errorf("Computation power drop %vW <= Storage drop %vW", compDrop, storDrop)
+	}
+	for _, c := range Classes {
+		prev := -1.0
+		for _, f := range chipmodel.Frequencies {
+			p := float64(SetPowerAt(c, f))
+			if p <= prev {
+				t.Fatalf("%v power not increasing with frequency at %v", c, f)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestFigure7PerfSensitivity(t *testing.T) {
+	// Computation loses ~35% performance over an 800MHz reduction.
+	drop := 1 - SetRelPerf(Computation, 1100)
+	if drop < 0.30 || drop > 0.40 {
+		t.Errorf("Computation perf drop at 1100MHz = %.3f, want ~0.35", drop)
+	}
+	// Storage is the least frequency sensitive.
+	sDrop := 1 - SetRelPerf(Storage, 1100)
+	gDrop := 1 - SetRelPerf(GeneralPurpose, 1100)
+	if !(sDrop < gDrop && gDrop < drop) {
+		t.Errorf("sensitivity ordering broken: storage %.3f, gp %.3f, comp %.3f", sDrop, gDrop, drop)
+	}
+	if sDrop > 0.15 {
+		t.Errorf("Storage perf drop = %.3f, want nearly insensitive", sDrop)
+	}
+}
+
+func TestRelPerfBounds(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if got := b.RelPerf(chipmodel.FMax); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s RelPerf(FMax) = %v, want 1", b.Name, got)
+		}
+		prev := 0.0
+		for _, f := range chipmodel.Frequencies {
+			p := b.RelPerf(f)
+			if p <= prev || p > 1 {
+				t.Fatalf("%s RelPerf not increasing in (0,1] at %v", b.Name, f)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRelPerfPanicsOnZeroFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RelPerf(0) did not panic")
+		}
+	}()
+	Benchmarks()[0].RelPerf(0)
+}
+
+func TestDynamicPowerPositiveAndBelowTotal(t *testing.T) {
+	for _, b := range Benchmarks() {
+		dyn := float64(b.DynamicPowerAt(chipmodel.FMax))
+		leak90 := chipmodel.LeakageFracAtRef * float64(TDP)
+		if dyn <= 0 {
+			t.Errorf("%s dynamic power non-positive", b.Name)
+		}
+		if math.Abs(dyn+leak90-float64(b.PowerAt90C)) > 1e-9 {
+			t.Errorf("%s dynamic+leak90 = %v, want %v", b.Name, dyn+leak90, b.PowerAt90C)
+		}
+	}
+}
+
+func TestByClassAndByName(t *testing.T) {
+	if got := len(ByClass(Computation)) + len(ByClass(GeneralPurpose)) + len(ByClass(Storage)); got != 19 {
+		t.Errorf("class partition covers %d, want 19", got)
+	}
+	b, err := ByName("virus-scan")
+	if err != nil || b.Class != Storage {
+		t.Errorf("ByName(virus-scan) = %+v, %v", b, err)
+	}
+	if _, err := ByName("crysis"); err == nil {
+		t.Error("ByName(unknown) did not error")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Computation.String() != "Computation" || GeneralPurpose.String() != "GP" || Storage.String() != "Storage" {
+		t.Error("class String mismatch")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class String mismatch")
+	}
+}
+
+func TestScaleTo(t *testing.T) {
+	b := ByClass(Computation)[0]
+	scaled := b.ScaleTo(45)
+	if scaled.TDPW() != 45 {
+		t.Errorf("scaled TDP = %v", scaled.TDPW())
+	}
+	// Power scales with the TDP ratio.
+	wantPower := float64(b.PowerAt90C) * 45 / 22
+	if math.Abs(float64(scaled.PowerAt90C)-wantPower) > 1e-9 {
+		t.Errorf("scaled power = %v, want %v", scaled.PowerAt90C, wantPower)
+	}
+	// Everything else unchanged.
+	if scaled.MeanDuration != b.MeanDuration || scaled.FreqSensitivity != b.FreqSensitivity {
+		t.Error("ScaleTo changed duration or sensitivity")
+	}
+	// Original untouched (value semantics).
+	if b.TDPW() != TDP {
+		t.Error("ScaleTo mutated the original")
+	}
+	// Dynamic power at FMax still equals total minus scaled leakage.
+	leak90 := chipmodel.LeakageFracAtRef * 45.0
+	if got := float64(scaled.DynamicPowerAt(chipmodel.FMax)); math.Abs(got-(wantPower-leak90)) > 1e-9 {
+		t.Errorf("scaled dynamic = %v", got)
+	}
+	// Scaling twice composes.
+	back := scaled.ScaleTo(22)
+	if math.Abs(float64(back.PowerAt90C-b.PowerAt90C)) > 1e-9 {
+		t.Errorf("round-trip power = %v, want %v", back.PowerAt90C, b.PowerAt90C)
+	}
+}
+
+func TestScaleToPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ScaleTo(0) did not panic")
+		}
+	}()
+	Benchmarks()[0].ScaleTo(0)
+}
+
+func TestScaledClassMix(t *testing.T) {
+	m := ScaledClassMix(Computation, 45)
+	if m.Name() != "Computation-45W" {
+		t.Errorf("mix name = %q", m.Name())
+	}
+	if len(m.Benchmarks()) != len(ByClass(Computation)) {
+		t.Errorf("mix size = %d", len(m.Benchmarks()))
+	}
+	for _, b := range m.Benchmarks() {
+		if b.TDPW() != 45 {
+			t.Errorf("%s not scaled", b.Name)
+		}
+	}
+}
