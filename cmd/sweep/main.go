@@ -10,12 +10,15 @@
 //	sweep -fig 14 -loads 0.3,0.8  # subset of loads
 //	sweep -fig 3 -full            # paper-faithful windows
 //	sweep -fig all -csv           # everything, CSV output
+//	sweep -fig 14 -cpuprofile cpu.pb.gz   # profile the sweep itself
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -25,12 +28,39 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "14", "figure to regenerate: 3, 11, 13, 14, 15, or all")
-		full  = flag.Bool("full", false, "use the paper-faithful preset (slow)")
-		loads = flag.String("loads", "", "comma-separated load levels for figures 14/15 (default: paper's 10%..100%)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fig        = flag.String("fig", "14", "figure to regenerate: 3, 11, 13, 14, 15, or all")
+		full       = flag.Bool("full", false, "use the paper-faithful preset (slow)")
+		loads      = flag.String("loads", "", "comma-separated load levels for figures 14/15 (default: paper's 10%..100%)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	opts := experiments.Quick()
 	if *full {

@@ -85,15 +85,42 @@ type Model struct {
 	server *geometry.Server
 	params Params
 	// coef[i] lists (upstream socket, C/W coefficient) pairs affecting i.
+	// It is the reference representation; the per-tick hot path uses the
+	// per-lane channel structure below instead.
 	coef [][]term
 	// impact[j] is the summed downstream coefficient of socket j — the
 	// heat-recirculation factor the MinHR scheduler precomputes offline.
 	impact []float64
+
+	// channels lists each independent air channel (one per row x lane) as
+	// its socket IDs ordered upstream to downstream. Channels never share
+	// heat, so the ambient field is computed channel by channel.
+	channels [][]SocketID
+	// stepDecay[p] is the plume attenuation from depth position p-1 to p:
+	// exp(-(x_p - x_{p-1}) / MixLength). Positions are shared by all
+	// channels, so one slice serves the whole server. stepDecay[0] is unused.
+	stepDecay []float64
+	// posCoupling[u][d] is the C/W coefficient from depth position u to the
+	// downstream position d > u of the same channel — the O(1) backing store
+	// of Coupling. Entries with d <= u are zero.
+	posCoupling [][]float64
+	// downwind[j] lists the precomputed (downstream socket, C/W) pairs for
+	// socket j, nearest first — the CP scheduler's per-candidate view.
+	downwind [][]DownwindTerm
+	// invEffRate caches 1/EffectiveRateWPerK for the hot path.
+	invEffRate float64
 }
 
 type term struct {
 	up SocketID
 	c  float64
+}
+
+// DownwindTerm is one downstream socket affected by a source socket, with
+// the C/W coupling coefficient between the pair.
+type DownwindTerm struct {
+	Down SocketID
+	C    float64
 }
 
 // SocketID aliases geometry.SocketID for readability.
@@ -114,12 +141,14 @@ func New(server *geometry.Server, p Params) (*Model, error) {
 		return nil, fmt.Errorf("airflow: negative auxiliary power %v", p.AuxPerSocket)
 	}
 	m := &Model{
-		server: server,
-		params: p,
-		coef:   make([][]term, server.NumSockets()),
-		impact: make([]float64, server.NumSockets()),
+		server:   server,
+		params:   p,
+		coef:     make([][]term, server.NumSockets()),
+		impact:   make([]float64, server.NumSockets()),
+		downwind: make([][]DownwindTerm, server.NumSockets()),
 	}
 	effRate := m.EffectiveRateWPerK()
+	m.invEffRate = 1 / effRate
 	for _, sk := range server.Sockets() {
 		xDown, _, _ := server.Position(sk.ID)
 		for _, up := range server.Upstream(sk.ID) {
@@ -128,9 +157,52 @@ func New(server *geometry.Server, p Params) (*Model, error) {
 			c := decay / effRate
 			m.coef[sk.ID] = append(m.coef[sk.ID], term{up: up, c: c})
 			m.impact[up] += c
+			m.downwind[up] = append(m.downwind[up], DownwindTerm{Down: sk.ID, C: c})
+		}
+	}
+	// Downwind lists nearest-first, mirroring geometry.Downstream order.
+	for _, terms := range m.downwind {
+		sortDownwind(terms)
+	}
+
+	// Channel structure for the O(depth)-per-lane ambient pass. Depth
+	// positions (and therefore step decays and positional couplings) are
+	// shared by every channel.
+	depth := server.Depth
+	m.stepDecay = make([]float64, depth)
+	for pos := 1; pos < depth; pos++ {
+		dx := float64(server.XPositions[pos] - server.XPositions[pos-1])
+		m.stepDecay[pos] = expNeg(dx / float64(p.MixLength))
+	}
+	m.posCoupling = make([][]float64, depth)
+	for u := range m.posCoupling {
+		m.posCoupling[u] = make([]float64, depth)
+		for d := u + 1; d < depth; d++ {
+			dx := float64(server.XPositions[d] - server.XPositions[u])
+			m.posCoupling[u][d] = expNeg(dx/float64(p.MixLength)) / effRate
+		}
+	}
+	for r := 0; r < server.Rows; r++ {
+		for l := 0; l < server.Lanes; l++ {
+			ch := make([]SocketID, depth)
+			for pos := 0; pos < depth; pos++ {
+				ch[pos] = server.SocketAt(r, l, pos).ID
+			}
+			m.channels = append(m.channels, ch)
 		}
 	}
 	return m, nil
+}
+
+// sortDownwind orders terms by descending coefficient (equivalently nearest
+// downstream socket first). Lists are at most Depth-1 long, so insertion
+// sort is plenty.
+func sortDownwind(terms []DownwindTerm) {
+	for i := 1; i < len(terms); i++ {
+		for j := i; j > 0 && terms[j].C > terms[j-1].C; j-- {
+			terms[j], terms[j-1] = terms[j-1], terms[j]
+		}
+	}
 }
 
 func expNeg(x float64) float64 { return math.Exp(-x) }
@@ -158,7 +230,32 @@ func (m *Model) Ambient(powers []units.Watts) []units.Celsius {
 
 // AmbientInto is Ambient without the allocation; out must have one entry per
 // socket. The simulator calls this every power-manager tick.
+//
+// Each channel is walked once, upstream to downstream, carrying the running
+// attenuated heat sum S_p = stepDecay[p] * (S_{p-1} + P_{p-1} + aux): the
+// multiplicative exp attenuation means every upstream plume decays by the
+// same per-step factor, so the O(depth^2) per-socket upwind summation
+// collapses to O(depth) per lane.
 func (m *Model) AmbientInto(powers []units.Watts, out []units.Celsius) {
+	if len(powers) != m.server.NumSockets() {
+		panic(fmt.Sprintf("airflow: %d powers for %d sockets", len(powers), m.server.NumSockets()))
+	}
+	inlet := float64(m.params.Inlet)
+	aux := float64(m.params.AuxPerSocket)
+	inv := m.invEffRate
+	for _, ch := range m.channels {
+		heat := 0.0 // attenuated upstream watts arriving at the current position
+		out[ch[0]] = units.Celsius(inlet)
+		for p := 1; p < len(ch); p++ {
+			heat = m.stepDecay[p] * (heat + float64(powers[ch[p-1]]) + aux)
+			out[ch[p]] = units.Celsius(inlet + heat*inv)
+		}
+	}
+}
+
+// ambientReferenceInto is the original O(depth^2)-per-lane upwind summation,
+// kept as the golden reference for the fast path's equivalence tests.
+func (m *Model) ambientReferenceInto(powers []units.Watts, out []units.Celsius) {
 	aux := float64(m.params.AuxPerSocket)
 	for i := range out {
 		t := float64(m.params.Inlet)
@@ -169,27 +266,40 @@ func (m *Model) AmbientInto(powers []units.Watts, out []units.Celsius) {
 	}
 }
 
-// AmbientAt computes one socket's entry temperature.
+// AmbientAt computes one socket's entry temperature. It runs the same
+// running-accumulator recurrence as AmbientInto over the socket's own
+// channel, so the two agree bitwise.
 func (m *Model) AmbientAt(id SocketID, powers []units.Watts) units.Celsius {
-	aux := float64(m.params.AuxPerSocket)
-	t := float64(m.params.Inlet)
-	for _, tm := range m.coef[id] {
-		t += tm.c * (float64(powers[tm.up]) + aux)
+	sk := m.server.Socket(id)
+	inlet := float64(m.params.Inlet)
+	if sk.Pos == 0 {
+		return units.Celsius(inlet)
 	}
-	return units.Celsius(t)
+	aux := float64(m.params.AuxPerSocket)
+	heat := 0.0
+	for p := 1; p <= sk.Pos; p++ {
+		up := m.server.SocketAt(sk.Row, sk.Lane, p-1).ID
+		heat = m.stepDecay[p] * (heat + float64(powers[up]) + aux)
+	}
+	return units.Celsius(inlet + heat*m.invEffRate)
 }
 
 // Coupling returns the coefficient (C per W) by which power at socket up
 // raises the entry temperature of socket down, 0 if unrelated. This is the
-// "table lookup" the CP scheduler uses for downwind predictions.
+// "table lookup" the CP scheduler uses for downwind predictions — an O(1)
+// positional index, not a scan.
 func (m *Model) Coupling(up, down SocketID) float64 {
-	for _, tm := range m.coef[down] {
-		if tm.up == up {
-			return tm.c
-		}
+	a, b := m.server.Socket(up), m.server.Socket(down)
+	if a.Row != b.Row || a.Lane != b.Lane || a.Pos >= b.Pos {
+		return 0
 	}
-	return 0
+	return m.posCoupling[a.Pos][b.Pos]
 }
+
+// Downwind returns the precomputed (downstream socket, coefficient) pairs
+// for socket up, strongest (nearest) first. The returned slice must not be
+// modified; it is the CP scheduler's per-candidate downwind view.
+func (m *Model) Downwind(up SocketID) []DownwindTerm { return m.downwind[up] }
 
 // RecirculationFactor returns socket j's total downstream impact in C/W
 // summed over all affected sockets — the offline heat-recirculation map of

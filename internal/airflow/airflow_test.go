@@ -263,3 +263,122 @@ func TestAmbientPanicsOnSizeMismatch(t *testing.T) {
 	}()
 	m.Ambient([]units.Watts{1, 2, 3})
 }
+
+// diffTopologies enumerates the topologies the fast-path differential tests
+// cover, paired with the parameter set each is exercised under.
+func diffTopologies() []struct {
+	name   string
+	server *geometry.Server
+	params Params
+} {
+	sut := SUTParams()
+	hot := DefaultParams()
+	hot.Inlet = 45
+	hot.FlowPerLane = 3
+	return []struct {
+		name   string
+		server *geometry.Server
+		params Params
+	}{
+		{"sut", geometry.SUT(), sut},
+		{"coupled-pair", geometry.CoupledPair(), hot},
+		{"uncoupled-pair", geometry.UncoupledPair(), hot},
+	}
+}
+
+// randPowers fills a deterministic pseudo-random power vector in [0, 45) W.
+func randPowers(n int, seed uint64) []units.Watts {
+	out := make([]units.Watts, n)
+	x := seed
+	for i := range out {
+		// xorshift64
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = units.Watts(float64(x%45000) / 1000)
+	}
+	return out
+}
+
+// TestAmbientPathsAgree is the golden differential test of the O(lane)
+// running-accumulator pass: Ambient, AmbientInto, and AmbientAt must agree
+// with the original per-socket upwind summation to 1e-12 on randomized power
+// vectors, for the SUT and both Figure 3 pair topologies.
+func TestAmbientPathsAgree(t *testing.T) {
+	for _, tc := range diffTopologies() {
+		m, err := New(tc.server, tc.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tc.server.NumSockets()
+		ref := make([]units.Celsius, n)
+		fast := make([]units.Celsius, n)
+		for trial := uint64(0); trial < 25; trial++ {
+			powers := randPowers(n, 0x9E3779B97F4A7C15*(trial+1))
+			m.ambientReferenceInto(powers, ref)
+			m.AmbientInto(powers, fast)
+			alloc := m.Ambient(powers)
+			for i := 0; i < n; i++ {
+				if d := math.Abs(float64(fast[i] - ref[i])); d > 1e-12 {
+					t.Fatalf("%s trial %d socket %d: fast path off by %g", tc.name, trial, i, d)
+				}
+				if alloc[i] != fast[i] {
+					t.Fatalf("%s trial %d socket %d: Ambient != AmbientInto", tc.name, trial, i)
+				}
+				at := m.AmbientAt(SocketID(i), powers)
+				if d := math.Abs(float64(at - ref[i])); d > 1e-12 {
+					t.Fatalf("%s trial %d socket %d: AmbientAt off by %g", tc.name, trial, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestCouplingIndexedMatchesReference checks the O(1) positional Coupling
+// lookup against a scan of the reference coefficient lists for every socket
+// pair of every topology.
+func TestCouplingIndexedMatchesReference(t *testing.T) {
+	for _, tc := range diffTopologies() {
+		m, err := New(tc.server, tc.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tc.server.NumSockets()
+		for down := 0; down < n; down++ {
+			want := map[SocketID]float64{}
+			for _, tm := range m.coef[down] {
+				want[tm.up] = tm.c
+			}
+			for up := 0; up < n; up++ {
+				if got := m.Coupling(SocketID(up), SocketID(down)); got != want[SocketID(up)] {
+					t.Fatalf("%s: Coupling(%d,%d) = %v, want %v",
+						tc.name, up, down, got, want[SocketID(up)])
+				}
+			}
+		}
+	}
+}
+
+// TestDownwindMatchesGeometry checks the precomputed downwind view against
+// geometry.Downstream + Coupling: same sockets, same order, same
+// coefficients.
+func TestDownwindMatchesGeometry(t *testing.T) {
+	m := newSUTModel(t)
+	s := m.Server()
+	for _, sk := range s.Sockets() {
+		terms := m.Downwind(sk.ID)
+		downs := s.Downstream(sk.ID)
+		if len(terms) != len(downs) {
+			t.Fatalf("socket %d: %d downwind terms, %d downstream sockets",
+				sk.ID, len(terms), len(downs))
+		}
+		for i, d := range downs {
+			if terms[i].Down != d {
+				t.Fatalf("socket %d term %d: got socket %d, want %d", sk.ID, i, terms[i].Down, d)
+			}
+			if terms[i].C != m.Coupling(sk.ID, d) {
+				t.Fatalf("socket %d term %d: coefficient mismatch", sk.ID, i)
+			}
+		}
+	}
+}

@@ -145,11 +145,24 @@ type FirstOrder struct {
 
 // Step returns the state after dt given the current value and the target.
 func (f FirstOrder) Step(current, target units.Celsius, dt units.Seconds) units.Celsius {
+	return StepWithGain(current, target, f.Gain(dt))
+}
+
+// Gain returns the blend factor 1 - exp(-dt/Tau) of one step. The factor
+// depends only on dt, so fixed-period callers (the simulator's power-manager
+// tick) hoist it out of their per-socket loops and advance with
+// StepWithGain, eliminating one math.Exp per state per tick.
+func (f FirstOrder) Gain(dt units.Seconds) float64 {
 	if dt <= 0 {
-		return current
+		return 0
 	}
-	k := 1 - math.Exp(-float64(dt)/float64(f.Tau))
-	return current + units.Celsius(k)*(target-current)
+	return 1 - math.Exp(-float64(dt)/float64(f.Tau))
+}
+
+// StepWithGain advances a first-order response using a gain precomputed by
+// Gain for the step's dt. StepWithGain(c, t, f.Gain(dt)) == f.Step(c, t, dt).
+func StepWithGain(current, target units.Celsius, gain float64) units.Celsius {
+	return current + units.Celsius(gain)*(target-current)
 }
 
 // ChipResponse and SocketResponse are the two transient paths of Table III.

@@ -50,6 +50,54 @@ func StepDown(f units.MHz) units.MHz {
 // at that frequency. The workload package supplies these curves.
 type DynamicPowerFn func(f units.MHz) units.Watts
 
+// CapIndex returns the index of the highest P-state at or below cap, or -1
+// if even FMin exceeds cap. The ladder has five entries, so a descending
+// scan is already optimal.
+func CapIndex(cap units.MHz) int {
+	for i := len(Frequencies) - 1; i >= 0; i-- {
+		if Frequencies[i] <= cap {
+			return i
+		}
+	}
+	return -1
+}
+
+// HighestAdmissible returns the largest index i in [0, maxIdx] for which
+// admit(i) holds, or -1 if none does. admit must be monotone over the
+// ladder: if a frequency is admissible, every lower frequency is too (true
+// for the thermal predicates, since predicted peak temperature increases
+// with dynamic power and hence with frequency).
+//
+// It exploits that monotonicity: the top of the ladder is probed first —
+// the common case is an unthrottled socket — and only on failure does it
+// binary-search the remainder, so a throttled pick costs O(log n) predicate
+// evaluations instead of the linear top-down scan's O(n).
+func HighestAdmissible(maxIdx int, admit func(int) bool) int {
+	if maxIdx < 0 {
+		return -1
+	}
+	if admit(maxIdx) {
+		return maxIdx
+	}
+	// Invariant: every index > hi is inadmissible; answer is in [lo, hi]
+	// if any index is admissible at all.
+	lo, hi := 0, maxIdx-1
+	if hi < 0 || !admit(0) {
+		return -1
+	}
+	// admit(0) holds, so the answer is the largest admissible index in
+	// [lo, hi] (lo = 0 stays admissible throughout).
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if admit(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
 // PickFrequency implements the power-management policy of Section III-D:
 // run at the highest frequency (including boost) whose self-consistent
 // Equation-1 peak temperature stays below the 95C limit. If even the lowest
@@ -57,14 +105,14 @@ type DynamicPowerFn func(f units.MHz) units.Watts
 // cannot stop, it only throttles (the paper's systems never gate busy
 // sockets).
 func PickFrequency(ambient units.Celsius, dyn DynamicPowerFn, sink Sink, leak Leakage) units.MHz {
-	for i := len(Frequencies) - 1; i >= 0; i-- {
-		f := Frequencies[i]
-		temp, _ := SolvePeak(ambient, dyn(f), sink, leak)
-		if temp <= TempLimit {
-			return f
-		}
+	i := HighestAdmissible(len(Frequencies)-1, func(i int) bool {
+		temp, _ := SolvePeak(ambient, dyn(Frequencies[i]), sink, leak)
+		return temp <= TempLimit
+	})
+	if i < 0 {
+		return FMin
 	}
-	return FMin
+	return Frequencies[i]
 }
 
 // PredictFrequency is the scheduler-side equivalent of PickFrequency using
@@ -72,11 +120,11 @@ func PickFrequency(ambient units.Celsius, dyn DynamicPowerFn, sink Sink, leak Le
 // exact fixed point. Schedulers use it to estimate how fast a job would run
 // on a candidate socket.
 func PredictFrequency(ambient units.Celsius, dyn DynamicPowerFn, sink Sink, leak Leakage) units.MHz {
-	for i := len(Frequencies) - 1; i >= 0; i-- {
-		f := Frequencies[i]
-		if PredictTwoStep(ambient, dyn(f), sink, leak) <= TempLimit {
-			return f
-		}
+	i := HighestAdmissible(len(Frequencies)-1, func(i int) bool {
+		return PredictTwoStep(ambient, dyn(Frequencies[i]), sink, leak) <= TempLimit
+	})
+	if i < 0 {
+		return FMin
 	}
-	return FMin
+	return Frequencies[i]
 }

@@ -154,3 +154,56 @@ func TestPredictFrequencyAgreesWithPick(t *testing.T) {
 		t.Errorf("predictor disagreed with picker on %d/%d points", disagreements, total)
 	}
 }
+
+func TestCapIndex(t *testing.T) {
+	cases := []struct {
+		cap  units.MHz
+		want int
+	}{
+		{1900, 4}, {1800, 3}, {1700, 3}, {1500, 2}, {1100, 0}, {1000, -1}, {5000, 4},
+	}
+	for _, c := range cases {
+		if got := CapIndex(c.cap); got != c.want {
+			t.Errorf("CapIndex(%v) = %d, want %d", c.cap, got, c.want)
+		}
+	}
+}
+
+func TestHighestAdmissibleMatchesLinearScan(t *testing.T) {
+	// For every monotone admissibility profile over the 5-state ladder and
+	// every cap index, the search must agree with the reference top-down
+	// linear scan.
+	n := len(Frequencies)
+	for threshold := 0; threshold <= n; threshold++ {
+		// admit(i) holds iff i < threshold (threshold == 0: none admissible).
+		admit := func(i int) bool { return i < threshold }
+		for maxIdx := -1; maxIdx < n; maxIdx++ {
+			want := -1
+			for i := maxIdx; i >= 0; i-- {
+				if admit(i) {
+					want = i
+					break
+				}
+			}
+			if got := HighestAdmissible(maxIdx, admit); got != want {
+				t.Errorf("threshold %d maxIdx %d: got %d, want %d", threshold, maxIdx, got, want)
+			}
+		}
+	}
+}
+
+func TestStepWithGainMatchesStep(t *testing.T) {
+	f := FirstOrder{Tau: 30}
+	for _, dt := range []units.Seconds{-1, 0, 0.001, 0.5, 30, 1e4} {
+		k := f.Gain(dt)
+		for _, pair := range [][2]units.Celsius{{18, 95}, {95, 18}, {40, 40}, {-5, 120}} {
+			want := f.Step(pair[0], pair[1], dt)
+			if got := StepWithGain(pair[0], pair[1], k); got != want {
+				t.Errorf("dt=%v %v->%v: StepWithGain = %v, Step = %v", dt, pair[0], pair[1], got, want)
+			}
+		}
+	}
+	if k := f.Gain(0); k != 0 {
+		t.Errorf("Gain(0) = %v, want 0", k)
+	}
+}

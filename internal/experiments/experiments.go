@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"densim/internal/airflow"
 	"densim/internal/metrics"
@@ -71,54 +72,75 @@ func (c Cell) String() string {
 	return fmt.Sprintf("%s/%s/%.0f%%", c.Sched, c.Class, c.Load*100)
 }
 
-// Runner executes and memoizes SUT simulation cells.
+// Runner executes and memoizes SUT simulation cells. It is safe for
+// concurrent use: overlapping Result and Prefetch calls for the same cell
+// are coalesced (single-flight), so every cell simulates exactly once, and
+// a cell's seeds run as parallel simulations under a shared worker
+// semaphore. Only the leaf (per-seed) goroutines hold semaphore slots —
+// cell- and batch-level goroutines never do — so an arbitrary number of
+// concurrent cells cannot deadlock the pool.
 type Runner struct {
 	opts SimOptions
+	sem  chan struct{} // worker slots, held only around a single sim run
 
 	mu    sync.Mutex
-	cache map[Cell]metrics.Result
+	calls map[Cell]*cellCall
+
+	runs atomic.Int64
+}
+
+// cellCall is the single-flight record for one cell: the first caller
+// computes, everyone else waits on done and reads the shared outcome.
+type cellCall struct {
+	done chan struct{}
+	res  metrics.Result
+	err  error
 }
 
 // NewRunner creates a memoizing runner.
 func NewRunner(opts SimOptions) *Runner {
-	return &Runner{opts: opts, cache: map[Cell]metrics.Result{}}
+	return &Runner{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.workers()),
+		calls: map[Cell]*cellCall{},
+	}
 }
 
-// Result returns the (possibly cached) averaged result of a cell.
+// Result returns the averaged result of a cell, computing it on first use.
+// Concurrent calls for the same cell share one computation; the outcome
+// (including an error) is memoized.
 func (r *Runner) Result(c Cell) (metrics.Result, error) {
 	r.mu.Lock()
-	if res, ok := r.cache[c]; ok {
+	if call, ok := r.calls[c]; ok {
 		r.mu.Unlock()
-		return res, nil
+		<-call.done
+		return call.res, call.err
 	}
+	call := &cellCall{done: make(chan struct{})}
+	r.calls[c] = call
 	r.mu.Unlock()
-	res, err := r.runCell(c)
-	if err != nil {
-		return metrics.Result{}, err
-	}
-	r.mu.Lock()
-	r.cache[c] = res
-	r.mu.Unlock()
-	return res, nil
+
+	r.runs.Add(1)
+	call.res, call.err = r.runCell(c)
+	close(call.done)
+	return call.res, call.err
 }
 
-// Prefetch computes a batch of cells in parallel.
+// Runs reports how many distinct cell computations the runner has started —
+// a diagnostic for the single-flight guarantee (it equals the number of
+// unique cells requested, however many concurrent callers raced on them).
+func (r *Runner) Runs() int64 { return r.runs.Load() }
+
+// Prefetch computes a batch of cells concurrently. Cells already computed
+// (or in flight) are joined, not recomputed. It returns the first error
+// encountered, if any.
 func (r *Runner) Prefetch(cells []Cell) error {
-	sem := make(chan struct{}, r.opts.workers())
 	errCh := make(chan error, len(cells))
 	var wg sync.WaitGroup
 	for _, c := range cells {
-		r.mu.Lock()
-		_, done := r.cache[c]
-		r.mu.Unlock()
-		if done {
-			continue
-		}
 		wg.Add(1)
 		go func(c Cell) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			if _, err := r.Result(c); err != nil {
 				errCh <- fmt.Errorf("cell %s: %w", c, err)
 			}
@@ -129,29 +151,53 @@ func (r *Runner) Prefetch(cells []Cell) error {
 	return <-errCh
 }
 
-// runCell executes one cell across the configured seeds and averages.
+// runCell executes one cell's seeds as parallel simulations and averages
+// them. Each seed run gets its own scheduler instance (schedulers carry
+// per-run RNG and scratch state), constructed with the same seed the serial
+// implementation used, so single-seed presets reproduce its output exactly.
+// Results are averaged in seed order regardless of completion order, so the
+// average is deterministic too.
 func (r *Runner) runCell(c Cell) (metrics.Result, error) {
-	scheduler, err := sched.ByName(c.Sched, 1)
-	if err != nil {
+	if _, err := sched.ByName(c.Sched, 1); err != nil {
 		return metrics.Result{}, err
 	}
-	results := make([]metrics.Result, 0, len(r.opts.Seeds))
-	for _, seed := range r.opts.Seeds {
-		cfg := sim.Config{
-			Scheduler: scheduler,
-			Airflow:   airflow.SUTParams(),
-			Mix:       workload.ClassMix(c.Class),
-			Load:      c.Load,
-			Seed:      seed,
-			Duration:  r.opts.Duration,
-			Warmup:    r.opts.Warmup,
-			SinkTau:   r.opts.SinkTau,
-		}
-		s, err := sim.New(cfg)
+	results := make([]metrics.Result, len(r.opts.Seeds))
+	errs := make([]error, len(r.opts.Seeds))
+	var wg sync.WaitGroup
+	for i, seed := range r.opts.Seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			r.sem <- struct{}{} // leaf-level slot: held only while simulating
+			defer func() { <-r.sem }()
+			scheduler, err := sched.ByName(c.Sched, 1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := sim.Config{
+				Scheduler: scheduler,
+				Airflow:   airflow.SUTParams(),
+				Mix:       workload.ClassMix(c.Class),
+				Load:      c.Load,
+				Seed:      seed,
+				Duration:  r.opts.Duration,
+				Warmup:    r.opts.Warmup,
+				SinkTau:   r.opts.SinkTau,
+			}
+			s, err := sim.New(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = s.Run()
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return metrics.Result{}, err
 		}
-		results = append(results, s.Run())
 	}
 	return averageResults(results), nil
 }

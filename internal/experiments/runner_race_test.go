@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"densim/internal/metrics"
+	"densim/internal/workload"
+)
+
+// TestRunnerConcurrentSingleFlight hammers one Runner from many goroutines —
+// mixed Prefetch batches and direct Result calls over overlapping cell sets —
+// and verifies that (a) every cell was simulated exactly once, (b) every
+// caller observed the same result for a given cell, and (c) nothing races
+// (run under -race by the test suite and CI).
+func TestRunnerConcurrentSingleFlight(t *testing.T) {
+	opts := Quick()
+	opts.Duration, opts.Warmup = 2, 0.5
+	opts.Parallelism = 4
+	r := NewRunner(opts)
+
+	cells := []Cell{
+		{Sched: "CF", Class: workload.Computation, Load: 0.3},
+		{Sched: "CP", Class: workload.Computation, Load: 0.3},
+		{Sched: "CF", Class: workload.Storage, Load: 0.6},
+		{Sched: "Random", Class: workload.GeneralPurpose, Load: 0.5},
+	}
+	// Overlapping batches: every batch shares at least one cell with another.
+	batches := [][]Cell{
+		{cells[0], cells[1]},
+		{cells[1], cells[2]},
+		{cells[2], cells[3], cells[0]},
+		cells,
+	}
+
+	var mu sync.Mutex
+	seen := map[Cell]metrics.Result{}
+	record := func(c Cell, res metrics.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := seen[c]; ok {
+			if prev.Completed != res.Completed || prev.MeanExpansion != res.MeanExpansion ||
+				prev.EnergyJ != res.EnergyJ {
+				t.Errorf("cell %s: divergent results across callers: %+v vs %+v", c, prev, res)
+			}
+			return
+		}
+		seen[c] = res
+	}
+
+	var wg sync.WaitGroup
+	for _, batch := range batches {
+		wg.Add(1)
+		go func(batch []Cell) {
+			defer wg.Done()
+			if err := r.Prefetch(batch); err != nil {
+				t.Errorf("Prefetch: %v", err)
+			}
+		}(batch)
+	}
+	for range 3 { // direct Result callers racing the batches
+		for _, c := range cells {
+			wg.Add(1)
+			go func(c Cell) {
+				defer wg.Done()
+				res, err := r.Result(c)
+				if err != nil {
+					t.Errorf("Result(%s): %v", c, err)
+					return
+				}
+				record(c, res)
+			}(c)
+		}
+	}
+	wg.Wait()
+
+	if got, want := r.Runs(), int64(len(cells)); got != want {
+		t.Errorf("runner started %d cell computations, want exactly %d", got, want)
+	}
+	// Post-hoc reads must join the memoized results without recomputing.
+	for _, c := range cells {
+		res, err := r.Result(c)
+		if err != nil {
+			t.Fatalf("Result(%s): %v", c, err)
+		}
+		record(c, res)
+	}
+	if got := r.Runs(); got != int64(len(cells)) {
+		t.Errorf("cache hit recomputed: runs rose to %d", got)
+	}
+}
+
+// TestRunnerParallelSeedsMatchSerial checks that the parallel multi-seed
+// average equals running the same seeds one at a time (fresh runner each,
+// one-seed options) and averaging — placement decisions must not depend on
+// which worker ran which seed.
+func TestRunnerParallelSeedsMatchSerial(t *testing.T) {
+	opts := Quick()
+	opts.Duration, opts.Warmup = 2, 0.5
+	opts.Seeds = []uint64{7, 8, 9}
+	cell := Cell{Sched: "CP", Class: workload.Computation, Load: 0.7}
+
+	par := NewRunner(opts)
+	got, err := par.Result(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var serial []metrics.Result
+	for _, seed := range opts.Seeds {
+		o := opts
+		o.Seeds = []uint64{seed}
+		res, err := NewRunner(o).Result(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, res)
+	}
+	want := averageResults(serial)
+
+	if got.Completed != want.Completed {
+		t.Errorf("Completed = %d, want %d", got.Completed, want.Completed)
+	}
+	if got.MeanExpansion != want.MeanExpansion {
+		t.Errorf("MeanExpansion = %v, want %v", got.MeanExpansion, want.MeanExpansion)
+	}
+	if got.EnergyJ != want.EnergyJ {
+		t.Errorf("EnergyJ = %v, want %v", got.EnergyJ, want.EnergyJ)
+	}
+}

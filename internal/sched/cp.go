@@ -5,6 +5,7 @@ import (
 	"densim/internal/geometry"
 	"densim/internal/job"
 	"densim/internal/units"
+	"densim/internal/workload"
 )
 
 // CouplingPredictor (CP) is the paper's proposed scheduler (Section IV-C).
@@ -31,9 +32,17 @@ import (
 //
 // The scheduler is deliberately simple — a linear coupling model and a table
 // lookup, not the full CFD-class model used to evaluate it.
+// A CouplingPredictor is not safe for concurrent use: it carries a row-pick
+// RNG and reusable per-Pick scratch buffers. Give each concurrent simulation
+// its own instance (sched.ByName constructs fresh ones).
 type CouplingPredictor struct {
 	rng  rng
 	opts CPOptions
+	// Per-Pick scratch, reused to keep the placement path allocation-free:
+	// rowIdle[row] collects the idle sockets of one cartridge row, rows
+	// lists the rows that have any.
+	rowIdle [][]geometry.SocketID
+	rows    []int
 }
 
 // CPOptions selects CP design-point ablations. The zero value is the full
@@ -88,20 +97,28 @@ func (cp *CouplingPredictor) Name() string {
 func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID) geometry.SocketID {
 	srv := s.Server()
 
-	// Rows that currently have idle sockets.
-	idleByRow := make(map[int][]geometry.SocketID)
-	var rows []int
-	for _, id := range idle {
-		row := srv.Socket(id).Row
-		if _, seen := idleByRow[row]; !seen {
-			rows = append(rows, row)
-		}
-		idleByRow[row] = append(idleByRow[row], id)
-	}
 	cands := idle
 	if !cp.opts.GlobalSearch {
-		row := rows[cp.rng.Intn(len(rows))]
-		cands = idleByRow[row]
+		// Rows that currently have idle sockets, binned into the reusable
+		// scratch (idle is sorted by ID, so each row's bin stays in ID
+		// order, matching the append order of the old map-based binning).
+		if len(cp.rowIdle) < srv.Rows {
+			cp.rowIdle = make([][]geometry.SocketID, srv.Rows)
+		}
+		// Clear the bins the previous Pick touched (keeps capacity).
+		for _, r := range cp.rows {
+			cp.rowIdle[r] = cp.rowIdle[r][:0]
+		}
+		cp.rows = cp.rows[:0]
+		for _, id := range idle {
+			row := srv.Socket(id).Row
+			if len(cp.rowIdle[row]) == 0 {
+				cp.rows = append(cp.rows, row)
+			}
+			cp.rowIdle[row] = append(cp.rowIdle[row], id)
+		}
+		row := cp.rows[cp.rng.Intn(len(cp.rows))]
+		cands = cp.rowIdle[row]
 	}
 
 	// System utilization estimate: the weight given to downwind sockets
@@ -112,10 +129,11 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 		util = 1 - float64(len(idle))/float64(srv.NumSockets())
 	}
 
+	bm := &j.Benchmark
 	best := cands[0]
-	bestScore := cp.score(s, j, best, util)
+	bestScore := cp.score(s, bm, best, util)
 	for _, id := range cands[1:] {
-		if sc := cp.score(s, j, id, util); sc > bestScore || (sc == bestScore && id < best) {
+		if sc := cp.score(s, bm, id, util); sc > bestScore || (sc == bestScore && id < best) {
 			best, bestScore = id, sc
 		}
 	}
@@ -124,11 +142,14 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 
 // score returns the candidate's net predicted frequency benefit in MHz.
 // util weights the losses predicted for currently-idle downwind sockets.
-func (cp *CouplingPredictor) score(s State, j *job.Job, cand geometry.SocketID, util float64) float64 {
+// bm is the job's benchmark; its dynamic-power curve is wrapped in a func
+// literal here rather than via Benchmark.DynamicPower, whose returned method
+// value heap-allocates on every call.
+func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometry.SocketID, util float64) float64 {
 	srv := s.Server()
 	af := s.Airflow()
 	leak := s.Leakage()
-	dyn := j.Benchmark.DynamicPower()
+	dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
 
 	// Own predicted frequency at the candidate's current ambient, capped
 	// by the candidate's boost budget.
@@ -153,28 +174,30 @@ func (cp *CouplingPredictor) score(s State, j *job.Job, cand geometry.SocketID, 
 	}
 
 	// Downwind impact: predicted frequency loss of each downstream socket,
-	// from the coupling-table ambient rise. Busy sockets are assumed to
-	// keep running their current jobs; idle sockets count at the
+	// from the precomputed downwind coupling view. Busy sockets are assumed
+	// to keep running their current jobs; idle sockets count at the
 	// utilization weight (they will soon carry jobs like the one being
 	// placed).
 	var lossMHz float64
-	for _, down := range srv.Downstream(cand) {
-		rise := units.Celsius(af.Coupling(cand, down) * added)
+	for _, dw := range af.Downwind(cand) {
+		down := dw.Down
+		rise := units.Celsius(dw.C * added)
 		if rise <= 0 {
 			continue
 		}
 		weight := util
-		ddyn := dyn
+		dbm := bm
 		if s.Busy(down) {
 			running := s.RunningJob(down)
 			if running == nil {
 				continue
 			}
 			weight = 1
-			ddyn = running.Benchmark.DynamicPower()
+			dbm = &running.Benchmark
 		} else if util <= 0 {
 			continue
 		}
+		ddyn := func(f units.MHz) units.Watts { return dbm.DynamicPowerAt(f) }
 		amb := s.AmbientTemp(down)
 		sink := srv.Sink(down)
 		before := chipmodel.PredictFrequency(amb, ddyn, sink, leak)

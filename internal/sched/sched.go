@@ -266,7 +266,10 @@ func (Predictive) Name() string { return "Predictive" }
 func (Predictive) Pick(s State, j *job.Job, idle []geometry.SocketID) geometry.SocketID {
 	srv := s.Server()
 	leak := s.Leakage()
-	dyn := j.Benchmark.DynamicPower()
+	// Wrap the curve in a func literal (stack-allocatable) rather than the
+	// DynamicPower method value, which heap-allocates its bound receiver.
+	bm := &j.Benchmark
+	dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
 	return argBest(idle, func(id geometry.SocketID) float64 {
 		f := PredictSocketFrequency(s, id, dyn, srv.Sink(id), leak)
 		// Maximize frequency; among equal frequencies prefer cooler air.

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/job"
+	"densim/internal/sched"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// TestSteadyStateHotPathsDoNotAllocate pins the per-tick and per-event hot
+// paths to zero steady-state heap allocations. It snapshots a live, busy
+// simulator mid-run (via the probe hook) and measures the power-manager
+// tick, the idle-set scan, the next-completion query, and a CP scheduler
+// placement decision with testing.AllocsPerRun. Only per-job bookkeeping
+// (job.New at arrival) is allowed to allocate in steady state; everything
+// here must run from reused scratch.
+func TestSteadyStateHotPathsDoNotAllocate(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	measured := false
+	cfg.Probe = func(s *Simulator, now units.Seconds) {
+		if measured || now < 1.0 {
+			return
+		}
+		idle := s.idleSockets()
+		busyCount := s.srv.NumSockets() - len(idle)
+		if busyCount == 0 || len(idle) == 0 {
+			return // wait for a mixed busy/idle state worth measuring
+		}
+		measured = true
+
+		tick := s.cfg.TickPeriod
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.powerManagerTick(tick)
+		}); allocs != 0 {
+			t.Errorf("powerManagerTick allocates %.1f objects/op, want 0", allocs)
+		}
+
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.idleSockets()
+			s.nextCompletion()
+		}); allocs != 0 {
+			t.Errorf("idleSockets+nextCompletion allocate %.1f objects/op, want 0", allocs)
+		}
+
+		// A CP placement decision over the live state: warm the scheduler's
+		// scratch once, then demand allocation-free picks. The probe job is
+		// one already running elsewhere — Pick only reads it.
+		var j *job.Job
+		for i := range s.sockets {
+			if s.sockets[i].busy {
+				j = s.sockets[i].j
+				break
+			}
+		}
+		if j == nil {
+			t.Fatal("no running job despite busy sockets")
+		}
+		cp := sched.NewCouplingPredictor(1)
+		cp.Pick(s, j, idle)
+		if allocs := testing.AllocsPerRun(50, func() {
+			cp.Pick(s, j, s.idleSockets())
+		}); allocs != 0 {
+			t.Errorf("CouplingPredictor.Pick allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+	_, s := runOne(t, cfg)
+	if !measured {
+		t.Fatalf("probe never saw a mixed busy/idle state (arrived=%d)", s.Arrived())
+	}
+}

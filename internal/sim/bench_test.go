@@ -12,6 +12,7 @@ import (
 // under the given scheduler — the simulator's core cost unit.
 func benchRun(b *testing.B, schedName string, load float64) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		scheduler, err := sched.ByName(schedName, 1)
 		if err != nil {

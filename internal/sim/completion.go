@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"densim/internal/geometry"
+	"densim/internal/units"
+)
+
+// completionIndex is an indexed binary min-heap over the per-socket job
+// completion instants, ordered by (instant, socket ID). The secondary key
+// makes the heap minimum identical to what a strict-< linear scan over the
+// sockets returns: among equal instants, the lowest socket ID wins. The
+// event loop queries the minimum once per event, so the scan's O(sockets)
+// per event becomes O(1), and each state change costs O(log sockets) at
+// worst — zero when the instant is unchanged.
+//
+// The heap holds exactly one entry per socket at all times; idle sockets
+// carry neverDone (+inf) and sink to the bottom.
+type completionIndex struct {
+	time []units.Seconds // heap slot -> completion instant
+	id   []int32         // heap slot -> socket ID
+	pos  []int32         // socket ID -> heap slot
+}
+
+func newCompletionIndex(n int) *completionIndex {
+	c := &completionIndex{
+		time: make([]units.Seconds, n),
+		id:   make([]int32, n),
+		pos:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		c.time[i] = neverDone
+		c.id[i] = int32(i)
+		c.pos[i] = int32(i)
+	}
+	return c
+}
+
+// min returns the earliest completion instant and its socket. With every
+// socket idle it returns (neverDone, some socket); callers treat neverDone
+// as "no completion pending".
+func (c *completionIndex) min() (units.Seconds, geometry.SocketID) {
+	return c.time[0], geometry.SocketID(c.id[0])
+}
+
+// update sets socket's completion instant and restores heap order.
+func (c *completionIndex) update(socket int, t units.Seconds) {
+	i := int(c.pos[socket])
+	if c.time[i] == t {
+		return
+	}
+	decreased := t < c.time[i]
+	c.time[i] = t
+	if decreased {
+		c.siftUp(i)
+	} else {
+		c.siftDown(i)
+	}
+}
+
+func (c *completionIndex) less(a, b int) bool {
+	return c.time[a] < c.time[b] || (c.time[a] == c.time[b] && c.id[a] < c.id[b])
+}
+
+func (c *completionIndex) swap(a, b int) {
+	c.time[a], c.time[b] = c.time[b], c.time[a]
+	c.id[a], c.id[b] = c.id[b], c.id[a]
+	c.pos[c.id[a]], c.pos[c.id[b]] = int32(a), int32(b)
+}
+
+func (c *completionIndex) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.less(i, p) {
+			return
+		}
+		c.swap(i, p)
+		i = p
+	}
+}
+
+func (c *completionIndex) siftDown(i int) {
+	n := len(c.time)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && c.less(r, l) {
+			m = r
+		}
+		if !c.less(m, i) {
+			return
+		}
+		c.swap(i, m)
+		i = m
+	}
+}

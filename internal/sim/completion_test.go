@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// TestCompletionIndexMatchesScan drives the indexed heap with randomized
+// updates — including exact ties and neverDone — and checks its minimum
+// against a brute-force (instant, ID)-lexicographic scan after every step.
+func TestCompletionIndexMatchesScan(t *testing.T) {
+	const n = 33
+	c := newCompletionIndex(n)
+	shadow := make([]units.Seconds, n)
+	for i := range shadow {
+		shadow[i] = neverDone
+	}
+	scanMin := func() (units.Seconds, int) {
+		best, id := neverDone, 0
+		for i, d := range shadow {
+			if d < best {
+				best, id = d, i
+			}
+		}
+		return best, id
+	}
+
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+
+	for step := 0; step < 20000; step++ {
+		sock := int(next() % n)
+		var v units.Seconds
+		switch next() % 4 {
+		case 0:
+			v = neverDone
+		default:
+			// Quantized instants so exact ties across sockets are common.
+			v = units.Seconds(float64(next()%16) * 0.25)
+		}
+		c.update(sock, v)
+		shadow[sock] = v
+
+		wantT, wantID := scanMin()
+		gotT, gotID := c.min()
+		if gotT != wantT || (wantT != neverDone && int(gotID) != wantID) {
+			t.Fatalf("step %d: heap min = (%v, %d), scan min = (%v, %d)",
+				step, gotT, gotID, wantT, wantID)
+		}
+		// Positional index must stay consistent.
+		for i := 0; i < n; i++ {
+			slot := int(c.pos[i])
+			if int(c.id[slot]) != i {
+				t.Fatalf("step %d: pos/id tables inconsistent at socket %d", step, i)
+			}
+			if c.time[slot] != shadow[i] {
+				t.Fatalf("step %d: heap time for socket %d = %v, want %v",
+					step, i, c.time[slot], shadow[i])
+			}
+		}
+	}
+}
+
+// TestNextCompletionMatchesScanDuringRun pins the heap-backed nextCompletion
+// to the linear-scan reference on the live simulator state at every
+// power-manager tick of a real run.
+func TestNextCompletionMatchesScanDuringRun(t *testing.T) {
+	cfg := smallConfig("CP", 0.7, workload.GeneralPurpose)
+	cfg.Probe = func(s *Simulator, now units.Seconds) {
+		heapT, heapID := s.nextCompletion()
+		scanT, scanID := s.nextCompletionScan()
+		if heapT != scanT || (scanT != neverDone && heapID != scanID) {
+			t.Fatalf("t=%v: heap nextCompletion = (%v, %d), scan = (%v, %d)",
+				now, heapT, heapID, scanT, scanID)
+		}
+	}
+	if _, s := runOne(t, cfg); s.Arrived() == 0 {
+		t.Fatal("no arrivals — probe never exercised a busy heap")
+	}
+}

@@ -76,7 +76,9 @@ func (s *Simulator) runMigrations() {
 			continue // nothing to gain
 		}
 		dest := s.cfg.Scheduler.Pick(s, j, idle)
-		predicted := sched.PredictSocketFrequency(s, dest, j.Benchmark.DynamicPower(),
+		bm := &j.Benchmark
+		dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
+		predicted := sched.PredictSocketFrequency(s, dest, dyn,
 			s.srv.Sink(dest), s.leak)
 		if float64(predicted-curFreq) < mc.MinGainMHz {
 			continue
@@ -106,7 +108,8 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	src.busy = false
 	src.j = nil
 	src.freq = 0
-	src.power = units.Watts(chipmodel.GatedPowerFrac * float64(s.cfg.TDP))
+	s.setDoneAt(int(srcID), neverDone)
+	src.power = s.gatedPower
 	s.powers[srcID] = src.power
 
 	// Transfer cost: the job pays extra work-time.
@@ -116,6 +119,7 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	dst.busy = true
 	dst.j = j
 	dst.freq = s.pickFrequencyIndexed(dstID, dst)
+	s.refreshDoneAt(int(dstID))
 	dst.power = s.busyPower(dst)
 	s.powers[dstID] = dst.power
 

@@ -163,6 +163,9 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// neverDone is the cached completion instant of a socket with no job.
+var neverDone = units.Seconds(math.Inf(1))
+
 // socketState is the live state of one socket.
 type socketState struct {
 	busy       bool
@@ -175,7 +178,32 @@ type socketState struct {
 	powerEWMA  units.Watts   // 30 s power average behind the socket temperature
 	power      units.Watts   // current total draw (dynamic + leakage or gated)
 	lastUpdate units.Seconds
-	placement  metrics.JobPlacement
+	// doneAt caches the completion instant of the running job at the
+	// current frequency (neverDone while idle). It is mirrored into the
+	// simulator's completion heap, so every write must go through
+	// Simulator.setDoneAt / Simulator.refreshDoneAt.
+	doneAt    units.Seconds
+	placement metrics.JobPlacement
+}
+
+// setDoneAt writes socket i's cached completion instant and keeps the
+// completion heap in sync.
+func (s *Simulator) setDoneAt(i int, t units.Seconds) {
+	s.sockets[i].doneAt = t
+	s.comp.update(i, t)
+}
+
+// refreshDoneAt recomputes socket i's cached completion instant from its
+// current job, frequency, and accounting point. Must be called after any
+// change to busy, freq, Work, or lastUpdate.
+func (s *Simulator) refreshDoneAt(i int) {
+	st := &s.sockets[i]
+	if !st.busy {
+		s.setDoneAt(i, neverDone)
+		return
+	}
+	rate := st.j.Benchmark.RelPerf(st.freq)
+	s.setDoneAt(i, st.lastUpdate+units.Seconds(float64(st.j.Work)/rate))
 }
 
 // Simulator runs one configured simulation. It implements sched.State.
@@ -194,6 +222,18 @@ type Simulator struct {
 	// Reusable buffers for the per-tick and per-event hot paths.
 	ambBuf  []units.Celsius
 	idleBuf []geometry.SocketID
+	// comp indexes the per-socket completion instants for O(1)
+	// next-completion queries (see completionIndex).
+	comp *completionIndex
+	// gatedPower is the constant draw of a power-gated idle socket.
+	gatedPower units.Watts
+	// tickGains caches the four first-order blend factors for the power
+	// manager's fixed tick period, hoisting 1-exp(-dt/tau) out of the
+	// per-socket loop (it depends only on dt).
+	tickGains struct {
+		dt                     units.Seconds
+		sink, chip, hist, util float64
+	}
 	// Diagnostics.
 	arrived    int
 	unfinished int
@@ -220,6 +260,7 @@ func New(cfg Config) (*Simulator, error) {
 		col:     metrics.NewCollector(),
 		ambBuf:  make([]units.Celsius, cfg.Server.NumSockets()),
 		idleBuf: make([]geometry.SocketID, 0, cfg.Server.NumSockets()),
+		comp:    newCompletionIndex(cfg.Server.NumSockets()),
 	}
 	if cfg.Source != nil {
 		s.source = cfg.Source
@@ -228,6 +269,7 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	inlet := af.Inlet()
 	gated := units.Watts(chipmodel.GatedPowerFrac * float64(cfg.TDP))
+	s.gatedPower = gated
 	for i := range s.sockets {
 		id := geometry.SocketID(i)
 		s.sockets[i] = socketState{
@@ -235,6 +277,7 @@ func New(cfg Config) (*Simulator, error) {
 			chipTemp: inlet,
 			histTemp: inlet,
 			power:    gated,
+			doneAt:   neverDone,
 			placement: metrics.JobPlacement{
 				Zone:      s.srv.Zone(id),
 				FrontHalf: s.srv.IsFrontHalf(id),
@@ -395,19 +438,23 @@ func (s *Simulator) nextArrivalTime() units.Seconds {
 	return t
 }
 
-// nextCompletion scans busy sockets for the earliest completion.
+// nextCompletion returns the earliest cached completion instant — an O(1)
+// heap-top read; the instants are maintained incrementally by setDoneAt at
+// every state change. The heap's (instant, socket ID) ordering makes the
+// answer identical to a strict-< linear scan over the sockets (lowest ID
+// wins ties), which nextCompletionScan preserves as a test reference.
 func (s *Simulator) nextCompletion() (units.Seconds, geometry.SocketID) {
-	best := units.Seconds(math.Inf(1))
+	return s.comp.min()
+}
+
+// nextCompletionScan is the pre-heap reference implementation, kept for the
+// differential test that pins the heap to the scan's tie-breaking.
+func (s *Simulator) nextCompletionScan() (units.Seconds, geometry.SocketID) {
+	best := neverDone
 	var id geometry.SocketID
 	for i := range s.sockets {
-		st := &s.sockets[i]
-		if !st.busy {
-			continue
-		}
-		rate := st.j.Benchmark.RelPerf(st.freq)
-		t := st.lastUpdate + units.Seconds(float64(st.j.Work)/rate)
-		if t < best {
-			best, id = t, geometry.SocketID(i)
+		if d := s.sockets[i].doneAt; d < best {
+			best, id = d, geometry.SocketID(i)
 		}
 	}
 	return best, id
@@ -425,7 +472,8 @@ func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
 	st.busy = false
 	st.j = nil
 	st.freq = 0
-	st.power = units.Watts(chipmodel.GatedPowerFrac * float64(s.cfg.TDP))
+	s.setDoneAt(int(id), neverDone)
+	st.power = s.gatedPower
 	s.powers[id] = st.power
 }
 
@@ -465,6 +513,7 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	st.j = j
 	j.Started = t
 	st.freq = s.pickFrequencyIndexed(id, st)
+	s.refreshDoneAt(int(id))
 	st.power = s.busyPower(st)
 	s.powers[id] = st.power
 }
@@ -489,6 +538,7 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 		if st.j.Work < 0 {
 			st.j.Work = 0
 		}
+		s.setDoneAt(i, t+units.Seconds(float64(st.j.Work)/rate))
 		if t > s.cfg.Warmup {
 			seg := dt
 			if st.lastUpdate < s.cfg.Warmup {
@@ -522,10 +572,18 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 	ambients := s.ambBuf
 	s.af.AmbientInto(s.powers, ambients)
 
-	chipResp := chipmodel.FirstOrder{Tau: s.cfg.ChipTau}
-	sinkResp := chipmodel.FirstOrder{Tau: s.cfg.SinkTau}
-	histResp := chipmodel.FirstOrder{Tau: s.cfg.HistoryTau}
-	utilResp := chipmodel.FirstOrder{Tau: s.cfg.BoostWindow}
+	// The four first-order gains depend only on dt, which is the fixed tick
+	// period: compute them once per tick (in practice once per run), not
+	// once per state per socket.
+	if s.tickGains.dt != dt {
+		s.tickGains.dt = dt
+		s.tickGains.sink = chipmodel.FirstOrder{Tau: s.cfg.SinkTau}.Gain(dt)
+		s.tickGains.chip = chipmodel.FirstOrder{Tau: s.cfg.ChipTau}.Gain(dt)
+		s.tickGains.hist = chipmodel.FirstOrder{Tau: s.cfg.HistoryTau}.Gain(dt)
+		s.tickGains.util = chipmodel.FirstOrder{Tau: s.cfg.BoostWindow}.Gain(dt)
+	}
+	kSink, kChip := s.tickGains.sink, s.tickGains.chip
+	kHist, kUtil := s.tickGains.hist, s.tickGains.util
 
 	for i := range s.sockets {
 		st := &s.sockets[i]
@@ -535,30 +593,34 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 		// 2) The socket ambient moves toward the airflow steady state on
 		// the 30 s socket time constant (the heatsink masses buffer the
 		// local air temperature).
-		st.ambient = sinkResp.Step(st.ambient, ambients[i], dt)
+		st.ambient = chipmodel.StepWithGain(st.ambient, ambients[i], kSink)
 
 		// 3) The chip moves toward the Equation-1 peak for the current
 		// ambient on the 5 ms chip time constant.
 		chipTarget := chipmodel.PeakTemp(st.ambient, st.power, sink)
-		st.chipTemp = chipResp.Step(st.chipTemp, chipTarget, dt)
+		st.chipTemp = chipmodel.StepWithGain(st.chipTemp, chipTarget, kChip)
 
 		// 4) The socket power average (the 30 s heatsink-mass state behind
 		// SocketTemp), the history EWMA for A-Random, and the boost-budget
 		// utilization EWMA.
-		st.powerEWMA = units.Watts(sinkResp.Step(units.Celsius(st.powerEWMA), units.Celsius(st.power), dt))
-		st.histTemp = histResp.Step(st.histTemp, s.SocketTemp(geometry.SocketID(i)), dt)
+		st.powerEWMA = units.Watts(chipmodel.StepWithGain(units.Celsius(st.powerEWMA), units.Celsius(st.power), kSink))
+		st.histTemp = chipmodel.StepWithGain(st.histTemp, s.SocketTemp(id), kHist)
 		target := units.Celsius(0)
 		if st.busy {
 			target = 1
 		}
-		st.utilEWMA = float64(utilResp.Step(units.Celsius(st.utilEWMA), target, dt))
+		st.utilEWMA = float64(chipmodel.StepWithGain(units.Celsius(st.utilEWMA), target, kUtil))
 
-		// 5) DVFS re-pick for busy sockets; refresh power either way.
+		// 5) DVFS re-pick for busy sockets; refresh power either way. The
+		// cached completion instant only moves when the P-state does.
 		if st.busy {
-			st.freq = s.pickFrequencyIndexed(id, st)
+			if f := s.pickFrequencyIndexed(id, st); f != st.freq {
+				st.freq = f
+				s.refreshDoneAt(i)
+			}
 			st.power = s.busyPower(st)
 		} else {
-			st.power = units.Watts(chipmodel.GatedPowerFrac * float64(s.cfg.TDP))
+			st.power = s.gatedPower
 		}
 		s.powers[i] = st.power
 	}
@@ -575,17 +637,15 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 func (s *Simulator) pickFrequencyIndexed(id geometry.SocketID, st *socketState) units.MHz {
 	sink := s.srv.Sink(id)
 	cap := s.boostCap(st.utilEWMA)
-	dyn := st.j.Benchmark.DynamicPower()
-	for i := len(chipmodel.Frequencies) - 1; i >= 0; i-- {
-		f := chipmodel.Frequencies[i]
-		if f > cap {
-			continue
-		}
-		if chipmodel.PredictTwoStep(st.ambient, dyn(f), sink, s.leak) <= chipmodel.TempLimit {
-			return f
-		}
+	b := &st.j.Benchmark
+	i := chipmodel.HighestAdmissible(chipmodel.CapIndex(cap), func(i int) bool {
+		dyn := b.DynamicPowerAt(chipmodel.Frequencies[i])
+		return chipmodel.PredictTwoStep(st.ambient, dyn, sink, s.leak) <= chipmodel.TempLimit
+	})
+	if i < 0 {
+		return chipmodel.FMin
 	}
-	return chipmodel.FMin
+	return chipmodel.Frequencies[i]
 }
 
 // Arrived returns the number of jobs admitted.
