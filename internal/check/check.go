@@ -1,0 +1,429 @@
+// Package check is the simulator's runtime invariant harness: a pluggable
+// self-audit that shadows one simulation run and verifies, at every hook
+// point, that the simulator's accounting is conserving. Install a fresh
+// *Checks via sim.Config.Checks; a nil Checks costs the simulator nothing
+// (one pointer test per hook site).
+//
+// Five invariant families are enforced:
+//
+//   - Energy conservation: the harness re-integrates every per-socket power
+//     segment with its own warmup clipping and requires the final
+//     Result.EnergyJ to match within a relative tolerance; it also requires
+//     the segments to tile each socket's timeline with no gaps or overlaps
+//     up to every power-manager tick (a missed advanceSocketTo call before
+//     a power change is an accounting gap, not just an energy error).
+//   - Work conservation: each job's consumed work is ledgered from
+//     placement through migrations to completion; at completion the ledger
+//     must equal NominalDuration plus every migration's transfer cost, the
+//     residual work must be ~zero (a completion event that fires off the
+//     cached instant leaves residue), and no segment may try to consume
+//     past zero (a stale doneAt cache overruns).
+//   - Job-count closure: at run end, Arrived == completions observed by the
+//     harness + jobs still running + jobs still queued, and the outstanding
+//     ledger must match the running count exactly.
+//   - Thermal sanity: socket ambient never drops below the inlet, and once
+//     the socket's operating point has had sustained headroom — its settled
+//     (fixed-point) chip temperature at or below the limit — for twenty chip
+//     time constants, the realized chip temperature must sit within
+//     TempSlack of the 95C limit. Gating on the converged prediction rather
+//     than the governor's two-step one keeps the bound tight: the two-step
+//     truncation legitimately lets settled temperatures overshoot the limit
+//     by several degrees, which is governor policy, not an accounting bug.
+//   - Metrics closure: when any work completed, the front+back region work
+//     shares and the per-zone work shares must each sum to one.
+//
+// The harness additionally audits, every AuditEvery ticks, that the cached
+// per-socket completion instants match a fresh recompute and that the
+// completion heap's minimum agrees with a reference linear scan.
+package check
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"densim/internal/metrics"
+	"densim/internal/units"
+)
+
+// Tolerances. RelTol covers the conserving quantities (energy, work), which
+// the harness re-derives with the same floating-point segment arithmetic as
+// the simulator; absTol absorbs last-ulp noise on quantities that telescope
+// to ~zero (residual work, clipped overrun).
+const (
+	defaultRelTol = 1e-6
+	absTol        = 1e-9
+	// defaultTempSlack absorbs the transient residual left after the settle
+	// window: with per-tick excess contraction 1-k(1-g) (k the chip-step
+	// gain, g < 0.7 the leakage loop gain), twenty chip time constants
+	// shrink any post-throttle overshoot below ~0.2C.
+	defaultTempSlack   units.Celsius = 0.5
+	ambientEps                       = 1e-6
+	shareTol                         = 1e-9
+	defaultAuditEvery                = 16
+	defaultMaxRecorded               = 32
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Invariant names the family: "energy-conservation", "work-conservation",
+	// "job-count-closure", "thermal-sanity", "completion-cache",
+	// "metrics-closure".
+	Invariant string
+	// Time is the simulation time of detection.
+	Time units.Seconds
+	// Detail describes the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s @ %.6fs] %s", v.Invariant, float64(v.Time), v.Detail)
+}
+
+// Stats summarizes what one harness observed — useful for asserting in tests
+// that the checks actually ran, not just that nothing failed.
+type Stats struct {
+	Ticks      int
+	Audits     int
+	Placed     int
+	Completed  int // all completions, pre- and post-warmup
+	Migrations int
+	// Outstanding is the number of jobs placed but not completed.
+	Outstanding int
+	// EnergyJ is the harness's independent post-warmup power integral.
+	EnergyJ float64
+}
+
+// jobLedger tracks one in-flight job's work conservation.
+type jobLedger struct {
+	accrued  float64 // FMax-equivalent seconds consumed so far
+	expected float64 // NominalDuration plus accumulated migration costs
+}
+
+// Checks is the invariant harness. One instance audits exactly one run:
+// install a fresh instance per simulation (sim.New calls Begin). The zero
+// value is usable; New fills in the documented defaults explicitly.
+type Checks struct {
+	// RelTol is the relative tolerance for energy and work conservation
+	// (default 1e-6).
+	RelTol float64
+	// TempSlack is the allowance above TempLimit for the settled-headroom
+	// chip check (default 0.5C; see the package comment).
+	TempSlack units.Celsius
+	// AuditEvery sets the completion-cache/heap audit period in ticks
+	// (default 16; <=0 restores the default).
+	AuditEvery int
+	// MaxRecorded caps stored violations; excess ones are counted, not kept
+	// (default 32).
+	MaxRecorded int
+	// FailFast panics on the first violation — for pinpointing the exact
+	// hook in a debugger or test -run.
+	FailFast bool
+
+	violations []Violation
+	dropped    int
+
+	// Run parameters, set by Begin.
+	warmup      units.Seconds
+	inlet       units.Celsius
+	limit       units.Celsius
+	settleTicks int
+
+	// Per-socket shadow state.
+	coveredTo     []units.Seconds // energy-segment coverage frontier
+	headroomTicks []int           // consecutive ticks with an admissible P-state
+
+	energyJ      float64
+	jobs         map[int64]jobLedger
+	completedAll int
+	migrations   int
+	placed       int
+	ticks        int
+	audits       int
+}
+
+// New returns a harness with default tolerances.
+func New() *Checks {
+	return &Checks{
+		RelTol:      defaultRelTol,
+		TempSlack:   defaultTempSlack,
+		AuditEvery:  defaultAuditEvery,
+		MaxRecorded: defaultMaxRecorded,
+	}
+}
+
+// Begin arms the harness for a run. The simulator calls it once from
+// sim.New with the resolved configuration: socket count, warmup boundary,
+// inlet temperature, throttling limit, and the chip time constant and tick
+// period (which set how long headroom must hold before the chip-temperature
+// bound is enforced).
+func (c *Checks) Begin(numSockets int, warmup units.Seconds, inlet, limit units.Celsius, chipTau, tick units.Seconds) {
+	if c.RelTol <= 0 {
+		c.RelTol = defaultRelTol
+	}
+	if c.TempSlack <= 0 {
+		c.TempSlack = defaultTempSlack
+	}
+	if c.AuditEvery <= 0 {
+		c.AuditEvery = defaultAuditEvery
+	}
+	if c.MaxRecorded <= 0 {
+		c.MaxRecorded = defaultMaxRecorded
+	}
+	c.warmup = warmup
+	c.inlet = inlet
+	c.limit = limit
+	// The chip's excess over the limit contracts by 1-k(1-g) per tick while
+	// headroom holds (k = chip-step gain, g < 0.7 the leakage loop gain), so
+	// twenty chip time constants shrink any overshoot well below TempSlack.
+	c.settleTicks = int(math.Ceil(20*float64(chipTau)/float64(tick))) + 1
+	c.coveredTo = make([]units.Seconds, numSockets)
+	c.headroomTicks = make([]int, numSockets)
+	c.jobs = make(map[int64]jobLedger)
+}
+
+// violate records one breach (or panics under FailFast).
+func (c *Checks) violate(invariant string, now units.Seconds, format string, args ...any) {
+	v := Violation{Invariant: invariant, Time: now, Detail: fmt.Sprintf(format, args...)}
+	if c.FailFast {
+		panic("check: " + v.String())
+	}
+	if len(c.violations) < c.MaxRecorded {
+		c.violations = append(c.violations, v)
+	} else {
+		c.dropped++
+	}
+}
+
+// OnPlace registers a job starting on a socket with its nominal work.
+func (c *Checks) OnPlace(jobID int64, nominal units.Seconds, now units.Seconds) {
+	if _, ok := c.jobs[jobID]; ok {
+		c.violate("work-conservation", now, "job %d placed twice without completing", jobID)
+		return
+	}
+	c.placed++
+	c.jobs[jobID] = jobLedger{expected: float64(nominal)}
+}
+
+// OnWorkSegment accrues one busy segment's consumed work for a job.
+// consumed is the attempted dt*RelPerf amount; clipped is how much of it the
+// simulator clamped away at zero remaining work. A clip beyond rounding
+// noise means the socket ran past the job's true completion instant — a
+// stale completion cache.
+func (c *Checks) OnWorkSegment(jobID int64, consumed, clipped units.Seconds, now units.Seconds) {
+	l, ok := c.jobs[jobID]
+	if !ok {
+		c.violate("work-conservation", now, "work accrued for unknown job %d", jobID)
+		return
+	}
+	if float64(clipped) > absTol {
+		c.violate("work-conservation", now,
+			"job %d overran completion by %.3g work-seconds (stale completion instant)", jobID, float64(clipped))
+	}
+	l.accrued += float64(consumed - clipped)
+	c.jobs[jobID] = l
+}
+
+// OnMigrate charges a migration's transfer cost to the job's expected work.
+func (c *Checks) OnMigrate(jobID int64, cost units.Seconds, now units.Seconds) {
+	c.migrations++
+	l, ok := c.jobs[jobID]
+	if !ok {
+		c.violate("work-conservation", now, "migration of unknown job %d", jobID)
+		return
+	}
+	l.expected += float64(cost)
+	c.jobs[jobID] = l
+}
+
+// OnComplete closes a job's ledger: the residual work at the completion
+// instant must be ~zero and the accrued work must equal the nominal
+// duration plus migration costs.
+func (c *Checks) OnComplete(jobID int64, residual units.Seconds, now units.Seconds) {
+	c.completedAll++
+	l, ok := c.jobs[jobID]
+	if !ok {
+		c.violate("work-conservation", now, "completion of unknown job %d", jobID)
+		return
+	}
+	delete(c.jobs, jobID)
+	if math.Abs(float64(residual)) > absTol {
+		c.violate("work-conservation", now,
+			"job %d completed with %.3g work-seconds residual", jobID, float64(residual))
+	}
+	if diff := math.Abs(l.accrued - l.expected); diff > c.RelTol*l.expected+absTol {
+		c.violate("work-conservation", now,
+			"job %d accrued %.9g work-seconds, expected %.9g (placement+migration segments)",
+			jobID, l.accrued, l.expected)
+	}
+}
+
+// OnEnergySegment integrates one socket's constant-power segment and
+// advances its coverage frontier. Segments must tile the timeline: from
+// must equal the previous segment's to.
+func (c *Checks) OnEnergySegment(socket int, from, to units.Seconds, power units.Watts) {
+	if socket < 0 || socket >= len(c.coveredTo) {
+		c.violate("energy-conservation", to, "segment for out-of-range socket %d", socket)
+		return
+	}
+	if from != c.coveredTo[socket] {
+		c.violate("energy-conservation", to,
+			"socket %d segment starts at %.9gs, coverage frontier at %.9gs (gap or overlap)",
+			socket, float64(from), float64(c.coveredTo[socket]))
+	}
+	c.coveredTo[socket] = to
+	// Post-warmup clipping mirrors the collector's semantics (strict >):
+	// the boundary instant itself has zero measure.
+	if to > c.warmup {
+		seg := to - from
+		if from < c.warmup {
+			seg = to - c.warmup
+		}
+		c.energyJ += float64(power) * float64(seg)
+	}
+}
+
+// OnSocketTick verifies one socket's per-tick thermal sanity and that its
+// accounting was settled to the tick boundary. headroom reports whether the
+// socket's current operating point settles at or below the limit (the
+// converged fixed-point prediction; see the package comment).
+func (c *Checks) OnSocketTick(socket int, busy bool, ambient, chip units.Celsius, headroom bool, now units.Seconds) {
+	if c.coveredTo[socket] != now {
+		c.violate("energy-conservation", now,
+			"socket %d accounting settled to %.9gs at tick %.9gs", socket, float64(c.coveredTo[socket]), float64(now))
+		c.coveredTo[socket] = now // resynchronize so one miss reports once
+	}
+	if ambient < c.inlet-ambientEps {
+		c.violate("thermal-sanity", now,
+			"socket %d ambient %.3fC below inlet %.3fC", socket, float64(ambient), float64(c.inlet))
+	}
+	if headroom {
+		c.headroomTicks[socket]++
+	} else {
+		c.headroomTicks[socket] = 0
+	}
+	if busy && c.headroomTicks[socket] >= c.settleTicks && chip > c.limit+c.TempSlack {
+		c.violate("thermal-sanity", now,
+			"socket %d chip %.3fC above limit %.1fC+%.1f after %d headroom ticks",
+			socket, float64(chip), float64(c.limit), float64(c.TempSlack), c.headroomTicks[socket])
+	}
+}
+
+// OnTick closes one power-manager tick and reports whether the simulator
+// should run the completion-cache/heap audit this tick.
+func (c *Checks) OnTick(now units.Seconds) bool {
+	c.ticks++
+	if c.ticks%c.AuditEvery != 0 {
+		return false
+	}
+	c.audits++
+	return true
+}
+
+// AuditDoneAt compares a socket's cached completion instant against a fresh
+// recompute from (lastUpdate, remaining work, frequency). The two are
+// produced by the same formula, so equality is exact; any difference means
+// a state change skipped the refresh.
+func (c *Checks) AuditDoneAt(socket int, cached, fresh units.Seconds, now units.Seconds) {
+	if cached != fresh && !(math.IsInf(float64(cached), 1) && math.IsInf(float64(fresh), 1)) {
+		c.violate("completion-cache", now,
+			"socket %d cached completion %.9gs, fresh recompute %.9gs", socket, float64(cached), float64(fresh))
+	}
+}
+
+// AuditNextCompletion compares the completion heap's minimum against the
+// reference linear scan. Socket identity only matters while a completion is
+// pending; with every socket idle both report +inf with arbitrary IDs.
+func (c *Checks) AuditNextCompletion(heapT units.Seconds, heapID int, scanT units.Seconds, scanID int, now units.Seconds) {
+	if heapT != scanT && !(math.IsInf(float64(heapT), 1) && math.IsInf(float64(scanT), 1)) {
+		c.violate("completion-cache", now,
+			"heap min %.9gs (socket %d) vs scan %.9gs (socket %d)", float64(heapT), heapID, float64(scanT), scanID)
+		return
+	}
+	if !math.IsInf(float64(heapT), 1) && heapID != scanID {
+		c.violate("completion-cache", now,
+			"heap min socket %d vs scan socket %d at %.9gs", heapID, scanID, float64(heapT))
+	}
+}
+
+// End runs the end-of-run closures: job counts, energy conservation against
+// the finalized result, migration bookkeeping, and metrics share sums.
+func (c *Checks) End(arrived, runningLeft, queuedLeft, migrations int, res metrics.Result) {
+	end := res.Span // detection time is only cosmetic here
+	if arrived != c.completedAll+runningLeft+queuedLeft {
+		c.violate("job-count-closure", end,
+			"arrived %d != completed %d + running %d + queued %d",
+			arrived, c.completedAll, runningLeft, queuedLeft)
+	}
+	if len(c.jobs) != runningLeft {
+		c.violate("job-count-closure", end,
+			"%d open job ledgers vs %d jobs still running", len(c.jobs), runningLeft)
+	}
+	if res.Completed > c.completedAll {
+		c.violate("job-count-closure", end,
+			"result reports %d completions, harness observed %d", res.Completed, c.completedAll)
+	}
+	if migrations != c.migrations {
+		c.violate("job-count-closure", end,
+			"simulator reports %d migrations, harness observed %d", migrations, c.migrations)
+	}
+
+	got := float64(res.EnergyJ)
+	scale := math.Max(math.Max(math.Abs(got), math.Abs(c.energyJ)), 1e-12)
+	if math.Abs(got-c.energyJ)/scale > c.RelTol {
+		c.violate("energy-conservation", end,
+			"result energy %.9g J vs harness integral %.9g J", got, c.energyJ)
+	}
+
+	if res.CompletedWorkSeconds > 0 {
+		fb := res.RegionWorkShare[metrics.FrontHalf] + res.RegionWorkShare[metrics.BackHalf]
+		if math.Abs(fb-1) > shareTol {
+			c.violate("metrics-closure", end, "front+back work shares sum to %.12f", fb)
+		}
+		var zones float64
+		for _, v := range res.ZoneWorkShare {
+			zones += v
+		}
+		if math.Abs(zones-1) > shareTol {
+			c.violate("metrics-closure", end, "zone work shares sum to %.12f", zones)
+		}
+		if even := res.RegionWorkShare[metrics.EvenZones]; even < -shareTol || even > 1+shareTol {
+			c.violate("metrics-closure", end, "even-zone work share %.12f outside [0,1]", even)
+		}
+	}
+}
+
+// Violations returns the recorded breaches in detection order.
+func (c *Checks) Violations() []Violation { return c.violations }
+
+// Stats reports what the harness observed.
+func (c *Checks) Stats() Stats {
+	return Stats{
+		Ticks:       c.ticks,
+		Audits:      c.audits,
+		Placed:      c.placed,
+		Completed:   c.completedAll,
+		Migrations:  c.migrations,
+		Outstanding: len(c.jobs),
+		EnergyJ:     c.energyJ,
+	}
+}
+
+// Err returns nil when every invariant held, or an error listing the
+// violations (capped at MaxRecorded, with the overflow counted).
+func (c *Checks) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d invariant violation(s)", len(c.violations)+c.dropped)
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if c.dropped > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more", c.dropped)
+	}
+	return fmt.Errorf("%s", b.String())
+}

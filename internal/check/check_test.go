@@ -1,0 +1,350 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"densim/internal/metrics"
+	"densim/internal/units"
+)
+
+// newArmed returns a harness armed for a tiny synthetic run: 2 sockets,
+// warmup 1 s, inlet 18C, limit 95C, chip tau 5 ms, tick 1 ms. The settle
+// window is therefore 20*5+1 = 101 ticks.
+func newArmed() *Checks {
+	c := New()
+	c.Begin(2, 1.0, 18, 95, 0.005, 0.001)
+	return c
+}
+
+func countByInvariant(c *Checks, name string) int {
+	n := 0
+	for _, v := range c.Violations() {
+		if v.Invariant == name {
+			n++
+		}
+	}
+	return n
+}
+
+// cleanResult returns a Result consistent with the given harness state for
+// End: energy matching the harness integral and shares summing to one.
+func cleanResult(c *Checks, completed int) metrics.Result {
+	return metrics.Result{
+		Completed:            completed,
+		EnergyJ:              units.Joules(c.Stats().EnergyJ),
+		CompletedWorkSeconds: 1,
+		RegionWorkShare: map[metrics.Region]float64{
+			metrics.FrontHalf: 0.25,
+			metrics.BackHalf:  0.75,
+			metrics.EvenZones: 0.5,
+		},
+		ZoneWorkShare: map[int]float64{0: 0.6, 1: 0.4},
+	}
+}
+
+func TestEnergyIntegralAndWarmupClipping(t *testing.T) {
+	c := newArmed()
+	// Pre-warmup segment: zero measure. Straddling segment: only the part
+	// past warmup counts. Post-warmup segment: full measure.
+	c.OnEnergySegment(0, 0, 0.5, 10)   // clipped entirely
+	c.OnEnergySegment(0, 0.5, 1.5, 10) // 0.5 s counts
+	c.OnEnergySegment(0, 1.5, 2.0, 4)  // 0.5 s counts
+	want := 10*0.5 + 4*0.5
+	if got := c.Stats().EnergyJ; math.Abs(got-want) > 1e-12 {
+		t.Errorf("harness integral = %v, want %v", got, want)
+	}
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("clean segments produced %d violations: %v", n, c.Violations())
+	}
+	// Boundary instant itself has zero measure: a segment ending exactly at
+	// warmup contributes nothing.
+	c2 := newArmed()
+	c2.OnEnergySegment(0, 0, 1.0, 10)
+	if got := c2.Stats().EnergyJ; got != 0 {
+		t.Errorf("segment ending at warmup integrated %v J, want 0", got)
+	}
+}
+
+func TestEnergyCoverageGapDetected(t *testing.T) {
+	c := newArmed()
+	c.OnEnergySegment(0, 0, 0.3, 10)
+	c.OnEnergySegment(0, 0.4, 0.5, 10) // gap [0.3, 0.4)
+	if n := countByInvariant(c, "energy-conservation"); n != 1 {
+		t.Errorf("coverage gap: %d energy violations, want 1", n)
+	}
+	// Out-of-range socket is reported, not indexed.
+	c.OnEnergySegment(7, 0, 1, 10)
+	if n := countByInvariant(c, "energy-conservation"); n != 2 {
+		t.Errorf("out-of-range socket not reported")
+	}
+}
+
+func TestEnergyMismatchAtEnd(t *testing.T) {
+	c := newArmed()
+	c.OnEnergySegment(0, 0, 2.0, 10) // 10 J post-warmup
+	res := cleanResult(c, 0)
+	res.EnergyJ = units.Joules(c.Stats().EnergyJ * (1 + 1e-3)) // way past 1e-6
+	c.End(0, 0, 0, 0, res)
+	if n := countByInvariant(c, "energy-conservation"); n != 1 {
+		t.Errorf("energy mismatch: %d violations, want 1: %v", n, c.Violations())
+	}
+}
+
+func TestWorkConservationLedger(t *testing.T) {
+	c := newArmed()
+	c.OnPlace(1, 0.5, 0.1)
+	c.OnWorkSegment(1, 0.3, 0, 0.4)
+	c.OnMigrate(1, 0.0005, 0.4)
+	c.OnWorkSegment(1, 0.2005, 0, 0.7)
+	c.OnComplete(1, 0, 0.7)
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("clean ledger produced violations: %v", c.Violations())
+	}
+	st := c.Stats()
+	if st.Placed != 1 || st.Completed != 1 || st.Migrations != 1 || st.Outstanding != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWorkConservationViolations(t *testing.T) {
+	t.Run("accrual-shortfall", func(t *testing.T) {
+		c := newArmed()
+		c.OnPlace(1, 0.5, 0)
+		c.OnWorkSegment(1, 0.4, 0, 0.4)
+		c.OnComplete(1, 0, 0.5)
+		if n := countByInvariant(c, "work-conservation"); n != 1 {
+			t.Errorf("short accrual: %d violations, want 1", n)
+		}
+	})
+	t.Run("residual-at-completion", func(t *testing.T) {
+		c := newArmed()
+		c.OnPlace(1, 0.5, 0)
+		c.OnWorkSegment(1, 0.5, 0, 0.5)
+		c.OnComplete(1, 0.01, 0.5)
+		if n := countByInvariant(c, "work-conservation"); n != 1 {
+			t.Errorf("residual: %d violations, want 1", n)
+		}
+	})
+	t.Run("clipped-overrun", func(t *testing.T) {
+		c := newArmed()
+		c.OnPlace(1, 0.5, 0)
+		c.OnWorkSegment(1, 0.6, 0.1, 0.6) // clamped 0.1 s past zero
+		if n := countByInvariant(c, "work-conservation"); n != 1 {
+			t.Errorf("overrun clip: %d violations, want 1", n)
+		}
+		// The clamped amount does not distort the accrual check.
+		c.OnComplete(1, 0, 0.6)
+		if n := countByInvariant(c, "work-conservation"); n != 1 {
+			t.Errorf("accrual after clip double-counted: %v", c.Violations())
+		}
+	})
+	t.Run("unknown-and-double-place", func(t *testing.T) {
+		c := newArmed()
+		c.OnWorkSegment(9, 0.1, 0, 0.1)
+		c.OnMigrate(9, 0.0005, 0.1)
+		c.OnComplete(9, 0, 0.1)
+		c.OnPlace(2, 1, 0.2)
+		c.OnPlace(2, 1, 0.3)
+		if n := countByInvariant(c, "work-conservation"); n != 4 {
+			t.Errorf("unknown-job + double-place: %d violations, want 4: %v", n, c.Violations())
+		}
+	})
+}
+
+func TestJobCountClosure(t *testing.T) {
+	c := newArmed()
+	c.OnEnergySegment(0, 0, 2, 0)
+	c.OnEnergySegment(1, 0, 2, 0)
+	c.OnPlace(1, 1, 0.1)
+	// Arrived 4 != completed 0 + running 2 + queued 1, and the ledger holds
+	// 1 open job against the caller's 2 running: two closure violations.
+	c.End(4, 2, 1, 0, cleanResult(c, 0))
+	if n := countByInvariant(c, "job-count-closure"); n != 2 {
+		t.Errorf("closure: %d violations, want 2: %v", n, c.Violations())
+	}
+}
+
+func TestCompletedAndMigrationCrossChecks(t *testing.T) {
+	c := newArmed()
+	res := cleanResult(c, 3) // harness saw 0 completions
+	c.End(0, 0, 0, 2, res)   // and 0 migrations vs simulator's 2
+	if n := countByInvariant(c, "job-count-closure"); n != 2 {
+		t.Errorf("cross-checks: %d violations, want 2: %v", n, c.Violations())
+	}
+}
+
+func TestThermalAmbientBelowInlet(t *testing.T) {
+	c := newArmed()
+	c.OnEnergySegment(0, 0, 0.001, 10)
+	c.OnSocketTick(0, true, 17.5, 40, true, 0.001)
+	if n := countByInvariant(c, "thermal-sanity"); n != 1 {
+		t.Errorf("ambient below inlet: %d violations, want 1", n)
+	}
+}
+
+func TestThermalChipSettleWindow(t *testing.T) {
+	c := newArmed()
+	now := units.Seconds(0)
+	tick := func(chip units.Celsius, headroom bool) {
+		now += 0.001
+		c.OnEnergySegment(0, now-0.001, now, 10)
+		c.OnSocketTick(0, true, 30, chip, headroom, now)
+	}
+	// A hot chip while headroom is still accumulating is legal (post-
+	// throttle decay), even for many ticks below the settle window.
+	for i := 0; i < 100; i++ {
+		tick(99, true)
+	}
+	if n := countByInvariant(c, "thermal-sanity"); n != 0 {
+		t.Fatalf("violations inside settle window: %v", c.Violations())
+	}
+	// Tick 101 crosses the window: now the hot chip is a violation.
+	tick(99, true)
+	if n := countByInvariant(c, "thermal-sanity"); n != 1 {
+		t.Errorf("settled hot chip: %d violations, want 1", n)
+	}
+	// A no-headroom tick resets the window.
+	tick(99, false)
+	tick(99, true)
+	if n := countByInvariant(c, "thermal-sanity"); n != 1 {
+		t.Errorf("window did not reset on lost headroom: %v", c.Violations())
+	}
+	// Within slack of the limit is always fine.
+	for i := 0; i < 200; i++ {
+		tick(95.4, true)
+	}
+	if n := countByInvariant(c, "thermal-sanity"); n != 1 {
+		t.Errorf("chip within slack flagged: %v", c.Violations())
+	}
+}
+
+func TestCoverageFrontierAtTick(t *testing.T) {
+	c := newArmed()
+	c.OnEnergySegment(0, 0, 0.0005, 10) // settled short of the tick
+	c.OnSocketTick(0, false, 30, 30, true, 0.001)
+	if n := countByInvariant(c, "energy-conservation"); n != 1 {
+		t.Errorf("stale frontier at tick: %d violations, want 1", n)
+	}
+	// The frontier resynchronizes so one miss reports once.
+	c.OnEnergySegment(0, 0.001, 0.002, 10)
+	c.OnSocketTick(0, false, 30, 30, true, 0.002)
+	if n := countByInvariant(c, "energy-conservation"); n != 1 {
+		t.Errorf("frontier did not resynchronize: %v", c.Violations())
+	}
+}
+
+func TestAuditDoneAt(t *testing.T) {
+	c := newArmed()
+	inf := units.Seconds(math.Inf(1))
+	c.AuditDoneAt(0, inf, inf, 1)        // both idle: fine
+	c.AuditDoneAt(0, 1.25, 1.25, 1)      // exact match: fine
+	c.AuditDoneAt(1, 1.25, 1.2500001, 1) // drifted cache
+	c.AuditDoneAt(1, 1.25, inf, 1)       // cache thinks busy, recompute idle
+	if n := countByInvariant(c, "completion-cache"); n != 2 {
+		t.Errorf("doneAt audit: %d violations, want 2: %v", n, c.Violations())
+	}
+}
+
+func TestAuditNextCompletion(t *testing.T) {
+	c := newArmed()
+	inf := units.Seconds(math.Inf(1))
+	c.AuditNextCompletion(inf, 3, inf, 9, 1) // both idle: IDs arbitrary
+	c.AuditNextCompletion(1.5, 2, 1.5, 2, 1) // agreement
+	c.AuditNextCompletion(1.5, 2, 1.6, 2, 1) // time mismatch
+	c.AuditNextCompletion(1.5, 2, 1.5, 3, 1) // socket mismatch at same instant
+	if n := countByInvariant(c, "completion-cache"); n != 2 {
+		t.Errorf("heap audit: %d violations, want 2: %v", n, c.Violations())
+	}
+}
+
+func TestMetricsClosure(t *testing.T) {
+	c := newArmed()
+	res := cleanResult(c, 1)
+	res.RegionWorkShare[metrics.BackHalf] = 0.80 // front+back = 1.05
+	res.ZoneWorkShare[1] = 0.5                   // zones sum to 1.1
+	res.RegionWorkShare[metrics.EvenZones] = 1.2
+	c.End(1, 0, 0, 0, res)
+	if n := countByInvariant(c, "metrics-closure"); n != 3 {
+		t.Errorf("metrics closure: %d violations, want 3: %v", n, c.Violations())
+	}
+	// With zero completed work the shares are vacuous.
+	c2 := newArmed()
+	res2 := cleanResult(c2, 0)
+	res2.CompletedWorkSeconds = 0
+	res2.RegionWorkShare = map[metrics.Region]float64{}
+	res2.ZoneWorkShare = map[int]float64{}
+	c2.End(0, 0, 0, 0, res2)
+	if n := len(c2.Violations()); n != 0 {
+		t.Errorf("vacuous shares flagged: %v", c2.Violations())
+	}
+}
+
+func TestOnTickAuditPeriod(t *testing.T) {
+	c := newArmed()
+	audits := 0
+	for i := 0; i < 64; i++ {
+		if c.OnTick(units.Seconds(i) * 0.001) {
+			audits++
+		}
+	}
+	if audits != 4 || c.Stats().Audits != 4 || c.Stats().Ticks != 64 {
+		t.Errorf("64 ticks at AuditEvery=16: audits=%d stats=%+v", audits, c.Stats())
+	}
+}
+
+func TestErrNilWhenCleanAndCapped(t *testing.T) {
+	c := newArmed()
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean harness Err() = %v", err)
+	}
+	c.MaxRecorded = 2
+	for i := 0; i < 5; i++ {
+		c.violate("work-conservation", 0, "synthetic %d", i)
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("Err() = nil with violations recorded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "5 invariant violation(s)") {
+		t.Errorf("total count missing from %q", msg)
+	}
+	if !strings.Contains(msg, "and 3 more") {
+		t.Errorf("overflow count missing from %q", msg)
+	}
+	if got := len(c.Violations()); got != 2 {
+		t.Errorf("recorded %d violations, cap is 2", got)
+	}
+}
+
+func TestFailFastPanics(t *testing.T) {
+	c := newArmed()
+	c.FailFast = true
+	defer func() {
+		if recover() == nil {
+			t.Error("FailFast violation did not panic")
+		}
+	}()
+	c.violate("thermal-sanity", 1, "synthetic")
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Invariant: "energy-conservation", Time: 1.5, Detail: "boom"}
+	if got := v.String(); got != "[energy-conservation @ 1.500000s] boom" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestZeroValueBeginDefaults(t *testing.T) {
+	var c Checks
+	c.Begin(1, 0, 18, 95, 0.005, 0.001)
+	if c.RelTol != defaultRelTol || c.TempSlack != defaultTempSlack ||
+		c.AuditEvery != defaultAuditEvery || c.MaxRecorded != defaultMaxRecorded {
+		t.Errorf("zero-value Begin left defaults unset: %+v", c)
+	}
+	if c.settleTicks != 101 {
+		t.Errorf("settleTicks = %d, want 101 for tau=5ms tick=1ms", c.settleTicks)
+	}
+}

@@ -13,12 +13,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"densim/internal/airflow"
+	"densim/internal/check"
 	"densim/internal/metrics"
 	"densim/internal/sched"
 	"densim/internal/sim"
@@ -39,17 +43,26 @@ type SimOptions struct {
 	Seeds []uint64
 	// Parallelism bounds concurrent simulations (0 = NumCPU).
 	Parallelism int
+	// Checked runs every simulation under the runtime invariant harness
+	// (internal/check) and turns any violation into a cell error. The
+	// DENSIM_CHECKS environment variable enables it for the presets —
+	// CI's checked test leg sets it.
+	Checked bool
 }
+
+// checkedFromEnv reports whether the DENSIM_CHECKS environment variable
+// asks for invariant-checked runs.
+func checkedFromEnv() bool { return os.Getenv("DENSIM_CHECKS") != "" }
 
 // Quick returns the fast preset used by tests and default benches.
 func Quick() SimOptions {
-	return SimOptions{Duration: 10, Warmup: 4, SinkTau: 1, Seeds: []uint64{7}}
+	return SimOptions{Duration: 10, Warmup: 4, SinkTau: 1, Seeds: []uint64{7}, Checked: checkedFromEnv()}
 }
 
 // Full returns the paper-faithful preset: the real 30 s socket time constant
 // with a window long enough to reach and measure the quasi-steady field.
 func Full() SimOptions {
-	return SimOptions{Duration: 150, Warmup: 90, SinkTau: 30, Seeds: []uint64{7, 8}}
+	return SimOptions{Duration: 150, Warmup: 90, SinkTau: 30, Seeds: []uint64{7, 8}, Checked: checkedFromEnv()}
 }
 
 func (o SimOptions) workers() int {
@@ -132,23 +145,23 @@ func (r *Runner) Result(c Cell) (metrics.Result, error) {
 func (r *Runner) Runs() int64 { return r.runs.Load() }
 
 // Prefetch computes a batch of cells concurrently. Cells already computed
-// (or in flight) are joined, not recomputed. It returns the first error
-// encountered, if any.
+// (or in flight) are joined, not recomputed. Every failing cell is reported:
+// the returned error joins one error per failed cell (nil if none failed),
+// so a sweep surfaces all its broken cells in one pass.
 func (r *Runner) Prefetch(cells []Cell) error {
-	errCh := make(chan error, len(cells))
+	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
-	for _, c := range cells {
+	for i, c := range cells {
 		wg.Add(1)
-		go func(c Cell) {
+		go func(i int, c Cell) {
 			defer wg.Done()
 			if _, err := r.Result(c); err != nil {
-				errCh <- fmt.Errorf("cell %s: %w", c, err)
+				errs[i] = fmt.Errorf("cell %s: %w", c, err)
 			}
-		}(c)
+		}(i, c)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 // runCell executes one cell's seeds as parallel simulations and averages
@@ -185,12 +198,23 @@ func (r *Runner) runCell(c Cell) (metrics.Result, error) {
 				Warmup:    r.opts.Warmup,
 				SinkTau:   r.opts.SinkTau,
 			}
+			// The harness is stateful per run: each seed gets its own.
+			var h *check.Checks
+			if r.opts.Checked {
+				h = check.New()
+				cfg.Checks = h
+			}
 			s, err := sim.New(cfg)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			results[i] = s.Run()
+			if h != nil {
+				if err := h.Err(); err != nil {
+					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+				}
+			}
 		}(i, seed)
 	}
 	wg.Wait()
@@ -202,7 +226,10 @@ func (r *Runner) runCell(c Cell) (metrics.Result, error) {
 	return averageResults(results), nil
 }
 
-// averageResults merges per-seed results by arithmetic mean.
+// averageResults merges per-seed results by arithmetic mean — every field,
+// including Completed (rounded to the nearest job). Summing counts while
+// averaging everything else would inflate any throughput derived as
+// Completed/Span by the number of seeds.
 func averageResults(rs []metrics.Result) metrics.Result {
 	if len(rs) == 1 {
 		return rs[0]
@@ -214,13 +241,17 @@ func averageResults(rs []metrics.Result) metrics.Result {
 		ZoneWorkShare:   map[int]float64{},
 		ZoneFreq:        map[int]float64{},
 	}
+	var completed float64
 	for _, r := range rs {
-		out.Completed += r.Completed
+		completed += float64(r.Completed) / n
 		out.MeanExpansion += r.MeanExpansion / n
 		out.MeanServiceExpansion += r.MeanServiceExpansion / n
+		out.MeanWaitSeconds += r.MeanWaitSeconds / n
 		out.EnergyJ += r.EnergyJ / units.Joules(n)
 		out.Span += r.Span / units.Seconds(n)
 		out.BoostResidency += r.BoostResidency / n
+		out.BusySocketSeconds += r.BusySocketSeconds / n
+		out.CompletedWorkSeconds += r.CompletedWorkSeconds / n
 		for k, v := range r.RegionFreq {
 			out.RegionFreq[k] += v / n
 		}
@@ -234,6 +265,7 @@ func averageResults(rs []metrics.Result) metrics.Result {
 			out.ZoneFreq[k] += v / n
 		}
 	}
+	out.Completed = int(math.Round(completed))
 	return out
 }
 

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
+	"densim/internal/metrics"
+	"densim/internal/sched"
 	"densim/internal/workload"
 )
 
@@ -207,6 +211,107 @@ func TestFig14And15ShareCells(t *testing.T) {
 		if row.RelPerf < 0.97 {
 			t.Errorf("CP rel perf %v at %+v; paper: robust across loads", row.RelPerf, row)
 		}
+	}
+}
+
+// TestAverageResultsTwoSeedSemantics pins the fixed multi-seed merge: every
+// field is an arithmetic mean, including Completed (rounded to the nearest
+// job). The pre-fix code summed Completed while averaging Span, inflating
+// any Completed/Span throughput by the seed count.
+func TestAverageResultsTwoSeedSemantics(t *testing.T) {
+	a := metrics.Result{
+		Completed: 10, MeanExpansion: 1.2, MeanWaitSeconds: 0.5,
+		EnergyJ: 100, Span: 8, BusySocketSeconds: 30, CompletedWorkSeconds: 20,
+		RegionFreq:      map[metrics.Region]float64{metrics.FrontHalf: 1500},
+		RegionWorkShare: map[metrics.Region]float64{metrics.FrontHalf: 0.6},
+		ZoneWorkShare:   map[int]float64{1: 1.0},
+		ZoneFreq:        map[int]float64{1: 1500},
+	}
+	b := metrics.Result{
+		Completed: 5, MeanExpansion: 1.4, MeanWaitSeconds: 0.25,
+		EnergyJ: 200, Span: 8, BusySocketSeconds: 50, CompletedWorkSeconds: 40,
+		RegionFreq:      map[metrics.Region]float64{metrics.FrontHalf: 1700},
+		RegionWorkShare: map[metrics.Region]float64{metrics.FrontHalf: 0.8},
+		ZoneWorkShare:   map[int]float64{1: 1.0},
+		ZoneFreq:        map[int]float64{1: 1700},
+	}
+	got := averageResults([]metrics.Result{a, b})
+	if got.Completed != 8 { // round(7.5) — a count, not a sum of 15
+		t.Errorf("Completed = %d, want 8 (rounded mean)", got.Completed)
+	}
+	if got.Span != 8 || got.EnergyJ != 150 {
+		t.Errorf("Span/EnergyJ = %v/%v, want 8/150", got.Span, got.EnergyJ)
+	}
+	if got.MeanWaitSeconds != 0.375 {
+		t.Errorf("MeanWaitSeconds = %v, want 0.375 (was dropped pre-fix)", got.MeanWaitSeconds)
+	}
+	if got.BusySocketSeconds != 40 || got.CompletedWorkSeconds != 30 {
+		t.Errorf("BusySocketSeconds/CompletedWorkSeconds = %v/%v, want 40/30 (were dropped pre-fix)",
+			got.BusySocketSeconds, got.CompletedWorkSeconds)
+	}
+	if got.RegionFreq[metrics.FrontHalf] != 1600 || got.RegionWorkShare[metrics.FrontHalf] != 0.7 {
+		t.Errorf("region maps not averaged: %+v", got)
+	}
+	// Single-seed results pass through untouched — figure CSVs from
+	// single-seed presets stay byte-identical.
+	if !reflect.DeepEqual(averageResults([]metrics.Result{a}), a) {
+		t.Error("single-seed result not returned verbatim")
+	}
+}
+
+// TestPrefetchReportsAllErrors pins the errors.Join semantics: a sweep with
+// several broken cells reports every one, not just whichever failed first.
+func TestPrefetchReportsAllErrors(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	err := r.Prefetch([]Cell{
+		{Sched: "LIFO", Class: workload.Storage, Load: 0.2},
+		{Sched: "CF", Class: workload.Storage, Load: 0.2},
+		{Sched: "SJF", Class: workload.Storage, Load: 0.2},
+	})
+	if err == nil {
+		t.Fatal("Prefetch returned nil with two invalid schedulers")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "LIFO") || !strings.Contains(msg, "SJF") {
+		t.Errorf("error reports only part of the failures: %q", msg)
+	}
+}
+
+// TestCheckedSmokeAllSchedulers runs one invariant-checked cell for every
+// scheduler in the catalog: any violation surfaces as a cell error.
+func TestCheckedSmokeAllSchedulers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	opts := SimOptions{Duration: 2, Warmup: 0.5, SinkTau: 0.4, Seeds: []uint64{7}, Checked: true}
+	r := NewRunner(opts)
+	cells := make([]Cell, 0, len(sched.Names()))
+	for _, name := range sched.Names() {
+		cells = append(cells, Cell{Sched: name, Class: workload.GeneralPurpose, Load: 0.5})
+	}
+	if err := r.Prefetch(cells); err != nil {
+		t.Errorf("checked smoke violations: %v", err)
+	}
+}
+
+// TestSeedPermutationInvariance is the metamorphic check on the multi-seed
+// average: seed order must not matter, down to the last bit of every field.
+func TestSeedPermutationInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	run := func(seeds []uint64) metrics.Result {
+		r := NewRunner(SimOptions{Duration: 2, Warmup: 0.5, SinkTau: 0.4, Seeds: seeds})
+		res, err := r.Result(Cell{Sched: "CP", Class: workload.Storage, Load: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fwd := run([]uint64{7, 8})
+	rev := run([]uint64{8, 7})
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Errorf("seed permutation changed the average:\n  {7,8}: %+v\n  {8,7}: %+v", fwd, rev)
 	}
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"densim/internal/chipmodel"
 	"densim/internal/geometry"
 	"densim/internal/sched"
 	"densim/internal/units"
@@ -50,19 +49,23 @@ func (m MigrationConfig) withDefaults() MigrationConfig {
 	return m
 }
 
-// runMigrations performs one migration pass at the current time. Sockets
-// are visited hottest-first (the most throttled jobs benefit most); each
-// migration consumes one idle socket.
+// runMigrations performs one migration pass at the current time. Each
+// migration consumes one idle socket and frees its source back into the
+// pool: the source was only throttled for the job it was running, and a
+// later candidate with a lighter power curve may still gain by moving
+// there (the predicted-gain gate rejects moves onto sockets that are
+// thermally hopeless for that candidate).
 func (s *Simulator) runMigrations() {
 	idle := append([]geometry.SocketID(nil), s.idleSockets()...)
 	if len(idle) == 0 {
 		return
 	}
 	mc := s.cfg.Migration
+	// The best any destination can offer is the boost ceiling of a fully
+	// rested socket — MaxSustained when boost is disabled, FMax otherwise.
+	// Jobs already there have nothing to gain and skip the scheduler call.
+	maxFreq := s.boostCap(0)
 	for i := range s.sockets {
-		if len(idle) == 0 {
-			return
-		}
 		src := &s.sockets[i]
 		if !src.busy {
 			continue
@@ -72,7 +75,7 @@ func (s *Simulator) runMigrations() {
 			continue
 		}
 		curFreq := src.freq
-		if curFreq >= chipmodel.FMax {
+		if curFreq >= maxFreq {
 			continue // nothing to gain
 		}
 		dest := s.cfg.Scheduler.Pick(s, j, idle)
@@ -84,10 +87,11 @@ func (s *Simulator) runMigrations() {
 			continue
 		}
 		s.migrate(geometry.SocketID(i), dest)
-		// Remove dest from the idle pool.
-		for k, id := range idle {
-			if id == dest {
-				idle = append(idle[:k], idle[k+1:]...)
+		// The destination leaves the idle pool; the freed source replaces
+		// it, keeping the pool the same size for later candidates.
+		for k := range idle {
+			if idle[k] == dest {
+				idle[k] = geometry.SocketID(i)
 				break
 			}
 		}
@@ -124,4 +128,7 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	s.powers[dstID] = dst.power
 
 	s.migrations++
+	if s.checks != nil {
+		s.checks.OnMigrate(int64(j.ID), s.cfg.Migration.Cost, s.now)
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"densim/internal/airflow"
+	"densim/internal/check"
 	"densim/internal/chipmodel"
 	"densim/internal/geometry"
 	"densim/internal/job"
@@ -102,6 +103,13 @@ type Config struct {
 	// simulator — for time-series capture and debugging. It must not mutate
 	// the simulator.
 	Probe func(s *Simulator, now units.Seconds)
+	// Checks optionally installs the runtime invariant harness (package
+	// internal/check): energy and work conservation, job-count closure,
+	// thermal sanity, and completion-cache/heap audits are verified against
+	// the live run. One Checks instance audits exactly one run — install a
+	// fresh one per simulation and read its Err() after Run. Nil disables
+	// all checking at zero cost (a single pointer test per hook site).
+	Checks *check.Checks
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -197,13 +205,19 @@ func (s *Simulator) setDoneAt(i int, t units.Seconds) {
 // current job, frequency, and accounting point. Must be called after any
 // change to busy, freq, Work, or lastUpdate.
 func (s *Simulator) refreshDoneAt(i int) {
+	s.setDoneAt(i, s.recomputeDoneAt(i))
+}
+
+// recomputeDoneAt returns the completion instant refreshDoneAt would cache,
+// without writing it — the invariant harness compares it against the cached
+// value to catch state changes that skipped the refresh.
+func (s *Simulator) recomputeDoneAt(i int) units.Seconds {
 	st := &s.sockets[i]
 	if !st.busy {
-		s.setDoneAt(i, neverDone)
-		return
+		return neverDone
 	}
 	rate := st.j.Benchmark.RelPerf(st.freq)
-	s.setDoneAt(i, st.lastUpdate+units.Seconds(float64(st.j.Work)/rate))
+	return st.lastUpdate + units.Seconds(float64(st.j.Work)/rate)
 }
 
 // Simulator runs one configured simulation. It implements sched.State.
@@ -234,6 +248,8 @@ type Simulator struct {
 		dt                     units.Seconds
 		sink, chip, hist, util float64
 	}
+	// checks is the optional invariant harness (nil = disabled).
+	checks *check.Checks
 	// Diagnostics.
 	arrived    int
 	unfinished int
@@ -285,6 +301,11 @@ func New(cfg Config) (*Simulator, error) {
 			},
 		}
 		s.powers[i] = gated
+	}
+	if cfg.Checks != nil {
+		s.checks = cfg.Checks
+		s.checks.Begin(cfg.Server.NumSockets(), cfg.Warmup, inlet,
+			chipmodel.TempLimit, cfg.ChipTau, cfg.TickPeriod)
 	}
 	return s, nil
 }
@@ -375,14 +396,20 @@ func (s *Simulator) Run() metrics.Result {
 			break
 		}
 	}
+	runningLeft := 0
 	for i := range s.sockets {
 		if s.sockets[i].busy {
-			s.unfinished++
+			runningLeft++
 		}
 	}
-	s.unfinished += s.queue.Len()
+	queuedLeft := s.queue.Len()
+	s.unfinished = runningLeft + queuedLeft
 	s.col.SetSpan(s.cfg.Warmup, s.now)
-	return s.col.Finalize()
+	res := s.col.Finalize()
+	if s.checks != nil {
+		s.checks.End(s.arrived, runningLeft, queuedLeft, s.migrations, res)
+	}
+	return res
 }
 
 // finished reports whether arrivals are exhausted and all work is done.
@@ -465,9 +492,16 @@ func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
 	st := &s.sockets[id]
 	j := st.j
 	j.Done = t
+	residual := j.Work
 	j.Work = 0
-	if t >= s.cfg.Warmup {
+	// Strict >, matching advanceSocketTo's segment accrual: a completion
+	// exactly at the warmup instant carries zero post-warmup busy/energy
+	// measure, so counting it would record a job with no matching segments.
+	if t > s.cfg.Warmup {
 		s.col.OnJobComplete(j.NominalDuration, j.Done-j.Arrival, j.Done-j.Started, st.placement)
+	}
+	if s.checks != nil {
+		s.checks.OnComplete(int64(j.ID), residual, t)
 	}
 	st.busy = false
 	st.j = nil
@@ -516,6 +550,9 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	s.refreshDoneAt(int(id))
 	st.power = s.busyPower(st)
 	s.powers[id] = st.power
+	if s.checks != nil {
+		s.checks.OnPlace(int64(j.ID), j.NominalDuration, t)
+	}
 }
 
 // busyPower returns dynamic power at the socket's frequency plus leakage at
@@ -534,8 +571,11 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 	}
 	if st.busy {
 		rate := st.j.Benchmark.RelPerf(st.freq)
-		st.j.Work -= units.Seconds(float64(dt) * rate)
+		consumed := units.Seconds(float64(dt) * rate)
+		st.j.Work -= consumed
+		var clipped units.Seconds
 		if st.j.Work < 0 {
+			clipped = -st.j.Work
 			st.j.Work = 0
 		}
 		s.setDoneAt(i, t+units.Seconds(float64(st.j.Work)/rate))
@@ -547,6 +587,9 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 			rel := float64(st.freq) / float64(chipmodel.FMax)
 			s.col.OnBusySegment(seg, rel, chipmodel.IsBoost(st.freq), st.placement)
 		}
+		if s.checks != nil {
+			s.checks.OnWorkSegment(int64(st.j.ID), consumed, clipped, t)
+		}
 	}
 	if t > s.cfg.Warmup {
 		seg := dt
@@ -554,6 +597,9 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 			seg = t - s.cfg.Warmup
 		}
 		s.col.OnEnergy(units.Joules(float64(st.power) * float64(seg)))
+	}
+	if s.checks != nil {
+		s.checks.OnEnergySegment(i, st.lastUpdate, t, st.power)
 	}
 	st.lastUpdate = t
 }
@@ -624,6 +670,58 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 		}
 		s.powers[i] = st.power
 	}
+	if s.checks != nil {
+		s.auditTick()
+	}
+}
+
+// auditTick feeds the invariant harness after a power-manager tick: per-
+// socket thermal sanity and accounting coverage every tick, and the
+// completion-cache/heap audit on the harness's audit period. Runs only when
+// checks are installed; the hot tick loop above stays untouched.
+func (s *Simulator) auditTick() {
+	for i := range s.sockets {
+		st := &s.sockets[i]
+		id := geometry.SocketID(i)
+		sink := s.srv.Sink(id)
+		// Headroom: the socket's current operating point settles at or
+		// below the limit. The converged fixed point (not the governor's
+		// two-step truncation) is what the chip integrator actually
+		// approaches, so the harness's settled-chip bound is tight.
+		headroom := s.settledChipTemp(st, sink) <= chipmodel.TempLimit
+		s.checks.OnSocketTick(i, st.busy, st.ambient, st.chipTemp, headroom, s.now)
+	}
+	if s.checks.OnTick(s.now) {
+		for i := range s.sockets {
+			s.checks.AuditDoneAt(i, s.sockets[i].doneAt, s.recomputeDoneAt(i), s.now)
+		}
+		heapT, heapID := s.comp.min()
+		scanT, scanID := s.nextCompletionScan()
+		s.checks.AuditNextCompletion(heapT, int(heapID), scanT, int(scanID), s.now)
+	}
+}
+
+// settledChipTemp returns the chip temperature the socket's current
+// operating point converges to: the fixed point of the per-tick target
+// PeakTemp(ambient, dyn + leakage(T), sink) that the chip integrator chases.
+// The leakage loop gain R*alpha*L stays below one (leakage is capped), so
+// the iteration contracts; starting from the current chip temperature it
+// converges in a handful of steps. Idle sockets draw the fixed gated power
+// with no leakage feedback, so their target is already the fixed point.
+func (s *Simulator) settledChipTemp(st *socketState, sink chipmodel.Sink) units.Celsius {
+	if !st.busy {
+		return chipmodel.PeakTemp(st.ambient, s.gatedPower, sink)
+	}
+	dyn := st.j.Benchmark.DynamicPowerAt(st.freq)
+	t := st.chipTemp
+	for k := 0; k < 64; k++ {
+		nt := chipmodel.PeakTemp(st.ambient, dyn+s.leak.At(t), sink)
+		if math.Abs(float64(nt-t)) < 1e-9 {
+			return nt
+		}
+		t = nt
+	}
+	return t
 }
 
 // pickFrequencyIndexed implements the power-management policy of Table III:

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"densim/internal/airflow"
+	"densim/internal/check"
 	"densim/internal/chipmodel"
 	"densim/internal/geometry"
 	"densim/internal/metrics"
@@ -15,13 +16,27 @@ import (
 	"densim/internal/workload"
 )
 
+// runOne runs cfg to completion with the invariant harness attached (unless
+// the caller supplied its own), failing the test on any violation — every
+// sim test doubles as a checked run.
 func runOne(t *testing.T, cfg Config) (metrics.Result, *Simulator) {
 	t.Helper()
+	var h *check.Checks
+	if cfg.Checks == nil {
+		h = check.New()
+		cfg.Checks = h
+	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.Run(), s
+	res := s.Run()
+	if h != nil {
+		if err := h.Err(); err != nil {
+			t.Errorf("invariant violations: %v", err)
+		}
+	}
+	return res, s
 }
 
 func smallConfig(schedName string, load float64, class workload.Class) Config {
