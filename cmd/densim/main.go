@@ -14,6 +14,7 @@ import (
 
 	"densim/internal/core"
 	"densim/internal/metrics"
+	"densim/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 		inlet     = flag.Float64("inlet", 0, "inlet temperature override in C (0 = paper's 18C)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tracePath = flag.String("trace", "", "replay a recorded trace file (see cmd/tracegen) instead of the live generator")
+		telAddr   = flag.String("telemetry.addr", "", "serve a Prometheus-style /metrics endpoint on this address while the run executes (e.g. :9090)")
+		telTrace  = flag.String("telemetry.trace", "", "write the run's telemetry as a JSONL trace to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -40,6 +43,16 @@ func main() {
 		SinkTau:   *sinkTau,
 		Inlet:     *inlet,
 		TracePath: *tracePath,
+	}
+	var tel *telemetry.Telemetry
+	if *telAddr != "" || *telTrace != "" {
+		tel = telemetry.New(*schedName)
+		opts.Telemetry = tel
+	}
+	if *telAddr != "" {
+		telemetry.Serve(*telAddr, tel.Handler(), func(err error) {
+			fmt.Fprintln(os.Stderr, "densim: telemetry server:", err)
+		})
 	}
 	if *tracePath != "" {
 		// The trace defines arrivals; duration follows its horizon unless
@@ -60,6 +73,29 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(*schedName, *wl, *load, res)
+	if *telTrace != "" {
+		if err := writeTelemetryTrace(*telTrace, tel); err != nil {
+			fmt.Fprintln(os.Stderr, "densim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTelemetryTrace dumps the run's telemetry as JSONL ("-" = stdout).
+func writeTelemetryTrace(path string, tel *telemetry.Telemetry) error {
+	tr := tel.Snapshot(nil)
+	if path == "-" {
+		return telemetry.WriteJSONL(os.Stdout, tr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(schedName, wl string, load float64, r metrics.Result) {

@@ -11,6 +11,7 @@
 //	sweep -fig 3 -full            # paper-faithful windows
 //	sweep -fig all -csv           # everything, CSV output
 //	sweep -fig 14 -cpuprofile cpu.pb.gz   # profile the sweep itself
+//	sweep -fig all -full -telemetry.addr :9090   # watch /metrics live
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"densim/internal/experiments"
 	"densim/internal/report"
+	"densim/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telAddr    = flag.String("telemetry.addr", "", "serve a Prometheus-style /metrics endpoint on this address while sweeping (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,14 @@ func main() {
 	opts := experiments.Quick()
 	if *full {
 		opts = experiments.Full()
+	}
+	if *telAddr != "" {
+		// Per-scheduler telemetry, aggregated across the sweep's cells and
+		// seeds, live on /metrics while the (potentially long) sweep runs.
+		opts.Telemetry = telemetry.NewSet()
+		telemetry.Serve(*telAddr, opts.Telemetry.Handler(), func(err error) {
+			fmt.Fprintln(os.Stderr, "sweep: telemetry server:", err)
+		})
 	}
 	loadList, err := parseLoads(*loads)
 	if err != nil {

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	timeline -sched CF -workload Computation -load 0.8 -duration 30 > run.csv
+//	timeline -sched CF -load 0.8 -telemetry run.jsonl > run.csv   # also dump a trace
+//	timeline -render run.jsonl > run.csv                          # re-render, no simulation
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"densim/internal/airflow"
 	"densim/internal/sched"
 	"densim/internal/sim"
+	"densim/internal/telemetry"
 	"densim/internal/units"
 	"densim/internal/workload"
 )
@@ -30,8 +33,17 @@ func main() {
 		interval  = flag.Float64("interval", 0.1, "sampling interval in seconds")
 		sinkTau   = flag.Float64("sinktau", 0, "socket thermal time constant override (0 = 30s)")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		telPath   = flag.String("telemetry", "", "also write the run's telemetry (events + zone samples) as a JSONL trace to this file")
+		render    = flag.String("render", "", "render an existing JSONL telemetry trace to timeline CSV and exit (no simulation)")
 	)
 	flag.Parse()
+
+	if *render != "" {
+		if err := renderTrace(*render); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var class workload.Class
 	found := false
@@ -59,6 +71,11 @@ func main() {
 		SinkTau:   units.Seconds(*sinkTau),
 		Probe:     rec.Probe,
 	}
+	var tel *telemetry.Telemetry
+	if *telPath != "" {
+		tel = telemetry.New(*schedName)
+		cfg.Telemetry = tel
+	}
 	s, err := sim.New(cfg)
 	if err != nil {
 		fail(err)
@@ -67,8 +84,65 @@ func main() {
 	if err := rec.WriteCSV(os.Stdout); err != nil {
 		fail(err)
 	}
+	if tel != nil {
+		if err := writeTrace(*telPath, tel, rec.Samples()); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "completed %d jobs, mean expansion %.4f, boost %.3f, %d samples\n",
 		res.Completed, res.MeanExpansion, res.BoostResidency, len(rec.Samples()))
+}
+
+// writeTrace dumps telemetry plus the recorder's zone series as JSONL.
+func writeTrace(path string, tel *telemetry.Telemetry, zs []sim.ZoneSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(f, tel.Snapshot(flatten(zs))); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// flatten converts the recorder's per-zone vectors into the trace's flat
+// (time, zone) sample rows — the same order WriteCSV emits.
+func flatten(zs []sim.ZoneSample) []telemetry.Sample {
+	var out []telemetry.Sample
+	for _, s := range zs {
+		for z := 1; z < len(s.Ambient); z++ {
+			out = append(out, telemetry.Sample{
+				At:       float64(s.At),
+				Zone:     z,
+				AmbientC: s.Ambient[z],
+				SocketC:  s.SockTemp[z],
+				ChipC:    s.ChipTemp[z],
+				Busy:     s.Busy[z],
+				RelFreq:  s.RelFreq[z],
+			})
+		}
+	}
+	return out
+}
+
+// renderTrace reads a JSONL telemetry trace and re-emits the timeline CSV.
+func renderTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteSamplesCSV(os.Stdout, tr.Samples); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rendered %d samples, %d events from %s (run %q)\n",
+		len(tr.Samples), len(tr.Events), path, tr.Meta.Label)
+	return nil
 }
 
 func fail(err error) {

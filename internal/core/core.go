@@ -24,6 +24,7 @@ import (
 	"densim/internal/metrics"
 	"densim/internal/sched"
 	"densim/internal/sim"
+	"densim/internal/telemetry"
 	"densim/internal/trace"
 	"densim/internal/units"
 	"densim/internal/workload"
@@ -57,6 +58,12 @@ type Options struct {
 	// JSON; everything else as the binary format. Duration defaults to the
 	// trace's capture horizon.
 	TracePath string
+	// Telemetry optionally installs the observability layer (package
+	// internal/telemetry) on every Run: counters, pick-latency and
+	// queue-wait histograms, per-lane ambient-rise extrema, and the event
+	// ring, readable as a Prometheus exposition or a JSONL run trace. Nil
+	// disables instrumentation at zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 // Schedulers lists the available policy names in the paper's order.
@@ -145,6 +152,7 @@ func NewExperiment(o Options) (*Experiment, error) {
 		Duration:  units.Seconds(o.Duration),
 		Warmup:    units.Seconds(o.Warmup),
 		SinkTau:   units.Seconds(o.SinkTau),
+		Telemetry: o.Telemetry,
 	}
 	// Validate eagerly so callers see configuration errors here, not at
 	// Run time.

@@ -26,6 +26,7 @@ import (
 	"densim/internal/metrics"
 	"densim/internal/sched"
 	"densim/internal/sim"
+	"densim/internal/telemetry"
 	"densim/internal/units"
 	"densim/internal/workload"
 )
@@ -48,6 +49,12 @@ type SimOptions struct {
 	// DENSIM_CHECKS environment variable enables it for the presets —
 	// CI's checked test leg sets it.
 	Checked bool
+	// Telemetry optionally instruments every simulation: each scheduler's
+	// runs share one telemetry.Telemetry from this set (labeled with the
+	// scheduler name), so a long sweep can be watched live through the
+	// set's Prometheus endpoint (cmd/sweep -telemetry.addr). Nil disables
+	// instrumentation.
+	Telemetry *telemetry.Set
 }
 
 // checkedFromEnv reports whether the DENSIM_CHECKS environment variable
@@ -203,6 +210,11 @@ func (r *Runner) runCell(c Cell) (metrics.Result, error) {
 			if r.opts.Checked {
 				h = check.New()
 				cfg.Checks = h
+			}
+			// Telemetry aggregates: all of a scheduler's seeds and cells
+			// share the instance labeled with its name.
+			if r.opts.Telemetry != nil {
+				cfg.Telemetry = r.opts.Telemetry.For(c.Sched)
 			}
 			s, err := sim.New(cfg)
 			if err != nil {

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"densim/internal/report"
+)
+
+// update regenerates testdata/golden_digests.json instead of comparing:
+//
+//	go test ./internal/experiments -run TestGoldenFigureDigests -update
+var update = flag.Bool("update", false, "rewrite the golden figure digests")
+
+const goldenPath = "testdata/golden_digests.json"
+
+// goldenFigures renders every figure/table of the paper as CSV under the
+// quick single-seed preset. Any change to simulator physics, scheduling,
+// metrics accounting, or table formatting shifts at least one digest, so
+// the golden test catches unintended result drift across the whole repo.
+func goldenFigures(t *testing.T) map[string]string {
+	t.Helper()
+	opts := Quick()
+	opts.Checked = false // identical results either way; keep digests env-independent
+	r := NewRunner(opts)
+	// Bound Fig14/15 to the loads Fig11/13 already simulate so the memoized
+	// runner shares cells and the whole suite stays test-budget friendly.
+	loads := []float64{0.3, 0.7}
+
+	digests := map[string]string{}
+	add := func(name string, tab *report.Table, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := tab.RenderCSV(&buf); err != nil {
+			t.Fatalf("%s: render: %v", name, err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		digests[name] = hex.EncodeToString(sum[:])
+	}
+
+	// Static (analytic) figures first — cheap, and independent of the
+	// simulation preset.
+	_, t1 := Table1()
+	add("table1", t1, nil)
+	_, t2 := Table2()
+	add("table2", t2, nil)
+	add("table3", Table3(), nil)
+	_, f1 := Fig1(7)
+	add("fig1", f1, nil)
+	_, f2, err := Fig2()
+	add("fig2", f2, err)
+	_, f4 := Fig4()
+	add("fig4", f4, nil)
+	_, f5 := Fig5()
+	add("fig5", f5, nil)
+	_, f6 := Fig6()
+	add("fig6", f6, nil)
+	_, f7 := Fig7()
+	add("fig7", f7, nil)
+	_, f12 := Fig12()
+	add("fig12", f12, nil)
+
+	// Simulation-backed figures under the shared runner.
+	_, f3, err := Fig3(opts)
+	add("fig3", f3, err)
+	_, f11, err := Fig11(r)
+	add("fig11", f11, err)
+	_, f13, err := Fig13(r)
+	add("fig13", f13, err)
+	_, f14, err := Fig14(r, loads)
+	add("fig14", f14, err)
+	_, f15, err := Fig15(r, loads)
+	add("fig15", f15, err)
+	return digests
+}
+
+// TestGoldenFigureDigests pins a SHA-256 digest of every figure's CSV
+// rendering. On mismatch it names the drifted figures; re-run with -update
+// after verifying the new output is intentional (see EXPERIMENTS.md).
+func TestGoldenFigureDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep; skipped in -short mode")
+	}
+	got := goldenFigures(t)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden digests (regenerate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var drifted []string
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("golden file lists %q but the test no longer renders it", name)
+			continue
+		}
+		if g != want[name] {
+			drifted = append(drifted, name)
+			t.Errorf("%s: digest %s, want %s", name, g[:12], want[name][:12])
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("figure %q rendered but missing from %s (run with -update)", name, goldenPath)
+		}
+	}
+	if len(drifted) > 0 {
+		t.Logf("figure output drifted (%v) — if intentional, refresh with: go test ./internal/experiments -run TestGoldenFigureDigests -update", drifted)
+	}
+}
+
+// TestGoldenDigestsAreStable re-renders the cheap static figures and checks
+// the digests are reproducible within a process — guarding against
+// accidental map-iteration or RNG leakage into table rendering.
+func TestGoldenDigestsAreStable(t *testing.T) {
+	render := func() map[string]string {
+		out := map[string]string{}
+		for name, tab := range staticTables(t) {
+			var buf bytes.Buffer
+			if err := tab.RenderCSV(&buf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sum := sha256.Sum256(buf.Bytes())
+			out[name] = hex.EncodeToString(sum[:])
+		}
+		return out
+	}
+	a, b := render(), render()
+	for name := range a {
+		if a[name] != b[name] {
+			t.Errorf("%s: digest unstable across renders", name)
+		}
+	}
+}
+
+func staticTables(t *testing.T) map[string]*report.Table {
+	t.Helper()
+	_, t1 := Table1()
+	_, t2 := Table2()
+	_, f1 := Fig1(7)
+	_, f2, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f4 := Fig4()
+	_, f5 := Fig5()
+	_, f6 := Fig6()
+	_, f7 := Fig7()
+	_, f12 := Fig12()
+	return map[string]*report.Table{
+		"table1": t1, "table2": t2, "table3": Table3(),
+		"fig1": f1, "fig2": f2, "fig4": f4, "fig5": f5,
+		"fig6": f6, "fig7": f7, "fig12": f12,
+	}
+}

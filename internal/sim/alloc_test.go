@@ -5,6 +5,7 @@ import (
 
 	"densim/internal/job"
 	"densim/internal/sched"
+	"densim/internal/telemetry"
 	"densim/internal/units"
 	"densim/internal/workload"
 )
@@ -68,5 +69,35 @@ func TestSteadyStateHotPathsDoNotAllocate(t *testing.T) {
 	_, s := runOne(t, cfg)
 	if !measured {
 		t.Fatalf("probe never saw a mixed busy/idle state (arrived=%d)", s.Arrived())
+	}
+}
+
+// TestTickPathAllocFreeWithTelemetry re-measures the power-manager tick with
+// the observability layer installed: instrumentation must stay on the
+// zero-allocation budget too (atomic counters, preallocated ring and lane
+// vector), not just when disabled. Together with the test above this pins
+// the ISSUE's overhead contract at the allocation level for both states.
+func TestTickPathAllocFreeWithTelemetry(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	cfg.Telemetry = telemetry.New("alloc-test")
+	measured := false
+	cfg.Probe = func(s *Simulator, now units.Seconds) {
+		if measured || now < 1.0 {
+			return
+		}
+		measured = true
+		tick := s.cfg.TickPeriod
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.powerManagerTick(tick)
+		}); allocs != 0 {
+			t.Errorf("powerManagerTick with telemetry allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+	_, s := runOne(t, cfg)
+	if !measured {
+		t.Fatalf("probe never fired (arrived=%d)", s.Arrived())
+	}
+	if cfg.Telemetry.Counter(telemetry.CTicks) == 0 {
+		t.Fatal("telemetry saw no ticks — the instrumented path was not exercised")
 	}
 }

@@ -5,12 +5,14 @@ import (
 
 	"densim/internal/airflow"
 	"densim/internal/sched"
+	"densim/internal/telemetry"
 	"densim/internal/workload"
 )
 
 // benchRun executes one simulated second on the full SUT at the given load
-// under the given scheduler — the simulator's core cost unit.
-func benchRun(b *testing.B, schedName string, load float64) {
+// under the given scheduler — the simulator's core cost unit. A non-nil tel
+// instruments every run (the enabled-overhead benchmark).
+func benchRun(b *testing.B, schedName string, load float64, tel *telemetry.Telemetry) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -27,6 +29,7 @@ func benchRun(b *testing.B, schedName string, load float64) {
 			Duration:  1,
 			Warmup:    0.1,
 			SinkTau:   1,
+			Telemetry: tel,
 		}
 		s, err := New(cfg)
 		if err != nil {
@@ -39,9 +42,16 @@ func benchRun(b *testing.B, schedName string, load float64) {
 	}
 }
 
-func BenchmarkSimSecondIdle(b *testing.B)         { benchRun(b, "CF", 0) }
-func BenchmarkSimSecondCF50(b *testing.B)         { benchRun(b, "CF", 0.5) }
-func BenchmarkSimSecondCF90(b *testing.B)         { benchRun(b, "CF", 0.9) }
-func BenchmarkSimSecondCP50(b *testing.B)         { benchRun(b, "CP", 0.5) }
-func BenchmarkSimSecondCP90(b *testing.B)         { benchRun(b, "CP", 0.9) }
-func BenchmarkSimSecondPredictive90(b *testing.B) { benchRun(b, "Predictive", 0.9) }
+func BenchmarkSimSecondIdle(b *testing.B)         { benchRun(b, "CF", 0, nil) }
+func BenchmarkSimSecondCF50(b *testing.B)         { benchRun(b, "CF", 0.5, nil) }
+func BenchmarkSimSecondCF90(b *testing.B)         { benchRun(b, "CF", 0.9, nil) }
+func BenchmarkSimSecondCP50(b *testing.B)         { benchRun(b, "CP", 0.5, nil) }
+func BenchmarkSimSecondCP90(b *testing.B)         { benchRun(b, "CP", 0.9, nil) }
+func BenchmarkSimSecondPredictive90(b *testing.B) { benchRun(b, "Predictive", 0.9, nil) }
+
+// BenchmarkSimSecondCF90Telemetry is BenchmarkSimSecondCF90 with the full
+// observability layer installed — compare the two to measure the enabled
+// overhead (the PR's contract is ≤5% wall clock; see BENCH_PR3.json).
+func BenchmarkSimSecondCF90Telemetry(b *testing.B) {
+	benchRun(b, "CF", 0.9, telemetry.New("bench"))
+}

@@ -131,4 +131,7 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	if s.checks != nil {
 		s.checks.OnMigrate(int64(j.ID), s.cfg.Migration.Cost, s.now)
 	}
+	if s.tel != nil {
+		s.tel.OnMigrate(s.now, int(srcID), int(dstID))
+	}
 }

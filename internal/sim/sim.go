@@ -32,6 +32,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"densim/internal/airflow"
 	"densim/internal/check"
@@ -41,6 +42,7 @@ import (
 	"densim/internal/metrics"
 	"densim/internal/sched"
 	"densim/internal/stats"
+	"densim/internal/telemetry"
 	"densim/internal/units"
 	"densim/internal/workload"
 )
@@ -110,6 +112,15 @@ type Config struct {
 	// fresh one per simulation and read its Err() after Run. Nil disables
 	// all checking at zero cost (a single pointer test per hook site).
 	Checks *check.Checks
+	// Telemetry optionally installs the observability layer (package
+	// internal/telemetry): counters, pick-latency and queue-wait
+	// histograms, per-lane ambient-rise extrema, and a bounded event ring,
+	// fed from the tick and event paths. Unlike Checks, an instance may be
+	// shared by concurrent runs (it aggregates through atomics) — the sweep
+	// runner hands every seed of a scheduler the same instance. Nil
+	// disables instrumentation at zero cost (one pointer test per hook
+	// site, no allocations).
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -250,6 +261,14 @@ type Simulator struct {
 	}
 	// checks is the optional invariant harness (nil = disabled).
 	checks *check.Checks
+	// tel is the optional observability layer (nil = disabled). laneIdx
+	// maps each socket to its airflow lane (row-major) and inletC caches
+	// the inlet for the per-lane ambient-rise extrema; both are built only
+	// when telemetry is installed.
+	tel      *telemetry.Local
+	laneIdx  []int32
+	inletC   float64
+	telTicks uint64 // local tick count gating the lane scan and flush
 	// Diagnostics.
 	arrived    int
 	unfinished int
@@ -306,6 +325,16 @@ func New(cfg Config) (*Simulator, error) {
 		s.checks = cfg.Checks
 		s.checks.Begin(cfg.Server.NumSockets(), cfg.Warmup, inlet,
 			chipmodel.TempLimit, cfg.ChipTau, cfg.TickPeriod)
+	}
+	if cfg.Telemetry != nil {
+		s.inletC = float64(inlet)
+		s.laneIdx = make([]int32, cfg.Server.NumSockets())
+		for _, sk := range cfg.Server.Sockets() {
+			s.laneIdx[sk.ID] = int32(sk.Row*cfg.Server.Lanes + sk.Lane)
+		}
+		// The run accumulates into a private Local (plain increments on the
+		// hot paths) and flushes batches into the shared instance.
+		s.tel = cfg.Telemetry.NewLocal(cfg.Server.Rows*cfg.Server.Lanes, inlet)
 	}
 	return s, nil
 }
@@ -409,6 +438,9 @@ func (s *Simulator) Run() metrics.Result {
 	if s.checks != nil {
 		s.checks.End(s.arrived, runningLeft, queuedLeft, s.migrations, res)
 	}
+	if s.tel != nil {
+		s.tel.Flush() // publish the tail of the batch
+	}
 	return res
 }
 
@@ -449,6 +481,9 @@ func (s *Simulator) processEventsUntil(end units.Seconds) {
 			j := job.New(s.nextID, b, at, dur)
 			s.nextID++
 			s.arrived++
+			if s.tel != nil {
+				s.tel.OnArrival()
+			}
 			s.queue.Push(j)
 		}
 		s.drainQueue(t)
@@ -503,6 +538,9 @@ func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
 	if s.checks != nil {
 		s.checks.OnComplete(int64(j.ID), residual, t)
 	}
+	if s.tel != nil {
+		s.tel.OnComplete(t, int(id), j.Done-j.Arrival, j.Done-j.Started)
+	}
 	st.busy = false
 	st.j = nil
 	st.freq = 0
@@ -519,7 +557,22 @@ func (s *Simulator) drainQueue(t units.Seconds) {
 			return
 		}
 		j := s.queue.Pop()
-		pick := s.cfg.Scheduler.Pick(s, j, idle)
+		var pick geometry.SocketID
+		if s.tel != nil {
+			// Wall-clocking every pick costs two time.Now calls per
+			// placement; the latency histogram is sampled instead.
+			lat := time.Duration(-1)
+			if s.tel.TimeThisPick() {
+				start := time.Now()
+				pick = s.cfg.Scheduler.Pick(s, j, idle)
+				lat = time.Since(start)
+			} else {
+				pick = s.cfg.Scheduler.Pick(s, j, idle)
+			}
+			s.tel.OnPick(lat, s.srv.Zone(pick))
+		} else {
+			pick = s.cfg.Scheduler.Pick(s, j, idle)
+		}
 		s.placeJob(pick, j, t)
 	}
 }
@@ -552,6 +605,9 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	s.powers[id] = st.power
 	if s.checks != nil {
 		s.checks.OnPlace(int64(j.ID), j.NominalDuration, t)
+	}
+	if s.tel != nil {
+		s.tel.OnPlace(t, int(id), s.srv.Zone(id), t-j.Arrival)
 	}
 }
 
@@ -661,6 +717,9 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 		// cached completion instant only moves when the P-state does.
 		if st.busy {
 			if f := s.pickFrequencyIndexed(id, st); f != st.freq {
+				if s.tel != nil {
+					s.tel.OnThrottle(s.now, i, st.freq, f)
+				}
 				st.freq = f
 				s.refreshDoneAt(i)
 			}
@@ -672,6 +731,21 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 	}
 	if s.checks != nil {
 		s.auditTick()
+	}
+	if s.tel != nil {
+		s.tel.OnTick()
+		// The thermal field moves on 100ms+ scales; folding every socket's
+		// ambient into the lane extrema every 8th tick loses nothing
+		// measurable and keeps the full scan off most ticks. The same
+		// cadence publishes the run's batch to the shared instance, so a
+		// live /metrics endpoint lags the simulation by at most 8 ticks.
+		s.telTicks++
+		if s.telTicks&7 == 0 {
+			for i := range s.sockets {
+				s.tel.ObserveLaneRise(int(s.laneIdx[i]), float64(s.sockets[i].ambient)-s.inletC)
+			}
+			s.tel.Flush()
+		}
 	}
 }
 

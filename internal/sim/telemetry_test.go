@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/telemetry"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// TestTelemetryCountersMatchSimulator cross-checks the observability layer
+// against the simulator's own diagnostics: arrivals, placements,
+// completions, migrations, and ticks must agree exactly, and the chosen-
+// socket zone counts must cover every placement.
+func TestTelemetryCountersMatchSimulator(t *testing.T) {
+	tel := telemetry.New("CP")
+	cfg := smallConfig("CP", 0.8, workload.Computation)
+	cfg.SinkTau = 0.3
+	cfg.Migration = MigrationConfig{Period: 0.02}
+	cfg.Telemetry = tel
+	_, s := runOne(t, cfg)
+
+	if got, want := tel.Counter(telemetry.CArrivals), int64(s.Arrived()); got != want {
+		t.Errorf("arrivals counter = %d, simulator arrived %d", got, want)
+	}
+	placed := tel.Counter(telemetry.CPlacements)
+	if got := tel.Counter(telemetry.CPicks); got != placed {
+		t.Errorf("picks = %d, placements = %d — every placement is one pick", got, placed)
+	}
+	completedAll := int64(s.Arrived() - s.Unfinished())
+	if got := tel.Counter(telemetry.CCompletions); got != completedAll {
+		t.Errorf("completions counter = %d, want %d (arrived - unfinished)", got, completedAll)
+	}
+	if placed != completedAll {
+		t.Errorf("placements %d != completions %d on a fully drained run", placed, completedAll)
+	}
+	if got, want := tel.Counter(telemetry.CMigrations), int64(s.Migrations()); got != want {
+		t.Errorf("migrations counter = %d, simulator %d", got, want)
+	}
+	if tel.Counter(telemetry.CTicks) == 0 {
+		t.Error("no ticks recorded")
+	}
+
+	var zoneSum int64
+	for z := 1; z <= s.Server().Depth; z++ {
+		zoneSum += tel.ZonePicks(z)
+	}
+	if zoneSum != placed {
+		t.Errorf("zone pick counts sum to %d, want %d", zoneSum, placed)
+	}
+
+	// Pick latency is sampled 1-in-PickSampleInterval; on a fresh instance
+	// the sampled count is exact.
+	wantSampled := (placed + telemetry.PickSampleInterval - 1) / telemetry.PickSampleInterval
+	if got := tel.PickLatency.Count(); got != wantSampled {
+		t.Errorf("pick latency observations = %d, want %d (%d picks sampled 1/%d)",
+			got, wantSampled, placed, telemetry.PickSampleInterval)
+	}
+	if got := tel.QueueWait.Count(); got != placed {
+		t.Errorf("queue wait observations = %d, want %d", got, placed)
+	}
+
+	// At 80% load on the SUT the back zones heat measurably: some lane must
+	// record a positive ambient rise, and none may exceed a sane bound.
+	rises := tel.LaneRiseMax()
+	if len(rises) != s.Server().Rows*s.Server().Lanes {
+		t.Fatalf("lane vector has %d entries, want %d", len(rises), s.Server().Rows*s.Server().Lanes)
+	}
+	anyPositive := false
+	for lane, r := range rises {
+		if r > 0 {
+			anyPositive = true
+		}
+		if r > 60 {
+			t.Errorf("lane %d ambient rise %v C is absurd", lane, r)
+		}
+	}
+	if !anyPositive {
+		t.Error("no lane recorded a positive ambient rise at 80% load")
+	}
+}
+
+// TestTelemetryThrottleEventsOnHotRun drives the SUT hot enough to force
+// DVFS transitions and checks they surface as counters and ring events.
+func TestTelemetryThrottleEventsOnHotRun(t *testing.T) {
+	tel := telemetry.New("CF")
+	cfg := smallConfig("CF", 0.95, workload.Computation)
+	cfg.SinkTau = 0.2 // reach the hot quasi-steady field inside the window
+	cfg.Telemetry = tel
+	runOne(t, cfg)
+
+	if tel.Counter(telemetry.CThrottleDown) == 0 {
+		t.Error("no throttle-down transitions on a 95%-load computation run")
+	}
+	sawThrottle := false
+	for _, e := range tel.Ring().Snapshot() {
+		if e.Kind == telemetry.EvThrottle {
+			sawThrottle = true
+			if e.V1 == e.V2 {
+				t.Errorf("throttle event with no frequency change: %+v", e)
+			}
+		}
+	}
+	if !sawThrottle && tel.Ring().Dropped() == 0 {
+		t.Error("no throttle event in the ring despite transitions and no drops")
+	}
+}
+
+// TestTelemetrySharedAcrossRunsAggregates runs two simulations into one
+// instance — the sweep runner's usage — and checks the counts add up.
+func TestTelemetrySharedAcrossRunsAggregates(t *testing.T) {
+	tel := telemetry.New("CF")
+	var arrived int64
+	for seed := uint64(1); seed <= 2; seed++ {
+		cfg := smallConfig("CF", 0.5, workload.Storage)
+		cfg.Seed = seed
+		cfg.Telemetry = tel
+		_, s := runOne(t, cfg)
+		arrived += int64(s.Arrived())
+	}
+	if got := tel.Counter(telemetry.CArrivals); got != arrived {
+		t.Errorf("aggregated arrivals = %d, want %d", got, arrived)
+	}
+}
+
+// TestTelemetryDoesNotChangeResults pins the zero-interference property:
+// a run with telemetry installed must produce exactly the metrics of the
+// same run without it.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	base, _ := runOne(t, smallConfig("CP", 0.7, workload.GeneralPurpose))
+	cfg := smallConfig("CP", 0.7, workload.GeneralPurpose)
+	cfg.Telemetry = telemetry.New("CP")
+	instrumented, _ := runOne(t, cfg)
+	if base.Completed != instrumented.Completed ||
+		base.MeanExpansion != instrumented.MeanExpansion ||
+		base.EnergyJ != instrumented.EnergyJ ||
+		base.Span != instrumented.Span {
+		t.Errorf("telemetry changed results:\n base %+v\n with %+v", base, instrumented)
+	}
+}
+
+// TestTelemetryWaitTimesArePlausible checks the queue-wait histogram only
+// sees non-negative waits bounded by the run horizon.
+func TestTelemetryWaitTimesArePlausible(t *testing.T) {
+	tel := telemetry.New("CF")
+	cfg := smallConfig("CF", 0.9, workload.Computation)
+	cfg.Telemetry = tel
+	runOne(t, cfg)
+	for _, e := range tel.Ring().Snapshot() {
+		if e.Kind != telemetry.EvPlace {
+			continue
+		}
+		if e.V1 < 0 || units.Seconds(e.V1) > 10 {
+			t.Errorf("placement wait %v out of range", e.V1)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadJSONL throws arbitrary bytes at the JSONL trace reader. Whatever
+// it accepts must survive WriteJSONL → ReadJSONL unchanged (the reader is
+// documented as the writer's inverse), and whatever it rejects must fail
+// with an error — never a panic, hang, or unbounded allocation.
+func FuzzReadJSONL(f *testing.F) {
+	// A real trace as the primary seed.
+	tel := New("fuzz")
+	tel.Begin(2, 18)
+	tel.OnArrival()
+	tel.OnPlace(0.5, 3, 1, 0.01)
+	tel.OnComplete(0.9, 3, 0.41, 0.4)
+	tel.OnThrottle(1.0, 7, 1900, 1700)
+	tel.ObserveLaneRise(1, 2.5)
+	samples := []Sample{{At: 0.5, Zone: 1, AmbientC: 19.5, SocketC: 24, ChipC: 51, Busy: 3, RelFreq: 0.97}}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tel.Snapshot(samples)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"type":"meta","schema":1,"label":"x","lanes":1}`))
+	f.Add([]byte(`{"type":"meta","schema":1}` + "\n" + `{"type":"event","at":1,"kind":"place"}`))
+	f.Add([]byte(`{"type":"meta","schema":2}`))
+	f.Add([]byte(`{"type":"event","at":1,"kind":"place"}`)) // no meta first
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadJSONL(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v\nstream:\n%s", err, out.String())
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n first %+v\n second %+v", tr, tr2)
+		}
+	})
+}

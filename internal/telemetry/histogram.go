@@ -1,0 +1,77 @@
+package telemetry
+
+import "sync/atomic"
+
+// Histogram is a fixed-bucket histogram with atomic counters: concurrent
+// Observe calls are safe and allocation-free. Bucket boundaries are upper
+// bounds (inclusive), Prometheus-style; an implicit +Inf bucket catches the
+// overflow. The sum is accumulated in nanounits (value * 1e9 rounded to
+// int64) so it can live in a plain atomic integer — ample precision for
+// the latencies and waits observed here.
+type Histogram struct {
+	uppers []float64      // sorted inclusive upper bounds
+	counts []atomic.Int64 // len(uppers)+1; last is +Inf
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds.
+func NewHistogram(uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic("telemetry: histogram bounds not strictly increasing")
+		}
+	}
+	return &Histogram{
+		uppers: uppers,
+		counts: make([]atomic.Int64, len(uppers)+1),
+	}
+}
+
+// PickLatencyBuckets are the wall-clock scheduler-pick latency bounds
+// (seconds): 1 µs to 50 ms, roughly logarithmic.
+func PickLatencyBuckets() []float64 {
+	return []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 5e-3, 5e-2}
+}
+
+// QueueWaitBuckets are the queueing-delay bounds (simulated seconds):
+// sub-millisecond waits up to half a minute.
+func QueueWaitBuckets() []float64 {
+	return []float64{1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 30}
+}
+
+// Observe folds one value into the histogram.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(v * 1e9))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Uppers returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Uppers() []float64 { return h.uppers }
+
+// BucketCount returns the count in bucket i (i == len(Uppers()) is the
+// +Inf overflow bucket).
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Cumulative returns the cumulative counts per upper bound plus the +Inf
+// total — the `le` series of a Prometheus histogram.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// JSONL run trace — the offline-analysis sink. One record per line, each a
+// JSON object discriminated by "type":
+//
+//	{"type":"meta","schema":1,"label":"CF","lanes":30,"inlet_c":18}
+//	{"type":"event","at":1.25,"kind":"place","socket":12,"aux":3,"v1":0.01,"v2":0}
+//	{"type":"sample","at":0.5,"zone":1,"ambient_c":19.2,"socket_c":24.1,"chip_c":55.3,"busy":14,"rel_freq":0.93}
+//	{"type":"counters","values":{"ticks":10000,...}}
+//	{"type":"lanes","max_rise_c":[0.4,1.2,...]}
+//
+// The meta line comes first; counters and lanes close the stream. Events
+// carry the ring's kind-specific Aux/V1/V2 fields verbatim (see the
+// EventKind constants). Samples are the per-zone thermal/operating series
+// cmd/timeline records — enough to re-render its CSV offline (-render).
+
+// SchemaVersion is the JSONL trace schema version.
+const SchemaVersion = 1
+
+// Meta is the trace header.
+type Meta struct {
+	Schema int     `json:"schema"`
+	Label  string  `json:"label"`
+	Lanes  int     `json:"lanes"`
+	InletC float64 `json:"inlet_c"`
+}
+
+// TraceEvent is one event line (the JSONL form of a ring Event).
+type TraceEvent struct {
+	At     float64 `json:"at"`
+	Kind   string  `json:"kind"`
+	Socket int     `json:"socket"`
+	Aux    int     `json:"aux"`
+	V1     float64 `json:"v1"`
+	V2     float64 `json:"v2"`
+}
+
+// Sample is one (time, zone) point of the per-zone series.
+type Sample struct {
+	At       float64 `json:"at"`
+	Zone     int     `json:"zone"`
+	AmbientC float64 `json:"ambient_c"`
+	SocketC  float64 `json:"socket_c"`
+	ChipC    float64 `json:"chip_c"`
+	Busy     int     `json:"busy"`
+	RelFreq  float64 `json:"rel_freq"`
+}
+
+// RunTrace is a fully parsed JSONL trace.
+type RunTrace struct {
+	Meta        Meta
+	Events      []TraceEvent
+	Samples     []Sample
+	Counters    map[string]int64
+	LaneRiseMax []float64
+}
+
+// Snapshot assembles a RunTrace from the instance's current state plus the
+// caller's per-zone samples (may be nil).
+func (t *Telemetry) Snapshot(samples []Sample) *RunTrace {
+	t.mu.Lock()
+	lanes := len(t.laneRise)
+	inlet := t.inletC
+	t.mu.Unlock()
+	tr := &RunTrace{
+		Meta:        Meta{Schema: SchemaVersion, Label: t.label, Lanes: lanes, InletC: inlet},
+		Samples:     samples,
+		Counters:    map[string]int64{},
+		LaneRiseMax: t.LaneRiseMax(),
+	}
+	for id := CounterID(0); id < numCounters; id++ {
+		tr.Counters[counterNames[id]] = t.Counter(id)
+	}
+	for _, e := range t.ring.Snapshot() {
+		tr.Events = append(tr.Events, TraceEvent{
+			At: float64(e.At), Kind: e.Kind.String(),
+			Socket: int(e.Socket), Aux: int(e.Aux), V1: e.V1, V2: e.V2,
+		})
+	}
+	return tr
+}
+
+// line is the union JSONL record used for encoding and decoding.
+type line struct {
+	Type string `json:"type"`
+
+	// meta
+	Schema int     `json:"schema,omitempty"`
+	Label  string  `json:"label,omitempty"`
+	Lanes  int     `json:"lanes,omitempty"`
+	InletC float64 `json:"inlet_c,omitempty"`
+
+	// event
+	At     float64 `json:"at,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+	Socket int     `json:"socket,omitempty"`
+	Aux    int     `json:"aux,omitempty"`
+	V1     float64 `json:"v1,omitempty"`
+	V2     float64 `json:"v2,omitempty"`
+
+	// sample
+	Zone     int     `json:"zone,omitempty"`
+	AmbientC float64 `json:"ambient_c,omitempty"`
+	SocketC  float64 `json:"socket_c,omitempty"`
+	ChipC    float64 `json:"chip_c,omitempty"`
+	Busy     int     `json:"busy,omitempty"`
+	RelFreq  float64 `json:"rel_freq,omitempty"`
+
+	// counters / lanes
+	Values   map[string]int64 `json:"values,omitempty"`
+	MaxRiseC []float64        `json:"max_rise_c,omitempty"`
+}
+
+// WriteJSONL encodes the trace: meta first, then events, samples, and the
+// closing counters and lanes records.
+func WriteJSONL(w io.Writer, tr *RunTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(line{Type: "meta", Schema: tr.Meta.Schema, Label: tr.Meta.Label,
+		Lanes: tr.Meta.Lanes, InletC: tr.Meta.InletC}); err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		if err := enc.Encode(line{Type: "event", At: e.At, Kind: e.Kind,
+			Socket: e.Socket, Aux: e.Aux, V1: e.V1, V2: e.V2}); err != nil {
+			return err
+		}
+	}
+	for _, s := range tr.Samples {
+		if err := enc.Encode(line{Type: "sample", At: s.At, Zone: s.Zone, AmbientC: s.AmbientC,
+			SocketC: s.SocketC, ChipC: s.ChipC, Busy: s.Busy, RelFreq: s.RelFreq}); err != nil {
+			return err
+		}
+	}
+	if tr.Counters != nil {
+		if err := enc.Encode(line{Type: "counters", Values: tr.Counters}); err != nil {
+			return err
+		}
+	}
+	if tr.LaneRiseMax != nil {
+		if err := enc.Encode(line{Type: "lanes", MaxRiseC: tr.LaneRiseMax}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxJSONLLine bounds one record so a corrupt stream cannot balloon the
+// reader's buffer.
+const maxJSONLLine = 1 << 20
+
+// ReadJSONL parses and validates a JSONL trace: the first record must be a
+// meta line with a supported schema, kinds must be known, times must be
+// finite and non-negative, and each record type well-formed. The reader is
+// the inverse of WriteJSONL: writing a parsed trace re-produces an
+// equivalent stream.
+func ReadJSONL(r io.Reader) (*RunTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxJSONLLine)
+	tr := &RunTrace{}
+	sawMeta := false
+	n := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		n++
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", n, err)
+		}
+		if !sawMeta {
+			if l.Type != "meta" {
+				return nil, fmt.Errorf("telemetry: line %d: first record is %q, want meta", n, l.Type)
+			}
+			if l.Schema != SchemaVersion {
+				return nil, fmt.Errorf("telemetry: unsupported schema %d (want %d)", l.Schema, SchemaVersion)
+			}
+			if l.Lanes < 0 {
+				return nil, fmt.Errorf("telemetry: negative lane count %d", l.Lanes)
+			}
+			tr.Meta = Meta{Schema: l.Schema, Label: l.Label, Lanes: l.Lanes, InletC: l.InletC}
+			sawMeta = true
+			continue
+		}
+		switch l.Type {
+		case "meta":
+			return nil, fmt.Errorf("telemetry: line %d: duplicate meta record", n)
+		case "event":
+			if _, ok := KindByName(l.Kind); !ok {
+				return nil, fmt.Errorf("telemetry: line %d: unknown event kind %q", n, l.Kind)
+			}
+			if err := checkAt(l.At, n); err != nil {
+				return nil, err
+			}
+			tr.Events = append(tr.Events, TraceEvent{At: l.At, Kind: l.Kind,
+				Socket: l.Socket, Aux: l.Aux, V1: l.V1, V2: l.V2})
+		case "sample":
+			if err := checkAt(l.At, n); err != nil {
+				return nil, err
+			}
+			if l.Zone < 0 {
+				return nil, fmt.Errorf("telemetry: line %d: negative zone %d", n, l.Zone)
+			}
+			tr.Samples = append(tr.Samples, Sample{At: l.At, Zone: l.Zone, AmbientC: l.AmbientC,
+				SocketC: l.SocketC, ChipC: l.ChipC, Busy: l.Busy, RelFreq: l.RelFreq})
+		case "counters":
+			if tr.Counters != nil {
+				return nil, fmt.Errorf("telemetry: line %d: duplicate counters record", n)
+			}
+			tr.Counters = l.Values
+			if tr.Counters == nil {
+				tr.Counters = map[string]int64{}
+			}
+		case "lanes":
+			if tr.LaneRiseMax != nil {
+				return nil, fmt.Errorf("telemetry: line %d: duplicate lanes record", n)
+			}
+			tr.LaneRiseMax = l.MaxRiseC
+			if tr.LaneRiseMax == nil {
+				tr.LaneRiseMax = []float64{}
+			}
+			for i, v := range tr.LaneRiseMax {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("telemetry: line %d: lane %d rise is not finite", n, i)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("telemetry: line %d: unknown record type %q", n, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: scanning: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("telemetry: empty trace (no meta record)")
+	}
+	return tr, nil
+}
+
+// checkAt validates a record timestamp.
+func checkAt(at float64, lineNo int) error {
+	if math.IsNaN(at) || math.IsInf(at, 0) || at < 0 {
+		return fmt.Errorf("telemetry: line %d: bad timestamp %v", lineNo, at)
+	}
+	return nil
+}
+
+// WriteSamplesCSV renders samples in the exact format of the live
+// cmd/timeline output (sim.Recorder.WriteCSV), so a recorded JSONL trace
+// re-renders byte-identically offline.
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	if _, err := fmt.Fprintln(w, "time_s,zone,ambient_c,socket_c,chip_c,busy,rel_freq"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%.2f,%.2f,%.2f,%d,%.3f\n",
+			s.At, s.Zone, s.AmbientC, s.SocketC, s.ChipC, s.Busy, s.RelFreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortEvents orders events by time, then kind, then socket — a stable
+// canonical order for diffing traces from concurrent runs.
+func SortEvents(evs []TraceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		return evs[i].Socket < evs[j].Socket
+	})
+}

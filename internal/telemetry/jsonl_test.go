@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleTrace builds a representative RunTrace through the live hook path.
+func sampleTrace() *RunTrace {
+	tel := New("CF")
+	tel.Begin(2, 18)
+	tel.OnTick()
+	tel.OnArrival()
+	tel.OnPick(2*time.Microsecond, 1)
+	tel.OnPlace(0.25, 3, 1, 0.001)
+	tel.OnThrottle(0.5, 3, 1900, 1500)
+	tel.OnComplete(0.75, 3, 0.5, 0.5)
+	tel.ObserveLaneRise(0, 1.25)
+	tel.ObserveLaneRise(1, 2.5)
+	return tel.Snapshot([]Sample{
+		{At: 0.5, Zone: 1, AmbientC: 19.5, SocketC: 24, ChipC: 60.25, Busy: 3, RelFreq: 0.9},
+		{At: 0.5, Zone: 2, AmbientC: 20.5, SocketC: 25, ChipC: 61.25, Busy: 2, RelFreq: 0.8},
+	})
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+	// Second generation: writing the parsed trace reproduces the stream.
+	var b1, b2 bytes.Buffer
+	if err := WriteJSONL(&b1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b2, got); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("re-serialized trace differs byte-wise")
+	}
+}
+
+func TestReadJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"no meta first":   `{"type":"event","kind":"place"}`,
+		"bad schema":      `{"type":"meta","schema":99}`,
+		"negative lanes":  `{"type":"meta","schema":1,"lanes":-1}`,
+		"unknown kind":    "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"event\",\"kind\":\"warp\"}",
+		"unknown type":    "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"wat\"}",
+		"duplicate meta":  "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"meta\",\"schema\":1}",
+		"negative time":   "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"event\",\"kind\":\"place\",\"at\":-1}",
+		"huge lane rise":  "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"lanes\",\"max_rise_c\":[1e999]}",
+		"negative zone":   "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"sample\",\"zone\":-2}",
+		"not json":        "{\"type\":\"meta\",\"schema\":1}\nnot json",
+		"double counters": "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"counters\"}\n{\"type\":\"counters\"}",
+		"double lanes":    "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"lanes\"}\n{\"type\":\"lanes\"}",
+		"infinite at":     "{\"type\":\"meta\",\"schema\":1}\n{\"type\":\"sample\",\"at\":1e999}",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := "{\"type\":\"meta\",\"schema\":1,\"label\":\"x\"}\n\n{\"type\":\"counters\",\"values\":{\"ticks\":3}}\n"
+	tr, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Label != "x" || tr.Counters["ticks"] != 3 {
+		t.Errorf("parsed %+v", tr)
+	}
+}
+
+func TestWriteSamplesCSVMatchesRecorderFormat(t *testing.T) {
+	var b bytes.Buffer
+	err := WriteSamplesCSV(&b, []Sample{
+		{At: 0.5, Zone: 1, AmbientC: 19.456, SocketC: 24.111, ChipC: 60.249, Busy: 3, RelFreq: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "time_s,zone,ambient_c,socket_c,chip_c,busy,rel_freq\n" +
+		"0.500,1,19.46,24.11,60.25,3,0.900\n"
+	if b.String() != want {
+		t.Errorf("CSV:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	evs := []TraceEvent{
+		{At: 2, Kind: "place", Socket: 1},
+		{At: 1, Kind: "throttle", Socket: 5},
+		{At: 1, Kind: "place", Socket: 9},
+		{At: 1, Kind: "place", Socket: 2},
+	}
+	SortEvents(evs)
+	want := []TraceEvent{
+		{At: 1, Kind: "place", Socket: 2},
+		{At: 1, Kind: "place", Socket: 9},
+		{At: 1, Kind: "throttle", Socket: 5},
+		{At: 2, Kind: "place", Socket: 1},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Errorf("sorted %+v", evs)
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	tr := sampleTrace()
+	want := map[string]int64{
+		"ticks": 1, "arrivals": 1, "picks": 1, "placements": 1,
+		"completions": 1, "migrations": 0, "throttle_down": 1, "throttle_up": 0,
+	}
+	if !reflect.DeepEqual(tr.Counters, want) {
+		t.Errorf("counters = %v, want %v", tr.Counters, want)
+	}
+	if len(tr.Events) != 3 {
+		t.Errorf("events = %d, want 3 (place, throttle, complete)", len(tr.Events))
+	}
+	if len(tr.LaneRiseMax) != 2 || tr.LaneRiseMax[1] != 2.5 {
+		t.Errorf("lane rises = %v", tr.LaneRiseMax)
+	}
+}

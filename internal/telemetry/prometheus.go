@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus-style text exposition (text format 0.0.4, the subset every
+// scraper understands: HELP/TYPE lines, counters, gauges, and classic
+// histograms). Metric names are prefixed densim_ and carry a run="<label>"
+// label so a sweep's per-scheduler instances coexist on one endpoint.
+
+// WritePrometheus renders this instance's metrics.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	return writeProm(w, []*Telemetry{t}, true)
+}
+
+// Handler serves the exposition over HTTP.
+func (t *Telemetry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.WritePrometheus(w)
+	})
+}
+
+// Set is a registry of Telemetry instances keyed by label — the sweep
+// runner's aggregation point: each scheduler gets one instance shared by
+// all of its seeds and cells, and the whole set serves one endpoint.
+type Set struct {
+	mu      sync.Mutex
+	byLabel map[string]*Telemetry
+}
+
+// NewSet creates an empty registry.
+func NewSet() *Set { return &Set{byLabel: map[string]*Telemetry{}} }
+
+// For returns the instance for a label, creating it on first use.
+func (s *Set) For(label string) *Telemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byLabel[label]
+	if !ok {
+		t = New(label)
+		s.byLabel[label] = t
+	}
+	return t
+}
+
+// Telemetries returns the registered instances sorted by label.
+func (s *Set) Telemetries() []*Telemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	labels := make([]string, 0, len(s.byLabel))
+	for l := range s.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]*Telemetry, len(labels))
+	for i, l := range labels {
+		out[i] = s.byLabel[l]
+	}
+	return out
+}
+
+// WritePrometheus renders every registered instance on one exposition.
+func (s *Set) WritePrometheus(w io.Writer) error {
+	return writeProm(w, s.Telemetries(), true)
+}
+
+// Handler serves the whole set over HTTP.
+func (s *Set) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	})
+}
+
+// counterHelp documents each counter on the exposition.
+var counterHelp = [numCounters]string{
+	CTicks:        "Power-manager ticks executed.",
+	CArrivals:     "Jobs admitted to the queue.",
+	CPicks:        "Scheduler placement decisions.",
+	CPlacements:   "Jobs started on a socket.",
+	CCompletions:  "Jobs finished.",
+	CMigrations:   "Job migrations performed.",
+	CThrottleDown: "DVFS transitions that lowered a busy socket's P-state.",
+	CThrottleUp:   "DVFS transitions that raised a busy socket's P-state.",
+}
+
+// writeProm renders the instances' metrics, emitting each metric family's
+// HELP/TYPE header once followed by every instance's series.
+func writeProm(w io.Writer, ts []*Telemetry, includeLanes bool) error {
+	var b strings.Builder
+	for id := CounterID(0); id < numCounters; id++ {
+		fmt.Fprintf(&b, "# HELP densim_%s_total %s\n", counterNames[id], counterHelp[id])
+		fmt.Fprintf(&b, "# TYPE densim_%s_total counter\n", counterNames[id])
+		for _, t := range ts {
+			fmt.Fprintf(&b, "densim_%s_total{run=%q} %d\n", counterNames[id], t.label, t.Counter(id))
+		}
+	}
+
+	b.WriteString("# HELP densim_zone_picks_total Placement decisions by chosen-socket zone.\n")
+	b.WriteString("# TYPE densim_zone_picks_total counter\n")
+	for _, t := range ts {
+		for z := 1; z < maxZones; z++ {
+			if n := t.zonePicks[z].Load(); n > 0 {
+				fmt.Fprintf(&b, "densim_zone_picks_total{run=%q,zone=\"%d\"} %d\n", t.label, z, n)
+			}
+		}
+	}
+
+	b.WriteString("# HELP densim_events_dropped_total Ring events overwritten before a sink drained them.\n")
+	b.WriteString("# TYPE densim_events_dropped_total counter\n")
+	for _, t := range ts {
+		fmt.Fprintf(&b, "densim_events_dropped_total{run=%q} %d\n", t.label, t.ring.Dropped())
+	}
+
+	writeHist(&b, "densim_pick_latency_seconds", "Wall-clock scheduler Pick latency.", ts,
+		func(t *Telemetry) *Histogram { return t.PickLatency })
+	writeHist(&b, "densim_queue_wait_seconds", "Simulated queueing delay at placement.", ts,
+		func(t *Telemetry) *Histogram { return t.QueueWait })
+
+	if includeLanes {
+		b.WriteString("# HELP densim_lane_ambient_rise_max_celsius Maximum observed socket ambient rise over the inlet, per airflow lane.\n")
+		b.WriteString("# TYPE densim_lane_ambient_rise_max_celsius gauge\n")
+		for _, t := range ts {
+			for lane, v := range t.LaneRiseMax() {
+				fmt.Fprintf(&b, "densim_lane_ambient_rise_max_celsius{run=%q,lane=\"%d\"} %s\n",
+					t.label, lane, formatFloat(v))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHist renders one histogram family across instances.
+func writeHist(b *strings.Builder, name, help string, ts []*Telemetry, get func(*Telemetry) *Histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, t := range ts {
+		h := get(t)
+		cum := h.Cumulative()
+		for i, upper := range h.Uppers() {
+			fmt.Fprintf(b, "%s_bucket{run=%q,le=%q} %d\n", name, t.label, formatFloat(upper), cum[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{run=%q,le=\"+Inf\"} %d\n", name, t.label, cum[len(cum)-1])
+		fmt.Fprintf(b, "%s_sum{run=%q} %s\n", name, t.label, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count{run=%q} %d\n", name, t.label, h.Count())
+	}
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip form).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Serve starts an HTTP server for the handler on addr in a background
+// goroutine and returns immediately — the cmd tools' -telemetry.addr
+// implementation. Errors after startup (e.g. the port is taken) are
+// reported through errf.
+func Serve(addr string, h http.Handler, errf func(error)) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", h)
+	mux.Handle("/", http.RedirectHandler("/metrics", http.StatusFound))
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"sync"
+
+	"densim/internal/units"
+)
+
+// EventKind discriminates ring events.
+type EventKind uint8
+
+// The event kinds the simulator emits.
+const (
+	// EvPlace is a job placement: Socket is the chosen socket, Aux its
+	// zone, V1 the queueing wait in simulated seconds.
+	EvPlace EventKind = iota
+	// EvComplete is a job completion: V1 is the sojourn (arrival to done),
+	// V2 the service time (start to done).
+	EvComplete
+	// EvMigrate is a migration: Socket is the source, Aux the destination.
+	EvMigrate
+	// EvThrottle is a DVFS transition on a busy socket: V1 is the old
+	// frequency in MHz, V2 the new one.
+	EvThrottle
+
+	numEventKinds
+)
+
+// eventKindNames maps kinds to their JSONL names.
+var eventKindNames = [numEventKinds]string{
+	EvPlace:    "place",
+	EvComplete: "complete",
+	EvMigrate:  "migrate",
+	EvThrottle: "throttle",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// KindByName resolves a JSONL kind name; ok is false for unknown names.
+func KindByName(name string) (EventKind, bool) {
+	for k, n := range eventKindNames {
+		if n == name {
+			return EventKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one ring entry. The Aux/V1/V2 meaning is kind-specific (see the
+// kind constants).
+type Event struct {
+	At     units.Seconds
+	Kind   EventKind
+	Socket int32
+	Aux    int32
+	V1, V2 float64
+}
+
+// Ring is a bounded event buffer: pushes beyond the capacity overwrite the
+// oldest entries (and are counted as dropped), so a long run keeps its most
+// recent events without growing. Push is mutex-guarded and allocation-free;
+// the buffer is allocated once at construction, rounded up to a power of
+// two so the hot path indexes with a mask and a single monotonic counter
+// instead of modulo bookkeeping.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event // length is a power of two
+	mask uint64
+	head uint64 // total pushes ever; slot = head & mask
+}
+
+// NewRing allocates a ring with at least the given capacity (minimum 1),
+// rounded up to the next power of two.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring{buf: make([]Event, c), mask: uint64(c - 1)}
+}
+
+// Push appends an event, overwriting the oldest when full.
+func (r *Ring) Push(e Event) {
+	r.mu.Lock()
+	r.buf[r.head&r.mask] = e
+	r.head++
+	r.mu.Unlock()
+}
+
+// PushBatch appends a burst of events under one lock acquisition — the
+// flush path of a per-run Local buffer.
+func (r *Ring) PushBatch(evs []Event) {
+	r.mu.Lock()
+	for _, e := range evs {
+		r.buf[r.head&r.mask] = e
+		r.head++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of live entries.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.head < uint64(len(r.buf)) {
+		return int(r.head)
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.head <= uint64(len(r.buf)) {
+		return 0
+	}
+	return int64(r.head - uint64(len(r.buf)))
+}
+
+// Snapshot copies the live entries oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.head <= uint64(len(r.buf)) {
+		out := make([]Event, r.head)
+		copy(out, r.buf[:r.head])
+		return out
+	}
+	out := make([]Event, len(r.buf))
+	for i := range out {
+		out[i] = r.buf[(r.head+uint64(i))&r.mask]
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndHooks(t *testing.T) {
+	tel := New("CF")
+	tel.Begin(4, 18)
+	tel.OnTick()
+	tel.OnTick()
+	tel.OnArrival()
+	tel.OnPick(2*time.Microsecond, 3)
+	tel.OnPlace(0.5, 12, 3, 0.01)
+	tel.OnComplete(0.9, 12, 0.4, 0.39)
+	tel.OnMigrate(0.7, 3, 9)
+	tel.OnThrottle(0.6, 12, 1900, 1500)
+	tel.OnThrottle(0.8, 12, 1500, 1700)
+
+	want := map[CounterID]int64{
+		CTicks: 2, CArrivals: 1, CPicks: 1, CPlacements: 1,
+		CCompletions: 1, CMigrations: 1, CThrottleDown: 1, CThrottleUp: 1,
+	}
+	for id, n := range want {
+		if got := tel.Counter(id); got != n {
+			t.Errorf("counter %s = %d, want %d", counterNames[id], got, n)
+		}
+	}
+	if got := tel.ZonePicks(3); got != 1 {
+		t.Errorf("zone 3 picks = %d, want 1", got)
+	}
+	if got := tel.Ring().Len(); got != 5 {
+		t.Errorf("ring has %d events, want 5", got)
+	}
+}
+
+func TestLaneRiseMax(t *testing.T) {
+	tel := New("x")
+	tel.Begin(3, 18)
+	tel.ObserveLaneRise(0, 1.5)
+	tel.ObserveLaneRise(0, 0.5) // lower, ignored
+	tel.ObserveLaneRise(2, 4.25)
+	tel.ObserveLaneRise(7, 9) // out of range, ignored
+	got := tel.LaneRiseMax()
+	wantVals := []float64{1.5, 0, 4.25}
+	if len(got) != len(wantVals) {
+		t.Fatalf("lane vector has %d entries, want %d", len(got), len(wantVals))
+	}
+	for i, w := range wantVals {
+		if got[i] != w {
+			t.Errorf("lane %d max = %v, want %v", i, got[i], w)
+		}
+	}
+	// Begin with a larger topology grows the vector and keeps maxima.
+	tel.Begin(5, 18)
+	if got := tel.LaneRiseMax(); len(got) != 5 || got[2] != 4.25 {
+		t.Errorf("after growth: %v, want 5 lanes with lane 2 = 4.25", got)
+	}
+}
+
+func TestLaneRiseMaxConcurrent(t *testing.T) {
+	tel := New("x")
+	tel.Begin(1, 18)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tel.ObserveLaneRise(0, float64(g*1000+i)/1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tel.LaneRiseMax()[0]; got != 7.999 {
+		t.Errorf("concurrent max = %v, want 7.999", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	// 0.5 and 1 land in le=1 (inclusive upper); 5 in le=10; 50 in le=100;
+	// 500 overflows.
+	wantPerBucket := []int64{2, 1, 1, 1}
+	for i, w := range wantPerBucket {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	cum := h.Cumulative()
+	wantCum := []int64{2, 3, 4, 5}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if got, want := h.Sum(), 556.5; math.Abs(got-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Push(Event{Socket: int32(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if want := int32(i + 2); e.Socket != want {
+			t.Errorf("snapshot[%d].Socket = %d, want %d", i, e.Socket, want)
+		}
+	}
+}
+
+func TestRingRoundsCapacityUp(t *testing.T) {
+	r := NewRing(3) // rounds to 4
+	for i := 0; i < 4; i++ {
+		r.Push(Event{Socket: int32(i)})
+	}
+	if r.Len() != 4 || r.Dropped() != 0 {
+		t.Errorf("len = %d dropped = %d, want 4 and 0 (capacity rounds up to a power of two)",
+			r.Len(), r.Dropped())
+	}
+}
+
+// TestTimeThisPickSampling pins the pick-latency sampling contract: exactly
+// one pick in PickSampleInterval asks for timing, and unsampled picks
+// (negative latency) are counted but not observed.
+func TestTimeThisPickSampling(t *testing.T) {
+	tel := New("x")
+	timed := 0
+	n := 3*PickSampleInterval + 5
+	for i := 0; i < n; i++ {
+		if tel.TimeThisPick() {
+			timed++
+			tel.OnPick(time.Microsecond, 1)
+		} else {
+			tel.OnPick(-1, 1)
+		}
+	}
+	if want := 4; timed != want { // picks 0, 16, 32, 48
+		t.Errorf("timed %d picks of %d, want %d", timed, n, want)
+	}
+	if got := tel.Counter(CPicks); got != int64(n) {
+		t.Errorf("pick counter = %d, want %d", got, n)
+	}
+	if got := tel.PickLatency.Count(); got != int64(timed) {
+		t.Errorf("latency observations = %d, want %d", got, timed)
+	}
+}
+
+func TestHotHooksDoNotAllocate(t *testing.T) {
+	tel := New("CF")
+	tel.Begin(30, 18)
+	if allocs := testing.AllocsPerRun(100, func() {
+		tel.OnTick()
+		tel.OnArrival()
+		tel.OnPick(3*time.Microsecond, 2)
+		tel.OnPlace(1.0, 5, 2, 0.001)
+		tel.OnComplete(1.5, 5, 0.5, 0.5)
+		tel.OnMigrate(1.6, 5, 9)
+		tel.OnThrottle(1.7, 5, 1900, 1500)
+		for lane := 0; lane < 30; lane++ {
+			tel.ObserveLaneRise(lane, 2.0)
+		}
+	}); allocs != 0 {
+		t.Errorf("telemetry hooks allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	set := NewSet()
+	cf := set.For("CF")
+	cf.Begin(2, 18)
+	cf.OnTick()
+	cf.OnPick(2*time.Microsecond, 1)
+	cf.OnPlace(0.1, 0, 1, 0.002)
+	cf.ObserveLaneRise(1, 3.5)
+	hf := set.For("HF")
+	hf.Begin(2, 18)
+	hf.OnTick()
+
+	if set.For("CF") != cf {
+		t.Error("Set.For is not stable per label")
+	}
+
+	var b strings.Builder
+	if err := set.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`densim_ticks_total{run="CF"} 1`,
+		`densim_ticks_total{run="HF"} 1`,
+		`densim_zone_picks_total{run="CF",zone="1"} 1`,
+		`densim_pick_latency_seconds_bucket{run="CF",le="+Inf"} 1`,
+		`densim_pick_latency_seconds_count{run="CF"} 1`,
+		`densim_queue_wait_seconds_count{run="CF"} 1`,
+		`densim_lane_ambient_rise_max_celsius{run="CF",lane="1"} 3.5`,
+		"# TYPE densim_ticks_total counter",
+		"# TYPE densim_pick_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("kind %d (%s) does not round-trip", k, k)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Error("unknown kind accepted")
+	}
+}

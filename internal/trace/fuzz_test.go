@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"densim/internal/workload"
+)
+
+// validTraceBytes builds a small real capture in both encodings for the
+// fuzz seed corpora.
+func validTraceBytes(tb testing.TB) (bin, js []byte) {
+	tb.Helper()
+	tr := Capture(workload.ClassMix(workload.Computation), 16, 0.5, 7, 1)
+	var b, j bytes.Buffer
+	if err := tr.WriteBinary(&b); err != nil {
+		tb.Fatal(err)
+	}
+	if err := tr.WriteJSON(&j); err != nil {
+		tb.Fatal(err)
+	}
+	return b.Bytes(), j.Bytes()
+}
+
+// FuzzReadBinary throws arbitrary bytes at the binary parser. Anything it
+// accepts must survive a Write/Read round trip unchanged — the parser and
+// encoder are exact inverses on the parser's accepted set — and rejections
+// must be errors, never panics or runaway allocations.
+func FuzzReadBinary(f *testing.F) {
+	bin, _ := validTraceBytes(f)
+	f.Add(bin)
+	f.Add([]byte("DSTR"))
+	f.Add([]byte{})
+	// Truncations exercise every length-prefixed section boundary.
+	for _, n := range []int{4, 6, 10, 20, len(bin) / 2, len(bin) - 1} {
+		if n > 0 && n < len(bin) {
+			f.Add(bin[:n])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only panics/hangs are failures here
+		}
+		var out bytes.Buffer
+		if err := tr.WriteBinary(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n first %+v\n second %+v", tr, tr2)
+		}
+	})
+}
+
+// FuzzReadJSON is the same property for the JSON encoding.
+func FuzzReadJSON(f *testing.F) {
+	_, js := validTraceBytes(f)
+	f.Add(js)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"meta":{"mix":"Computation"},"records":[]}`))
+	f.Add([]byte(`{"records":[{"at":0,"benchmark":"nonexistent","duration":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n first %+v\n second %+v", tr, tr2)
+		}
+	})
+}

@@ -69,11 +69,14 @@ func Capture(mix workload.Mix, sockets int, load float64, seed uint64, horizon u
 func (t *Trace) Validate() error {
 	prev := units.Seconds(math.Inf(-1))
 	for i, r := range t.Records {
+		if math.IsNaN(float64(r.At)) || math.IsInf(float64(r.At), 0) {
+			return fmt.Errorf("trace: record %d has non-finite arrival time", i)
+		}
 		if r.At < prev {
 			return fmt.Errorf("trace: record %d out of order (%v after %v)", i, r.At, prev)
 		}
-		if r.Duration <= 0 {
-			return fmt.Errorf("trace: record %d has non-positive duration", i)
+		if !(r.Duration > 0) || math.IsInf(float64(r.Duration), 0) {
+			return fmt.Errorf("trace: record %d has non-positive or non-finite duration", i)
 		}
 		if _, err := workload.ByName(r.Benchmark); err != nil {
 			return fmt.Errorf("trace: record %d: %w", i, err)
@@ -255,7 +258,13 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if count > 1<<34 {
 		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
 	}
-	t.Records = make([]Record, 0, count)
+	// Cap the preallocation: count comes from the (possibly corrupt) stream,
+	// and a huge header must not commit gigabytes before the read fails.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t.Records = make([]Record, 0, prealloc)
 	for i := uint64(0); i < count; i++ {
 		var idx uint16
 		var at, dur float64

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# smoke.sh — build and execute every example program and every cmd tool.
+#
+# The examples are the repo's living documentation: each one must build AND
+# run to completion. The cmd tools are exercised through -h (flag parsing,
+# registration collisions) plus a fast real invocation each, including the
+# telemetry trace/render paths. CI runs this on every push; it is also safe
+# to run locally (writes only under a temp dir).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build everything"
+go build ./...
+
+echo "== examples"
+for dir in examples/*/; do
+    name="$(basename "$dir")"
+    echo "-- $name"
+    go run "./$dir" > "$tmp/$name.out"
+    test -s "$tmp/$name.out" || { echo "$name produced no output" >&2; exit 1; }
+done
+
+echo "== cmd -h"
+for dir in cmd/*/; do
+    name="$(basename "$dir")"
+    echo "-- $name -h"
+    go run "./$dir" -h > "$tmp/$name.help" 2>&1 || true
+    grep -q "Usage" "$tmp/$name.help" || { echo "$name -h shows no usage" >&2; exit 1; }
+done
+
+echo "== cmd real invocations"
+go run ./cmd/densim -sched CP -load 0.4 -duration 2 -telemetry.trace "$tmp/densim.jsonl" > /dev/null
+test -s "$tmp/densim.jsonl"
+go run ./cmd/timeline -sched CF -load 0.6 -duration 2 -sinktau 0.3 \
+    -telemetry "$tmp/run.jsonl" > "$tmp/live.csv" 2> /dev/null
+go run ./cmd/timeline -render "$tmp/run.jsonl" > "$tmp/rendered.csv" 2> /dev/null
+cmp "$tmp/live.csv" "$tmp/rendered.csv" || {
+    echo "timeline -render does not reproduce the live CSV" >&2; exit 1; }
+go run ./cmd/tracegen -workload Computation -load 0.5 -horizon 2 -o "$tmp/jobs.trace" > /dev/null 2>&1
+go run ./cmd/tracegen -inspect "$tmp/jobs.trace" > /dev/null
+go run ./cmd/densim -trace "$tmp/jobs.trace" > /dev/null
+go run ./cmd/catalog > /dev/null
+go run ./cmd/validate > /dev/null
+go run ./cmd/thermalmap > /dev/null
+go run ./cmd/sweep -fig 3 > /dev/null
+
+echo "smoke OK"
