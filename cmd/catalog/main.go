@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	catalog            # everything
-//	catalog -only fig1 # one item: fig1, table1, table2, fig5
+//	catalog               # everything
+//	catalog -only fig1    # one item: fig1, table1, table2, fig5, presets
+//	catalog -only presets # the shipped scenario presets and their densities
 package main
 
 import (
@@ -16,11 +17,12 @@ import (
 
 	"densim/internal/experiments"
 	"densim/internal/report"
+	"densim/internal/scenario"
 )
 
 func main() {
 	var (
-		only = flag.String("only", "", "limit output: fig1, table1, table2, fig5")
+		only = flag.String("only", "", "limit output: fig1, table1, table2, fig5, presets")
 		seed = flag.Uint64("seed", 7, "seed for the figure 1 scatter synthesis")
 	)
 	flag.Parse()
@@ -55,8 +57,40 @@ func main() {
 		_, t := experiments.Fig5()
 		emit(t)
 	}
+	if want("presets") {
+		ran = true
+		t, err := presetsTable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catalog:", err)
+			os.Exit(1)
+		}
+		emit(t)
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "catalog: unknown -only %q\n", *only)
 		os.Exit(1)
 	}
+}
+
+// presetsTable lists the shipped scenario presets in the Table I spirit:
+// each density design point with its socket count and degree of coupling.
+func presetsTable() (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Shipped scenario presets (densim -scenario NAME)",
+		Header: []string{"preset", "sockets", "doc", "rows x lanes x depth", "workload", "sched", "notes"},
+	}
+	for _, name := range scenario.Names() {
+		sc, err := scenario.Preset(name)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := sc.Server()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, srv.NumSockets(), srv.DegreeOfCoupling(),
+			fmt.Sprintf("%dx%dx%d", srv.Rows, srv.Lanes, srv.Depth),
+			sc.Workload.Class, sc.Scheduler.Name, sc.Notes)
+	}
+	return t, nil
 }

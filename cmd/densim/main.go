@@ -1,104 +1,77 @@
-// Command densim runs one scheduling simulation on the 180-socket density
-// optimized SUT and prints the resulting metrics.
+// Command densim runs one scheduling simulation — on the 180-socket
+// density optimized SUT by default, or on any scenario — and prints the
+// resulting metrics.
 //
 // Usage:
 //
 //	densim -sched CP -workload Computation -load 0.7 -duration 30 -seed 7
+//	densim -scenario double-density-360            # shipped preset
+//	densim -scenario examples/scenarios/sut-180.jsonc -load 0.8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"sort"
 
+	"densim/internal/cliflags"
 	"densim/internal/core"
 	"densim/internal/metrics"
-	"densim/internal/telemetry"
+	"densim/internal/scenario"
 )
 
 func main() {
-	var (
-		schedName = flag.String("sched", "CP", "scheduler: "+strings.Join(core.Schedulers(), ", "))
-		wl        = flag.String("workload", "GP", "workload set: "+strings.Join(core.Workloads(), ", "))
-		load      = flag.Float64("load", 0.5, "target utilization (0..1]")
-		duration  = flag.Float64("duration", 20, "arrival horizon in simulated seconds")
-		warmup    = flag.Float64("warmup", 0, "metrics warmup in seconds (default 30% of duration)")
-		sinkTau   = flag.Float64("sinktau", 0, "socket thermal time constant override in seconds (0 = paper's 30s)")
-		inlet     = flag.Float64("inlet", 0, "inlet temperature override in C (0 = paper's 18C)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		tracePath = flag.String("trace", "", "replay a recorded trace file (see cmd/tracegen) instead of the live generator")
-		telAddr   = flag.String("telemetry.addr", "", "serve a Prometheus-style /metrics endpoint on this address while the run executes (e.g. :9090)")
-		telTrace  = flag.String("telemetry.trace", "", "write the run's telemetry as a JSONL trace to this file (- for stdout)")
-	)
+	simFlags := cliflags.AddSim(flag.CommandLine, cliflags.SimDefaults{
+		Scenario: "sut-180",
+		Sched:    "CP",
+		Workload: "GP",
+		Load:     0.5,
+		Duration: 20,
+		Seed:     1,
+	})
+	tel := cliflags.AddTelemetry(flag.CommandLine)
 	flag.Parse()
 
-	opts := core.Options{
-		Scheduler: *schedName,
-		Workload:  *wl,
-		Load:      *load,
-		Seed:      *seed,
-		Duration:  *duration,
-		Warmup:    *warmup,
-		SinkTau:   *sinkTau,
-		Inlet:     *inlet,
-		TracePath: *tracePath,
-	}
-	var tel *telemetry.Telemetry
-	if *telAddr != "" || *telTrace != "" {
-		tel = telemetry.New(*schedName)
-		opts.Telemetry = tel
-	}
-	if *telAddr != "" {
-		telemetry.Serve(*telAddr, tel.Handler(), func(err error) {
-			fmt.Fprintln(os.Stderr, "densim: telemetry server:", err)
-		})
-	}
-	if *tracePath != "" {
-		// The trace defines arrivals; duration follows its horizon unless
-		// explicitly set.
-		opts.Duration = 0
-		if fl := flag.Lookup("duration"); fl != nil && fl.Value.String() != fl.DefValue {
-			opts.Duration = *duration
-		}
-	}
-	exp, err := core.NewExperiment(opts)
+	sc, seed, err := simFlags.Resolve()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "densim:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	t := tel.Start(sc.Scheduler.Name, func(err error) {
+		fmt.Fprintln(os.Stderr, "densim: telemetry server:", err)
+	})
+	exp, err := core.NewScenarioExperiment(sc, seed, t)
+	if err != nil {
+		fail(err)
 	}
 	res, err := exp.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "densim:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	printResult(*schedName, *wl, *load, res)
-	if *telTrace != "" {
-		if err := writeTelemetryTrace(*telTrace, tel); err != nil {
-			fmt.Fprintln(os.Stderr, "densim:", err)
-			os.Exit(1)
-		}
+	printResult(sc, res)
+	if err := tel.WriteTrace(t, nil); err != nil {
+		fail(err)
 	}
 }
 
-// writeTelemetryTrace dumps the run's telemetry as JSONL ("-" = stdout).
-func writeTelemetryTrace(path string, tel *telemetry.Telemetry) error {
-	tr := tel.Snapshot(nil)
-	if path == "-" {
-		return telemetry.WriteJSONL(os.Stdout, tr)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := telemetry.WriteJSONL(f, tr); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "densim:", err)
+	os.Exit(1)
 }
 
-func printResult(schedName, wl string, load float64, r metrics.Result) {
+func printResult(sc *scenario.Scenario, r metrics.Result) {
+	schedName := sc.Scheduler.Name
+	if schedName == "" {
+		schedName = "CP"
+	}
+	wl := sc.Workload.Class
+	if wl == "" {
+		wl = "GP"
+	}
+	load := sc.Workload.Load
+	if load == 0 {
+		load = 0.5
+	}
 	fmt.Printf("scheduler=%s workload=%s load=%.0f%%\n", schedName, wl, load*100)
 	fmt.Printf("  jobs completed:        %d\n", r.Completed)
 	fmt.Printf("  mean runtime expansion: %.4f (1.0 = never below 1900MHz, no waiting)\n", r.MeanExpansion)
@@ -109,8 +82,14 @@ func printResult(schedName, wl string, load float64, r metrics.Result) {
 	for _, reg := range metrics.Regions {
 		fmt.Printf("    %-11s %.3f / %.3f\n", reg, r.RegionFreq[reg], r.RegionWorkShare[reg])
 	}
+	// Zone count follows the scenario's topology, not the SUT's fixed 6.
+	zones := make([]int, 0, len(r.ZoneWorkShare))
+	for z := range r.ZoneWorkShare {
+		zones = append(zones, z)
+	}
+	sort.Ints(zones)
 	fmt.Printf("  zone work shares:      ")
-	for z := 1; z <= 6; z++ {
+	for _, z := range zones {
 		fmt.Printf("z%d=%.3f ", z, r.ZoneWorkShare[z])
 	}
 	fmt.Println()

@@ -1,8 +1,12 @@
 // Command sweep regenerates the paper's evaluation figures (3, 11, 13, 14,
 // 15) by sweeping schedulers, workloads, and load levels on the SUT, and
-// prints the corresponding tables. Figure 14/15 sweeps are expensive; use
-// -quick (default) for the shortened preset or -full for the paper-faithful
-// 30-second socket time constant.
+// prints the corresponding tables. It also runs the density sweep: give
+// -scenario a comma-separated list of scenario refs (presets or files) —
+// or the word "density" for the shipped density family — and it sweeps the
+// load levels across every topology, emitting one CSV per density plus a
+// cross-density summary. Figure 14/15 and density sweeps are expensive;
+// use -quick (default) for the shortened preset or -full for the
+// paper-faithful 30-second socket time constant.
 //
 // Usage:
 //
@@ -10,6 +14,8 @@
 //	sweep -fig 14 -loads 0.3,0.8  # subset of loads
 //	sweep -fig 3 -full            # paper-faithful windows
 //	sweep -fig all -csv           # everything, CSV output
+//	sweep -scenario density -out results/        # density family -> CSV files
+//	sweep -scenario conventional-2u,sut-180 -loads 0.5,0.9
 //	sweep -fig 14 -cpuprofile cpu.pb.gz   # profile the sweep itself
 //	sweep -fig all -full -telemetry.addr :9090   # watch /metrics live
 package main
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -25,18 +32,21 @@ import (
 
 	"densim/internal/experiments"
 	"densim/internal/report"
+	"densim/internal/scenario"
 	"densim/internal/telemetry"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "14", "figure to regenerate: 3, 11, 13, 14, 15, or all")
-		full       = flag.Bool("full", false, "use the paper-faithful preset (slow)")
-		loads      = flag.String("loads", "", "comma-separated load levels for figures 14/15 (default: paper's 10%..100%)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		telAddr    = flag.String("telemetry.addr", "", "serve a Prometheus-style /metrics endpoint on this address while sweeping (e.g. :9090)")
+		fig         = flag.String("fig", "14", "figure to regenerate: 3, 11, 13, 14, 15, or all")
+		scenarioRef = flag.String("scenario", "", "density sweep: comma-separated scenario refs (presets or files), or \"density\" for the shipped density family; replaces -fig")
+		outDir      = flag.String("out", "", "write each result table as a CSV file into this directory (created if missing)")
+		full        = flag.Bool("full", false, "use the paper-faithful preset (slow)")
+		loads       = flag.String("loads", "", "comma-separated load levels (default: paper's 10%..100% for figures, a 0.3-0.9 spread for density sweeps)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telAddr     = flag.String("telemetry.addr", "", "serve a Prometheus-style /metrics endpoint on this address while sweeping (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -70,8 +80,9 @@ func main() {
 		opts = experiments.Full()
 	}
 	if *telAddr != "" {
-		// Per-scheduler telemetry, aggregated across the sweep's cells and
-		// seeds, live on /metrics while the (potentially long) sweep runs.
+		// Per-scheduler (or per-scenario) telemetry, aggregated across the
+		// sweep's cells and seeds, live on /metrics while the (potentially
+		// long) sweep runs.
 		opts.Telemetry = telemetry.NewSet()
 		telemetry.Serve(*telAddr, opts.Telemetry.Handler(), func(err error) {
 			fmt.Fprintln(os.Stderr, "sweep: telemetry server:", err)
@@ -84,6 +95,12 @@ func main() {
 	runner := experiments.NewRunner(opts)
 
 	emit := func(t *report.Table) {
+		if *outDir != "" {
+			if err := writeCSVFile(*outDir, t); err != nil {
+				fail(err)
+			}
+			return
+		}
 		var renderErr error
 		if *csv {
 			renderErr = t.RenderCSV(os.Stdout)
@@ -94,6 +111,21 @@ func main() {
 		if renderErr != nil {
 			fail(renderErr)
 		}
+	}
+
+	if *scenarioRef != "" {
+		scenarios, err := resolveScenarios(*scenarioRef)
+		if err != nil {
+			fail(err)
+		}
+		_, tables, err := experiments.DensitySweep(runner, scenarios, loadList)
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+		return
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -143,6 +175,59 @@ func main() {
 	if !ran {
 		fail(fmt.Errorf("unknown figure %q (want 3, 11, 13, 14, 15, or all)", *fig))
 	}
+}
+
+// resolveScenarios expands the -scenario value: "density" is the shipped
+// density family, anything else a comma-separated list of scenario refs.
+func resolveScenarios(ref string) ([]*scenario.Scenario, error) {
+	if ref == "density" {
+		return experiments.DensityPresets()
+	}
+	var out []*scenario.Scenario
+	for _, part := range strings.Split(ref, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sc, err := scenario.Load(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -scenario list")
+	}
+	return out, nil
+}
+
+// writeCSVFile renders one table as <dir>/<slug-of-title>.csv.
+func writeCSVFile(dir string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-' || r == '_' || r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, t.Title)
+	path := filepath.Join(dir, slug+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.RenderCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sweep: wrote", path)
+	return nil
 }
 
 func parseLoads(s string) ([]float64, error) {

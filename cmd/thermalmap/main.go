@@ -1,14 +1,16 @@
-// Command thermalmap prints the SUT's steady-state socket ambient
+// Command thermalmap prints a scenario's steady-state socket ambient
 // temperature field for a chosen per-socket power assignment — a text
 // rendition of the airflow model behind Figure 2 and Figure 4's
-// entry-temperature staircase.
+// entry-temperature staircase. The default scenario is the 180-socket SUT;
+// any preset or scenario file shows its own topology's staircase.
 //
 // Usage:
 //
 //	thermalmap                  # all sockets at Computation-class power
 //	thermalmap -power 10        # uniform 10W per socket
-//	thermalmap -front-only      # only zones 1-3 powered (CF-like placement)
-//	thermalmap -back-only       # only zones 4-6 powered (MinHR-like placement)
+//	thermalmap -front-only      # only the front half powered (CF-like placement)
+//	thermalmap -back-only       # only the back half powered (MinHR-like placement)
+//	thermalmap -scenario double-density-360
 package main
 
 import (
@@ -17,36 +19,47 @@ import (
 	"os"
 
 	"densim/internal/airflow"
-	"densim/internal/geometry"
 	"densim/internal/report"
+	"densim/internal/scenario"
 	"densim/internal/units"
+	"densim/internal/workload"
 )
 
 func main() {
 	var (
-		power     = flag.Float64("power", 18.6, "per-socket power in W for powered sockets")
-		frontOnly = flag.Bool("front-only", false, "power only zones 1-3")
-		backOnly  = flag.Bool("back-only", false, "power only zones 4-6")
-		inlet     = flag.Float64("inlet", 0, "inlet override in C (0 = 18C)")
+		scenarioRef = flag.String("scenario", "sut-180", "scenario supplying the topology and airflow: preset name, preset:NAME, or file path")
+		power       = flag.Float64("power", 18.6, "per-socket power in W for powered sockets")
+		frontOnly   = flag.Bool("front-only", false, "power only the front (upstream) half")
+		backOnly    = flag.Bool("back-only", false, "power only the back (downstream) half")
+		inlet       = flag.Float64("inlet", 0, "inlet override in C (0 = scenario's)")
 	)
 	flag.Parse()
 	if *frontOnly && *backOnly {
-		fmt.Fprintln(os.Stderr, "thermalmap: -front-only and -back-only are exclusive")
-		os.Exit(1)
+		fail(fmt.Errorf("-front-only and -back-only are exclusive"))
 	}
 
-	srv := geometry.SUT()
-	params := airflow.SUTParams()
+	sc, err := scenario.Load(*scenarioRef)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := sc.Server()
+	if err != nil {
+		fail(err)
+	}
+	params := sc.AirflowParams()
 	if *inlet != 0 {
 		params.Inlet = units.Celsius(*inlet)
 	}
 	model, err := airflow.New(srv, params)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "thermalmap:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
-	const gated = 2.2 // 10% of TDP
+	tdp := units.Watts(sc.Chip.TDPW)
+	if tdp <= 0 {
+		tdp = workload.TDP
+	}
+	gated := units.Watts(0.1 * float64(tdp)) // power-gated idle draw
 	powers := make([]units.Watts, srv.NumSockets())
 	for _, sk := range srv.Sockets() {
 		on := true
@@ -65,8 +78,8 @@ func main() {
 	amb := model.Ambient(powers)
 
 	t := &report.Table{
-		Title: fmt.Sprintf("SUT ambient temperature field (inlet %v, powered sockets at %.1fW)",
-			model.Inlet(), *power),
+		Title: fmt.Sprintf("%s ambient temperature field (inlet %v, powered sockets at %.1fW)",
+			srv.Name, model.Inlet(), *power),
 		Header: []string{"zone", "sink", "entry temp (C)", "rise over inlet (C)", "recirculation (C/W)"},
 	}
 	for p := 0; p < srv.Depth; p++ {
@@ -77,7 +90,11 @@ func main() {
 			model.RecirculationFactor(id))
 	}
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "thermalmap:", err)
-		os.Exit(1)
+		fail(err)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "thermalmap:", err)
+	os.Exit(1)
 }

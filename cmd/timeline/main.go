@@ -1,4 +1,4 @@
-// Command timeline runs one SUT simulation while recording the per-zone
+// Command timeline runs one simulation while recording the per-zone
 // thermal and operating state, and emits the series as CSV — warm-up
 // curves, throttle onset, and the front/back asymmetry under different
 // schedulers, ready for plotting.
@@ -6,36 +6,39 @@
 // Usage:
 //
 //	timeline -sched CF -workload Computation -load 0.8 -duration 30 > run.csv
-//	timeline -sched CF -load 0.8 -telemetry run.jsonl > run.csv   # also dump a trace
-//	timeline -render run.jsonl > run.csv                          # re-render, no simulation
+//	timeline -scenario double-density-360 > run.csv
+//	timeline -sched CF -load 0.8 -telemetry.trace run.jsonl > run.csv  # also dump a trace
+//	timeline -render run.jsonl > run.csv                               # re-render, no simulation
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"densim/internal/airflow"
-	"densim/internal/sched"
+	"densim/internal/cliflags"
 	"densim/internal/sim"
 	"densim/internal/telemetry"
 	"densim/internal/units"
-	"densim/internal/workload"
 )
 
 func main() {
+	simFlags := cliflags.AddSim(flag.CommandLine, cliflags.SimDefaults{
+		Scenario: "sut-180",
+		Sched:    "CF",
+		Workload: "Computation",
+		Load:     0.8,
+		Duration: 20,
+		Seed:     1,
+	})
+	tel := cliflags.AddTelemetry(flag.CommandLine)
 	var (
-		schedName = flag.String("sched", "CF", "scheduler: "+strings.Join(sched.Names(), ", "))
-		wl        = flag.String("workload", "Computation", "workload set: Computation, GP, Storage")
-		load      = flag.Float64("load", 0.8, "target utilization")
-		duration  = flag.Float64("duration", 20, "simulated seconds")
-		interval  = flag.Float64("interval", 0.1, "sampling interval in seconds")
-		sinkTau   = flag.Float64("sinktau", 0, "socket thermal time constant override (0 = 30s)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		telPath   = flag.String("telemetry", "", "also write the run's telemetry (events + zone samples) as a JSONL trace to this file")
-		render    = flag.String("render", "", "render an existing JSONL telemetry trace to timeline CSV and exit (no simulation)")
+		interval = flag.Float64("interval", 0.1, "sampling interval in seconds")
+		render   = flag.String("render", "", "render an existing JSONL telemetry trace to timeline CSV and exit (no simulation)")
 	)
+	// Pre-cliflags releases spelled the trace flag -telemetry; keep it as
+	// an alias so recorded invocations still work.
+	flag.StringVar(&tel.TracePath, "telemetry", "", "deprecated alias for -telemetry.trace")
 	flag.Parse()
 
 	if *render != "" {
@@ -45,37 +48,26 @@ func main() {
 		return
 	}
 
-	var class workload.Class
-	found := false
-	for _, c := range workload.Classes {
-		if c.String() == *wl {
-			class, found = c, true
-		}
+	sc, seed, err := simFlags.Resolve()
+	if err != nil {
+		fail(err)
 	}
-	if !found {
-		fail(fmt.Errorf("unknown workload %q", *wl))
+	if sc.Run.WarmupS == 0 {
+		// The timeline tool's historical warmup is 10% of the horizon (the
+		// warm-up curve is the point of the plot), not the 30% measurement
+		// default.
+		sc.Run.WarmupS = 0.1 * sc.Run.DurationS
 	}
-	scheduler, err := sched.ByName(*schedName, *seed)
+	cfg, err := sc.Config(seed)
 	if err != nil {
 		fail(err)
 	}
 	rec := sim.NewRecorder(units.Seconds(*interval))
-	cfg := sim.Config{
-		Scheduler: scheduler,
-		Airflow:   airflow.SUTParams(),
-		Mix:       workload.ClassMix(class),
-		Load:      *load,
-		Seed:      *seed,
-		Duration:  units.Seconds(*duration),
-		Warmup:    units.Seconds(*duration) * 0.1,
-		SinkTau:   units.Seconds(*sinkTau),
-		Probe:     rec.Probe,
-	}
-	var tel *telemetry.Telemetry
-	if *telPath != "" {
-		tel = telemetry.New(*schedName)
-		cfg.Telemetry = tel
-	}
+	cfg.Probe = rec.Probe
+	t := tel.Start(sc.Scheduler.Name, func(err error) {
+		fmt.Fprintln(os.Stderr, "timeline: telemetry server:", err)
+	})
+	cfg.Telemetry = t
 	s, err := sim.New(cfg)
 	if err != nil {
 		fail(err)
@@ -84,26 +76,11 @@ func main() {
 	if err := rec.WriteCSV(os.Stdout); err != nil {
 		fail(err)
 	}
-	if tel != nil {
-		if err := writeTrace(*telPath, tel, rec.Samples()); err != nil {
-			fail(err)
-		}
+	if err := tel.WriteTrace(t, flatten(rec.Samples())); err != nil {
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "completed %d jobs, mean expansion %.4f, boost %.3f, %d samples\n",
 		res.Completed, res.MeanExpansion, res.BoostResidency, len(rec.Samples()))
-}
-
-// writeTrace dumps telemetry plus the recorder's zone series as JSONL.
-func writeTrace(path string, tel *telemetry.Telemetry, zs []sim.ZoneSample) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := telemetry.WriteJSONL(f, tel.Snapshot(flatten(zs))); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // flatten converts the recorder's per-zone vectors into the trace's flat

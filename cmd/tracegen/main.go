@@ -6,6 +6,7 @@
 //
 //	tracegen -workload Computation -load 0.7 -horizon 30 -o comp70.dstr
 //	tracegen -workload GP -load 0.5 -horizon 10 -json -o gp50.json
+//	tracegen -scenario double-density-360 -o dd360.dstr  # mix/load/sockets from a scenario
 //	tracegen -inspect comp70.dstr
 package main
 
@@ -15,21 +16,22 @@ import (
 	"os"
 	"strings"
 
+	"densim/internal/scenario"
 	"densim/internal/trace"
 	"densim/internal/units"
-	"densim/internal/workload"
 )
 
 func main() {
 	var (
-		wl      = flag.String("workload", "GP", "workload set: Computation, GP, Storage")
-		load    = flag.Float64("load", 0.5, "target utilization the trace represents")
-		sockets = flag.Int("sockets", 180, "socket count the load is scaled to")
-		horizon = flag.Float64("horizon", 10, "capture length in seconds")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default stdout)")
-		asJSON  = flag.Bool("json", false, "write JSON instead of the binary format")
-		inspect = flag.String("inspect", "", "print statistics of an existing trace file and exit")
+		scenarioRef = flag.String("scenario", "sut-180", "scenario supplying workload, load, socket count, horizon, and seed: preset name, preset:NAME, or file path")
+		wl          = flag.String("workload", "GP", "workload set: Computation, GP, Storage")
+		load        = flag.Float64("load", 0.5, "target utilization the trace represents")
+		sockets     = flag.Int("sockets", 180, "socket count the load is scaled to")
+		horizon     = flag.Float64("horizon", 10, "capture length in seconds")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		out         = flag.String("o", "", "output file (default stdout)")
+		asJSON      = flag.Bool("json", false, "write JSON instead of the binary format")
+		inspect     = flag.String("inspect", "", "print statistics of an existing trace file and exit")
 	)
 	flag.Parse()
 
@@ -40,17 +42,46 @@ func main() {
 		return
 	}
 
-	var class workload.Class
-	found := false
-	for _, c := range workload.Classes {
-		if c.String() == *wl {
-			class, found = c, true
+	// Scenario supplies the capture parameters; explicitly set flags
+	// override it. Without -scenario the flag defaults reproduce the
+	// historical behaviour (GP, 0.5, 180 sockets, 10 s, seed 1).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	sc, err := scenario.Load(*scenarioRef)
+	if err != nil {
+		fail(err)
+	}
+	if set["workload"] || !set["scenario"] {
+		sc.Workload.Class = *wl
+	}
+	if set["load"] || !set["scenario"] {
+		sc.Workload.Load = *load
+	}
+	mix, err := sc.Mix()
+	if err != nil {
+		fail(err)
+	}
+	captureLoad := sc.Workload.Load
+	if captureLoad == 0 {
+		captureLoad = 0.5
+	}
+	numSockets := *sockets
+	if set["scenario"] && !set["sockets"] {
+		srv, err := sc.Server()
+		if err != nil {
+			fail(err)
 		}
+		numSockets = srv.NumSockets()
 	}
-	if !found {
-		fail(fmt.Errorf("unknown workload %q", *wl))
+	captureSeed := *seed
+	if set["scenario"] && !set["seed"] {
+		captureSeed = sc.FirstSeed()
 	}
-	tr := trace.Capture(workload.ClassMix(class), *sockets, *load, *seed, units.Seconds(*horizon))
+	captureHorizon := *horizon
+	if set["scenario"] && !set["horizon"] && sc.Run.DurationS > 0 {
+		captureHorizon = sc.Run.DurationS
+	}
+	tr := trace.Capture(mix, numSockets, captureLoad, captureSeed, units.Seconds(captureHorizon))
 
 	w := os.Stdout
 	if *out != "" {
@@ -65,7 +96,6 @@ func main() {
 		}()
 		w = f
 	}
-	var err error
 	if *asJSON {
 		err = tr.WriteJSON(w)
 	} else {
@@ -76,7 +106,7 @@ func main() {
 	}
 	st := tr.Stats()
 	fmt.Fprintf(os.Stderr, "captured %d jobs over %.1fs (mean duration %v, mean gap %v)\n",
-		st.Jobs, *horizon, st.MeanDuration, st.MeanInterArrival)
+		st.Jobs, captureHorizon, st.MeanDuration, st.MeanInterArrival)
 }
 
 func inspectFile(path string) error {

@@ -18,6 +18,8 @@ import (
 	"densim/internal/chipmodel"
 	"densim/internal/entrytemp"
 	"densim/internal/experiments"
+	"densim/internal/scenario"
+	"densim/internal/sim"
 	"densim/internal/thermo"
 	"densim/internal/workload"
 )
@@ -85,6 +87,12 @@ func main() {
 	add("R_ext 30-fin (C/W)", chipmodel.RExt30, 1.056, 1.056, "Table III")
 	add("leakage at 90C / TDP", float64(chipmodel.NewLeakage(22).At(90))/22, 0.2999, 0.3001, "Section III-A: 30%")
 
+	// Scenario presets: every shipped preset must build a valid simulator
+	// (1 = builds, 0 = broken).
+	for _, name := range scenario.Names() {
+		add(fmt.Sprintf("preset %s builds", name), presetBuilds(name), 1, 1, "scenario layer")
+	}
+
 	if *withSim {
 		opts := experiments.Quick()
 		res, _, err := experiments.Fig3(opts)
@@ -109,6 +117,23 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// presetBuilds reports (as 1/0) whether a shipped preset constructs a valid
+// simulator end to end: preset -> scenario -> sim.Config -> sim.New.
+func presetBuilds(name string) float64 {
+	sc, err := scenario.Preset(name)
+	if err != nil {
+		return 0
+	}
+	cfg, err := sc.Config(sc.FirstSeed())
+	if err != nil {
+		return 0
+	}
+	if _, err := sim.New(cfg); err != nil {
+		return 0
+	}
+	return 1
 }
 
 func fail(err error) {

@@ -8,30 +8,34 @@
 //	result, _ := exp.Run()
 //	fmt.Println(result.MeanExpansion)
 //
-// Options covers the SUT studies of the paper; callers needing custom
-// topologies, traces, or schedulers drop down to the sim, geometry, trace,
-// and sched packages, which are designed to compose (see
+// Options is sugar over the scenario layer: it resolves to a scenario
+// (internal/scenario) — the paper's 180-socket SUT by default, or any
+// shipped preset or scenario file via Options.Scenario — with the explicit
+// option fields applied on top. Callers needing custom topologies, traces,
+// or schedulers either write a scenario file or drop down to the sim,
+// geometry, trace, and sched packages, which are designed to compose (see
 // examples/customsched).
 package core
 
 import (
 	"fmt"
-	"os"
-	"strings"
 
-	"densim/internal/airflow"
-	"densim/internal/geometry"
+	"densim/internal/check"
 	"densim/internal/metrics"
+	"densim/internal/scenario"
 	"densim/internal/sched"
 	"densim/internal/sim"
 	"densim/internal/telemetry"
-	"densim/internal/trace"
-	"densim/internal/units"
 	"densim/internal/workload"
 )
 
-// Options selects a simulation study on the 180-socket SUT.
+// Options selects a simulation study.
 type Options struct {
+	// Scenario selects the base run specification: a shipped preset name,
+	// "preset:NAME", or a scenario file path (default the sut-180 preset
+	// with a 10-second horizon). The remaining options override the
+	// scenario's corresponding fields when set.
+	Scenario string
 	// Scheduler is a policy name from Schedulers() (default "CP").
 	Scheduler string
 	// Workload is "Computation", "GP", or "Storage" (default "GP").
@@ -78,141 +82,142 @@ func Workloads() []string {
 	return out
 }
 
-// classByName resolves a workload name.
-func classByName(name string) (workload.Class, error) {
-	for _, c := range workload.Classes {
-		if c.String() == name {
-			return c, nil
-		}
-	}
-	return 0, fmt.Errorf("core: unknown workload %q (have %v)", name, Workloads())
+// Presets lists the shipped scenario presets.
+func Presets() []string { return scenario.Names() }
+
+// Experiment is a configured, runnable study.
+type Experiment struct {
+	sc     *scenario.Scenario
+	seed   uint64
+	custom sched.Scheduler // overrides the scenario's policy when non-nil
+	tel    *telemetry.Telemetry
 }
 
-// Experiment is a configured, runnable SUT study.
-type Experiment struct {
-	cfg       sim.Config
-	replay    *trace.Trace
-	schedName string // rebuilt per Run for stateful policies; "" = custom
-	seed      uint64
+// scenarioFromOptions resolves Options to a scenario plus run seed.
+func scenarioFromOptions(o Options) (*scenario.Scenario, uint64, error) {
+	ref := o.Scenario
+	if ref == "" {
+		ref = "sut-180"
+	}
+	sc, err := scenario.Load(ref)
+	if err != nil {
+		return nil, 0, err
+	}
+	if o.Scenario == "" {
+		// The documented Options defaults predate the scenario layer: a
+		// 10-second horizon, not the preset's 20-second one.
+		sc.Run.DurationS = 10
+		sc.Run.WarmupS = 0
+	}
+	if o.Scheduler != "" {
+		sc.Scheduler.Name = o.Scheduler
+	}
+	if o.Workload != "" {
+		sc.Workload.Class = o.Workload
+	}
+	if o.Load != 0 {
+		sc.Workload.Load = o.Load
+	}
+	if o.Duration != 0 {
+		sc.Run.DurationS = o.Duration
+	}
+	if o.Warmup != 0 {
+		sc.Run.WarmupS = o.Warmup
+	}
+	if o.SinkTau != 0 {
+		sc.Run.SinkTauS = o.SinkTau
+	}
+	if o.Inlet != 0 {
+		sc.Airflow.InletC = o.Inlet
+	}
+	if o.TracePath != "" {
+		sc.Workload.Trace = o.TracePath
+		if o.Duration == 0 {
+			// The trace defines arrivals; its capture horizon becomes the
+			// duration unless one was given.
+			sc.Run.DurationS = 0
+		}
+	}
+	seed := sc.FirstSeed()
+	if o.Seed != 0 {
+		seed = o.Seed
+	}
+	return sc, seed, nil
 }
 
 // NewExperiment validates options and builds the study.
 func NewExperiment(o Options) (*Experiment, error) {
-	if o.Scheduler == "" {
-		o.Scheduler = "CP"
-	}
-	if o.Workload == "" {
-		o.Workload = "GP"
-	}
-	if o.Load == 0 {
-		o.Load = 0.5
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	var replay *trace.Trace
-	if o.TracePath != "" {
-		var err error
-		replay, err = readTrace(o.TracePath)
-		if err != nil {
-			return nil, err
-		}
-		if o.Duration == 0 {
-			o.Duration = traceHorizon(replay)
-		}
-	}
-	if o.Duration == 0 {
-		o.Duration = 10
-	}
-	if o.Warmup == 0 {
-		o.Warmup = 0.3 * o.Duration
-	}
-	class, err := classByName(o.Workload)
+	sc, seed, err := scenarioFromOptions(o)
 	if err != nil {
 		return nil, err
 	}
-	scheduler := o.CustomScheduler
-	if scheduler == nil {
-		scheduler, err = sched.ByName(o.Scheduler, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-	}
-	params := airflow.SUTParams()
-	if o.Inlet != 0 {
-		params.Inlet = units.Celsius(o.Inlet)
-	}
-	cfg := sim.Config{
-		Server:    geometry.SUT(),
-		Airflow:   params,
-		Scheduler: scheduler,
-		Mix:       workload.ClassMix(class),
-		Load:      o.Load,
-		Seed:      o.Seed,
-		Duration:  units.Seconds(o.Duration),
-		Warmup:    units.Seconds(o.Warmup),
-		SinkTau:   units.Seconds(o.SinkTau),
-		Telemetry: o.Telemetry,
-	}
+	return newExperiment(sc, seed, o.CustomScheduler, o.Telemetry)
+}
+
+// NewScenarioExperiment builds a study directly from a resolved scenario,
+// using its first seed — the entry point for tools that already hold one
+// (cmd/densim's -scenario path goes through here).
+func NewScenarioExperiment(sc *scenario.Scenario, seed uint64, tel *telemetry.Telemetry) (*Experiment, error) {
+	return newExperiment(sc, seed, nil, tel)
+}
+
+func newExperiment(sc *scenario.Scenario, seed uint64, custom sched.Scheduler, tel *telemetry.Telemetry) (*Experiment, error) {
+	e := &Experiment{sc: sc, seed: seed, custom: custom, tel: tel}
 	// Validate eagerly so callers see configuration errors here, not at
-	// Run time.
+	// Run time: build the config (which loads any trace) and a simulator.
+	cfg, err := e.config()
+	if err != nil {
+		return nil, err
+	}
 	if _, err := sim.New(cfg); err != nil {
 		return nil, err
 	}
-	exp := &Experiment{cfg: cfg, replay: replay, seed: o.Seed}
-	if o.CustomScheduler == nil {
-		exp.schedName = o.Scheduler
-	}
-	return exp, nil
+	return e, nil
 }
 
-// readTrace loads a trace file, deciding the encoding by extension.
-func readTrace(path string) (*trace.Trace, error) {
-	f, err := os.Open(path)
+// Scenario returns the study's resolved scenario. The caller must not
+// mutate it.
+func (e *Experiment) Scenario() *scenario.Scenario { return e.sc }
+
+// config assembles a fresh sim.Config for one run.
+func (e *Experiment) config() (sim.Config, error) {
+	cfg, err := e.sc.Config(e.seed)
 	if err != nil {
-		return nil, fmt.Errorf("core: opening trace: %w", err)
+		return sim.Config{}, err
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".json") {
-		return trace.ReadJSON(f)
+	if e.custom != nil {
+		cfg.Scheduler = e.custom
 	}
-	return trace.ReadBinary(f)
+	cfg.Telemetry = e.tel
+	return cfg, nil
 }
 
-// traceHorizon returns the trace's capture horizon, falling back to the last
-// arrival time for hand-made traces without metadata.
-func traceHorizon(t *trace.Trace) float64 {
-	if t.Meta.Horizon > 0 {
-		return t.Meta.Horizon
-	}
-	if n := len(t.Records); n > 0 {
-		return float64(t.Records[n-1].At) + 0.001
-	}
-	return 1
-}
-
-// Run executes the study and returns its metrics. Each call creates a fresh
-// simulator (and a fresh trace player when replaying), so Run is repeatable
-// and safe to call multiple times.
+// Run executes the study and returns its metrics. Each call assembles a
+// fresh config from the scenario (a new scheduler instance, a new trace
+// player), so Run is repeatable and safe to call multiple times. When the
+// scenario's Checks toggle is set, the run executes under the runtime
+// invariant harness and any violation is returned as an error.
 func (e *Experiment) Run() (metrics.Result, error) {
-	cfg := e.cfg
-	if e.replay != nil {
-		cfg.Source = trace.NewPlayer(e.replay)
+	cfg, err := e.config()
+	if err != nil {
+		return metrics.Result{}, err
 	}
-	if e.schedName != "" {
-		// Stochastic policies carry RNG state; rebuild so every Run starts
-		// from the same seed.
-		scheduler, err := sched.ByName(e.schedName, e.seed)
-		if err != nil {
-			return metrics.Result{}, err
-		}
-		cfg.Scheduler = scheduler
+	var h *check.Checks
+	if e.sc.Checks {
+		h = check.New()
+		cfg.Checks = h
 	}
 	s, err := sim.New(cfg)
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	return s.Run(), nil
+	res := s.Run()
+	if h != nil {
+		if err := h.Err(); err != nil {
+			return metrics.Result{}, fmt.Errorf("core: invariant violation: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // Compare runs the same study under several schedulers and reports each

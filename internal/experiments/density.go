@@ -1,0 +1,225 @@
+package experiments
+
+// The density sweep — the study the scenario layer exists for. The paper's
+// central question is how socket density (degree of coupling, Table I)
+// changes thermal behaviour and scheduler headroom; this experiment walks a
+// family of scenarios that hold the workload and per-socket load fixed
+// while varying how many sockets share each airflow lane, and reports the
+// per-density cost: runtime expansion, achievable frequency by region, and
+// energy per unit of completed work.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"densim/internal/metrics"
+	"densim/internal/report"
+	"densim/internal/scenario"
+	"densim/internal/telemetry"
+)
+
+// DensityPresets returns the shipped density family in coupling order:
+// conventional-2u (DoC 1), half-density-90 (DoC 3), sut-180 (DoC 6),
+// double-density-360 (DoC 12).
+func DensityPresets() ([]*scenario.Scenario, error) {
+	names := []string{"conventional-2u", "half-density-90", "sut-180", "double-density-360"}
+	out := make([]*scenario.Scenario, len(names))
+	for i, name := range names {
+		sc, err := scenario.Preset(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// DensityLoads returns the default per-socket load levels of the density
+// sweep — a spread rather than the full Figure 14 ladder, because each
+// level runs every density point.
+func DensityLoads() []float64 { return []float64{0.3, 0.5, 0.7, 0.9} }
+
+// DensityRow is one (scenario, load) point of the sweep.
+type DensityRow struct {
+	Scenario string
+	// DoC is the degree of coupling (sockets per airflow lane).
+	DoC     int
+	Sockets int
+	Load    float64
+	// MeanExpansion is the paper's average runtime expansion (lower is
+	// better); MeanServiceExpansion excludes queueing.
+	MeanExpansion        float64
+	MeanServiceExpansion float64
+	BoostResidency       float64
+	// EnergyPerWorkJ is consumed energy per FMax-equivalent second of
+	// completed work — the density tax in joules.
+	EnergyPerWorkJ float64
+	// FrontFreq and BackFreq are the busy-time-weighted mean relative
+	// frequencies of the front and back halves; their gap is the thermal
+	// coupling signature (a DoC-1 system has no back half).
+	FrontFreq float64
+	BackFreq  float64
+	// HottestZoneFreq is the mean relative frequency of the most throttled
+	// zone.
+	HottestZoneFreq float64
+}
+
+// DensityResult is the typed outcome of a density sweep.
+type DensityResult struct {
+	Rows []DensityRow
+}
+
+// DensitySweep runs every scenario at every load and reports the density
+// scaling story. The scenarios define the topologies, sinks, airflow,
+// workload class, and scheduler; the runner's options supply the
+// measurement windows and seeds (as for every other experiment) so density
+// points are compared under identical observation conditions, and loads
+// override each scenario's own load so the per-socket utilization axis is
+// shared. Returned tables: a cross-density summary first, then one
+// per-density table (cmd/sweep writes each as its own CSV).
+func DensitySweep(r *Runner, scenarios []*scenario.Scenario, loads []float64) (*DensityResult, []*report.Table, error) {
+	if len(scenarios) == 0 {
+		return nil, nil, fmt.Errorf("experiments: density sweep needs at least one scenario")
+	}
+	if len(loads) == 0 {
+		loads = DensityLoads()
+	}
+	type point struct {
+		res metrics.Result
+		err error
+	}
+	points := make([]point, len(scenarios)*len(loads))
+	var wg sync.WaitGroup
+	for si, sc := range scenarios {
+		for li, load := range loads {
+			run := *sc
+			run.Workload.Load = load
+			run.Run.Seeds = append([]uint64(nil), r.opts.Seeds...)
+			run.Run.DurationS = float64(r.opts.Duration)
+			run.Run.WarmupS = float64(r.opts.Warmup)
+			run.Run.SinkTauS = float64(r.opts.SinkTau)
+			var telFor func() *telemetry.Telemetry
+			if r.opts.Telemetry != nil {
+				telFor = func() *telemetry.Telemetry { return r.opts.Telemetry.For(sc.Name) }
+			}
+			wg.Add(1)
+			go func(p *point, run scenario.Scenario) {
+				// Only the leaf (per-seed) goroutines inside runScenario
+				// hold worker slots, so fanning out all points is safe.
+				defer wg.Done()
+				p.res, p.err = r.runScenario(&run, telFor)
+			}(&points[si*len(loads)+li], run)
+		}
+	}
+	wg.Wait()
+
+	res := &DensityResult{}
+	var errs []error
+	for si, sc := range scenarios {
+		srv, err := sc.Server()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("scenario %s: %w", sc.Name, err))
+			continue
+		}
+		for li, load := range loads {
+			p := points[si*len(loads)+li]
+			if p.err != nil {
+				errs = append(errs, fmt.Errorf("scenario %s load %.0f%%: %w", sc.Name, load*100, p.err))
+				continue
+			}
+			row := DensityRow{
+				Scenario:             sc.Name,
+				DoC:                  srv.DegreeOfCoupling(),
+				Sockets:              srv.NumSockets(),
+				Load:                 load,
+				MeanExpansion:        p.res.MeanExpansion,
+				MeanServiceExpansion: p.res.MeanServiceExpansion,
+				BoostResidency:       p.res.BoostResidency,
+				FrontFreq:            p.res.RegionFreq[metrics.FrontHalf],
+				BackFreq:             p.res.RegionFreq[metrics.BackHalf],
+				HottestZoneFreq:      hottestZoneFreq(p.res),
+			}
+			if p.res.CompletedWorkSeconds > 0 {
+				row.EnergyPerWorkJ = float64(p.res.EnergyJ) / p.res.CompletedWorkSeconds
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, err
+	}
+
+	tables := []*report.Table{densitySummaryTable(res, scenarios, loads)}
+	for _, sc := range scenarios {
+		tables = append(tables, densityTable(res, sc.Name))
+	}
+	return res, tables, nil
+}
+
+// hottestZoneFreq returns the lowest per-zone mean relative frequency — the
+// most throttled zone's operating point (1.0 when no zone saw work).
+func hottestZoneFreq(r metrics.Result) float64 {
+	best := 1.0
+	seen := false
+	for _, f := range r.ZoneFreq {
+		if !seen || f < best {
+			best, seen = f, true
+		}
+	}
+	return best
+}
+
+// densityTable renders one scenario's rows (all loads).
+func densityTable(res *DensityResult, name string) *report.Table {
+	t := &report.Table{
+		Title: "density-" + name,
+		Header: []string{"scenario", "doc", "sockets", "load", "expansion",
+			"service_expansion", "boost", "energy_per_work_j", "front_freq",
+			"back_freq", "hottest_zone_freq"},
+	}
+	for _, row := range res.Rows {
+		if row.Scenario != name {
+			continue
+		}
+		t.AddRow(row.Scenario, row.DoC, row.Sockets, row.Load,
+			fmt.Sprintf("%.4f", row.MeanExpansion),
+			fmt.Sprintf("%.4f", row.MeanServiceExpansion),
+			row.BoostResidency, fmt.Sprintf("%.4f", row.EnergyPerWorkJ),
+			row.FrontFreq, row.BackFreq, row.HottestZoneFreq)
+	}
+	return t
+}
+
+// densitySummaryTable renders the cross-density comparison: one row per
+// (load, scenario) with expansion relative to the sweep's first scenario
+// (conventionally the uncoupled control) at the same load.
+func densitySummaryTable(res *DensityResult, scenarios []*scenario.Scenario, loads []float64) *report.Table {
+	t := &report.Table{
+		Title: "density-summary",
+		Header: []string{"load", "scenario", "doc", "sockets", "expansion",
+			"rel_expansion_vs_first", "energy_per_work_j"},
+	}
+	byKey := map[string]DensityRow{}
+	for _, row := range res.Rows {
+		byKey[fmt.Sprintf("%s@%v", row.Scenario, row.Load)] = row
+	}
+	for _, load := range loads {
+		base, haveBase := byKey[fmt.Sprintf("%s@%v", scenarios[0].Name, load)]
+		for _, sc := range scenarios {
+			row, ok := byKey[fmt.Sprintf("%s@%v", sc.Name, load)]
+			if !ok {
+				continue
+			}
+			rel := 0.0
+			if haveBase && base.MeanExpansion > 0 {
+				rel = row.MeanExpansion / base.MeanExpansion
+			}
+			t.AddRow(load, row.Scenario, row.DoC, row.Sockets,
+				fmt.Sprintf("%.4f", row.MeanExpansion),
+				fmt.Sprintf("%.4f", rel),
+				fmt.Sprintf("%.4f", row.EnergyPerWorkJ))
+		}
+	}
+	return t
+}

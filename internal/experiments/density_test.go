@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"densim/internal/scenario"
+)
+
+// tinyDensityFamily returns two very small topologies (DoC 1 and DoC 2) so
+// the sweep itself can be exercised quickly.
+func tinyDensityFamily(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	mk := func(name string, lanes, depth int) *scenario.Scenario {
+		return &scenario.Scenario{
+			Version:   scenario.CurrentVersion,
+			Name:      name,
+			Topology:  scenario.Topology{Rows: 2, Lanes: lanes, Depth: depth},
+			Workload:  scenario.Workload{Class: "Computation"},
+			Scheduler: scenario.Scheduler{Name: "CF", Seed: 1},
+		}
+	}
+	return []*scenario.Scenario{mk("tiny-uncoupled", 2, 1), mk("tiny-coupled", 1, 2)}
+}
+
+func TestDensitySweep(t *testing.T) {
+	opts := SimOptions{Duration: 2, Warmup: 0.5, SinkTau: 0.5, Seeds: []uint64{7}}
+	r := NewRunner(opts)
+	family := tinyDensityFamily(t)
+	loads := []float64{0.4, 0.8}
+
+	res, tables, err := DensitySweep(r, family, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), len(family)*len(loads); got != want {
+		t.Fatalf("got %d rows, want %d", got, want)
+	}
+	for _, row := range res.Rows {
+		if row.MeanExpansion < 1 {
+			t.Errorf("%s@%v: mean expansion %v < 1", row.Scenario, row.Load, row.MeanExpansion)
+		}
+		if row.Sockets != 4 {
+			t.Errorf("%s: %d sockets, want 4", row.Scenario, row.Sockets)
+		}
+		if row.EnergyPerWorkJ <= 0 {
+			t.Errorf("%s@%v: non-positive energy per work", row.Scenario, row.Load)
+		}
+	}
+	// One summary table plus one per scenario, titled for CSV filenames.
+	if got, want := len(tables), 1+len(family); got != want {
+		t.Fatalf("got %d tables, want %d", got, want)
+	}
+	if tables[0].Title != "density-summary" {
+		t.Errorf("first table %q, want density-summary", tables[0].Title)
+	}
+	for i, sc := range family {
+		if want := "density-" + sc.Name; tables[i+1].Title != want {
+			t.Errorf("table %d title %q, want %q", i+1, tables[i+1].Title, want)
+		}
+		if got, want := len(tables[i+1].Rows), len(loads); got != want {
+			t.Errorf("table %q has %d rows, want %d", tables[i+1].Title, got, want)
+		}
+	}
+	// The summary's relative column is anchored on the first scenario.
+	for _, row := range tables[0].Rows {
+		if row[1] == family[0].Name && row[5] != "1.0000" {
+			t.Errorf("baseline scenario rel expansion = %s, want 1.0000", row[5])
+		}
+	}
+}
+
+// TestDensitySweepDeterministic: same inputs, same rows — the sweep must be
+// reproducible run to run despite its internal parallelism.
+func TestDensitySweepDeterministic(t *testing.T) {
+	opts := SimOptions{Duration: 1, Warmup: 0.3, SinkTau: 0.3, Seeds: []uint64{7}}
+	family := tinyDensityFamily(t)
+	run := func() string {
+		_, tables, err := DensitySweep(NewRunner(opts), family, []float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tab := range tables {
+			b.WriteString(tab.String())
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("density sweep not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

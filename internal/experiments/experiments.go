@@ -21,10 +21,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"densim/internal/airflow"
 	"densim/internal/check"
 	"densim/internal/metrics"
-	"densim/internal/sched"
+	"densim/internal/scenario"
 	"densim/internal/sim"
 	"densim/internal/telemetry"
 	"densim/internal/units"
@@ -171,50 +170,83 @@ func (r *Runner) Prefetch(cells []Cell) error {
 	return errors.Join(errs...)
 }
 
+// cellScenario declares a cell as a scenario: the sut-180 preset with the
+// cell's scheduler/workload/load and the runner's windows applied. The
+// scheduler seed is pinned to 1 (the historical serial implementation's
+// choice) while the run seed varies, so multi-seed averages vary arrivals,
+// not placement RNG.
+func (r *Runner) cellScenario(c Cell) (*scenario.Scenario, error) {
+	sc, err := scenario.Preset("sut-180")
+	if err != nil {
+		return nil, err
+	}
+	sc.Scheduler.Name = c.Sched
+	sc.Scheduler.Seed = 1
+	sc.Workload.Class = c.Class.String()
+	sc.Workload.Load = c.Load
+	sc.Run.Seeds = append([]uint64(nil), r.opts.Seeds...)
+	sc.Run.DurationS = float64(r.opts.Duration)
+	sc.Run.WarmupS = float64(r.opts.Warmup)
+	sc.Run.SinkTauS = float64(r.opts.SinkTau)
+	sc.Checks = r.opts.Checked
+	return sc, nil
+}
+
 // runCell executes one cell's seeds as parallel simulations and averages
-// them. Each seed run gets its own scheduler instance (schedulers carry
-// per-run RNG and scratch state), constructed with the same seed the serial
-// implementation used, so single-seed presets reproduce its output exactly.
-// Results are averaged in seed order regardless of completion order, so the
-// average is deterministic too.
+// them. The per-seed configs are built declaratively through the scenario
+// layer (see cellScenario); each seed run gets its own scheduler instance
+// (schedulers carry per-run RNG and scratch state), so single-seed presets
+// reproduce the serial implementation's output exactly. Results are
+// averaged in seed order regardless of completion order, so the average is
+// deterministic too.
 func (r *Runner) runCell(c Cell) (metrics.Result, error) {
-	if _, err := sched.ByName(c.Sched, 1); err != nil {
+	sc, err := r.cellScenario(c)
+	if err != nil {
 		return metrics.Result{}, err
 	}
-	results := make([]metrics.Result, len(r.opts.Seeds))
-	errs := make([]error, len(r.opts.Seeds))
+	telFor := func() *telemetry.Telemetry {
+		// Telemetry aggregates: all of a scheduler's seeds and cells share
+		// the instance labeled with its name.
+		if r.opts.Telemetry == nil {
+			return nil
+		}
+		return r.opts.Telemetry.For(c.Sched)
+	}
+	return r.runScenario(sc, telFor)
+}
+
+// runScenario executes a scenario's seeds as parallel simulations under the
+// runner's worker semaphore and averages them. telFor supplies the shared
+// telemetry instance for the scenario's runs (nil function or nil result
+// disables instrumentation).
+func (r *Runner) runScenario(sc *scenario.Scenario, telFor func() *telemetry.Telemetry) (metrics.Result, error) {
+	// Surface configuration errors once, before fanning out.
+	if _, err := sc.Config(sc.FirstSeed()); err != nil {
+		return metrics.Result{}, err
+	}
+	seeds := sc.Seeds()
+	results := make([]metrics.Result, len(seeds))
+	errs := make([]error, len(seeds))
 	var wg sync.WaitGroup
-	for i, seed := range r.opts.Seeds {
+	for i, seed := range seeds {
 		wg.Add(1)
 		go func(i int, seed uint64) {
 			defer wg.Done()
 			r.sem <- struct{}{} // leaf-level slot: held only while simulating
 			defer func() { <-r.sem }()
-			scheduler, err := sched.ByName(c.Sched, 1)
+			cfg, err := sc.Config(seed)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			cfg := sim.Config{
-				Scheduler: scheduler,
-				Airflow:   airflow.SUTParams(),
-				Mix:       workload.ClassMix(c.Class),
-				Load:      c.Load,
-				Seed:      seed,
-				Duration:  r.opts.Duration,
-				Warmup:    r.opts.Warmup,
-				SinkTau:   r.opts.SinkTau,
-			}
 			// The harness is stateful per run: each seed gets its own.
 			var h *check.Checks
-			if r.opts.Checked {
+			if sc.Checks || r.opts.Checked {
 				h = check.New()
 				cfg.Checks = h
 			}
-			// Telemetry aggregates: all of a scheduler's seeds and cells
-			// share the instance labeled with its name.
-			if r.opts.Telemetry != nil {
-				cfg.Telemetry = r.opts.Telemetry.For(c.Sched)
+			if telFor != nil {
+				cfg.Telemetry = telFor()
 			}
 			s, err := sim.New(cfg)
 			if err != nil {

@@ -235,8 +235,9 @@ func sutXPositions(cartridges int) []units.Meters {
 	return xs
 }
 
-// alternatingSinks returns 18-fin for odd zones and 30-fin for even zones.
-func alternatingSinks(depth int) []chipmodel.Sink {
+// AlternatingSinks returns the SUT's heat-sink pattern for a lane of the
+// given depth: 18-fin for odd zones and 30-fin for even zones (Section II).
+func AlternatingSinks(depth int) []chipmodel.Sink {
 	sinks := make([]chipmodel.Sink, depth)
 	for i := range sinks {
 		if (i+1)%2 == 0 {
@@ -248,10 +249,20 @@ func alternatingSinks(depth int) []chipmodel.Sink {
 	return sinks
 }
 
+// UniformSinks returns the same heat sink at every depth position — the
+// homogeneous pattern of conventional (uncoupled) chassis.
+func UniformSinks(depth int, sink chipmodel.Sink) []chipmodel.Sink {
+	sinks := make([]chipmodel.Sink, depth)
+	for i := range sinks {
+		sinks[i] = sink
+	}
+	return sinks
+}
+
 // SUT builds the paper's 180-socket system under test: 15 rows x 2 lanes x
 // 6 zones (3 cartridges of 2x2 sockets in series).
 func SUT() *Server {
-	s, err := New("moonshot-m700-sut", 15, 2, sutXPositions(3), alternatingSinks(6),
+	s, err := New("moonshot-m700-sut", 15, 2, sutXPositions(3), AlternatingSinks(6),
 		units.FromInches(7.0/15), units.FromInches(2.5))
 	if err != nil {
 		panic("geometry: SUT construction failed: " + err.Error())
@@ -267,9 +278,19 @@ func SUT() *Server {
 // socket count arranged from fully uncoupled (depth 1) to deeply coupled
 // chains.
 func DenseSystem(name string, rows, lanes, depth int) (*Server, error) {
+	return DenseSystemWithSinks(name, rows, lanes, depth, AlternatingSinks(depth))
+}
+
+// DenseSystemWithSinks is DenseSystem with an explicit per-depth heat-sink
+// pattern (one entry per depth position) — the scenario layer's topology
+// substrate for density sweeps with homogeneous sinks.
+func DenseSystemWithSinks(name string, rows, lanes, depth int, sinks []chipmodel.Sink) (*Server, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("geometry %s: non-positive depth %d", name, depth)
+	}
 	cartridges := (depth + 1) / 2
 	xs := sutXPositions(cartridges)[:depth]
-	return New(name, rows, lanes, xs, alternatingSinks(depth),
+	return New(name, rows, lanes, xs, sinks,
 		units.FromInches(7.0/15), units.FromInches(2.5))
 }
 

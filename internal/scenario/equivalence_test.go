@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/sched"
+	"densim/internal/sim"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// TestSUT180MatchesHardCodedDefault is the fails-if-broken guarantee behind
+// the golden digests: the sut-180 preset must produce bit-identical results
+// to the historical hard-coded default config (geometry.SUT + SUTParams +
+// ClassMix), for the same scheduler/workload/load/windows. The experiments
+// runner builds every golden-digest cell through this preset, so if this
+// test fails, the digests are living on borrowed time.
+func TestSUT180MatchesHardCodedDefault(t *testing.T) {
+	const (
+		schedName = "CP"
+		load      = 0.7
+		seed      = uint64(7)
+	)
+
+	// The pre-scenario hard-coded construction, verbatim.
+	scheduler, err := sched.ByName(schedName, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := sim.Config{
+		Scheduler: scheduler,
+		Airflow:   airflow.SUTParams(),
+		Mix:       workload.ClassMix(workload.Computation),
+		Load:      load,
+		Seed:      seed,
+		Duration:  2,
+		Warmup:    0.5,
+		SinkTau:   0.5,
+	}
+
+	// The same cell declared through the preset.
+	sc, err := Preset("sut-180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Scheduler.Name = schedName
+	sc.Scheduler.Seed = 1
+	sc.Workload.Class = workload.Computation.String()
+	sc.Workload.Load = load
+	sc.Run.DurationS, sc.Run.WarmupS, sc.Run.SinkTauS = 2, 0.5, 0.5
+	cfg, err := sc.Config(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scenario-built server must be the SUT itself.
+	if got, want := cfg.Server.Name, geometry.SUT().Name; got != want {
+		t.Fatalf("scenario server %q, want %q", got, want)
+	}
+	if cfg.Airflow != legacy.Airflow {
+		t.Fatalf("airflow params differ: %+v vs %+v", cfg.Airflow, legacy.Airflow)
+	}
+	if cfg.Duration != legacy.Duration || cfg.Warmup != legacy.Warmup || cfg.SinkTau != legacy.SinkTau {
+		t.Fatalf("windows differ: %v/%v/%v vs %v/%v/%v", cfg.Duration, cfg.Warmup,
+			cfg.SinkTau, legacy.Duration, legacy.Warmup, legacy.SinkTau)
+	}
+
+	runCfg := func(c sim.Config) interface{} {
+		s, err := sim.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	legacyRes := runCfg(legacy)
+	scenarioRes := runCfg(cfg)
+	if !reflect.DeepEqual(legacyRes, scenarioRes) {
+		t.Errorf("sut-180 diverged from the hard-coded default:\nlegacy   %+v\nscenario %+v",
+			legacyRes, scenarioRes)
+	}
+}
+
+// TestSUT180DefaultWindows pins the preset's bare-invocation windows to the
+// cmd/densim historical defaults (20 s horizon, derived 30% warmup).
+func TestSUT180DefaultWindows(t *testing.T) {
+	sc, err := Preset("sut-180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Config(sc.FirstSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Duration != 20 {
+		t.Errorf("duration = %v, want 20", cfg.Duration)
+	}
+	if cfg.Warmup != units.Seconds(0.3*20) {
+		t.Errorf("warmup = %v, want 6", cfg.Warmup)
+	}
+	if cfg.Seed != 1 {
+		t.Errorf("seed = %v, want 1", cfg.Seed)
+	}
+}

@@ -1,0 +1,126 @@
+package scenario
+
+// The shipped preset library: the paper's SUT plus the density family the
+// density-sweep experiment walks. The family holds socket count roughly
+// constant per rack unit of airflow and varies the degree of coupling (DoC,
+// sockets per lane — Table I), so differences between presets isolate the
+// effect the paper studies: how deeply sockets share their cooling air.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// presets maps name to constructor. Constructors (not values) so every
+// Preset call returns an independent Scenario the caller may mutate.
+var presets = map[string]func() *Scenario{
+	"sut-180":            sut180,
+	"half-density-90":    halfDensity90,
+	"double-density-360": doubleDensity360,
+	"conventional-2u":    conventional2U,
+}
+
+// Names lists the shipped presets, sorted.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isPreset reports whether name is a shipped preset.
+func isPreset(name string) bool {
+	_, ok := presets[name]
+	return ok
+}
+
+// Preset returns a fresh copy of a shipped preset.
+func Preset(name string) (*Scenario, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return mk(), nil
+}
+
+// baseRun is the run window shared by the presets: the cmd/densim default
+// of a 20-second arrival horizon with the derived 30% warmup, one seed.
+func baseRun() Run {
+	return Run{Seeds: []uint64{1}, DurationS: 20}
+}
+
+// sut180 is the paper's system under test: the 180-socket M700-class
+// chassis (15 rows x 2 lanes x 6 zones, DoC 6) with the alternating
+// 18-fin/30-fin sinks and 10 W of auxiliary board power per socket. This
+// preset is pinned byte-identical to the simulator's historical hard-coded
+// default — the golden-digest tests run through it.
+func sut180() *Scenario {
+	return &Scenario{
+		Version: CurrentVersion,
+		Name:    "sut-180",
+		Notes: "HPE Moonshot M700-class SUT of Table I/III: 180 sockets, " +
+			"degree of coupling 6.",
+		Topology:  Topology{Preset: "sut"},
+		Airflow:   Airflow{AuxPerSocketW: 10},
+		Workload:  Workload{Class: "GP", Load: 0.5},
+		Scheduler: Scheduler{Name: "CP"},
+		Run:       baseRun(),
+	}
+}
+
+// halfDensity90 halves the lane depth: 3 sockets per lane (DoC 3), 90
+// sockets in the same 15x2 lane grid — the paper's half-density design
+// point, where each lane keeps the full 6.35 CFM but carries half the heat.
+func halfDensity90() *Scenario {
+	return &Scenario{
+		Version: CurrentVersion,
+		Name:    "half-density-90",
+		Notes: "Half-density variant: 15 rows x 2 lanes x 3 zones, 90 " +
+			"sockets, degree of coupling 3.",
+		Topology:  Topology{Rows: 15, Lanes: 2, Depth: 3},
+		Airflow:   Airflow{AuxPerSocketW: 10},
+		Workload:  Workload{Class: "GP", Load: 0.5},
+		Scheduler: Scheduler{Name: "CP"},
+		Run:       baseRun(),
+	}
+}
+
+// doubleDensity360 doubles the lane depth: 12 sockets per lane (DoC 12),
+// 360 sockets — the deep-coupling extreme where the back zones inhale air
+// preheated by eleven upstream neighbors.
+func doubleDensity360() *Scenario {
+	return &Scenario{
+		Version: CurrentVersion,
+		Name:    "double-density-360",
+		Notes: "Double-density variant: 15 rows x 2 lanes x 12 zones, 360 " +
+			"sockets, degree of coupling 12.",
+		Topology:  Topology{Rows: 15, Lanes: 2, Depth: 12},
+		Airflow:   Airflow{AuxPerSocketW: 10},
+		Workload:  Workload{Class: "GP", Load: 0.5},
+		Scheduler: Scheduler{Name: "CP"},
+		Run:       baseRun(),
+	}
+}
+
+// conventional2U is the uncoupled control: the same 180 sockets arranged
+// one per lane (DoC 1), every socket breathing inlet air through the better
+// 30-fin sink — a conventional 2U-pizza-box rack's thermal behaviour,
+// paying for it in lanes (and therefore rack volume and fans).
+func conventional2U() *Scenario {
+	return &Scenario{
+		Version: CurrentVersion,
+		Name:    "conventional-2u",
+		Notes: "Uncoupled control: 180 sockets at degree of coupling 1 (15 " +
+			"rows x 12 lanes x 1 zone), uniform 30-fin sinks — conventional " +
+			"rack-server thermals at equal socket count.",
+		Topology:  Topology{Rows: 15, Lanes: 12, Depth: 1},
+		Airflow:   Airflow{AuxPerSocketW: 10},
+		Chip:      Chip{Sinks: "30fin"},
+		Workload:  Workload{Class: "GP", Load: 0.5},
+		Scheduler: Scheduler{Name: "CP"},
+		Run:       baseRun(),
+	}
+}

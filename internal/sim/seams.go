@@ -1,0 +1,96 @@
+package sim
+
+// This file defines the engine seams — the narrow interfaces the tick loop
+// delegates to instead of reaching into concrete packages. Each seam has a
+// default implementation that reproduces the paper's SUT behaviour exactly;
+// swapping one replaces a subsystem (thermal model, DVFS policy, job stream)
+// without touching the event loop. The seams are deliberately minimal: they
+// carry only what the hot paths need, so implementations stay
+// allocation-free and deterministic.
+
+import (
+	"densim/internal/airflow"
+	"densim/internal/chipmodel"
+	"densim/internal/job"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// ThermalChain is the tick loop's view of the thermal substrate: the mapping
+// from instantaneous socket powers to per-socket ambient (entry air)
+// temperatures. The default is the airflow advection network built from
+// Config.Server and Config.Airflow; a custom chain (a CFD surrogate, a
+// lookup table, a constant-inlet null model) plugs in via Config.Thermal.
+//
+// Implementations must be deterministic and must not retain the powers
+// slice; AmbientInto is called once per power-manager tick with reused
+// buffers and must not allocate in steady state.
+type ThermalChain interface {
+	// Inlet returns the server inlet temperature — the initial condition of
+	// every socket's thermal state.
+	Inlet() units.Celsius
+	// AmbientInto computes the steady-state entry temperature of every
+	// socket from the current per-socket total powers. Both slices have one
+	// entry per socket.
+	AmbientInto(powers []units.Watts, out []units.Celsius)
+}
+
+// The airflow model is the default ThermalChain.
+var _ ThermalChain = (*airflow.Model)(nil)
+
+// PowerManager is the tick loop's view of the per-socket power policy: the
+// DVFS pick for busy sockets and the gated draw of idle ones. The default is
+// the Table III policy (highest admissible P-state under the predicted
+// Equation-1 peak, 10%-of-TDP power gating); a custom manager plugs in via
+// Config.Power.
+//
+// PickFrequency runs for every busy socket on every tick and on every
+// placement; implementations must not allocate in steady state.
+type PowerManager interface {
+	// IdlePower returns the constant draw of a power-gated idle socket for
+	// the configured per-socket TDP.
+	IdlePower(tdp units.Watts) units.Watts
+	// PickFrequency returns the operating frequency for a busy socket given
+	// its (slow-moving) ambient temperature, the running job's benchmark,
+	// the socket's heat sink, and the boost-budget frequency cap.
+	PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz) units.MHz
+}
+
+// WorkloadSource is the seam feeding jobs into the simulation: the live
+// Poisson generator (workload.Arrivals), a recorded trace (trace.Player), or
+// any custom deterministic stream. It aliases job.Source so existing
+// implementations satisfy it unchanged.
+type WorkloadSource = job.Source
+
+// TableDVFS is the default PowerManager: the power-management policy of
+// Table III. PickFrequency returns the highest P-state (boost included,
+// subject to the boost-budget cap) whose *predicted steady* Equation-1 peak
+// temperature at the socket's current ambient stays under the 95C limit.
+// Using the steady prediction rather than the transient chip temperature
+// keeps the policy conservative — a millisecond job cannot outrun the
+// thermal model — and makes the power manager agree exactly with the
+// schedulers' frequency predictor. IdlePower is the paper's 10%-of-TDP
+// power-gated draw.
+type TableDVFS struct {
+	// Leak is the leakage model feeding the two-step peak prediction.
+	Leak chipmodel.Leakage
+}
+
+// IdlePower implements PowerManager.
+func (TableDVFS) IdlePower(tdp units.Watts) units.Watts {
+	return units.Watts(chipmodel.GatedPowerFrac * float64(tdp))
+}
+
+// PickFrequency implements PowerManager.
+func (d TableDVFS) PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz) units.MHz {
+	i := chipmodel.HighestAdmissible(chipmodel.CapIndex(cap), func(i int) bool {
+		dyn := b.DynamicPowerAt(chipmodel.Frequencies[i])
+		return chipmodel.PredictTwoStep(ambient, dyn, sink, d.Leak) <= chipmodel.TempLimit
+	})
+	if i < 0 {
+		return chipmodel.FMin
+	}
+	return chipmodel.Frequencies[i]
+}
+
+var _ PowerManager = TableDVFS{}

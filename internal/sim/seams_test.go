@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/chipmodel"
+	"densim/internal/sched"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// constantChain is a null ThermalChain: every socket sees the inlet
+// temperature regardless of power — thermal coupling switched off.
+type constantChain struct{ inlet units.Celsius }
+
+func (c constantChain) Inlet() units.Celsius { return c.inlet }
+func (c constantChain) AmbientInto(powers []units.Watts, out []units.Celsius) {
+	for i := range out {
+		out[i] = c.inlet
+	}
+}
+
+// floorDVFS is a degenerate PowerManager: every busy socket runs at FMin,
+// idle sockets draw nothing.
+type floorDVFS struct{}
+
+func (floorDVFS) IdlePower(tdp units.Watts) units.Watts { return 0 }
+func (floorDVFS) PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz) units.MHz {
+	return chipmodel.FMin
+}
+
+func seamTestConfig(t *testing.T) Config {
+	t.Helper()
+	scheduler, err := sched.ByName("CF", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Scheduler: scheduler,
+		Mix:       workload.ClassMix(workload.Computation),
+		Load:      0.6,
+		Seed:      7,
+		Duration:  2,
+		Warmup:    0.5,
+		SinkTau:   0.5,
+	}
+}
+
+// TestThermalChainInjection: with coupling nulled out, every socket runs
+// cool, so the mean operating frequency can only improve on the default
+// chain's and back-half throttling disappears.
+func TestThermalChainInjection(t *testing.T) {
+	base := seamTestConfig(t)
+	sDefault, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDefault := sDefault.Run()
+
+	injected := seamTestConfig(t)
+	injected.Thermal = constantChain{inlet: 18}
+	sNull, err := New(injected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNull := sNull.Run()
+
+	if len(resNull.RegionFreq) == 0 {
+		t.Fatal("no region frequencies recorded")
+	}
+	if resNull.MeanServiceExpansion > resDefault.MeanServiceExpansion+1e-9 {
+		t.Errorf("null thermal chain ran slower than the advection network: %v > %v",
+			resNull.MeanServiceExpansion, resDefault.MeanServiceExpansion)
+	}
+}
+
+// TestPowerManagerInjection: a floor policy pins every busy socket at FMin,
+// which the recorded relative frequencies must reflect exactly.
+func TestPowerManagerInjection(t *testing.T) {
+	cfg := seamTestConfig(t)
+	cfg.Power = floorDVFS{}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	want := float64(chipmodel.FMin) / float64(chipmodel.FMax)
+	for reg, f := range res.RegionFreq {
+		if f == 0 {
+			continue // region saw no work
+		}
+		if diff := f - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("region %v mean rel freq %v, want %v (floor policy ignored)", reg, f, want)
+		}
+	}
+	if res.Completed == 0 {
+		t.Error("no jobs completed under the floor policy")
+	}
+}
+
+// TestSeamDefaultsMatchExplicit: passing the default implementations
+// explicitly must not change anything — New wires the same objects.
+func TestSeamDefaultsMatchExplicit(t *testing.T) {
+	implicit, err := New(seamTestConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resImplicit := implicit.Run()
+
+	cfg := seamTestConfig(t)
+	explicitSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := seamTestConfig(t)
+	cfg2.Thermal = explicitSim.af
+	cfg2.Power = TableDVFS{Leak: explicitSim.leak}
+	s, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resExplicit := s.Run()
+	if resImplicit.MeanExpansion != resExplicit.MeanExpansion ||
+		resImplicit.Completed != resExplicit.Completed ||
+		resImplicit.EnergyJ != resExplicit.EnergyJ {
+		t.Errorf("explicit default seams diverged: %+v vs %+v", resImplicit, resExplicit)
+	}
+}

@@ -58,8 +58,9 @@ type Config struct {
 	// Mix and Load define the job stream (ignored if Source is set).
 	Mix  workload.Mix
 	Load float64
-	// Source optionally replays a recorded trace instead of Mix/Load.
-	Source job.Source
+	// Source optionally feeds a custom job stream (e.g. a recorded trace)
+	// instead of the Mix/Load Poisson generator.
+	Source WorkloadSource
 	// Seed makes the run reproducible.
 	Seed uint64
 	// Duration is the arrival horizon: jobs arrive in [0, Duration) and the
@@ -121,11 +122,56 @@ type Config struct {
 	// disables instrumentation at zero cost (one pointer test per hook
 	// site, no allocations).
 	Telemetry *telemetry.Telemetry
+	// Thermal overrides the thermal chain the tick loop reads ambient
+	// temperatures from. Nil uses the airflow advection network built from
+	// Server and Airflow. Schedulers still see that network through
+	// sched.State.Airflow regardless (it carries the coupling map the CP
+	// and MinHR policies need), so a custom chain changes the physics the
+	// power manager reacts to, not the schedulers' offline model.
+	Thermal ThermalChain
+	// Power overrides the per-socket power policy (DVFS pick + idle gating).
+	// Nil uses the Table III TableDVFS policy.
+	Power PowerManager
+}
+
+// Validate checks the required fields and value ranges of a Config without
+// applying defaults, collecting the zero-value footguns into one clear
+// error path: a zero Config fails here with a named field, not with a
+// downstream panic or NaN. New calls it before defaulting; callers
+// assembling configs by hand can call it directly.
+func (c Config) Validate() error {
+	if c.Scheduler == nil {
+		return fmt.Errorf("sim: no scheduler configured (set Config.Scheduler)")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sim: non-positive duration %v (set Config.Duration)", c.Duration)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("sim: warmup %v outside [0, duration %v)", c.Warmup, c.Duration)
+	}
+	if c.Source == nil {
+		if len(c.Mix.Benchmarks()) == 0 {
+			return fmt.Errorf("sim: no workload configured (set Config.Mix or Config.Source)")
+		}
+		if c.Load < 0 {
+			return fmt.Errorf("sim: negative load %v", c.Load)
+		}
+	}
+	if c.TDP < 0 {
+		return fmt.Errorf("sim: negative TDP %v", c.TDP)
+	}
+	if c.TickPeriod < 0 {
+		return fmt.Errorf("sim: negative tick period %v", c.TickPeriod)
+	}
+	if c.Load > 0 && c.Source == nil && c.Mix.MeanDuration() <= 0 {
+		return fmt.Errorf("sim: mix %q has non-positive mean duration", c.Mix.Name())
+	}
+	return nil
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if c.Scheduler == nil {
-		return c, fmt.Errorf("sim: no scheduler configured")
+	if err := c.Validate(); err != nil {
+		return c, err
 	}
 	if c.Server == nil {
 		c.Server = geometry.SUT()
@@ -135,12 +181,6 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TickPeriod <= 0 {
 		c.TickPeriod = 0.001
-	}
-	if c.Duration <= 0 {
-		return c, fmt.Errorf("sim: non-positive duration %v", c.Duration)
-	}
-	if c.Warmup < 0 || c.Warmup >= c.Duration {
-		return c, fmt.Errorf("sim: warmup %v outside [0, duration)", c.Warmup)
 	}
 	if c.DrainLimit <= 0 {
 		extra := c.Duration
@@ -171,14 +211,6 @@ func (c Config) withDefaults() (Config, error) {
 		c.ChipTau = chipmodel.ChipTimeConstant
 	}
 	c.Migration = c.Migration.withDefaults()
-	if c.Source == nil {
-		if c.Load < 0 {
-			return c, fmt.Errorf("sim: negative load %v", c.Load)
-		}
-		if len(c.Mix.Benchmarks()) == 0 {
-			return c, fmt.Errorf("sim: no mix and no source configured")
-		}
-	}
 	return c, nil
 }
 
@@ -233,9 +265,15 @@ func (s *Simulator) recomputeDoneAt(i int) units.Seconds {
 
 // Simulator runs one configured simulation. It implements sched.State.
 type Simulator struct {
-	cfg     Config
-	srv     *geometry.Server
+	cfg Config
+	srv *geometry.Server
+	// af is the airflow advection network the schedulers read through
+	// sched.State.Airflow; thermal is the chain the tick loop integrates
+	// against (the same model unless Config.Thermal overrides it).
 	af      *airflow.Model
+	thermal ThermalChain
+	// power is the per-socket power policy (Config.Power or TableDVFS).
+	power   PowerManager
 	leak    chipmodel.Leakage
 	sockets []socketState
 	powers  []units.Watts
@@ -289,6 +327,8 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:     cfg,
 		srv:     cfg.Server,
 		af:      af,
+		thermal: cfg.Thermal,
+		power:   cfg.Power,
 		leak:    chipmodel.NewLeakage(cfg.TDP),
 		sockets: make([]socketState, cfg.Server.NumSockets()),
 		powers:  make([]units.Watts, cfg.Server.NumSockets()),
@@ -297,13 +337,19 @@ func New(cfg Config) (*Simulator, error) {
 		idleBuf: make([]geometry.SocketID, 0, cfg.Server.NumSockets()),
 		comp:    newCompletionIndex(cfg.Server.NumSockets()),
 	}
+	if s.thermal == nil {
+		s.thermal = af
+	}
+	if s.power == nil {
+		s.power = TableDVFS{Leak: s.leak}
+	}
 	if cfg.Source != nil {
 		s.source = cfg.Source
 	} else {
 		s.source = workload.NewArrivals(cfg.Mix, s.srv.NumSockets(), cfg.Load, stats.NewRNG(cfg.Seed))
 	}
-	inlet := af.Inlet()
-	gated := units.Watts(chipmodel.GatedPowerFrac * float64(cfg.TDP))
+	inlet := s.thermal.Inlet()
+	gated := s.power.IdlePower(cfg.TDP)
 	s.gatedPower = gated
 	for i := range s.sockets {
 		id := geometry.SocketID(i)
@@ -670,9 +716,10 @@ func (s *Simulator) advanceAllTo(t units.Seconds) {
 // powerManagerTick updates the thermal chain and re-picks P-states; dt is
 // the elapsed tick period.
 func (s *Simulator) powerManagerTick(dt units.Seconds) {
-	// 1) Ambient air follows current powers instantly.
+	// 1) Ambient air follows current powers instantly (through the
+	// ThermalChain seam; the airflow network unless overridden).
 	ambients := s.ambBuf
-	s.af.AmbientInto(s.powers, ambients)
+	s.thermal.AmbientInto(s.powers, ambients)
 
 	// The four first-order gains depend only on dt, which is the fixed tick
 	// period: compute them once per tick (in practice once per run), not
@@ -798,26 +845,12 @@ func (s *Simulator) settledChipTemp(st *socketState, sink chipmodel.Sink) units.
 	return t
 }
 
-// pickFrequencyIndexed implements the power-management policy of Table III:
-// the highest P-state (boost included, subject to the boost budget) whose
-// *predicted steady* Equation-1 peak temperature at the socket's current
-// (slow-moving) ambient stays under the 95C limit. Using the steady
-// prediction rather than the transient chip temperature keeps the policy
-// conservative — a millisecond job cannot outrun the thermal model — and
-// makes the power manager agree exactly with the schedulers' frequency
-// predictor.
+// pickFrequencyIndexed asks the PowerManager seam for the socket's operating
+// frequency: with the default TableDVFS manager this is the Table III policy
+// (highest admissible P-state under the predicted Equation-1 peak, boost
+// budget respected).
 func (s *Simulator) pickFrequencyIndexed(id geometry.SocketID, st *socketState) units.MHz {
-	sink := s.srv.Sink(id)
-	cap := s.boostCap(st.utilEWMA)
-	b := &st.j.Benchmark
-	i := chipmodel.HighestAdmissible(chipmodel.CapIndex(cap), func(i int) bool {
-		dyn := b.DynamicPowerAt(chipmodel.Frequencies[i])
-		return chipmodel.PredictTwoStep(st.ambient, dyn, sink, s.leak) <= chipmodel.TempLimit
-	})
-	if i < 0 {
-		return chipmodel.FMin
-	}
-	return chipmodel.Frequencies[i]
+	return s.power.PickFrequency(st.ambient, &st.j.Benchmark, s.srv.Sink(id), s.boostCap(st.utilEWMA))
 }
 
 // Arrived returns the number of jobs admitted.

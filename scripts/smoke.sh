@@ -18,6 +18,8 @@ go build ./...
 echo "== examples"
 for dir in examples/*/; do
     name="$(basename "$dir")"
+    # Non-Go example directories (scenario files, ...) are exercised below.
+    ls "$dir"/*.go > /dev/null 2>&1 || continue
     echo "-- $name"
     go run "./$dir" > "$tmp/$name.out"
     test -s "$tmp/$name.out" || { echo "$name produced no output" >&2; exit 1; }
@@ -43,8 +45,27 @@ go run ./cmd/tracegen -workload Computation -load 0.5 -horizon 2 -o "$tmp/jobs.t
 go run ./cmd/tracegen -inspect "$tmp/jobs.trace" > /dev/null
 go run ./cmd/densim -trace "$tmp/jobs.trace" > /dev/null
 go run ./cmd/catalog > /dev/null
+go run ./cmd/catalog -only presets > /dev/null
 go run ./cmd/validate > /dev/null
 go run ./cmd/thermalmap > /dev/null
 go run ./cmd/sweep -fig 3 > /dev/null
+
+echo "== scenario presets (one short sim each)"
+go build -o "$tmp/densim" ./cmd/densim
+for preset in sut-180 half-density-90 double-density-360 conventional-2u; do
+    echo "-- $preset"
+    "$tmp/densim" -scenario "$preset" -duration 1 -sinktau 0.5 > "$tmp/$preset.out"
+    test -s "$tmp/$preset.out" || { echo "$preset produced no output" >&2; exit 1; }
+done
+echo "-- example scenario file"
+"$tmp/densim" -scenario examples/scenarios/sut-180.jsonc -duration 1 -sinktau 0.5 > /dev/null
+go run ./cmd/thermalmap -scenario conventional-2u > /dev/null
+
+echo "== density sweep -> CSV"
+go run ./cmd/sweep -scenario density -loads 0.5 -out "$tmp/density"
+test -s "$tmp/density/density-summary.csv" || { echo "density sweep wrote no summary CSV" >&2; exit 1; }
+for preset in sut-180 half-density-90 double-density-360 conventional-2u; do
+    test -s "$tmp/density/density-$preset.csv" || { echo "missing density-$preset.csv" >&2; exit 1; }
+done
 
 echo "smoke OK"
