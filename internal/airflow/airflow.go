@@ -149,25 +149,12 @@ func New(server *geometry.Server, p Params) (*Model, error) {
 	}
 	effRate := m.EffectiveRateWPerK()
 	m.invEffRate = 1 / effRate
-	for _, sk := range server.Sockets() {
-		xDown, _, _ := server.Position(sk.ID)
-		for _, up := range server.Upstream(sk.ID) {
-			xUp, _, _ := server.Position(up)
-			decay := expNeg(float64(xDown-xUp) / float64(p.MixLength))
-			c := decay / effRate
-			m.coef[sk.ID] = append(m.coef[sk.ID], term{up: up, c: c})
-			m.impact[up] += c
-			m.downwind[up] = append(m.downwind[up], DownwindTerm{Down: sk.ID, C: c})
-		}
-	}
-	// Downwind lists nearest-first, mirroring geometry.Downstream order.
-	for _, terms := range m.downwind {
-		sortDownwind(terms)
-	}
 
-	// Channel structure for the O(depth)-per-lane ambient pass. Depth
-	// positions (and therefore step decays and positional couplings) are
-	// shared by every channel.
+	// Channel structure and positional tables first. Depth positions (and
+	// therefore step decays and positional couplings) are shared by every
+	// channel, so each pairwise exponential is evaluated once per position
+	// pair here and reused for every socket pair below — O(depth²) calls to
+	// math.Exp instead of O(sockets·depth).
 	depth := server.Depth
 	m.stepDecay = make([]float64, depth)
 	for pos := 1; pos < depth; pos++ {
@@ -182,6 +169,7 @@ func New(server *geometry.Server, p Params) (*Model, error) {
 			m.posCoupling[u][d] = expNeg(dx/float64(p.MixLength)) / effRate
 		}
 	}
+	m.channels = make([][]SocketID, 0, server.Rows*server.Lanes)
 	for r := 0; r < server.Rows; r++ {
 		for l := 0; l < server.Lanes; l++ {
 			ch := make([]SocketID, depth)
@@ -190,6 +178,38 @@ func New(server *geometry.Server, p Params) (*Model, error) {
 			}
 			m.channels = append(m.channels, ch)
 		}
+	}
+
+	// Per-socket coefficient lists, assembled from the shared positional
+	// couplings. Bit-identical to computing each pair's exponential in
+	// place: posCoupling[u][d] is the very expNeg(dx/MixLength)/effRate
+	// expression the per-pair form evaluates, over the same XPositions.
+	// Orders are preserved — coef nearest-upstream-first (geometry.Upstream
+	// order), downwind and the impact accumulation in ascending downstream
+	// position.
+	for _, ch := range m.channels {
+		for u := 0; u+1 < len(ch); u++ {
+			m.downwind[ch[u]] = make([]DownwindTerm, 0, len(ch)-1-u)
+		}
+		for d := 1; d < len(ch); d++ {
+			id := ch[d]
+			m.coef[id] = make([]term, 0, d)
+			for u := d - 1; u >= 0; u-- {
+				c := m.posCoupling[u][d]
+				m.coef[id] = append(m.coef[id], term{up: ch[u], c: c})
+			}
+		}
+		for u := 0; u+1 < len(ch); u++ {
+			for d := u + 1; d < len(ch); d++ {
+				c := m.posCoupling[u][d]
+				m.impact[ch[u]] += c
+				m.downwind[ch[u]] = append(m.downwind[ch[u]], DownwindTerm{Down: ch[d], C: c})
+			}
+		}
+	}
+	// Downwind lists nearest-first, mirroring geometry.Downstream order.
+	for _, terms := range m.downwind {
+		sortDownwind(terms)
 	}
 	return m, nil
 }
@@ -240,16 +260,44 @@ func (m *Model) AmbientInto(powers []units.Watts, out []units.Celsius) {
 	if len(powers) != m.server.NumSockets() {
 		panic(fmt.Sprintf("airflow: %d powers for %d sockets", len(powers), m.server.NumSockets()))
 	}
+	for ch := range m.channels {
+		m.ambientChannel(m.channels[ch], powers, out)
+	}
+}
+
+// NumChannels returns the number of independent air channels (rows x lanes).
+// Channels never share heat: a socket's ambient temperature depends only on
+// the powers of its own channel, which is what makes channel-granular
+// recomputation and sharding exact.
+func (m *Model) NumChannels() int { return len(m.channels) }
+
+// Channel returns channel ch's socket IDs ordered upstream to downstream.
+// Channels are indexed row-major (row*Lanes + lane), so with the standard
+// ID layout a channel's sockets are the contiguous ID range
+// [ch*Depth, (ch+1)*Depth). The returned slice must not be modified.
+func (m *Model) Channel(ch int) []SocketID { return m.channels[ch] }
+
+// AmbientChannelInto recomputes the ambient temperatures of channel ch's
+// sockets only, writing just those entries of out. It runs the identical
+// per-channel recurrence as AmbientInto, so a full pass assembled from
+// per-channel calls is bit-identical to the dense pass — the property the
+// simulator's dirty-lane engine relies on to skip channels whose powers are
+// unchanged.
+func (m *Model) AmbientChannelInto(ch int, powers []units.Watts, out []units.Celsius) {
+	m.ambientChannel(m.channels[ch], powers, out)
+}
+
+// ambientChannel is the shared inner loop of AmbientInto and
+// AmbientChannelInto: one channel's running-accumulator walk.
+func (m *Model) ambientChannel(ch []SocketID, powers []units.Watts, out []units.Celsius) {
 	inlet := float64(m.params.Inlet)
 	aux := float64(m.params.AuxPerSocket)
 	inv := m.invEffRate
-	for _, ch := range m.channels {
-		heat := 0.0 // attenuated upstream watts arriving at the current position
-		out[ch[0]] = units.Celsius(inlet)
-		for p := 1; p < len(ch); p++ {
-			heat = m.stepDecay[p] * (heat + float64(powers[ch[p-1]]) + aux)
-			out[ch[p]] = units.Celsius(inlet + heat*inv)
-		}
+	heat := 0.0 // attenuated upstream watts arriving at the current position
+	out[ch[0]] = units.Celsius(inlet)
+	for p := 1; p < len(ch); p++ {
+		heat = m.stepDecay[p] * (heat + float64(powers[ch[p-1]]) + aux)
+		out[ch[p]] = units.Celsius(inlet + heat*inv)
 	}
 }
 

@@ -1,0 +1,65 @@
+package airflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"densim/internal/geometry"
+	"densim/internal/units"
+)
+
+// TestAmbientChannelIntoMatchesDense pins the per-channel recompute API —
+// what the dirty-lane engine calls selectively — to the dense AmbientInto
+// sweep, bitwise: recomputing any subset of channels over the same powers
+// must write exactly the bytes the full sweep writes. Checked on the SUT
+// and the double-density topology with adversarially uneven power vectors.
+func TestAmbientChannelIntoMatchesDense(t *testing.T) {
+	dd, err := geometry.DenseSystemWithSinks("dd360", 15, 2, 12, geometry.AlternatingSinks(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, srv := range map[string]*geometry.Server{"sut": geometry.SUT(), "dd360": dd} {
+		m, err := New(srv, SUTParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := srv.NumSockets()
+		rng := rand.New(rand.NewSource(42))
+		powers := make([]units.Watts, n)
+		for i := range powers {
+			powers[i] = units.Watts(2.2 + 20*rng.Float64())
+		}
+
+		dense := make([]units.Celsius, n)
+		m.AmbientInto(powers, dense)
+
+		sparse := make([]units.Celsius, n)
+		for ch := 0; ch < m.NumChannels(); ch++ {
+			m.AmbientChannelInto(ch, powers, sparse)
+		}
+		for i := range dense {
+			if dense[i] != sparse[i] {
+				t.Fatalf("%s: socket %d: dense %v, per-channel %v (must be bitwise equal)",
+					name, i, dense[i], sparse[i])
+			}
+		}
+
+		// Channel coverage: every socket belongs to exactly one channel, and
+		// channels partition [0, n) in the channel-major ID layout the
+		// engine's sharded sweep relies on.
+		seen := make([]int, n)
+		for ch := 0; ch < m.NumChannels(); ch++ {
+			for p, id := range m.Channel(ch) {
+				seen[id]++
+				if int(id) != ch*len(m.Channel(ch))+p {
+					t.Fatalf("%s: channel %d pos %d holds socket %d: not channel-major", name, ch, p, id)
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("%s: socket %d appears in %d channels", name, i, c)
+			}
+		}
+	}
+}

@@ -33,8 +33,12 @@
 //     shares and the per-zone work shares must each sum to one.
 //
 // The harness additionally audits, every AuditEvery ticks, that the cached
-// per-socket completion instants match a fresh recompute and that the
-// completion heap's minimum agrees with a reference linear scan.
+// per-socket completion instants match a fresh recompute, that the
+// completion heap's minimum agrees with a reference linear scan, and — when
+// the simulator runs an incremental engine — that its sparse caches agree
+// bitwise with dense recomputes: the dirty-lane ambient cache against a full
+// advection recompute (AuditAmbientCache) and the incrementally maintained
+// idle set against a busy-flag scan (AuditIdleSet).
 package check
 
 import (
@@ -68,7 +72,7 @@ const (
 type Violation struct {
 	// Invariant names the family: "energy-conservation", "work-conservation",
 	// "job-count-closure", "thermal-sanity", "completion-cache",
-	// "metrics-closure".
+	// "ambient-cache", "idle-set", "metrics-closure".
 	Invariant string
 	// Time is the simulation time of detection.
 	Time units.Seconds
@@ -344,6 +348,35 @@ func (c *Checks) AuditNextCompletion(heapT units.Seconds, heapID int, scanT unit
 	if !math.IsInf(float64(heapT), 1) && heapID != scanID {
 		c.violate("completion-cache", now,
 			"heap min socket %d vs scan socket %d at %.9gs", heapID, scanID, float64(heapT))
+	}
+}
+
+// AuditAmbientCache compares one socket's cached ambient (the dirty-lane
+// engine's sparse recompute buffer) against a fresh dense recompute from the
+// same powers. Ambient is a pure function of the powers vector and the skip
+// criterion is bit-unchanged inputs, so equality is exact — no tolerance.
+func (c *Checks) AuditAmbientCache(socket int, cached, fresh units.Celsius, now units.Seconds) {
+	if cached != fresh {
+		c.violate("ambient-cache", now,
+			"socket %d cached ambient %.17gC, dense recompute %.17gC (stale lane cache)",
+			socket, float64(cached), float64(fresh))
+	}
+}
+
+// AuditIdleSet compares the incrementally maintained idle set and busy
+// counter against a reference busy-flag scan: both sorted sets must have the
+// same length, the counters must be complements, and firstDiff reports the
+// first index where the sets disagree (-1 when they match element-wise).
+func (c *Checks) AuditIdleSet(cachedIdle, scannedIdle, cachedBusy, scannedBusy, firstDiff int, now units.Seconds) {
+	if cachedIdle != scannedIdle || cachedBusy != scannedBusy {
+		c.violate("idle-set", now,
+			"idle set has %d sockets (busy counter %d), scan finds %d idle / %d busy",
+			cachedIdle, cachedBusy, scannedIdle, scannedBusy)
+		return
+	}
+	if firstDiff >= 0 {
+		c.violate("idle-set", now,
+			"idle set diverges from busy-flag scan at position %d", firstDiff)
 	}
 }
 

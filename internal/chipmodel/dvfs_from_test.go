@@ -1,0 +1,40 @@
+package chipmodel
+
+import "testing"
+
+// TestHighestAdmissibleFromExhaustive proves HighestAdmissibleFrom equal to
+// HighestAdmissible over every monotone predicate on the 5-state ladder and
+// every hint, in range and out. A monotone predicate over indices 0..maxIdx
+// is fully described by its cutoff: admit(i) iff i < cutoff (cutoff 0 =
+// nothing admissible, maxIdx+1 = everything).
+func TestHighestAdmissibleFromExhaustive(t *testing.T) {
+	maxLadder := len(Frequencies) - 1
+	for maxIdx := -1; maxIdx <= maxLadder; maxIdx++ {
+		for cutoff := 0; cutoff <= maxIdx+1; cutoff++ {
+			admit := func(i int) bool { return i < cutoff }
+			want := HighestAdmissible(maxIdx, admit)
+			for hint := -2; hint <= maxLadder+1; hint++ {
+				if got := HighestAdmissibleFrom(hint, maxIdx, admit); got != want {
+					t.Errorf("HighestAdmissibleFrom(hint=%d, maxIdx=%d, cutoff=%d) = %d, want %d",
+						hint, maxIdx, cutoff, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHighestAdmissibleFromEvalCount pins the warm-start's point: a
+// confirmed hint costs at most two predicate evaluations, versus the cold
+// search's top-probe plus binary search.
+func TestHighestAdmissibleFromEvalCount(t *testing.T) {
+	maxIdx := len(Frequencies) - 1
+	cutoff := 3 // admissible: 0,1,2 -> answer 2
+	evals := 0
+	admit := func(i int) bool { evals++; return i < cutoff }
+	if got := HighestAdmissibleFrom(2, maxIdx, admit); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	if evals > 2 {
+		t.Errorf("confirmed hint cost %d evaluations, want <= 2", evals)
+	}
+}

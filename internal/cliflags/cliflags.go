@@ -34,6 +34,11 @@ type Sim struct {
 	Inlet       float64
 	Seed        uint64
 	TracePath   string
+	// Engine flags select the tick-loop execution engine; every engine
+	// produces bit-identical results (see sim.EngineConfig).
+	Engine        string
+	EngineWorkers int
+	EngineStride  string
 
 	fs *flag.FlagSet
 }
@@ -65,6 +70,12 @@ func AddSim(fs *flag.FlagSet, d SimDefaults) *Sim {
 	fs.Uint64Var(&s.Seed, "seed", d.Seed, "random seed override")
 	fs.StringVar(&s.TracePath, "trace", "",
 		"replay a recorded trace file (see cmd/tracegen) instead of the live generator")
+	fs.StringVar(&s.Engine, "engine", "",
+		"tick-loop engine: auto, serial, or parallel (bit-identical results; default auto)")
+	fs.IntVar(&s.EngineWorkers, "engine.workers", 0,
+		"parallel engine worker count (0 = number of CPUs)")
+	fs.StringVar(&s.EngineStride, "engine.stride", "",
+		"event-horizon striding through idle tails: auto, on, or off (default auto)")
 	return s
 }
 
@@ -109,6 +120,15 @@ func (s *Sim) Resolve() (*scenario.Scenario, uint64, error) {
 	}
 	if use("inlet") && s.Inlet != 0 {
 		sc.Airflow.InletC = s.Inlet
+	}
+	if use("engine") && s.Engine != "" {
+		sc.Engine.Mode = s.Engine
+	}
+	if use("engine.workers") && s.EngineWorkers != 0 {
+		sc.Engine.Workers = s.EngineWorkers
+	}
+	if use("engine.stride") && s.EngineStride != "" {
+		sc.Engine.Stride = s.EngineStride
 	}
 	if s.TracePath != "" {
 		sc.Workload.Trace = s.TracePath

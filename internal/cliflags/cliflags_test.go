@@ -109,3 +109,57 @@ func TestResolveTraceResetsDuration(t *testing.T) {
 		t.Errorf("duration = %v, want the explicit 5", sc2.Run.DurationS)
 	}
 }
+
+// The -engine flag family reaches the scenario's Engine block, and the
+// scenario's own engine settings survive when the flags are left unset.
+func TestResolveEngineFlags(t *testing.T) {
+	fs, s := newSimSet(t)
+	if err := fs.Parse([]string{"-engine", "parallel", "-engine.workers", "4", "-engine.stride", "off"}); err != nil {
+		t.Fatal(err)
+	}
+	sc, _, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Engine.Mode != "parallel" || sc.Engine.Workers != 4 || sc.Engine.Stride != "off" {
+		t.Errorf("engine block = %+v, want parallel/4/off", sc.Engine)
+	}
+
+	path := filepath.Join(t.TempDir(), "eng.jsonc")
+	src := `{
+  "version": 1,
+  "name": "engine-scenario",
+  "topology": {"rows": 2, "lanes": 1, "depth": 2},
+  "scheduler": {"name": "Random"},
+  "engine": {"mode": "serial", "stride": "off"}
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2, s2 := newSimSet(t)
+	if err := fs2.Parse([]string{"-scenario", path}); err != nil {
+		t.Fatal(err)
+	}
+	sc2, _, err := s2.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.Engine.Mode != "serial" || sc2.Engine.Stride != "off" {
+		t.Errorf("scenario engine block overridden by unset flags: %+v", sc2.Engine)
+	}
+
+	fs3, s3 := newSimSet(t)
+	if err := fs3.Parse([]string{"-scenario", path, "-engine", "auto"}); err != nil {
+		t.Fatal(err)
+	}
+	sc3, _, err := s3.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc3.Engine.Mode != "auto" {
+		t.Errorf("explicit -engine did not override the scenario: %+v", sc3.Engine)
+	}
+	if sc3.Engine.Stride != "off" {
+		t.Errorf("unset -engine.stride clobbered the scenario: %+v", sc3.Engine)
+	}
+}

@@ -127,6 +127,20 @@ func (c *Collector) OnBusySegment(dt units.Seconds, relFreq float64, boost bool,
 // OnEnergy accumulates consumed energy.
 func (c *Collector) OnEnergy(j units.Joules) { c.energyJ += float64(j) }
 
+// OnEnergyRepeat accumulates n consecutive OnEnergy(j) calls. It runs the
+// identical dependent addition chain — bit-for-bit the same accumulator
+// trajectory — but keeps it in a register instead of paying a call and a
+// memory round-trip per addition. The simulator's event-horizon stride
+// replays idle-tail energy through this.
+func (c *Collector) OnEnergyRepeat(j units.Joules, n int) {
+	e := c.energyJ
+	v := float64(j)
+	for ; n > 0; n-- {
+		e += v
+	}
+	c.energyJ = e
+}
+
 // SetSpan records the simulated wall-clock span.
 func (c *Collector) SetSpan(start, end units.Seconds) { c.start, c.end = start, end }
 

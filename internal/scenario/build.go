@@ -208,6 +208,11 @@ func (s *Scenario) Config(seed uint64) (sim.Config, error) {
 			Period: units.Seconds(s.Scheduler.MigrationPeriodS),
 			Cost:   units.Seconds(s.Scheduler.MigrationCostS),
 		},
+		Engine: sim.EngineConfig{
+			Mode:    s.Engine.Mode,
+			Workers: s.Engine.Workers,
+			Stride:  s.Engine.Stride,
+		},
 	}
 	if tr, err := s.LoadTrace(); err != nil {
 		return sim.Config{}, err

@@ -44,6 +44,10 @@ type Scenario struct {
 	Workload  Workload  `json:"workload,omitempty"`
 	Scheduler Scheduler `json:"scheduler,omitempty"`
 	Run       Run       `json:"run,omitempty"`
+	// Engine selects the tick-loop execution engine. Every engine produces
+	// bit-identical results (the equivalence suite enforces it); the knob
+	// trades fixed overheads against intra-run scaling.
+	Engine Engine `json:"engine,omitempty"`
 
 	// Checks asks runners to attach the runtime invariant harness
 	// (internal/check) to every run of this scenario.
@@ -152,6 +156,19 @@ type Run struct {
 	DrainLimitS float64 `json:"drain_limit_s,omitempty"`
 }
 
+// Engine selects how a run's tick loop executes (sim.EngineConfig).
+type Engine struct {
+	// Mode is "auto" (default when empty), "serial" — the pristine
+	// reference sweep — or "parallel", which engages the lane-sharded
+	// worker pool.
+	Mode string `json:"mode,omitempty"`
+	// Workers sets the parallel pool size; 0 lets the runtime decide.
+	Workers int `json:"workers,omitempty"`
+	// Stride is "auto" (default when empty), "on", or "off": event-horizon
+	// striding through dead idle tails.
+	Stride string `json:"stride,omitempty"`
+}
+
 // topologyPresets lists the accepted Topology.Preset names.
 var topologyPresets = map[string]bool{
 	"sut": true, "coupled-pair": true, "uncoupled-pair": true,
@@ -208,7 +225,25 @@ func (s *Scenario) Validate() error {
 	if r := s.Run; r.DurationS > 0 && r.WarmupS >= r.DurationS {
 		return fmt.Errorf("scenario %q: warmup %vs outside [0, duration %vs)", s.Name, s.Run.WarmupS, s.Run.DurationS)
 	}
+	if e := s.Engine; !engineModes[e.Mode] {
+		return fmt.Errorf("scenario %q: unknown engine mode %q (have auto, serial, parallel)", s.Name, e.Mode)
+	}
+	if e := s.Engine; !engineStrides[e.Stride] {
+		return fmt.Errorf("scenario %q: unknown engine stride %q (have auto, on, off)", s.Name, e.Stride)
+	}
+	if s.Engine.Workers < 0 {
+		return fmt.Errorf("scenario %q: negative engine workers %d", s.Name, s.Engine.Workers)
+	}
 	return nil
+}
+
+// engineModes and engineStrides list the accepted Engine enum values.
+var engineModes = map[string]bool{
+	"": true, "auto": true, "serial": true, "parallel": true,
+}
+
+var engineStrides = map[string]bool{
+	"": true, "auto": true, "on": true, "off": true,
 }
 
 // Decode reads one scenario from r: JSON with // line comments, unknown

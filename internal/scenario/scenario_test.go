@@ -47,6 +47,7 @@ func TestFullRoundTrip(t *testing.T) {
 		Workload:  Workload{Class: "Storage", Load: 0.75, Trace: "jobs.dstr"},
 		Scheduler: Scheduler{Name: "Random", Seed: 42, MigrationPeriodS: 0.5, MigrationCostS: 0.001},
 		Run:       Run{Seeds: []uint64{3, 4}, DurationS: 12, WarmupS: 2, TickPeriodS: 0.002, SinkTauS: 5, ChipTauS: 0.01, DrainLimitS: 30},
+		Engine:    Engine{Mode: "parallel", Workers: 4, Stride: "off"},
 		Checks:    true,
 		Telemetry: true,
 	}
@@ -135,6 +136,9 @@ func TestValidateRejects(t *testing.T) {
 		{"negative airflow", func(s *Scenario) { s.Airflow.FlowPerLaneCFM = -6 }},
 		{"negative run field", func(s *Scenario) { s.Run.SinkTauS = -1 }},
 		{"warmup past duration", func(s *Scenario) { s.Run.DurationS = 5; s.Run.WarmupS = 5 }},
+		{"unknown engine mode", func(s *Scenario) { s.Engine.Mode = "turbo" }},
+		{"unknown engine stride", func(s *Scenario) { s.Engine.Stride = "yes" }},
+		{"negative engine workers", func(s *Scenario) { s.Engine.Workers = -2 }},
 	}
 	for _, tc := range cases {
 		sc, err := Preset("sut-180")

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"densim/internal/chipmodel"
 	"densim/internal/geometry"
 	"densim/internal/job"
@@ -43,6 +45,28 @@ type CouplingPredictor struct {
 	// lists the rows that have any.
 	rowIdle [][]geometry.SocketID
 	rows    []int
+	// Within one Pick, a downwind socket's pre-rise predicted frequency is
+	// a pure function of state that Pick never mutates (its ambient, its
+	// running job, its sink), yet candidates sharing a lane recompute it
+	// per candidate. beforeFreq/beforeIdx memoize it per socket,
+	// generation-stamped per Pick — exact, since the inputs are fixed for
+	// the Pick's duration.
+	beforeFreq []units.MHz
+	beforeIdx  []int8
+	beforeGen  []uint64
+	gen        uint64
+	// admiss caches exact P-state admissibility verdicts per socket (see
+	// chipmodel.AdmissCache): every ladder search in score probes through
+	// it, so repeated predictions at unchanged or bound-dominated ambients
+	// skip the leakage exponential. Valid across Picks — entries are keyed
+	// by the probe's dynamic-power bits, never by job identity.
+	admiss *chipmodel.AdmissCache
+	// ownTemp* replay the leakage drawn at the candidate's predicted chip
+	// temperature when the (ambient, dynamic power) inputs are bit-unchanged:
+	// a pure-function memo, exact by replay.
+	ownTempAmb   []units.Celsius
+	ownTempDynW  []units.Watts
+	ownTempLeakW []units.Watts
 }
 
 // CPOptions selects CP design-point ablations. The zero value is the full
@@ -97,6 +121,22 @@ func (cp *CouplingPredictor) Name() string {
 func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID) geometry.SocketID {
 	srv := s.Server()
 
+	if len(cp.beforeFreq) < srv.NumSockets() {
+		n := srv.NumSockets()
+		cp.beforeFreq = make([]units.MHz, n)
+		cp.beforeIdx = make([]int8, n)
+		cp.beforeGen = make([]uint64, n)
+		cp.admiss = chipmodel.NewAdmissCache(n)
+		cp.ownTempAmb = make([]units.Celsius, n)
+		cp.ownTempDynW = make([]units.Watts, n)
+		cp.ownTempLeakW = make([]units.Watts, n)
+		nan := math.NaN()
+		for i := 0; i < n; i++ {
+			cp.ownTempAmb[i] = units.Celsius(nan)
+		}
+	}
+	cp.gen++ // invalidate the previous Pick's memo
+
 	cands := idle
 	if !cp.opts.GlobalSearch {
 		// Rows that currently have idle sockets, binned into the reusable
@@ -150,14 +190,25 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 	af := s.Airflow()
 	leak := s.Leakage()
 	dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
+	ladder := len(chipmodel.Frequencies) - 1
 
 	// Own predicted frequency at the candidate's current ambient, capped
-	// by the candidate's boost budget.
-	var ownFreq units.MHz
-	if cp.opts.IgnoreBudget {
-		ownFreq = chipmodel.PredictFrequency(s.AmbientTemp(cand), dyn, srv.Sink(cand), leak)
-	} else {
-		ownFreq = PredictSocketFrequency(s, cand, dyn, srv.Sink(cand), leak)
+	// by the candidate's boost budget. The ladder search probes through the
+	// admissibility bounds cache — same binary search, same verdicts as
+	// chipmodel.PredictFrequency.
+	candAmb := s.AmbientTemp(cand)
+	candSink := srv.Sink(cand)
+	ownIdx := chipmodel.HighestAdmissible(ladder, func(k int) bool {
+		return cp.admiss.Admissible(int(cand), k, candAmb, bm.DynamicPowerAt(chipmodel.Frequencies[k]), candSink, leak)
+	})
+	ownFreq := chipmodel.FMin
+	if ownIdx >= 0 {
+		ownFreq = chipmodel.Frequencies[ownIdx]
+	}
+	if !cp.opts.IgnoreBudget {
+		if cap := s.BoostCap(cand); ownFreq > cap {
+			ownFreq = cap
+		}
 	}
 	if cp.opts.NoCoupling {
 		return float64(ownFreq)
@@ -165,9 +216,22 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 
 	// The heat the candidate would inject into the airstream: its dynamic
 	// power at the predicted frequency plus the leakage at the predicted
-	// temperature, minus the gated power it injects today while idle.
-	ownTemp := chipmodel.PredictTwoStep(s.AmbientTemp(cand), dyn(ownFreq), srv.Sink(cand), leak)
-	added := float64(dyn(ownFreq)) + float64(leak.At(ownTemp)) -
+	// temperature, minus the gated power it injects today while idle. The
+	// prediction replays from the per-socket memo when (ambient, dynamic
+	// power) are bit-unchanged — across candidates of one tick, and across
+	// ticks once the lane has settled.
+	ownDyn := dyn(ownFreq)
+	var ownLeak units.Watts
+	if ci := int(cand); cp.ownTempAmb[ci] == candAmb && cp.ownTempDynW[ci] == ownDyn {
+		ownLeak = cp.ownTempLeakW[ci]
+	} else {
+		ownTemp := chipmodel.PredictTwoStep(candAmb, ownDyn, candSink, leak)
+		ownLeak = leak.At(ownTemp)
+		cp.ownTempAmb[ci] = candAmb
+		cp.ownTempDynW[ci] = ownDyn
+		cp.ownTempLeakW[ci] = ownLeak
+	}
+	added := float64(ownDyn) + float64(ownLeak) -
 		chipmodel.GatedPowerFrac*float64(leak.TDP)
 	if added < 0 {
 		added = 0
@@ -197,11 +261,38 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		} else if util <= 0 {
 			continue
 		}
-		ddyn := func(f units.MHz) units.Watts { return dbm.DynamicPowerAt(f) }
 		amb := s.AmbientTemp(down)
 		sink := srv.Sink(down)
-		before := chipmodel.PredictFrequency(amb, ddyn, sink, leak)
-		after := chipmodel.PredictFrequency(amb+rise, ddyn, sink, leak)
+		// The pre-rise prediction is candidate-independent: memoized per
+		// Pick (the raw value — the budget clamp below stays per-use).
+		var before units.MHz
+		var bIdx int
+		if cp.beforeGen[down] == cp.gen {
+			before = cp.beforeFreq[down]
+			bIdx = int(cp.beforeIdx[down])
+		} else {
+			bIdx = chipmodel.HighestAdmissible(ladder, func(k int) bool {
+				return cp.admiss.Admissible(int(down), k, amb, dbm.DynamicPowerAt(chipmodel.Frequencies[k]), sink, leak)
+			})
+			before = chipmodel.FMin
+			if bIdx >= 0 {
+				before = chipmodel.Frequencies[bIdx]
+			}
+			cp.beforeFreq[down] = before
+			cp.beforeIdx[down] = int8(bIdx)
+			cp.beforeGen[down] = cp.gen
+		}
+		// The post-rise search warm-starts at the pre-rise index — rise
+		// only heats, so the answer is almost always bIdx or just below,
+		// and the probes hit the bounds the pre-rise search just recorded.
+		ambAfter := amb + rise
+		aIdx := chipmodel.HighestAdmissibleFrom(bIdx, ladder, func(k int) bool {
+			return cp.admiss.Admissible(int(down), k, ambAfter, dbm.DynamicPowerAt(chipmodel.Frequencies[k]), sink, leak)
+		})
+		after := chipmodel.FMin
+		if aIdx >= 0 {
+			after = chipmodel.Frequencies[aIdx]
+		}
 		if !cp.opts.IgnoreBudget {
 			// Losses above the downwind socket's budget cap do not count:
 			// it could not have run there anyway.

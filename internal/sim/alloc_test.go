@@ -101,3 +101,86 @@ func TestTickPathAllocFreeWithTelemetry(t *testing.T) {
 		t.Fatal("telemetry saw no ticks — the instrumented path was not exercised")
 	}
 }
+
+// TestDrainPathDoesNotAllocate pins the per-event bookkeeping the drain
+// path runs under load — the incrementally maintained idle set, the power
+// funnel with its dirty-lane marking, and the completion-heap update — to
+// zero steady-state allocations. Measured from a live mixed busy/idle
+// state, as busy/idle round-trips that restore the state they found.
+func TestDrainPathDoesNotAllocate(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	measured := false
+	cfg.Probe = func(s *Simulator, now units.Seconds) {
+		if measured || now < 1.0 {
+			return
+		}
+		busy := -1
+		for i := range s.sockets {
+			if s.sockets[i].busy {
+				busy = i
+				break
+			}
+		}
+		if busy < 0 || len(s.idleSockets()) == 0 {
+			return // wait for a mixed state
+		}
+		measured = true
+
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.markIdle(busy)
+			s.markBusy(busy)
+		}); allocs != 0 {
+			t.Errorf("idle-set maintenance allocates %.1f objects/op, want 0", allocs)
+		}
+
+		st := &s.sockets[busy]
+		w := st.power
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.setPower(busy, w+1)
+			s.setPower(busy, w)
+		}); allocs != 0 {
+			t.Errorf("setPower funnel allocates %.1f objects/op, want 0", allocs)
+		}
+
+		d := st.doneAt
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.setDoneAt(busy, d+0.001)
+			s.setDoneAt(busy, d)
+		}); allocs != 0 {
+			t.Errorf("completion-heap update allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+	_, s := runOne(t, cfg)
+	if !measured {
+		t.Fatalf("probe never saw a mixed busy/idle state (arrived=%d)", s.Arrived())
+	}
+}
+
+// TestTickPathAllocFreeParallelEngine re-measures the power-manager tick
+// with the lane-sharded worker pool engaged: waking the workers, the
+// sharded sweep, the barrier, and the post-barrier event replay must all
+// run without a single steady-state allocation, same as the serial path.
+func TestTickPathAllocFreeParallelEngine(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	cfg.Engine = EngineConfig{Mode: EngineParallel, Workers: 2}
+	measured := false
+	cfg.Probe = func(s *Simulator, now units.Seconds) {
+		if measured || now < 1.0 {
+			return
+		}
+		measured = true
+		if s.eng.pool == nil {
+			t.Fatal("worker pool not engaged despite parallel mode")
+		}
+		tick := s.cfg.TickPeriod
+		if allocs := testing.AllocsPerRun(50, func() {
+			s.powerManagerTick(tick)
+		}); allocs != 0 {
+			t.Errorf("parallel powerManagerTick allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+	_, s := runOne(t, cfg)
+	if !measured {
+		t.Fatalf("probe never fired (arrived=%d)", s.Arrived())
+	}
+}

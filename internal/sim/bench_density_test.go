@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/sched"
+	"densim/internal/workload"
+)
+
+// benchServer builds one of the density-family topologies by name. The
+// dimensions mirror the internal/scenario presets (half-density-90 and
+// double-density-360): the same 15x2 lane grid at depth 3 and 12.
+func benchServer(b *testing.B, name string) *geometry.Server {
+	b.Helper()
+	var (
+		srv *geometry.Server
+		err error
+	)
+	switch name {
+	case "hd90":
+		srv, err = geometry.DenseSystemWithSinks("hd90", 15, 2, 3, geometry.AlternatingSinks(3))
+	case "dd360":
+		srv, err = geometry.DenseSystemWithSinks("dd360", 15, 2, 12, geometry.AlternatingSinks(12))
+	default:
+		b.Fatalf("unknown bench topology %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// benchRunServer is benchRun on an arbitrary topology: one simulated second
+// at the given load, Computation mix, SUT airflow parameters, under the
+// given execution engine (zero value = the auto default).
+func benchRunServer(b *testing.B, srv *geometry.Server, schedName string, load float64, eng EngineConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scheduler, err := sched.ByName(schedName, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Config{
+			Server:    srv,
+			Scheduler: scheduler,
+			Airflow:   airflow.SUTParams(),
+			Mix:       workload.ClassMix(workload.Computation),
+			Load:      load,
+			Seed:      uint64(i + 1),
+			Duration:  1,
+			Warmup:    0.1,
+			SinkTau:   1,
+			Engine:    eng,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		if load > 0 && res.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// The density family: half-density-90 (DoC 3) and double-density-360
+// (DoC 12), so the whole Table I sweep is on the perf radar, not just the
+// 180-socket SUT. The bare names run the auto engine (what users get); the
+// Serial/Parallel suffixes pin the engine so the incremental-vs-dense and
+// sharded-vs-inline deltas are measurable in isolation.
+func BenchmarkSimSecondHD90CF90(b *testing.B) {
+	benchRunServer(b, benchServer(b, "hd90"), "CF", 0.9, EngineConfig{})
+}
+func BenchmarkSimSecondHD90CP90(b *testing.B) {
+	benchRunServer(b, benchServer(b, "hd90"), "CP", 0.9, EngineConfig{})
+}
+func BenchmarkSimSecondDD360CF90(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CF", 0.9, EngineConfig{})
+}
+func BenchmarkSimSecondDD360CP90(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CP", 0.9, EngineConfig{})
+}
+
+func BenchmarkSimSecondHD90CP90Serial(b *testing.B) {
+	benchRunServer(b, benchServer(b, "hd90"), "CP", 0.9, EngineConfig{Mode: EngineSerial})
+}
+func BenchmarkSimSecondDD360CP90Serial(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CP", 0.9, EngineConfig{Mode: EngineSerial})
+}
+func BenchmarkSimSecondDD360CF90Serial(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CF", 0.9, EngineConfig{Mode: EngineSerial})
+}
+func BenchmarkSimSecondDD360CP90Parallel(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CP", 0.9, EngineConfig{Mode: EngineParallel})
+}
+func BenchmarkSimSecondDD360CF90Parallel(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CF", 0.9, EngineConfig{Mode: EngineParallel})
+}
+
+// BenchmarkSimSecondIdleSerial pins the pristine serial engine on the idle
+// SUT run: the pre-engine baseline that the event-horizon stride in
+// BenchmarkSimSecondIdle (auto engine) is measured against in
+// BENCH_PR5.json.
+func BenchmarkSimSecondIdleSerial(b *testing.B) {
+	benchRunServer(b, geometry.SUT(), "CF", 0, EngineConfig{Mode: EngineSerial})
+}

@@ -1,0 +1,538 @@
+package sim
+
+// The execution engine: how one run's tick loop is executed, independently
+// of what it computes. Three mechanisms live here, all bit-exact by
+// construction (the golden digests and the pick-sequence determinism
+// property are the oracle):
+//
+//   - Dirty-lane incremental advection. The airflow network is independent
+//     per channel (row x lane), so a channel whose socket powers are
+//     bit-unchanged since its last ambient recompute would recompute the
+//     exact same ambients — the engine skips it (ε = 0: the skip criterion
+//     is value equality, not a tolerance). All power writes funnel through
+//     Simulator.setPower, which marks the owning channel dirty on change.
+//
+//   - Lane-sharded parallel tick. Given the tick-start powers vector, the
+//     per-socket thermal/DVFS sweep touches only its own channel's state,
+//     so contiguous channel ranges are sharded across a persistent worker
+//     pool. Workers defer the two shared-state effects — completion-heap
+//     refreshes and throttle telemetry — into per-worker buffers that the
+//     coordinator replays in ascending socket order after the barrier,
+//     reproducing the serial effect sequence exactly.
+//
+//   - Event-horizon striding. On a dead tail (arrivals exhausted, queue
+//     empty, no busy sockets) every remaining tick only accrues idle energy;
+//     the engine replays exactly those floating-point additions in a tight
+//     loop and skips the thermal sweep, whose state is unobservable from
+//     that point on.
+//
+// The serial engine is the pristine pre-engine path, kept as the oracle the
+// equivalence tests compare everything else against.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"densim/internal/airflow"
+	"densim/internal/chipmodel"
+	"densim/internal/geometry"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Engine modes and stride settings accepted by EngineConfig.
+const (
+	EngineAuto     = "auto"
+	EngineSerial   = "serial"
+	EngineParallel = "parallel"
+
+	StrideAuto = "auto"
+	StrideOn   = "on"
+	StrideOff  = "off"
+)
+
+// EngineConfig selects how the tick loop executes. The zero value is the
+// auto engine: incremental (dirty-lane) advection with striding, engaging
+// the worker pool when the machine and topology are large enough. Every
+// mode produces bit-identical results; the knob trades fixed overheads
+// against scaling, never accuracy.
+type EngineConfig struct {
+	// Mode is "", "auto", "serial", or "parallel". "serial" is the pristine
+	// reference path (dense ambient recompute, no skips, no workers).
+	// "parallel" engages the worker pool; "auto" (and "") picks for the
+	// machine. Modes other than serial fall back to the serial sweep when
+	// the thermal chain is not the airflow advection network (channel
+	// independence is what makes the incremental and sharded sweeps exact).
+	Mode string
+	// Workers is the worker-pool size for the parallel engine; 0 means
+	// runtime.GOMAXPROCS(0). The pool engages at 2 or more workers, and is
+	// always capped at the topology's channel count.
+	Workers int
+	// Stride is "", "auto", "on", or "off". Auto enables event-horizon
+	// striding except in serial mode; striding is always disabled while a
+	// Probe or the invariant harness is installed (both observe every tick).
+	Stride string
+}
+
+// Validate checks the enum fields.
+func (e EngineConfig) Validate() error {
+	switch e.Mode {
+	case "", EngineAuto, EngineSerial, EngineParallel:
+	default:
+		return fmt.Errorf("sim: unknown engine mode %q (have auto, serial, parallel)", e.Mode)
+	}
+	switch e.Stride {
+	case "", StrideAuto, StrideOn, StrideOff:
+	default:
+		return fmt.Errorf("sim: unknown engine stride %q (have auto, on, off)", e.Stride)
+	}
+	if e.Workers < 0 {
+		return fmt.Errorf("sim: negative engine worker count %d", e.Workers)
+	}
+	return nil
+}
+
+// autoPoolMinSockets is the topology size below which the auto engine keeps
+// the sweep inline: the per-tick barrier costs a few microseconds, which a
+// small server's whole sweep undercuts.
+const autoPoolMinSockets = 128
+
+// autoPoolMaxWorkers caps the pool the auto engine picks on large machines;
+// explicit EngineConfig.Workers overrides it.
+const autoPoolMaxWorkers = 8
+
+// freqEvent is one deferred DVFS transition recorded by the sharded sweep:
+// the completion-heap refresh and the telemetry event are replayed by the
+// coordinator after the barrier, in ascending socket order — the serial
+// effect sequence.
+type freqEvent struct {
+	sock     int32
+	from, to units.MHz
+}
+
+// engineState is the resolved engine for one run.
+type engineState struct {
+	// incremental selects the dirty-lane sweep; false is the pristine
+	// serial path.
+	incremental bool
+	// stride enables the dead-tail fast-forward.
+	stride bool
+	// workers is the resolved pool size (pool engages at >= 2).
+	workers int
+
+	// afm is the airflow model's channel view (set when incremental).
+	afm     *airflow.Model
+	numChan int
+	// chanIdx maps socket ID -> channel index.
+	chanIdx []int32
+	// dirty[ch] records that channel ch's powers changed since its last
+	// ambient recompute. Nil unless incremental.
+	dirty []bool
+	// events is the inline sweep's deferred-transition buffer (the pool's
+	// workers carry their own).
+	events []freqEvent
+
+	// Pick cache, enabled only for the default TableDVFS power manager: a
+	// busy socket's pick is a pure function of (benchmark, ambient bits,
+	// boost cap), so while those are unchanged the cached frequency is
+	// exact. Entries are valid only while the socket continuously runs the
+	// same job — completions and migration sources invalidate, so a
+	// recycled *Job allocation can never alias a stale entry.
+	useDVFS   bool
+	dvfs      TableDVFS
+	pickBench []*workload.Benchmark
+	pickAmb   []units.Celsius
+	pickCap   []units.MHz
+	pickIdx   []int8
+	pickFreq  []units.MHz
+	// admiss caches exact admissibility verdicts per (socket, P-state) so
+	// cache-missed picks rarely pay the leakage exponential (see
+	// chipmodel.AdmissCache). Safe under the worker pool: workers own
+	// disjoint sockets, and entries are per socket.
+	admiss *chipmodel.AdmissCache
+
+	pool *tickPool
+}
+
+// resolveEngine turns the configured EngineConfig into the run's engine
+// state. Called from New after the thermal and power seams are resolved.
+func (s *Simulator) resolveEngine() {
+	e := &s.eng
+	cfg := s.cfg.Engine
+	mode := cfg.Mode
+	if mode == "" {
+		mode = EngineAuto
+	}
+
+	// The incremental and sharded sweeps are exact only over the advection
+	// network's independent channels; any other thermal chain runs serial.
+	afm, haveChannels := s.thermal.(*airflow.Model)
+	if haveChannels {
+		// The sweeps also assume the channel-major socket ID layout (channel
+		// c covers IDs [c*Depth, (c+1)*Depth)), which makes channel-order
+		// iteration identical to the serial ascending-ID sweep. Every
+		// geometry.New topology satisfies it; verify rather than assume.
+		for c := 0; c < afm.NumChannels() && haveChannels; c++ {
+			for p, id := range afm.Channel(c) {
+				if int(id) != c*len(afm.Channel(c))+p {
+					haveChannels = false
+					break
+				}
+			}
+		}
+	}
+
+	e.incremental = mode != EngineSerial && haveChannels
+	if e.incremental {
+		e.afm = afm
+		e.numChan = afm.NumChannels()
+		e.chanIdx = make([]int32, len(s.sockets))
+		for c := 0; c < e.numChan; c++ {
+			for _, id := range afm.Channel(c) {
+				e.chanIdx[id] = int32(c)
+			}
+		}
+		e.dirty = make([]bool, e.numChan)
+		for c := range e.dirty {
+			e.dirty[c] = true // ambBuf holds nothing yet
+		}
+		e.events = make([]freqEvent, 0, len(s.sockets))
+		if d, ok := s.power.(TableDVFS); ok {
+			e.useDVFS = true
+			e.dvfs = d
+			n := len(s.sockets)
+			e.pickBench = make([]*workload.Benchmark, n)
+			e.pickAmb = make([]units.Celsius, n)
+			e.pickCap = make([]units.MHz, n)
+			e.pickIdx = make([]int8, n)
+			e.pickFreq = make([]units.MHz, n)
+			e.admiss = chipmodel.NewAdmissCache(n)
+		}
+	}
+
+	switch {
+	case !e.incremental || !e.useDVFS:
+		// The pool calls the power policy from worker goroutines; only the
+		// stateless TableDVFS default is known safe there. A custom seam
+		// keeps the incremental sweep inline (same call sequence as serial).
+		e.workers = 1
+	case mode == EngineParallel:
+		e.workers = cfg.Workers
+		if e.workers <= 0 {
+			e.workers = runtime.GOMAXPROCS(0)
+		}
+	case cfg.Workers > 0:
+		e.workers = cfg.Workers
+	default: // auto: engage the pool only where the sweep can amortize it
+		e.workers = 1
+		if runtime.GOMAXPROCS(0) >= 2 && len(s.sockets) >= autoPoolMinSockets {
+			e.workers = min(runtime.GOMAXPROCS(0), autoPoolMaxWorkers)
+		}
+	}
+	if e.incremental && e.workers > e.numChan {
+		e.workers = e.numChan
+	}
+
+	strideWanted := false
+	switch cfg.Stride {
+	case StrideOn:
+		strideWanted = true
+	case "", StrideAuto:
+		strideWanted = mode != EngineSerial
+	}
+	// A Probe and the invariant harness observe every tick; striding would
+	// skip their view, so their presence disables it outright.
+	e.stride = strideWanted && s.cfg.Probe == nil && s.cfg.Checks == nil
+}
+
+// invalidatePick drops socket i's cached pick. Must be called on every
+// busy -> idle transition so a recycled job allocation can never match a
+// stale benchmark pointer.
+func (e *engineState) invalidatePick(i int) {
+	if e.pickBench != nil {
+		e.pickBench[i] = nil
+	}
+}
+
+// pickFrequency is the engine's frequency dispatcher: the pristine seam
+// call in serial mode, the cached/warm-started TableDVFS path otherwise.
+// Both return the exact frequency TableDVFS.PickFrequency would.
+func (s *Simulator) pickFrequency(id geometry.SocketID, st *socketState) units.MHz {
+	if !s.eng.useDVFS {
+		return s.pickFrequencyIndexed(id, st)
+	}
+	return s.enginePick(int(id), st)
+}
+
+// enginePick returns TableDVFS.PickFrequency(st.ambient, benchmark, sink,
+// cap) through two exact shortcuts: a full-input cache hit returns the
+// stored frequency (pure function of the key), and a miss warm-starts the
+// monotone ladder search from the previous pick's index
+// (chipmodel.HighestAdmissibleFrom returns exactly what the cold search
+// would).
+func (s *Simulator) enginePick(i int, st *socketState) units.MHz {
+	e := &s.eng
+	bench := &st.j.Benchmark
+	cap := s.boostCap(st.utilEWMA)
+	if e.pickBench[i] == bench && e.pickAmb[i] == st.ambient && e.pickCap[i] == cap {
+		return e.pickFreq[i]
+	}
+	hint := -1
+	if e.pickBench[i] == bench {
+		hint = int(e.pickIdx[i])
+	}
+	sink := s.srv.Sink(geometry.SocketID(i))
+	ambient := st.ambient
+	leak := e.dvfs.Leak
+	admiss := e.admiss
+	idx := chipmodel.HighestAdmissibleFrom(hint, chipmodel.CapIndex(cap), func(k int) bool {
+		dyn := bench.DynamicPowerAt(chipmodel.Frequencies[k])
+		return admiss.Admissible(i, k, ambient, dyn, sink, leak)
+	})
+	f := chipmodel.FMin
+	if idx >= 0 {
+		f = chipmodel.Frequencies[idx]
+	}
+	e.pickBench[i] = bench
+	e.pickAmb[i] = ambient
+	e.pickCap[i] = cap
+	e.pickIdx[i] = int8(idx)
+	e.pickFreq[i] = f
+	return f
+}
+
+// ensureTickGains hoists the four first-order blend factors for the fixed
+// tick period (shared by the serial and incremental sweeps).
+func (s *Simulator) ensureTickGains(dt units.Seconds) {
+	if s.tickGains.dt == dt {
+		return
+	}
+	s.tickGains.dt = dt
+	s.tickGains.sink = chipmodel.FirstOrder{Tau: s.cfg.SinkTau}.Gain(dt)
+	s.tickGains.chip = chipmodel.FirstOrder{Tau: s.cfg.ChipTau}.Gain(dt)
+	s.tickGains.hist = chipmodel.FirstOrder{Tau: s.cfg.HistoryTau}.Gain(dt)
+	s.tickGains.util = chipmodel.FirstOrder{Tau: s.cfg.BoostWindow}.Gain(dt)
+}
+
+// tickChannels runs the per-socket thermal/DVFS sweep over channels
+// [lo, hi): the dirty-gated ambient recompute, the four first-order blends,
+// and the frequency re-pick, with the two shared-state effects (heap
+// refresh, throttle telemetry) deferred into events. It touches only state
+// owned by those channels, so disjoint ranges run concurrently; the
+// per-channel update order equals the serial ascending-ID sweep.
+func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64) {
+	e := &s.eng
+	ambients := s.ambBuf
+	kSink, kChip := s.tickGains.sink, s.tickGains.chip
+	kHist, kUtil := s.tickGains.hist, s.tickGains.util
+	for ch := lo; ch < hi; ch++ {
+		if e.dirty[ch] {
+			e.afm.AmbientChannelInto(ch, s.powers, ambients)
+			e.dirty[ch] = false
+		} else {
+			skipped++
+		}
+		for _, id := range e.afm.Channel(ch) {
+			i := int(id)
+			st := &s.sockets[i]
+			sink := s.srv.Sink(id)
+
+			st.ambient = chipmodel.StepWithGain(st.ambient, ambients[i], kSink)
+			chipTarget := chipmodel.PeakTemp(st.ambient, st.power, sink)
+			st.chipTemp = chipmodel.StepWithGain(st.chipTemp, chipTarget, kChip)
+			st.powerEWMA = units.Watts(chipmodel.StepWithGain(units.Celsius(st.powerEWMA), units.Celsius(st.power), kSink))
+			st.histTemp = chipmodel.StepWithGain(st.histTemp, s.SocketTemp(id), kHist)
+			target := units.Celsius(0)
+			if st.busy {
+				target = 1
+			}
+			st.utilEWMA = float64(chipmodel.StepWithGain(units.Celsius(st.utilEWMA), target, kUtil))
+
+			if st.busy {
+				if f := s.pickFrequency(id, st); f != st.freq {
+					*events = append(*events, freqEvent{sock: int32(i), from: st.freq, to: f})
+					st.freq = f
+				}
+				s.setPower(i, s.busyPower(st))
+			} else {
+				s.setPower(i, s.gatedPower)
+			}
+		}
+	}
+	return skipped
+}
+
+// replayFreqEvents applies the deferred effects of one event buffer: the
+// completion-heap refresh and the telemetry throttle event, in buffer order
+// (ascending socket ID within a shard; the coordinator walks shards in
+// order, so the global sequence is the serial one).
+func (s *Simulator) replayFreqEvents(events []freqEvent) {
+	for _, ev := range events {
+		s.refreshDoneAt(int(ev.sock))
+		if s.tel != nil {
+			s.tel.OnThrottle(s.now, int(ev.sock), ev.from, ev.to)
+		}
+	}
+}
+
+// powerManagerTickIncremental is the dirty-lane (and, with a pool, lane-
+// sharded) power-manager tick. Bit-identical to powerManagerTickSerial.
+func (s *Simulator) powerManagerTickIncremental(dt units.Seconds) {
+	s.ensureTickGains(dt)
+	e := &s.eng
+	var skipped int64
+	if e.pool != nil {
+		skipped = e.pool.runTick()
+		for w := range e.pool.workers {
+			s.replayFreqEvents(e.pool.workers[w].events)
+		}
+		if s.tel != nil {
+			s.tel.OnWorkerShards(int64(len(e.pool.workers)))
+		}
+	} else {
+		e.events = e.events[:0]
+		skipped = s.tickChannels(0, e.numChan, &e.events)
+		s.replayFreqEvents(e.events)
+	}
+	if s.checks != nil {
+		s.auditTick()
+	}
+	if s.tel != nil {
+		s.tel.OnTick()
+		if skipped > 0 {
+			s.tel.OnLaneSkips(skipped)
+		}
+		s.telTicks++
+		if s.telTicks&7 == 0 {
+			for i := range s.sockets {
+				s.tel.ObserveLaneRise(int(s.laneIdx[i]), float64(s.sockets[i].ambient)-s.inletC)
+			}
+			s.tel.Flush()
+		}
+	}
+}
+
+// canStride reports whether the run has reached a strideable dead tail:
+// arrivals exhausted, queue empty, nothing running, and nothing installed
+// that observes individual ticks. From such a state no simulation event can
+// occur before the horizon, and the thermal sweep's state is unobservable.
+func (s *Simulator) canStride() bool {
+	return s.eng.stride &&
+		s.busyCount == 0 &&
+		s.queue.Len() == 0 &&
+		s.now < s.cfg.Duration &&
+		math.IsInf(float64(s.nextArrivalTime()), 1)
+}
+
+// strideIdleTail fast-forwards the dead tail to the run's end, replaying
+// exactly the floating-point effects the serial loop would produce: the
+// accumulated s.now tick additions and, per tick, one warmup-clipped
+// idle-energy addition per socket in the serial order (tick-major,
+// socket-minor; every idle socket draws the identical gated power, an
+// invariant of the idle state). The thermal integrators are frozen — no
+// event, pick, metric, or probe can observe them between here and the end
+// of the run. Completes the run: afterwards finished() holds or the drain
+// limit was hit.
+func (s *Simulator) strideIdleTail(tick, hardStop units.Seconds) {
+	warmup := s.cfg.Warmup
+	dur := s.cfg.Duration
+	perTick := float64(s.gatedPower)
+	n := len(s.sockets)
+	var ticks int64
+	for {
+		last := s.now
+		tickEnd := last + tick
+		if tickEnd > warmup {
+			seg := tickEnd - last
+			if last < warmup {
+				seg = tickEnd - warmup
+			}
+			s.col.OnEnergyRepeat(units.Joules(perTick*float64(seg)), n)
+		}
+		s.now = tickEnd
+		ticks++
+		if s.now >= dur || s.now >= hardStop {
+			break
+		}
+	}
+	for i := range s.sockets {
+		s.sockets[i].lastUpdate = s.now
+	}
+	if s.tel != nil {
+		s.tel.OnStride(ticks)
+	}
+}
+
+// tickPool is the persistent worker pool of the parallel engine: one
+// goroutine per worker, reused across ticks, woken by a one-slot channel
+// and joined on a shared WaitGroup. Workers own disjoint contiguous channel
+// ranges and write only state owned by those channels, so the sweep needs
+// no locks; the barrier publishes their writes to the coordinator.
+type tickPool struct {
+	s       *Simulator
+	workers []tickWorker
+	wg      sync.WaitGroup
+}
+
+type tickWorker struct {
+	start   chan struct{}
+	lo, hi  int // channel range [lo, hi)
+	events  []freqEvent
+	skipped int64
+}
+
+// newTickPool starts n workers over the simulator's channels, splitting
+// them into contiguous balanced ranges. Worker event buffers are sized for
+// the worst case (every socket in the shard transitions in one tick), so
+// ticks never allocate.
+func newTickPool(s *Simulator, n int) *tickPool {
+	p := &tickPool{s: s, workers: make([]tickWorker, n)}
+	numChan := s.eng.numChan
+	for w := 0; w < n; w++ {
+		lo, hi := w*numChan/n, (w+1)*numChan/n
+		sockets := 0
+		for c := lo; c < hi; c++ {
+			sockets += len(s.eng.afm.Channel(c))
+		}
+		p.workers[w] = tickWorker{
+			start:  make(chan struct{}, 1),
+			lo:     lo,
+			hi:     hi,
+			events: make([]freqEvent, 0, sockets),
+		}
+		go p.run(&p.workers[w])
+	}
+	return p
+}
+
+func (p *tickPool) run(w *tickWorker) {
+	for range w.start {
+		w.events = w.events[:0]
+		w.skipped = p.s.tickChannels(w.lo, w.hi, &w.events)
+		p.wg.Done()
+	}
+}
+
+// runTick executes one sharded sweep and returns the summed skip count.
+// The WaitGroup barrier orders every worker write before the return.
+func (p *tickPool) runTick() int64 {
+	p.wg.Add(len(p.workers))
+	for w := range p.workers {
+		p.workers[w].start <- struct{}{}
+	}
+	p.wg.Wait()
+	var skipped int64
+	for w := range p.workers {
+		skipped += p.workers[w].skipped
+	}
+	return skipped
+}
+
+// stop shuts the workers down. The pool cannot be restarted.
+func (p *tickPool) stop() {
+	for w := range p.workers {
+		close(p.workers[w].start)
+	}
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/metrics"
+	"densim/internal/sched"
+	"densim/internal/telemetry"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// engineVariants is the engine matrix every scheduler/topology pair is run
+// through: the serial reference, the auto engine, the pool at two widths,
+// and striding forced on. Every variant must reproduce the serial run
+// bit-for-bit.
+var engineVariants = []struct {
+	name string
+	cfg  EngineConfig
+}{
+	{"serial", EngineConfig{Mode: EngineSerial}},
+	{"auto", EngineConfig{Mode: EngineAuto}},
+	{"parallel2", EngineConfig{Mode: EngineParallel, Workers: 2}},
+	{"parallel8", EngineConfig{Mode: EngineParallel, Workers: 8}},
+	{"stride-on", EngineConfig{Mode: EngineAuto, Stride: StrideOn}},
+}
+
+// equivTopologies returns the matrix's two topologies: the 180-socket SUT
+// and the double-density 360-socket system.
+func equivTopologies(t *testing.T) map[string]*geometry.Server {
+	t.Helper()
+	dd, err := geometry.DenseSystemWithSinks("dd360", 15, 2, 12, geometry.AlternatingSinks(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*geometry.Server{"sut-180": geometry.SUT(), "dd360": dd}
+}
+
+// runEngineVariant runs one scheduler/topology/engine combination with a
+// fresh telemetry instance and returns the result plus the name-keyed
+// counter map with the engine-only counters removed.
+func runEngineVariant(t *testing.T, srv *geometry.Server, schedName string, eng EngineConfig, load float64) (metrics.Result, map[string]int64) {
+	t.Helper()
+	s, err := sched.ByName(schedName, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(schedName)
+	cfg := Config{
+		Server:    srv,
+		Scheduler: s,
+		Airflow:   airflow.SUTParams(),
+		Mix:       workload.ClassMix(workload.Computation),
+		Load:      load,
+		Seed:      11,
+		Duration:  0.4,
+		Warmup:    0.1,
+		SinkTau:   1,
+		Telemetry: tel,
+		Engine:    eng,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	counters := tel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(counters, id.Name())
+	}
+	return res, counters
+}
+
+// TestEngineEquivalenceMatrix is the tentpole's oracle in miniature: every
+// registered scheduler on the SUT and the double-density system, executed
+// by every engine variant, must produce a byte-identical metrics.Result and
+// identical telemetry counters (modulo the engine's own skip/stride
+// counters). Bit-exactness is the contract — reflect.DeepEqual over the
+// float-bearing Result, no tolerances. Run with -race to also exercise the
+// pool's synchronization.
+func TestEngineEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is minutes under -race; skipped in -short")
+	}
+	for topoName, srv := range equivTopologies(t) {
+		for _, schedName := range sched.Names() {
+			refRes, refCounters := runEngineVariant(t, srv, schedName, engineVariants[0].cfg, 0.9)
+			for _, v := range engineVariants[1:] {
+				res, counters := runEngineVariant(t, srv, schedName, v.cfg, 0.9)
+				if !reflect.DeepEqual(res, refRes) {
+					t.Errorf("%s/%s/%s: result diverges from serial\n got %+v\nwant %+v",
+						topoName, schedName, v.name, res, refRes)
+				}
+				if !reflect.DeepEqual(counters, refCounters) {
+					t.Errorf("%s/%s/%s: counters diverge from serial\n got %v\nwant %v",
+						topoName, schedName, v.name, counters, refCounters)
+				}
+			}
+		}
+	}
+}
+
+// strideConfig builds a run with a deterministic dead tail: a burst of
+// short jobs at t=0, all gone within tens of milliseconds, then an empty
+// horizon out to 0.4s the engine can stride through. A Poisson stream is
+// no good here — its arrivals span the whole horizon, so the strideable
+// window shrinks to the last few ticks.
+func strideConfig(t *testing.T, eng EngineConfig, tel *telemetry.Telemetry) Config {
+	t.Helper()
+	s, err := sched.ByName("CF", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := workload.ByClass(workload.Computation)[0]
+	arrivals := make([]listArrival, 12)
+	for i := range arrivals {
+		arrivals[i] = listArrival{at: 0, bench: bench, nominal: 0.02}
+	}
+	return Config{
+		Server:    geometry.SUT(),
+		Scheduler: s,
+		Airflow:   airflow.SUTParams(),
+		Source:    &listSource{arrivals: arrivals},
+		Seed:      11,
+		Duration:  0.4,
+		Warmup:    0.1,
+		SinkTau:   1,
+		Telemetry: tel,
+		Engine:    eng,
+	}
+}
+
+// TestEngineStrideFires pins the event-horizon stride to actually engaging
+// on an idle tail — and to changing nothing. After the t=0 job burst
+// drains, the rest of the horizon has no arrivals pending and nothing
+// running; the engine must fast-forward it (CStrideTicks > 0), skip the
+// settled lanes while the burst runs (CLaneSkips > 0), and still match the
+// serial run bit-for-bit, including the total tick count.
+func TestEngineStrideFires(t *testing.T) {
+	refTel := telemetry.New("serial")
+	refSim, err := New(strideConfig(t, EngineConfig{Mode: EngineSerial}, refTel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := refSim.Run()
+	refCounters := refTel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(refCounters, id.Name())
+	}
+
+	tel := telemetry.New("stride")
+	sim, err := New(strideConfig(t, EngineConfig{Mode: EngineAuto, Stride: StrideOn}, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.eng.stride {
+		t.Fatal("stride not enabled despite Stride: on")
+	}
+	res := sim.Run()
+	if got := tel.Counter(telemetry.CStrideTicks); got == 0 {
+		t.Error("CStrideTicks = 0: the idle tail was never strided")
+	}
+	if skips := tel.Counter(telemetry.CLaneSkips); skips == 0 {
+		t.Error("CLaneSkips = 0: the dirty-lane engine never skipped a settled lane")
+	}
+	counters := tel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(counters, id.Name())
+	}
+	if !reflect.DeepEqual(res, refRes) {
+		t.Errorf("strided result diverges from serial\n got %+v\nwant %+v", res, refRes)
+	}
+	if !reflect.DeepEqual(counters, refCounters) {
+		t.Errorf("strided counters diverge from serial\n got %v\nwant %v", counters, refCounters)
+	}
+}
+
+// TestEngineChecksCrossAudit runs the incremental engine with the invariant
+// harness installed (the DENSIM_CHECKS=1 configuration): the sparse-vs-dense
+// cross-audits — ambient cache against a dense advection recompute, the
+// incremental idle set against a busy-flag scan — must observe a live run
+// and find nothing. Striding is implicitly disabled by the harness.
+func TestEngineChecksCrossAudit(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	cfg.Engine = EngineConfig{Mode: EngineAuto, Workers: 2}
+	h := newRunChecks(t, &cfg)
+	_, sim := runOne(t, cfg) // fails the test on any recorded violation
+	if !sim.eng.incremental {
+		t.Fatal("auto engine did not resolve to the incremental sweep")
+	}
+	if sim.eng.stride {
+		t.Error("stride enabled despite installed checks")
+	}
+	if st := h.Stats(); st.Audits == 0 {
+		t.Errorf("harness never audited (ticks=%d)", st.Ticks)
+	}
+}
+
+// TestEngineConfigValidate pins the engine knob's enum validation.
+func TestEngineConfigValidate(t *testing.T) {
+	good := []EngineConfig{
+		{}, {Mode: "auto"}, {Mode: "serial"}, {Mode: "parallel", Workers: 4},
+		{Stride: "on"}, {Stride: "off"}, {Stride: "auto"},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", e, err)
+		}
+	}
+	bad := []EngineConfig{
+		{Mode: "turbo"}, {Stride: "yes"}, {Workers: -1},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", e)
+		}
+	}
+}
+
+// TestEngineSerialFallbacks pins the resolution rules that keep exotic
+// configurations on the safe path: a custom thermal chain cannot use the
+// channel-sharded sweeps, and a probe or harness disables striding.
+func TestEngineSerialFallbacks(t *testing.T) {
+	cfg := smallConfig("CF", 0.5, workload.Computation)
+	cfg.Engine = EngineConfig{Mode: EngineParallel, Workers: 4}
+	cfg.Thermal = constantChain{inlet: 25}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.eng.incremental {
+		t.Error("incremental engine engaged over a non-airflow thermal chain")
+	}
+	if s.eng.workers != 1 {
+		t.Errorf("workers = %d over a non-airflow thermal chain, want 1", s.eng.workers)
+	}
+
+	cfg = smallConfig("CF", 0.5, workload.Computation)
+	cfg.Probe = func(*Simulator, units.Seconds) {}
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.eng.stride {
+		t.Error("stride enabled despite installed probe")
+	}
+}

@@ -112,9 +112,10 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	src.busy = false
 	src.j = nil
 	src.freq = 0
+	s.markIdle(int(srcID))
+	s.eng.invalidatePick(int(srcID))
 	s.setDoneAt(int(srcID), neverDone)
-	src.power = s.gatedPower
-	s.powers[srcID] = src.power
+	s.setPower(int(srcID), s.gatedPower)
 
 	// Transfer cost: the job pays extra work-time.
 	j.Work += s.cfg.Migration.Cost
@@ -122,10 +123,10 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	// Destination starts the job at its locally picked frequency.
 	dst.busy = true
 	dst.j = j
-	dst.freq = s.pickFrequencyIndexed(dstID, dst)
+	s.markBusy(int(dstID))
+	dst.freq = s.pickFrequency(dstID, dst)
 	s.refreshDoneAt(int(dstID))
-	dst.power = s.busyPower(dst)
-	s.powers[dstID] = dst.power
+	s.setPower(int(dstID), s.busyPower(dst))
 
 	s.migrations++
 	if s.checks != nil {

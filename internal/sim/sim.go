@@ -132,6 +132,11 @@ type Config struct {
 	// Power overrides the per-socket power policy (DVFS pick + idle gating).
 	// Nil uses the Table III TableDVFS policy.
 	Power PowerManager
+	// Engine selects how the tick loop executes (serial, dirty-lane
+	// incremental, lane-sharded parallel, event-horizon striding — see
+	// engine.go). Every engine produces bit-identical results; the zero
+	// value picks automatically for the machine and topology.
+	Engine EngineConfig
 }
 
 // Validate checks the required fields and value ranges of a Config without
@@ -165,6 +170,9 @@ func (c Config) Validate() error {
 	}
 	if c.Load > 0 && c.Source == nil && c.Mix.MeanDuration() <= 0 {
 		return fmt.Errorf("sim: mix %q has non-positive mean duration", c.Mix.Name())
+	}
+	if err := c.Engine.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -282,9 +290,16 @@ type Simulator struct {
 	col     *metrics.Collector
 	now     units.Seconds
 	nextID  job.ID
-	// Reusable buffers for the per-tick and per-event hot paths.
-	ambBuf  []units.Celsius
-	idleBuf []geometry.SocketID
+	// ambBuf holds the most recent ambient recompute per socket. The serial
+	// engine overwrites all of it every tick; the incremental engine treats
+	// it as a cache, rewriting only channels whose powers changed.
+	ambBuf []units.Celsius
+	// idleSet is the sorted idle-socket set, maintained incrementally at
+	// every busy-transition (place, complete, migrate) so idleSockets and
+	// finished cost O(log n) and O(1) instead of scanning all sockets.
+	// busyCount mirrors its complement.
+	idleSet   []geometry.SocketID
+	busyCount int
 	// comp indexes the per-socket completion instants for O(1)
 	// next-completion queries (see completionIndex).
 	comp *completionIndex
@@ -307,6 +322,11 @@ type Simulator struct {
 	laneIdx  []int32
 	inletC   float64
 	telTicks uint64 // local tick count gating the lane scan and flush
+	// eng is the resolved execution engine (see engine.go); checkAmb is the
+	// dense ambient scratch for the harness's ambient-cache cross-audit,
+	// allocated only when both checks and the incremental engine are on.
+	eng      engineState
+	checkAmb []units.Celsius
 	// Diagnostics.
 	arrived    int
 	unfinished int
@@ -334,8 +354,11 @@ func New(cfg Config) (*Simulator, error) {
 		powers:  make([]units.Watts, cfg.Server.NumSockets()),
 		col:     metrics.NewCollector(),
 		ambBuf:  make([]units.Celsius, cfg.Server.NumSockets()),
-		idleBuf: make([]geometry.SocketID, 0, cfg.Server.NumSockets()),
+		idleSet: make([]geometry.SocketID, cfg.Server.NumSockets(), cfg.Server.NumSockets()),
 		comp:    newCompletionIndex(cfg.Server.NumSockets()),
+	}
+	for i := range s.idleSet {
+		s.idleSet[i] = geometry.SocketID(i)
 	}
 	if s.thermal == nil {
 		s.thermal = af
@@ -381,6 +404,10 @@ func New(cfg Config) (*Simulator, error) {
 		// The run accumulates into a private Local (plain increments on the
 		// hot paths) and flushes batches into the shared instance.
 		s.tel = cfg.Telemetry.NewLocal(cfg.Server.Rows*cfg.Server.Lanes, inlet)
+	}
+	s.resolveEngine()
+	if s.checks != nil && s.eng.incremental {
+		s.checkAmb = make([]units.Celsius, cfg.Server.NumSockets())
 	}
 	return s, nil
 }
@@ -446,6 +473,59 @@ func (s *Simulator) boostCap(util float64) units.MHz {
 
 var _ sched.State = (*Simulator)(nil)
 
+// setPower writes socket i's current draw into both the socket state and
+// the powers vector, marking the owning airflow channel dirty when the
+// value actually changed. The dirty-lane engine's exactness rests on every
+// event-path and tick-path power write flowing through this funnel (the
+// serial engine ignores the dirty bits entirely).
+func (s *Simulator) setPower(i int, w units.Watts) {
+	st := &s.sockets[i]
+	if st.power == w {
+		return
+	}
+	st.power = w
+	s.powers[i] = w
+	if d := s.eng.dirty; d != nil {
+		d[s.eng.chanIdx[i]] = true
+	}
+}
+
+// idleRank returns the position of id in the sorted idle set (or where it
+// would be inserted): a lower-bound binary search.
+func (s *Simulator) idleRank(id geometry.SocketID) int {
+	lo, hi := 0, len(s.idleSet)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.idleSet[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// markBusy removes socket i from the sorted idle set (idle -> busy
+// transition). O(log n) search plus the shift; allocation-free.
+func (s *Simulator) markBusy(i int) {
+	s.busyCount++
+	k := s.idleRank(geometry.SocketID(i))
+	copy(s.idleSet[k:], s.idleSet[k+1:])
+	s.idleSet = s.idleSet[:len(s.idleSet)-1]
+}
+
+// markIdle inserts socket i into the sorted idle set (busy -> idle
+// transition). The set's capacity is the socket count, so the append never
+// reallocates.
+func (s *Simulator) markIdle(i int) {
+	s.busyCount--
+	id := geometry.SocketID(i)
+	k := s.idleRank(id)
+	s.idleSet = s.idleSet[:len(s.idleSet)+1]
+	copy(s.idleSet[k+1:], s.idleSet[k:])
+	s.idleSet[k] = id
+}
+
 // Run executes the simulation to completion and returns the metrics.
 func (s *Simulator) Run() metrics.Result {
 	tick := s.cfg.TickPeriod
@@ -454,7 +534,20 @@ func (s *Simulator) Run() metrics.Result {
 	if s.cfg.Migration.Period > 0 {
 		nextMigration = s.cfg.Migration.Period
 	}
+	if s.eng.incremental && s.eng.workers >= 2 {
+		s.eng.pool = newTickPool(s, s.eng.workers)
+		defer func() {
+			s.eng.pool.stop()
+			s.eng.pool = nil
+		}()
+	}
 	for {
+		if s.canStride() {
+			// Dead tail: nothing can happen before the horizon, and the run
+			// ends at the horizon. Fast-forward and finish.
+			s.strideIdleTail(tick, hardStop)
+			break
+		}
 		tickEnd := s.now + tick
 		s.processEventsUntil(tickEnd)
 		s.advanceAllTo(tickEnd)
@@ -471,12 +564,7 @@ func (s *Simulator) Run() metrics.Result {
 			break
 		}
 	}
-	runningLeft := 0
-	for i := range s.sockets {
-		if s.sockets[i].busy {
-			runningLeft++
-		}
-	}
+	runningLeft := s.busyCount
 	queuedLeft := s.queue.Len()
 	s.unfinished = runningLeft + queuedLeft
 	s.col.SetSpan(s.cfg.Warmup, s.now)
@@ -490,20 +578,10 @@ func (s *Simulator) Run() metrics.Result {
 	return res
 }
 
-// finished reports whether arrivals are exhausted and all work is done.
+// finished reports whether arrivals are exhausted and all work is done —
+// O(1) through the incrementally maintained busy counter.
 func (s *Simulator) finished() bool {
-	if s.now < s.cfg.Duration {
-		return false
-	}
-	if s.queue.Len() > 0 {
-		return false
-	}
-	for i := range s.sockets {
-		if s.sockets[i].busy {
-			return false
-		}
-	}
-	return true
+	return s.now >= s.cfg.Duration && s.queue.Len() == 0 && s.busyCount == 0
 }
 
 // processEventsUntil handles all arrivals and completions in [s.now, end).
@@ -590,9 +668,10 @@ func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
 	st.busy = false
 	st.j = nil
 	st.freq = 0
+	s.markIdle(int(id))
+	s.eng.invalidatePick(int(id))
 	s.setDoneAt(int(id), neverDone)
-	st.power = s.gatedPower
-	s.powers[id] = st.power
+	s.setPower(int(id), s.gatedPower)
 }
 
 // drainQueue places queued jobs on idle sockets until one side is exhausted.
@@ -623,16 +702,11 @@ func (s *Simulator) drainQueue(t units.Seconds) {
 	}
 }
 
-// idleSockets returns the sorted idle set. The returned slice aliases an
-// internal buffer valid until the next call.
+// idleSockets returns the sorted idle set, maintained incrementally at the
+// busy-transition sites — no scan. The returned slice aliases the live set:
+// valid until the next placement, completion, or migration.
 func (s *Simulator) idleSockets() []geometry.SocketID {
-	out := s.idleBuf[:0]
-	for i := range s.sockets {
-		if !s.sockets[i].busy {
-			out = append(out, geometry.SocketID(i))
-		}
-	}
-	return out
+	return s.idleSet
 }
 
 // placeJob starts j on socket id at time t.
@@ -645,10 +719,10 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	st.busy = true
 	st.j = j
 	j.Started = t
-	st.freq = s.pickFrequencyIndexed(id, st)
+	s.markBusy(int(id))
+	st.freq = s.pickFrequency(id, st)
 	s.refreshDoneAt(int(id))
-	st.power = s.busyPower(st)
-	s.powers[id] = st.power
+	s.setPower(int(id), s.busyPower(st))
 	if s.checks != nil {
 		s.checks.OnPlace(int64(j.ID), j.NominalDuration, t)
 	}
@@ -714,8 +788,20 @@ func (s *Simulator) advanceAllTo(t units.Seconds) {
 }
 
 // powerManagerTick updates the thermal chain and re-picks P-states; dt is
-// the elapsed tick period.
+// the elapsed tick period. It dispatches to the configured engine: the
+// incremental (dirty-lane, optionally lane-sharded) sweep in engine.go, or
+// the serial reference sweep below — bit-identical by construction.
 func (s *Simulator) powerManagerTick(dt units.Seconds) {
+	if s.eng.incremental {
+		s.powerManagerTickIncremental(dt)
+		return
+	}
+	s.powerManagerTickSerial(dt)
+}
+
+// powerManagerTickSerial is the pristine reference sweep: dense ambient
+// recompute, ascending-ID socket loop, effects applied in place.
+func (s *Simulator) powerManagerTickSerial(dt units.Seconds) {
 	// 1) Ambient air follows current powers instantly (through the
 	// ThermalChain seam; the airflow network unless overridden).
 	ambients := s.ambBuf
@@ -724,13 +810,7 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 	// The four first-order gains depend only on dt, which is the fixed tick
 	// period: compute them once per tick (in practice once per run), not
 	// once per state per socket.
-	if s.tickGains.dt != dt {
-		s.tickGains.dt = dt
-		s.tickGains.sink = chipmodel.FirstOrder{Tau: s.cfg.SinkTau}.Gain(dt)
-		s.tickGains.chip = chipmodel.FirstOrder{Tau: s.cfg.ChipTau}.Gain(dt)
-		s.tickGains.hist = chipmodel.FirstOrder{Tau: s.cfg.HistoryTau}.Gain(dt)
-		s.tickGains.util = chipmodel.FirstOrder{Tau: s.cfg.BoostWindow}.Gain(dt)
-	}
+	s.ensureTickGains(dt)
 	kSink, kChip := s.tickGains.sink, s.tickGains.chip
 	kHist, kUtil := s.tickGains.hist, s.tickGains.util
 
@@ -819,7 +899,37 @@ func (s *Simulator) auditTick() {
 		heapT, heapID := s.comp.min()
 		scanT, scanID := s.nextCompletionScan()
 		s.checks.AuditNextCompletion(heapT, int(heapID), scanT, int(scanID), s.now)
+		s.auditEngineCaches()
 	}
+}
+
+// auditEngineCaches cross-audits the incremental engine's sparse state
+// against dense recomputes: the dirty-lane ambient cache (clean channels
+// only — a dirty channel's cache is by definition awaiting recompute) and
+// the incrementally maintained idle set. No-op on the serial engine.
+func (s *Simulator) auditEngineCaches() {
+	if s.eng.incremental && s.checkAmb != nil {
+		s.thermal.AmbientInto(s.powers, s.checkAmb)
+		for ch := 0; ch < s.eng.numChan; ch++ {
+			if s.eng.dirty[ch] {
+				continue
+			}
+			for _, id := range s.eng.afm.Channel(ch) {
+				s.checks.AuditAmbientCache(int(id), s.ambBuf[id], s.checkAmb[id], s.now)
+			}
+		}
+	}
+	scanned := 0
+	firstDiff := -1
+	for i := range s.sockets {
+		if !s.sockets[i].busy {
+			if firstDiff < 0 && (scanned >= len(s.idleSet) || s.idleSet[scanned] != geometry.SocketID(i)) {
+				firstDiff = scanned
+			}
+			scanned++
+		}
+	}
+	s.checks.AuditIdleSet(len(s.idleSet), scanned, s.busyCount, len(s.sockets)-scanned, firstDiff, s.now)
 }
 
 // settledChipTemp returns the chip temperature the socket's current

@@ -53,6 +53,17 @@ const (
 	// CThrottleUp counts DVFS re-picks that raised a busy socket's P-state
 	// (thermal headroom recovered).
 	CThrottleUp
+	// CStrideTicks counts power-manager ticks the engine fast-forwarded
+	// through in event-horizon strides (each is also counted in CTicks, so
+	// CTicks stays comparable across engines).
+	CStrideTicks
+	// CLaneSkips counts airflow channels whose ambient recompute the
+	// dirty-lane engine skipped because the channel's powers were unchanged.
+	CLaneSkips
+	// CWorkerShards counts per-tick worker shard executions of the parallel
+	// engine (workers x ticks when the pool is engaged) — the denominator
+	// for worker-utilization readings.
+	CWorkerShards
 
 	numCounters
 )
@@ -67,6 +78,19 @@ var counterNames = [numCounters]string{
 	CMigrations:   "migrations",
 	CThrottleDown: "throttle_down",
 	CThrottleUp:   "throttle_up",
+	CStrideTicks:  "strided_ticks",
+	CLaneSkips:    "skipped_lanes",
+	CWorkerShards: "worker_shards",
+}
+
+// Name returns the counter's exposition name.
+func (id CounterID) Name() string { return counterNames[id] }
+
+// EngineCounters lists the counters fed by the incremental/parallel engine
+// rather than by simulation events. Engine-equivalence comparisons exclude
+// exactly these: every other counter must match bit-for-bit across engines.
+func EngineCounters() []CounterID {
+	return []CounterID{CStrideTicks, CLaneSkips, CWorkerShards}
 }
 
 // maxZones bounds the chosen-socket zone counter vector (the SUT has 6

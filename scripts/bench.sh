@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench.sh — the BENCH_*.json measurement protocol, in one place.
+#
+#   scripts/bench.sh measure [pattern] [count] [benchtime]
+#       Run the internal/sim benchmarks matching [pattern] (default
+#       'BenchmarkSimSecond') count times (default 3) at -benchtime
+#       (default 5x) with -benchmem, and print per-benchmark medians as
+#       "name median_ns_per_op bytes_per_op allocs_per_op" — the numbers
+#       that go into a BENCH_*.json before/after entry. Before/after pairs
+#       are measured back-to-back on the same machine (the 'before' tree
+#       checked out elsewhere, or an engine-pinned benchmark variant).
+#
+#   scripts/bench.sh smoke
+#       CI gate: run the double-density CP90 benchmark under the serial
+#       and the parallel engine at -benchtime 2x and fail if the parallel
+#       engine's median is more than 10% slower than serial on this
+#       runner. Catches pool regressions that the bit-equivalence tests
+#       cannot (they check answers, not wall clock).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# medians <go-test-bench-output>: one "name ns bytes allocs" line per
+# benchmark, each the median over -count repetitions (CPU suffix stripped).
+medians() {
+	awk '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			for (i = 2; i <= NF; i++) {
+				if ($(i) == "ns/op")     ns[name]     = ns[name] " " $(i-1)
+				if ($(i) == "B/op")      bytes[name]  = bytes[name] " " $(i-1)
+				if ($(i) == "allocs/op") allocs[name] = allocs[name] " " $(i-1)
+			}
+		}
+		function median(s,   a, n, i) {
+			n = split(s, a, " ")
+			for (i = 2; i <= n; i++) { # insertion sort; n is tiny
+				v = a[i]; j = i - 1
+				while (j >= 1 && a[j] + 0 > v + 0) { a[j+1] = a[j]; j-- }
+				a[j+1] = v
+			}
+			if (n % 2) return a[(n+1)/2]
+			return int((a[n/2] + a[n/2+1]) / 2)
+		}
+		END {
+			for (name in ns)
+				printf "%s %d %d %d\n", name, median(ns[name]), median(bytes[name]), median(allocs[name])
+		}
+	' | sort
+}
+
+case "${1:-measure}" in
+measure)
+	pattern="${2:-BenchmarkSimSecond}"
+	count="${3:-3}"
+	benchtime="${4:-5x}"
+	echo "# go test -run XXX -bench '$pattern' -benchtime $benchtime -count $count -benchmem ./internal/sim/" >&2
+	go test -run XXX -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem ./internal/sim/ | medians
+	;;
+smoke)
+	out="$(go test -run XXX -bench 'BenchmarkSimSecondDD360CP90(Serial|Parallel)$' \
+		-benchtime 2x -count 3 ./internal/sim/)"
+	echo "$out"
+	serial="$(echo "$out" | medians | awk '/Serial/ {print $2}')"
+	parallel="$(echo "$out" | medians | awk '/Parallel/ {print $2}')"
+	if [ -z "$serial" ] || [ -z "$parallel" ]; then
+		echo "bench smoke: missing serial/parallel medians" >&2
+		exit 1
+	fi
+	echo "serial median ${serial} ns/op, parallel median ${parallel} ns/op"
+	# Fail when parallel > 1.10 x serial (integer math: 10*p > 11*s).
+	if [ $((10 * parallel)) -gt $((11 * serial)) ]; then
+		echo "bench smoke: parallel engine >10% slower than serial" >&2
+		exit 1
+	fi
+	;;
+*)
+	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] | smoke]" >&2
+	exit 2
+	;;
+esac
