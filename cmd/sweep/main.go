@@ -47,6 +47,7 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		telAddr     = flag.String("telemetry.addr", "", "serve a Prometheus-style /metrics endpoint on this address while sweeping (e.g. :9090)")
+		warmDir     = flag.String("warmstart.dir", "", "cache each run's warmup state in this directory and fork later identical runs from it (bit-identical results; created if missing)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,12 @@ func main() {
 		telemetry.Serve(*telAddr, opts.Telemetry.Handler(), func(err error) {
 			fmt.Fprintln(os.Stderr, "sweep: telemetry server:", err)
 		})
+	}
+	if *warmDir != "" {
+		if err := os.MkdirAll(*warmDir, 0o755); err != nil {
+			fail(err)
+		}
+		opts.WarmDir = *warmDir
 	}
 	loadList, err := parseLoads(*loads)
 	if err != nil {

@@ -36,19 +36,42 @@ import (
 // would, which is what lets bit-exactness oracles (golden digests, the
 // engine equivalence matrix) hold with the cache in the loop.
 //
-// Entries are keyed by the probe's dynamic-power bits, so a benchmark
-// change on the entity (including a recycled job allocation with a
-// different benchmark) can never alias a stale bound: equal dynW bits mean
-// the predicate itself is identical. One entry per set
-// suffices: measured on the density workloads, fewer than 2% of
-// recomputations come from benchmark alternation evicting bounds, so
-// associativity would cost more in scan and footprint than it saves.
+// The cache has two levels:
 //
-// The cache is not safe for concurrent probes of the same entity; disjoint
-// entities may be probed concurrently (entries are per entity).
+//   - Per-entity entries, keyed by the probe's dynamic-power bits. A
+//     benchmark change on the entity resets its bounds — which, measured on
+//     the density workloads at high load, happens every few ticks per
+//     socket and is the dominant source of recomputation: job churn evicts
+//     bounds that sockets running the same benchmark elsewhere still hold.
+//
+//   - An optional shared bounds pool (EnableSharedPool), exploiting that
+//     the predicate does not depend on the entity at all — only on
+//     (dynW, sink, leak). A run sees a handful of distinct dynamic-power
+//     values (benchmarks x P-states), so an insert-only table keyed by the
+//     dynW bits with per-sink bounds survives job churn entirely: once any
+//     socket has evaluated a (dynW, sink) point, every socket with that
+//     sink reuses it under the same replay/margin rules.
+//
+// The shared pool makes the cache single-goroutine: concurrent probes of
+// disjoint entities, which the per-entity level permits, would race on the
+// pool. Callers that probe from worker pools must leave it disabled.
+// sink and leak must be fixed per entity for the lifetime of the cache
+// (leak fixed across the whole cache when the pool is enabled).
 type AdmissCache struct {
 	width int
 	e     []admissEntry
+	// pool is the shared dynW-keyed bounds table (nil unless enabled):
+	// open-addressed, power-of-two sized, insert-only. live counts occupied
+	// slots for the grow trigger.
+	pool []poolEntry
+	live int
+	// ladKeys/ladRows is the dynMax-keyed ladder table behind Ladder
+	// (available with the shared pool): one precomputed dynamic-power value
+	// per P-state per distinct power curve, so ladder searches index an
+	// array instead of re-deriving the cubic per probe.
+	ladKeys []units.Watts
+	ladRows []units.Watts
+	ladLive int
 }
 
 type admissEntry struct {
@@ -57,6 +80,18 @@ type admissEntry struct {
 	dynW units.Watts
 	// admLE is the highest ambient proven admissible, inadGE the lowest
 	// proven inadmissible, at this dynW.
+	admLE  units.Celsius
+	inadGE units.Celsius
+}
+
+// poolEntry is one shared-pool slot: the bounds for a dynamic-power value
+// under each of the two heat sinks. dynW NaN marks the slot empty.
+type poolEntry struct {
+	dynW   units.Watts
+	bounds [2]admissBounds
+}
+
+type admissBounds struct {
 	admLE  units.Celsius
 	inadGE units.Celsius
 }
@@ -79,6 +114,188 @@ func NewAdmissCache(entities int) *AdmissCache {
 	return c
 }
 
+// EnableSharedPool attaches the shared dynW-keyed bounds pool. After this
+// the cache must only be probed from one goroutine at a time.
+func (c *AdmissCache) EnableSharedPool() {
+	if c.pool == nil {
+		c.pool = newPool(128)
+	}
+}
+
+func newPool(size int) []poolEntry {
+	p := make([]poolEntry, size)
+	nan := units.Watts(math.NaN())
+	inf := units.Celsius(math.Inf(1))
+	for i := range p {
+		p[i].dynW = nan
+		for s := range p[i].bounds {
+			p[i].bounds[s] = admissBounds{admLE: -inf, inadGE: inf}
+		}
+	}
+	return p
+}
+
+// poolBounds finds or inserts the pool slot for dynW and returns the bounds
+// for sink, seeded on first touch. Linear probing over a power-of-two
+// table; grows at 50% load so probe chains stay short.
+func (c *AdmissCache) poolBounds(dynW units.Watts, sink Sink, leak Leakage) *admissBounds {
+	if 2*c.live >= len(c.pool) {
+		c.growPool()
+	}
+	mask := uint64(len(c.pool) - 1)
+	h := poolHash(dynW)
+	for {
+		p := &c.pool[h&mask]
+		if p.dynW == dynW {
+			b := sinkBounds(p, sink)
+			if math.IsInf(float64(b.admLE), 0) && math.IsInf(float64(b.inadGE), 0) {
+				seedBounds(b, dynW, sink, leak)
+			}
+			return b
+		}
+		if math.IsNaN(float64(p.dynW)) {
+			p.dynW = dynW
+			c.live++
+			b := sinkBounds(p, sink)
+			seedBounds(b, dynW, sink, leak)
+			return b
+		}
+		h++
+	}
+}
+
+// seedBounds locates the admissibility boundary for (dynW, sink, leak) by
+// bisection and records it, so nearly every later probe is bound-decided
+// without evaluating the predicate. Each bisection step is an ordinary
+// fresh evaluation at a concrete ambient, recorded exactly as Admissible
+// would record it — the bounds' invariant ("proven by direct evaluation at
+// that ambient") is untouched; seeding just frontloads ~50 evaluations per
+// distinct (dynW, sink) instead of paying one per probe near the moving
+// ambient. Probes inside the admissMargin band around the boundary still
+// fall through to fresh evaluation.
+func seedBounds(b *admissBounds, dynW units.Watts, sink Sink, leak Leakage) {
+	admit := func(a units.Celsius) bool {
+		return PredictTwoStep(a, dynW, sink, leak) <= TempLimit
+	}
+	// Ambient domain with generous slack: real runs live in roughly
+	// [inlet, TempLimit]; outside [-200, 400] the verdicts are constant
+	// and the one-sided bound still decides every in-range probe.
+	lo, hi := units.Celsius(-200), units.Celsius(400)
+	if admit(hi) {
+		b.admLE = hi
+		return
+	}
+	if !admit(lo) {
+		b.inadGE = lo
+		return
+	}
+	b.admLE = lo
+	b.inadGE = hi
+	for b.inadGE-b.admLE > admissMargin/4 {
+		mid := b.admLE + (b.inadGE-b.admLE)/2
+		if mid <= b.admLE || mid >= b.inadGE {
+			break
+		}
+		if admit(mid) {
+			b.admLE = mid
+		} else {
+			b.inadGE = mid
+		}
+	}
+}
+
+// sinkBounds mirrors Sink.RExt's mapping (anything that is not the 30-fin
+// sink evaluates as the 18-fin sink, so it shares its bounds exactly).
+func sinkBounds(p *poolEntry, sink Sink) *admissBounds {
+	if sink == Sink30Fin {
+		return &p.bounds[1]
+	}
+	return &p.bounds[0]
+}
+
+func (c *AdmissCache) growPool() {
+	old := c.pool
+	c.pool = newPool(2 * len(old))
+	mask := uint64(len(c.pool) - 1)
+	for i := range old {
+		if math.IsNaN(float64(old[i].dynW)) {
+			continue
+		}
+		h := poolHash(old[i].dynW)
+		for !math.IsNaN(float64(c.pool[h&mask].dynW)) {
+			h++
+		}
+		c.pool[h&mask] = old[i]
+	}
+}
+
+func poolHash(dynW units.Watts) uint64 {
+	h := math.Float64bits(float64(dynW)) * 0x9E3779B97F4A7C15
+	return h ^ h>>32
+}
+
+// Ladder returns the cached per-P-state dynamic-power ladder for the power
+// curve identified by dynMax, computing it via fill (called once per index,
+// in order) on first sight. fill must be a pure function of dynMax — two
+// callers passing bit-equal dynMax values must produce bit-equal ladders —
+// which holds for Benchmark.DynamicPowerAt since DynMax fully determines the
+// curve. Like the shared pool, the ladder table is insert-only and
+// single-goroutine. The returned slice must not be modified.
+func (c *AdmissCache) Ladder(dynMax units.Watts, fill func(k int) units.Watts) []units.Watts {
+	if c.ladKeys == nil {
+		c.ladKeys = make([]units.Watts, 64)
+		nan := units.Watts(math.NaN())
+		for i := range c.ladKeys {
+			c.ladKeys[i] = nan
+		}
+		c.ladRows = make([]units.Watts, 64*c.width)
+	}
+	if 2*c.ladLive >= len(c.ladKeys) {
+		c.growLadders()
+	}
+	mask := uint64(len(c.ladKeys) - 1)
+	h := poolHash(dynMax)
+	for {
+		i := int(h & mask)
+		if c.ladKeys[i] == dynMax {
+			return c.ladRows[i*c.width : (i+1)*c.width : (i+1)*c.width]
+		}
+		if math.IsNaN(float64(c.ladKeys[i])) {
+			c.ladKeys[i] = dynMax
+			c.ladLive++
+			row := c.ladRows[i*c.width : (i+1)*c.width : (i+1)*c.width]
+			for k := range row {
+				row[k] = fill(k)
+			}
+			return row
+		}
+		h++
+	}
+}
+
+func (c *AdmissCache) growLadders() {
+	oldKeys, oldRows := c.ladKeys, c.ladRows
+	c.ladKeys = make([]units.Watts, 2*len(oldKeys))
+	nan := units.Watts(math.NaN())
+	for i := range c.ladKeys {
+		c.ladKeys[i] = nan
+	}
+	c.ladRows = make([]units.Watts, len(c.ladKeys)*c.width)
+	mask := uint64(len(c.ladKeys) - 1)
+	for i := range oldKeys {
+		if math.IsNaN(float64(oldKeys[i])) {
+			continue
+		}
+		h := poolHash(oldKeys[i])
+		for !math.IsNaN(float64(c.ladKeys[h&mask])) {
+			h++
+		}
+		j := int(h & mask)
+		c.ladKeys[j] = oldKeys[i]
+		copy(c.ladRows[j*c.width:(j+1)*c.width], oldRows[i*c.width:(i+1)*c.width])
+	}
+}
+
 // Admissible reports PredictTwoStep(ambient, dynW, sink, leak) <= TempLimit
 // for the entity's idx-th P-state, via the recorded bounds when they decide
 // the probe and a fresh evaluation (recorded into the bounds) otherwise.
@@ -97,13 +314,37 @@ func (c *AdmissCache) Admissible(entity, idx int, ambient units.Celsius, dynW un
 		e.admLE = units.Celsius(math.Inf(-1))
 		e.inadGE = units.Celsius(math.Inf(1))
 	}
+	var b *admissBounds
+	if c.pool != nil {
+		b = c.poolBounds(dynW, sink, leak)
+		if ambient == b.admLE || ambient <= b.admLE-admissMargin {
+			if ambient > e.admLE {
+				e.admLE = ambient
+			}
+			return true
+		}
+		if ambient == b.inadGE || ambient >= b.inadGE+admissMargin {
+			if ambient < e.inadGE {
+				e.inadGE = ambient
+			}
+			return false
+		}
+	}
 	ok := PredictTwoStep(ambient, dynW, sink, leak) <= TempLimit
 	if ok {
 		if ambient > e.admLE {
 			e.admLE = ambient
 		}
-	} else if ambient < e.inadGE {
-		e.inadGE = ambient
+		if b != nil && ambient > b.admLE {
+			b.admLE = ambient
+		}
+	} else {
+		if ambient < e.inadGE {
+			e.inadGE = ambient
+		}
+		if b != nil && ambient < b.inadGE {
+			b.inadGE = ambient
+		}
 	}
 	return ok
 }

@@ -39,6 +39,10 @@ type Sim struct {
 	Engine        string
 	EngineWorkers int
 	EngineStride  string
+	// Snapshot flags wire run snapshots (sim.Snapshot/Restore): save the
+	// state at end of warmup, or warm-start from a saved capture.
+	SnapshotSave string
+	SnapshotLoad string
 
 	fs *flag.FlagSet
 }
@@ -76,6 +80,10 @@ func AddSim(fs *flag.FlagSet, d SimDefaults) *Sim {
 		"parallel engine worker count (0 = number of CPUs)")
 	fs.StringVar(&s.EngineStride, "engine.stride", "",
 		"event-horizon striding through idle tails: auto, on, or off (default auto)")
+	fs.StringVar(&s.SnapshotSave, "snapshot.save", "",
+		"write a full-state snapshot at the end of warmup to this file, then finish the run")
+	fs.StringVar(&s.SnapshotLoad, "snapshot.load", "",
+		"warm-start the run from a snapshot file (must match this run's configuration; fails closed on mismatch or corruption)")
 	return s
 }
 
@@ -129,6 +137,12 @@ func (s *Sim) Resolve() (*scenario.Scenario, uint64, error) {
 	}
 	if use("engine.stride") && s.EngineStride != "" {
 		sc.Engine.Stride = s.EngineStride
+	}
+	if s.SnapshotSave != "" {
+		sc.Snapshot.Save = s.SnapshotSave
+	}
+	if s.SnapshotLoad != "" {
+		sc.Snapshot.Load = s.SnapshotLoad
 	}
 	if s.TracePath != "" {
 		sc.Workload.Trace = s.TracePath

@@ -19,6 +19,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"densim/internal/check"
 	"densim/internal/metrics"
@@ -197,6 +199,13 @@ func (e *Experiment) config() (sim.Config, error) {
 // player), so Run is repeatable and safe to call multiple times. When the
 // scenario's Checks toggle is set, the run executes under the runtime
 // invariant harness and any violation is returned as an error.
+//
+// The scenario's snapshot block changes how the run starts and what it
+// leaves behind: Load restores a saved capture instead of simulating the
+// warmup from the cold start, Save writes a capture at the end of the warmup
+// window and then completes normally. Either way the returned metrics are
+// bit-identical to the uninterrupted run (the sim package's snapshot
+// contract).
 func (e *Experiment) Run() (metrics.Result, error) {
 	cfg, err := e.config()
 	if err != nil {
@@ -211,13 +220,57 @@ func (e *Experiment) Run() (metrics.Result, error) {
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	res := s.Run()
+	var res metrics.Result
+	switch {
+	case e.sc.Snapshot.Load != "":
+		data, err := os.ReadFile(e.sc.Snapshot.Load)
+		if err != nil {
+			return metrics.Result{}, fmt.Errorf("core: reading snapshot: %w", err)
+		}
+		if err := s.Restore(data); err != nil {
+			return metrics.Result{}, fmt.Errorf("core: restoring snapshot %s: %w", e.sc.Snapshot.Load, err)
+		}
+		res = s.Finish()
+	case e.sc.Snapshot.Save != "":
+		s.RunTo(cfg.Warmup)
+		data, err := s.Snapshot()
+		if err != nil {
+			return metrics.Result{}, fmt.Errorf("core: snapshotting at warmup: %w", err)
+		}
+		if err := writeFileAtomic(e.sc.Snapshot.Save, data); err != nil {
+			return metrics.Result{}, fmt.Errorf("core: writing snapshot: %w", err)
+		}
+		res = s.Finish()
+	default:
+		res = s.Run()
+	}
 	if h != nil {
 		if err := h.Err(); err != nil {
 			return metrics.Result{}, fmt.Errorf("core: invariant violation: %w", err)
 		}
 	}
 	return res, nil
+}
+
+// writeFileAtomic writes data through a temp file plus rename so a crashed
+// or concurrent run never leaves a half-written snapshot at path (a partial
+// file would be rejected by the digest check anyway; this keeps it from
+// existing at all).
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // Compare runs the same study under several schedulers and reports each

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -88,5 +89,42 @@ func TestDensitySweepDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("density sweep not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestDensitySweepWarmStart: a sweep forking every run from the warmup
+// snapshot cache must reproduce the cold sweep's tables byte-for-byte —
+// first with an empty cache (populating it), then again from the hits.
+func TestDensitySweepWarmStart(t *testing.T) {
+	opts := SimOptions{Duration: 2, Warmup: 0.5, SinkTau: 0.5, Seeds: []uint64{7}}
+	family := tinyDensityFamily(t)
+	loads := []float64{0.4, 0.8}
+	run := func(o SimOptions) string {
+		_, tables, err := DensitySweep(NewRunner(o), family, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tab := range tables {
+			b.WriteString(tab.String())
+		}
+		return b.String()
+	}
+	cold := run(opts)
+	warm := opts
+	warm.WarmDir = t.TempDir()
+	if got := run(warm); got != cold {
+		t.Errorf("warm-start sweep (cache miss pass) diverged from cold:\n%s\nvs\n%s", got, cold)
+	}
+	entries, err := os.ReadDir(warm.WarmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One capture per (scenario, load): the miss pass must have populated it.
+	if got, want := len(entries), len(family)*len(loads); got != want {
+		t.Fatalf("warm cache holds %d captures, want %d", got, want)
+	}
+	if got := run(warm); got != cold {
+		t.Errorf("warm-start sweep (cache hit pass) diverged from cold:\n%s\nvs\n%s", got, cold)
 	}
 }

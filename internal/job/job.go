@@ -92,6 +92,16 @@ func (q *Queue) Peek() *Job {
 	return q.buf[q.head]
 }
 
+// At returns the i-th queued job in FIFO order (0 = oldest) without
+// removing it. It panics if i is out of range. Snapshots use it to walk the
+// queue non-destructively.
+func (q *Queue) At(i int) *Job {
+	if i < 0 || i >= q.n {
+		panic(fmt.Sprintf("job: Queue.At(%d) out of range [0,%d)", i, q.n))
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
 func (q *Queue) grow() {
 	size := len(q.buf) * 2
 	if size == 0 {

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"sort"
+
+	"densim/internal/stats"
+	"densim/internal/units"
+)
+
+// WelfordState is the raw (weight-sum, mean, M2) triple of one streaming
+// accumulator, captured mid-run.
+type WelfordState struct {
+	WSum, Mean, M2 float64
+}
+
+func captureWelford(w *stats.Welford) WelfordState {
+	ws, m, m2 := w.State()
+	return WelfordState{WSum: ws, Mean: m, M2: m2}
+}
+
+func (st WelfordState) restore(w *stats.Welford) {
+	w.SetState(st.WSum, st.Mean, st.M2)
+}
+
+// ZoneValue pairs a zone number with an accumulated scalar; ZoneWelford with
+// an accumulator state. Both appear in CollectorState sorted by zone so a
+// capture is deterministic regardless of map iteration order.
+type ZoneValue struct {
+	Zone  int
+	Value float64
+}
+
+// ZoneWelford pairs a zone number with a WelfordState (see ZoneValue).
+type ZoneWelford struct {
+	Zone int
+	W    WelfordState
+}
+
+// CollectorState is the full mutable state of a Collector, captured mid-run
+// by State and resumed by SetState. Resuming and continuing the identical
+// event stream produces a bit-identical Finalize result: every accumulator
+// is restored to its exact position, not a statistically equivalent one.
+type CollectorState struct {
+	Completed    int
+	SojournExp   WelfordState
+	ServiceExp   WelfordState
+	WaitSec      WelfordState
+	TotalWork    float64
+	RegionWork   [numRegions]float64
+	ZoneWork     []ZoneValue // sorted by zone
+	RegionFreq   [numRegions]WelfordState
+	ZoneFreq     []ZoneWelford // sorted by zone
+	EnergyJ      float64
+	Start, End   units.Seconds
+	BusySeconds  float64
+	BoostSeconds float64
+}
+
+// State captures the collector's full mutable state. Zone maps are emitted
+// in ascending zone order, so identical collectors produce identical
+// captures byte-for-byte once serialized.
+func (c *Collector) State() CollectorState {
+	st := CollectorState{
+		Completed:    c.completed,
+		SojournExp:   captureWelford(&c.sojournExp),
+		ServiceExp:   captureWelford(&c.serviceExp),
+		WaitSec:      captureWelford(&c.waitSec),
+		TotalWork:    c.totalWork,
+		RegionWork:   c.regionWork,
+		EnergyJ:      c.energyJ,
+		Start:        c.start,
+		End:          c.end,
+		BusySeconds:  c.busySeconds,
+		BoostSeconds: c.boostSeconds,
+	}
+	for i := range c.regionFreq {
+		st.RegionFreq[i] = captureWelford(&c.regionFreq[i])
+	}
+	st.ZoneWork = make([]ZoneValue, 0, len(c.zoneWork))
+	for z, w := range c.zoneWork {
+		st.ZoneWork = append(st.ZoneWork, ZoneValue{Zone: z, Value: w})
+	}
+	sort.Slice(st.ZoneWork, func(i, j int) bool { return st.ZoneWork[i].Zone < st.ZoneWork[j].Zone })
+	st.ZoneFreq = make([]ZoneWelford, 0, len(c.zoneFreq))
+	for z, wf := range c.zoneFreq {
+		st.ZoneFreq = append(st.ZoneFreq, ZoneWelford{Zone: z, W: captureWelford(wf)})
+	}
+	sort.Slice(st.ZoneFreq, func(i, j int) bool { return st.ZoneFreq[i].Zone < st.ZoneFreq[j].Zone })
+	return st
+}
+
+// SetState overwrites the collector with a capture, discarding anything
+// accumulated since construction.
+func (c *Collector) SetState(st CollectorState) {
+	c.completed = st.Completed
+	st.SojournExp.restore(&c.sojournExp)
+	st.ServiceExp.restore(&c.serviceExp)
+	st.WaitSec.restore(&c.waitSec)
+	c.totalWork = st.TotalWork
+	c.regionWork = st.RegionWork
+	for i := range c.regionFreq {
+		st.RegionFreq[i].restore(&c.regionFreq[i])
+	}
+	c.zoneWork = make(map[int]float64, len(st.ZoneWork))
+	for _, zv := range st.ZoneWork {
+		c.zoneWork[zv.Zone] = zv.Value
+	}
+	c.zoneFreq = make(map[int]*stats.Welford, len(st.ZoneFreq))
+	for _, zw := range st.ZoneFreq {
+		w := &stats.Welford{}
+		zw.W.restore(w)
+		c.zoneFreq[zw.Zone] = w
+	}
+	c.energyJ = st.EnergyJ
+	c.start, c.end = st.Start, st.End
+	c.busySeconds = st.BusySeconds
+	c.boostSeconds = st.BoostSeconds
+}

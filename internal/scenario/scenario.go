@@ -48,6 +48,10 @@ type Scenario struct {
 	// bit-identical results (the equivalence suite enforces it); the knob
 	// trades fixed overheads against intra-run scaling.
 	Engine Engine `json:"engine,omitempty"`
+	// Snapshot wires run snapshots (sim.Snapshot/Restore) into the run:
+	// save the state at the end of warmup, or start from a saved capture
+	// instead of simulating the warmup again.
+	Snapshot Snapshot `json:"snapshot,omitempty"`
 
 	// Checks asks runners to attach the runtime invariant harness
 	// (internal/check) to every run of this scenario.
@@ -169,6 +173,19 @@ type Engine struct {
 	Stride string `json:"stride,omitempty"`
 }
 
+// Snapshot connects a run to the snapshot format of internal/sim: a
+// serialized full-state capture, validated by magic, version, config
+// signature, and digest on load (fail closed on any mismatch).
+type Snapshot struct {
+	// Save writes a snapshot at the end of the warmup window to this file,
+	// then continues the run normally. The capture can seed any later run
+	// whose configuration matches (horizon length may differ).
+	Save string `json:"save,omitempty"`
+	// Load restores the run from a snapshot file instead of simulating from
+	// the cold start. The file must come from an identically configured run.
+	Load string `json:"load,omitempty"`
+}
+
 // topologyPresets lists the accepted Topology.Preset names.
 var topologyPresets = map[string]bool{
 	"sut": true, "coupled-pair": true, "uncoupled-pair": true,
@@ -233,6 +250,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Engine.Workers < 0 {
 		return fmt.Errorf("scenario %q: negative engine workers %d", s.Name, s.Engine.Workers)
+	}
+	if s.Snapshot.Save != "" && s.Snapshot.Load != "" {
+		return fmt.Errorf("scenario %q: snapshot save and load are mutually exclusive", s.Name)
 	}
 	return nil
 }

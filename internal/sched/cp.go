@@ -45,16 +45,33 @@ type CouplingPredictor struct {
 	// lists the rows that have any.
 	rowIdle [][]geometry.SocketID
 	rows    []int
-	// Within one Pick, a downwind socket's pre-rise predicted frequency is
-	// a pure function of state that Pick never mutates (its ambient, its
-	// running job, its sink), yet candidates sharing a lane recompute it
-	// per candidate. beforeFreq/beforeIdx memoize it per socket,
-	// generation-stamped per Pick — exact, since the inputs are fixed for
-	// the Pick's duration.
-	beforeFreq []units.MHz
-	beforeIdx  []int8
-	beforeGen  []uint64
-	gen        uint64
+	// rowOf[id] is the socket's cartridge row, precomputed so the per-Pick
+	// binning avoids copying a geometry.Socket per idle socket.
+	rowOf []int32
+	// A downwind socket's pre-rise predicted frequency is a pure function
+	// of (its ambient bits, its running benchmark's dynamic-power curve,
+	// its sink, the run's leakage model). The last two are fixed per
+	// socket; the first two are the memo key — ambient bits directly, the
+	// power curve through its single determining scalar DynMax (see
+	// workload.Benchmark.DynMax). Keying by value rather than stamping per
+	// Pick keeps the memo valid across every Pick of a tick (ambients only
+	// move at tick boundaries) and across ticks once a lane settles; a job
+	// change re-keys via DynMax, so recycled job allocations can never
+	// alias a stale prediction.
+	beforeFreq   []units.MHz
+	beforeIdx    []int8
+	beforeAmb    []units.Celsius
+	beforeDynMax []units.Watts
+	// beforeLad caches the downwind socket's dynamic-power ladder (the
+	// admiss cache's Ladder row for beforeDynMax) so the post-rise search
+	// needs no table probe on a before-memo hit.
+	beforeLad [][]units.Watts
+	// ownPick* memoizes the candidate's own ladder search the same way:
+	// the highest admissible index at (ambient bits, DynMax bits) for the
+	// candidate's fixed sink.
+	ownPickIdx    []int8
+	ownPickAmb    []units.Celsius
+	ownPickDynMax []units.Watts
 	// admiss caches exact P-state admissibility verdicts per socket (see
 	// chipmodel.AdmissCache): every ladder search in score probes through
 	// it, so repeated predictions at unchanged or bound-dominated ambients
@@ -125,17 +142,31 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 		n := srv.NumSockets()
 		cp.beforeFreq = make([]units.MHz, n)
 		cp.beforeIdx = make([]int8, n)
-		cp.beforeGen = make([]uint64, n)
+		cp.beforeAmb = make([]units.Celsius, n)
+		cp.beforeDynMax = make([]units.Watts, n)
+		cp.beforeLad = make([][]units.Watts, n)
+		cp.ownPickIdx = make([]int8, n)
+		cp.ownPickAmb = make([]units.Celsius, n)
+		cp.ownPickDynMax = make([]units.Watts, n)
+		// CP picks from the single simulation goroutine, so the shared
+		// dynW-keyed bounds pool is safe — and essential: job churn resets
+		// per-socket bounds every few ticks at high load.
 		cp.admiss = chipmodel.NewAdmissCache(n)
+		cp.admiss.EnableSharedPool()
 		cp.ownTempAmb = make([]units.Celsius, n)
 		cp.ownTempDynW = make([]units.Watts, n)
 		cp.ownTempLeakW = make([]units.Watts, n)
+		cp.rowOf = make([]int32, n)
+		for i := 0; i < n; i++ {
+			cp.rowOf[i] = int32(srv.Socket(geometry.SocketID(i)).Row)
+		}
 		nan := math.NaN()
 		for i := 0; i < n; i++ {
 			cp.ownTempAmb[i] = units.Celsius(nan)
+			cp.beforeAmb[i] = units.Celsius(nan)
+			cp.ownPickAmb[i] = units.Celsius(nan)
 		}
 	}
-	cp.gen++ // invalidate the previous Pick's memo
 
 	cands := idle
 	if !cp.opts.GlobalSearch {
@@ -151,7 +182,7 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 		}
 		cp.rows = cp.rows[:0]
 		for _, id := range idle {
-			row := srv.Socket(id).Row
+			row := int(cp.rowOf[id])
 			if len(cp.rowIdle[row]) == 0 {
 				cp.rows = append(cp.rows, row)
 			}
@@ -193,14 +224,29 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 	ladder := len(chipmodel.Frequencies) - 1
 
 	// Own predicted frequency at the candidate's current ambient, capped
-	// by the candidate's boost budget. The ladder search probes through the
-	// admissibility bounds cache — same binary search, same verdicts as
-	// chipmodel.PredictFrequency.
+	// by the candidate's boost budget. The uncapped ladder index is a pure
+	// function of (ambient bits, power-curve DynMax) for the candidate's
+	// fixed sink — replayed from the per-socket memo when both match, and
+	// found by the same bounds-cache-backed binary search as
+	// chipmodel.PredictFrequency otherwise.
 	candAmb := s.AmbientTemp(cand)
 	candSink := srv.Sink(cand)
-	ownIdx := chipmodel.HighestAdmissible(ladder, func(k int) bool {
-		return cp.admiss.Admissible(int(cand), k, candAmb, bm.DynamicPowerAt(chipmodel.Frequencies[k]), candSink, leak)
+	bmDynMax := bm.DynMax()
+	bmLad := cp.admiss.Ladder(bmDynMax, func(k int) units.Watts {
+		return bm.DynamicPowerAt(chipmodel.Frequencies[k])
 	})
+	ci := int(cand)
+	var ownIdx int
+	if cp.ownPickAmb[ci] == candAmb && cp.ownPickDynMax[ci] == bmDynMax {
+		ownIdx = int(cp.ownPickIdx[ci])
+	} else {
+		ownIdx = chipmodel.HighestAdmissible(ladder, func(k int) bool {
+			return cp.admiss.Admissible(ci, k, candAmb, bmLad[k], candSink, leak)
+		})
+		cp.ownPickAmb[ci] = candAmb
+		cp.ownPickDynMax[ci] = bmDynMax
+		cp.ownPickIdx[ci] = int8(ownIdx)
+	}
 	ownFreq := chipmodel.FMin
 	if ownIdx >= 0 {
 		ownFreq = chipmodel.Frequencies[ownIdx]
@@ -222,7 +268,7 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 	// ticks once the lane has settled.
 	ownDyn := dyn(ownFreq)
 	var ownLeak units.Watts
-	if ci := int(cand); cp.ownTempAmb[ci] == candAmb && cp.ownTempDynW[ci] == ownDyn {
+	if cp.ownTempAmb[ci] == candAmb && cp.ownTempDynW[ci] == ownDyn {
 		ownLeak = cp.ownTempLeakW[ci]
 	} else {
 		ownTemp := chipmodel.PredictTwoStep(candAmb, ownDyn, candSink, leak)
@@ -263,16 +309,24 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		}
 		amb := s.AmbientTemp(down)
 		sink := srv.Sink(down)
-		// The pre-rise prediction is candidate-independent: memoized per
-		// Pick (the raw value — the budget clamp below stays per-use).
+		// The pre-rise prediction is candidate-independent: replayed from
+		// the (ambient bits, DynMax bits) memo — valid across Picks and
+		// ticks while both are unchanged (the raw value — the budget clamp
+		// below stays per-use).
+		dmax := dbm.DynMax()
 		var before units.MHz
 		var bIdx int
-		if cp.beforeGen[down] == cp.gen {
+		var dLad []units.Watts
+		if cp.beforeAmb[down] == amb && cp.beforeDynMax[down] == dmax {
 			before = cp.beforeFreq[down]
 			bIdx = int(cp.beforeIdx[down])
+			dLad = cp.beforeLad[down]
 		} else {
+			dLad = cp.admiss.Ladder(dmax, func(k int) units.Watts {
+				return dbm.DynamicPowerAt(chipmodel.Frequencies[k])
+			})
 			bIdx = chipmodel.HighestAdmissible(ladder, func(k int) bool {
-				return cp.admiss.Admissible(int(down), k, amb, dbm.DynamicPowerAt(chipmodel.Frequencies[k]), sink, leak)
+				return cp.admiss.Admissible(int(down), k, amb, dLad[k], sink, leak)
 			})
 			before = chipmodel.FMin
 			if bIdx >= 0 {
@@ -280,14 +334,21 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 			}
 			cp.beforeFreq[down] = before
 			cp.beforeIdx[down] = int8(bIdx)
-			cp.beforeGen[down] = cp.gen
+			cp.beforeAmb[down] = amb
+			cp.beforeDynMax[down] = dmax
+			cp.beforeLad[down] = dLad
 		}
-		// The post-rise search warm-starts at the pre-rise index — rise
-		// only heats, so the answer is almost always bIdx or just below,
-		// and the probes hit the bounds the pre-rise search just recorded.
+		// The post-rise search warm-starts at the pre-rise index and is
+		// capped there: the predicate is monotone non-increasing in ambient
+		// (PredictTwoStep adds the ambient term and everything downstream of
+		// it — the leakage exponential, the second peak estimate — is
+		// non-decreasing in it, in float arithmetic too since each step is a
+		// composition of monotone operations), so an index inadmissible at
+		// amb stays inadmissible at the hotter amb+rise. Confirming bIdx
+		// costs one probe; rise only heats, so the answer is bIdx or below.
 		ambAfter := amb + rise
-		aIdx := chipmodel.HighestAdmissibleFrom(bIdx, ladder, func(k int) bool {
-			return cp.admiss.Admissible(int(down), k, ambAfter, dbm.DynamicPowerAt(chipmodel.Frequencies[k]), sink, leak)
+		aIdx := chipmodel.HighestAdmissibleFrom(bIdx, bIdx, func(k int) bool {
+			return cp.admiss.Admissible(int(down), k, ambAfter, dLad[k], sink, leak)
 		})
 		after := chipmodel.FMin
 		if aIdx >= 0 {

@@ -7,3 +7,31 @@ import "densim/internal/stats"
 type rng = *stats.RNG
 
 func newRNG(seed uint64) rng { return stats.NewRNG(seed) }
+
+// RNGCarrier is implemented by the stochastic schedulers (Random,
+// AdaptiveRandom, CouplingPredictor) whose only semantic cross-pick state is
+// the position of their deterministic RNG stream — caches aside, a scheduler
+// restored to the same stream position makes identical future picks. Run
+// snapshots capture and restore exactly this.
+type RNGCarrier interface {
+	RNGState() uint64
+	SetRNGState(uint64)
+}
+
+// RNGState returns the scheduler's RNG stream position.
+func (r *Random) RNGState() uint64 { return r.rng.State() }
+
+// SetRNGState restores the scheduler's RNG stream position.
+func (r *Random) SetRNGState(s uint64) { r.rng.SetState(s) }
+
+// RNGState returns the scheduler's RNG stream position.
+func (a *AdaptiveRandom) RNGState() uint64 { return a.rng.State() }
+
+// SetRNGState restores the scheduler's RNG stream position.
+func (a *AdaptiveRandom) SetRNGState(s uint64) { a.rng.SetState(s) }
+
+// RNGState returns the scheduler's RNG stream position.
+func (cp *CouplingPredictor) RNGState() uint64 { return cp.rng.State() }
+
+// SetRNGState restores the scheduler's RNG stream position.
+func (cp *CouplingPredictor) SetRNGState(s uint64) { cp.rng.SetState(s) }

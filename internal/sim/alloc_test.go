@@ -156,6 +156,37 @@ func TestDrainPathDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestSettledTickDoesNotAllocate pins the settled-stride fast path: once
+// every lane holds a bit-exact thermal fixed point, the power-manager tick
+// degenerates to the all-settled check plus bookkeeping — and that skip must
+// stay on the zero-allocation budget like the sweeps it replaces.
+func TestSettledTickDoesNotAllocate(t *testing.T) {
+	// A Probe would disable striding (resolveEngine), so step the run with
+	// RunTo instead and measure once the engine reports an all-settled
+	// state — the busy plateau of settledConfig's t=0 batch.
+	s, err := New(settledConfig(t, EngineConfig{Mode: EngineAuto, Stride: StrideOn}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled := false
+	for to := units.Seconds(0.05); to <= 0.25; to += 0.05 {
+		s.RunTo(to)
+		if s.eng.allSettled() {
+			settled = true
+			break
+		}
+	}
+	if !settled {
+		t.Fatal("run never reached an all-settled state")
+	}
+	tick := s.cfg.TickPeriod
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.powerManagerTick(tick)
+	}); allocs != 0 {
+		t.Errorf("settled powerManagerTick allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestTickPathAllocFreeParallelEngine re-measures the power-manager tick
 // with the lane-sharded worker pool engaged: waking the workers, the
 // sharded sweep, the barrier, and the post-barrier event replay must all

@@ -130,6 +130,13 @@ type engineState struct {
 	// dirty[ch] records that channel ch's powers changed since its last
 	// ambient recompute. Nil unless incremental.
 	dirty []bool
+	// laneSettled[ch] records that channel ch's last sweep was a bit-exact
+	// identity (clean channel, no socket field changed). While every lane is
+	// settled the whole sweep is a no-op and the engine skips it outright —
+	// the settled generalization of event-horizon striding. Nil unless
+	// striding is enabled; cleared by every power write and busy transition
+	// touching the channel.
+	laneSettled []bool
 	// events is the inline sweep's deferred-transition buffer (the pool's
 	// workers carry their own).
 	events []freqEvent
@@ -147,6 +154,11 @@ type engineState struct {
 	pickCap   []units.MHz
 	pickIdx   []int8
 	pickFreq  []units.MHz
+	// shared marks the single-goroutine sweep, where the admiss cache's
+	// shared bounds pool and ladder table are safe; pickLad[i] then holds
+	// the ladder row for pickBench[i]'s power curve.
+	shared  bool
+	pickLad [][]units.Watts
 	// admiss caches exact admissibility verdicts per (socket, P-state) so
 	// cache-missed picks rarely pay the leakage exponential (see
 	// chipmodel.AdmissCache). Safe under the worker pool: workers own
@@ -234,6 +246,15 @@ func (s *Simulator) resolveEngine() {
 	if e.incremental && e.workers > e.numChan {
 		e.workers = e.numChan
 	}
+	// The admissibility cache's shared dynW-keyed bounds pool and ladder
+	// table survive job churn but are single-goroutine; the tick pool probes
+	// the cache from worker goroutines, so they engage only for the inline
+	// sweep.
+	if e.useDVFS && e.workers < 2 {
+		e.shared = true
+		e.admiss.EnableSharedPool()
+		e.pickLad = make([][]units.Watts, len(s.sockets))
+	}
 
 	strideWanted := false
 	switch cfg.Stride {
@@ -245,6 +266,32 @@ func (s *Simulator) resolveEngine() {
 	// A Probe and the invariant harness observe every tick; striding would
 	// skip their view, so their presence disables it outright.
 	e.stride = strideWanted && s.cfg.Probe == nil && s.cfg.Checks == nil
+	if e.stride && e.incremental {
+		e.laneSettled = make([]bool, e.numChan)
+	}
+}
+
+// allSettled reports that the previous sweep was an identity on every lane:
+// re-running it would change nothing, so the engine may skip it. Any power
+// write or busy transition since then has cleared the affected lane's flag.
+func (e *engineState) allSettled() bool {
+	if e.laneSettled == nil {
+		return false
+	}
+	for _, ok := range e.laneSettled {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// unsettle clears socket i's lane settled flag. Called from every event-path
+// write that changes the sweep's inputs (power writes, busy transitions).
+func (e *engineState) unsettle(i int) {
+	if e.laneSettled != nil {
+		e.laneSettled[e.chanIdx[i]] = false
+	}
 }
 
 // invalidatePick drops socket i's cached pick. Must be called on every
@@ -282,15 +329,27 @@ func (s *Simulator) enginePick(i int, st *socketState) units.MHz {
 	hint := -1
 	if e.pickBench[i] == bench {
 		hint = int(e.pickIdx[i])
+	} else if e.shared {
+		e.pickLad[i] = e.admiss.Ladder(bench.DynMax(), func(k int) units.Watts {
+			return bench.DynamicPowerAt(chipmodel.Frequencies[k])
+		})
 	}
 	sink := s.srv.Sink(geometry.SocketID(i))
 	ambient := st.ambient
 	leak := e.dvfs.Leak
 	admiss := e.admiss
-	idx := chipmodel.HighestAdmissibleFrom(hint, chipmodel.CapIndex(cap), func(k int) bool {
-		dyn := bench.DynamicPowerAt(chipmodel.Frequencies[k])
-		return admiss.Admissible(i, k, ambient, dyn, sink, leak)
-	})
+	var idx int
+	if e.shared {
+		lad := e.pickLad[i]
+		idx = chipmodel.HighestAdmissibleFrom(hint, chipmodel.CapIndex(cap), func(k int) bool {
+			return admiss.Admissible(i, k, ambient, lad[k], sink, leak)
+		})
+	} else {
+		idx = chipmodel.HighestAdmissibleFrom(hint, chipmodel.CapIndex(cap), func(k int) bool {
+			dyn := bench.DynamicPowerAt(chipmodel.Frequencies[k])
+			return admiss.Admissible(i, k, ambient, dyn, sink, leak)
+		})
+	}
 	f := chipmodel.FMin
 	if idx >= 0 {
 		f = chipmodel.Frequencies[idx]
@@ -327,7 +386,9 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 	ambients := s.ambBuf
 	kSink, kChip := s.tickGains.sink, s.tickGains.chip
 	kHist, kUtil := s.tickGains.hist, s.tickGains.util
+	track := e.laneSettled != nil
 	for ch := lo; ch < hi; ch++ {
+		settled := track && !e.dirty[ch]
 		if e.dirty[ch] {
 			e.afm.AmbientChannelInto(ch, s.powers, ambients)
 			e.dirty[ch] = false
@@ -338,6 +399,9 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 			i := int(id)
 			st := &s.sockets[i]
 			sink := s.srv.Sink(id)
+			prevAmb, prevChip := st.ambient, st.chipTemp
+			prevPE, prevHist := st.powerEWMA, st.histTemp
+			prevUtil, prevFreq, prevPower := st.utilEWMA, st.freq, st.power
 
 			st.ambient = chipmodel.StepWithGain(st.ambient, ambients[i], kSink)
 			chipTarget := chipmodel.PeakTemp(st.ambient, st.power, sink)
@@ -359,6 +423,16 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 			} else {
 				s.setPower(i, s.gatedPower)
 			}
+			// The channel settles when the sweep was a bit-exact identity on
+			// every socket it owns: re-running it would change nothing.
+			if settled && (st.ambient != prevAmb || st.chipTemp != prevChip ||
+				st.powerEWMA != prevPE || st.histTemp != prevHist ||
+				st.utilEWMA != prevUtil || st.freq != prevFreq || st.power != prevPower) {
+				settled = false
+			}
+		}
+		if track {
+			e.laneSettled[ch] = settled
 		}
 	}
 	return skipped
@@ -383,7 +457,17 @@ func (s *Simulator) powerManagerTickIncremental(dt units.Seconds) {
 	s.ensureTickGains(dt)
 	e := &s.eng
 	var skipped int64
-	if e.pool != nil {
+	if e.allSettled() {
+		// Every lane's last sweep was an identity and nothing has written to
+		// the sweep's inputs since: the whole sweep — ambient recompute,
+		// blends, picks, power writes — would reproduce the current state
+		// bit-for-bit, so skip it. Every channel counts as skipped, matching
+		// what the dirty gate would have reported.
+		skipped = int64(e.numChan)
+		if s.tel != nil {
+			s.tel.OnSettledTick()
+		}
+	} else if e.pool != nil {
 		skipped = e.pool.runTick()
 		for w := range e.pool.workers {
 			s.replayFreqEvents(e.pool.workers[w].events)

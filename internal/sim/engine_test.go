@@ -15,17 +15,21 @@ import (
 
 // engineVariants is the engine matrix every scheduler/topology pair is run
 // through: the serial reference, the auto engine, the pool at two widths,
-// and striding forced on. Every variant must reproduce the serial run
+// striding forced on (which also arms settled-stride tracking), and a
+// snapshot fork — the run interrupted mid-flight, serialized, restored in
+// place, and finished. Every variant must reproduce the serial run
 // bit-for-bit.
 var engineVariants = []struct {
 	name string
 	cfg  EngineConfig
+	fork bool // RunTo + Snapshot + Restore + Finish instead of Run
 }{
-	{"serial", EngineConfig{Mode: EngineSerial}},
-	{"auto", EngineConfig{Mode: EngineAuto}},
-	{"parallel2", EngineConfig{Mode: EngineParallel, Workers: 2}},
-	{"parallel8", EngineConfig{Mode: EngineParallel, Workers: 8}},
-	{"stride-on", EngineConfig{Mode: EngineAuto, Stride: StrideOn}},
+	{name: "serial", cfg: EngineConfig{Mode: EngineSerial}},
+	{name: "auto", cfg: EngineConfig{Mode: EngineAuto}},
+	{name: "parallel2", cfg: EngineConfig{Mode: EngineParallel, Workers: 2}},
+	{name: "parallel8", cfg: EngineConfig{Mode: EngineParallel, Workers: 8}},
+	{name: "stride-on", cfg: EngineConfig{Mode: EngineAuto, Stride: StrideOn}},
+	{name: "snapfork", cfg: EngineConfig{Mode: EngineAuto}, fork: true},
 }
 
 // equivTopologies returns the matrix's two topologies: the 180-socket SUT
@@ -41,8 +45,11 @@ func equivTopologies(t *testing.T) map[string]*geometry.Server {
 
 // runEngineVariant runs one scheduler/topology/engine combination with a
 // fresh telemetry instance and returns the result plus the name-keyed
-// counter map with the engine-only counters removed.
-func runEngineVariant(t *testing.T, srv *geometry.Server, schedName string, eng EngineConfig, load float64) (metrics.Result, map[string]int64) {
+// counter map with the engine-only counters removed. With fork set, the run
+// is interrupted at a mid-run tick boundary, snapshotted, restored in place
+// (which exercises the full serialize/validate/rebuild cycle while keeping
+// the same telemetry accumulator), and finished.
+func runEngineVariant(t *testing.T, srv *geometry.Server, schedName string, eng EngineConfig, load float64, fork bool) (metrics.Result, map[string]int64) {
 	t.Helper()
 	s, err := sched.ByName(schedName, 1)
 	if err != nil {
@@ -66,7 +73,20 @@ func runEngineVariant(t *testing.T, srv *geometry.Server, schedName string, eng 
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sim.Run()
+	var res metrics.Result
+	if fork {
+		sim.RunTo(0.2)
+		data, err := sim.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Restore(data); err != nil {
+			t.Fatal(err)
+		}
+		res = sim.Finish()
+	} else {
+		res = sim.Run()
+	}
 	counters := tel.Snapshot(nil).Counters
 	for _, id := range telemetry.EngineCounters() {
 		delete(counters, id.Name())
@@ -87,9 +107,9 @@ func TestEngineEquivalenceMatrix(t *testing.T) {
 	}
 	for topoName, srv := range equivTopologies(t) {
 		for _, schedName := range sched.Names() {
-			refRes, refCounters := runEngineVariant(t, srv, schedName, engineVariants[0].cfg, 0.9)
+			refRes, refCounters := runEngineVariant(t, srv, schedName, engineVariants[0].cfg, 0.9, false)
 			for _, v := range engineVariants[1:] {
-				res, counters := runEngineVariant(t, srv, schedName, v.cfg, 0.9)
+				res, counters := runEngineVariant(t, srv, schedName, v.cfg, 0.9, v.fork)
 				if !reflect.DeepEqual(res, refRes) {
 					t.Errorf("%s/%s/%s: result diverges from serial\n got %+v\nwant %+v",
 						topoName, schedName, v.name, res, refRes)
@@ -175,6 +195,81 @@ func TestEngineStrideFires(t *testing.T) {
 	}
 	if !reflect.DeepEqual(counters, refCounters) {
 		t.Errorf("strided counters diverge from serial\n got %v\nwant %v", counters, refCounters)
+	}
+}
+
+// settledConfig builds a run designed to reach a bit-exact thermal fixed
+// point while work is still running: a handful of long jobs at t=0 and
+// aggressively short time constants, so every first-order blend converges to
+// its target within tens of ticks and then holds bit-for-bit until the jobs
+// complete. The busy middle of this run is where settled-stride must engage —
+// a window the idle-tail stride can never touch because sockets are busy.
+func settledConfig(t *testing.T, eng EngineConfig, tel *telemetry.Telemetry) Config {
+	t.Helper()
+	s, err := sched.ByName("CF", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := workload.ByClass(workload.Computation)[0]
+	arrivals := make([]listArrival, 4)
+	for i := range arrivals {
+		arrivals[i] = listArrival{at: 0, bench: bench, nominal: 0.25}
+	}
+	return Config{
+		Server:      geometry.SUT(),
+		Scheduler:   s,
+		Airflow:     airflow.SUTParams(),
+		Source:      &listSource{arrivals: arrivals},
+		Seed:        11,
+		Duration:    0.4,
+		Warmup:      0.1,
+		SinkTau:     0.004,
+		ChipTau:     0.001,
+		HistoryTau:  0.004,
+		BoostWindow: 0.002,
+		Telemetry:   tel,
+		Engine:      eng,
+	}
+}
+
+// TestEngineSettledStrideFires pins the settled-stride to engaging on a busy
+// steady state — and to changing nothing. Once every lane's sweep is a
+// bit-exact identity, the engine must skip whole power-manager sweeps
+// (CSettledTicks > 0) while jobs are still running, and the run must stay
+// bit-identical to the serial reference, including the total tick count.
+func TestEngineSettledStrideFires(t *testing.T) {
+	refTel := telemetry.New("serial")
+	refSim, err := New(settledConfig(t, EngineConfig{Mode: EngineSerial}, refTel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := refSim.Run()
+	refCounters := refTel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(refCounters, id.Name())
+	}
+
+	tel := telemetry.New("settled")
+	sim, err := New(settledConfig(t, EngineConfig{Mode: EngineAuto, Stride: StrideOn}, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.eng.laneSettled == nil {
+		t.Fatal("settled tracking not armed despite stride-on incremental engine")
+	}
+	res := sim.Run()
+	if got := tel.Counter(telemetry.CSettledTicks); got == 0 {
+		t.Error("CSettledTicks = 0: no sweep was skipped at the fixed point")
+	}
+	counters := tel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(counters, id.Name())
+	}
+	if !reflect.DeepEqual(res, refRes) {
+		t.Errorf("settled-stride result diverges from serial\n got %+v\nwant %+v", res, refRes)
+	}
+	if !reflect.DeepEqual(counters, refCounters) {
+		t.Errorf("settled-stride counters diverge from serial\n got %v\nwant %v", counters, refCounters)
 	}
 }
 

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"densim/internal/workload"
+)
+
+// FuzzSnapshotRestore throws arbitrary bytes at the snapshot decoder.
+// Restore's contract is to fail closed: any input that is not a complete,
+// digest-valid capture for this exact configuration must return an error
+// without touching the simulator — and nothing may panic, however the header,
+// lengths, or payload are mangled. When an input does restore (in practice
+// only the genuine capture survives the SHA-256), the resumed run must
+// complete cleanly.
+func FuzzSnapshotRestore(f *testing.F) {
+	capture := func() []byte {
+		s, err := New(smallConfig("CF", 0.5, workload.Computation))
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.RunTo(0.5)
+		data, err := s.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}()
+	f.Add(capture)
+	f.Add(capture[:len(capture)/2])
+	f.Add(capture[:47]) // header only: magic+version+cfgSig+payloadLen
+	flipped := append([]byte(nil), capture...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), capture...), 0xAA)) // trailing garbage
+	f.Add([]byte{})
+	f.Add([]byte("DSNP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(smallConfig("CF", 0.5, workload.Computation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(data); err != nil {
+			return // rejected, as almost everything must be
+		}
+		s.Finish()
+	})
+}

@@ -327,6 +327,16 @@ type Simulator struct {
 	// allocated only when both checks and the incremental engine are on.
 	eng      engineState
 	checkAmb []units.Celsius
+	// nextMigration is the next scheduled migration pass (0 when migration
+	// is disabled). A Simulator field rather than a Run local so snapshots
+	// capture it.
+	nextMigration units.Seconds
+	// ended latches once the loop has terminated (drained or hit the drain
+	// limit), so a later runLoop call — Finish after a RunTo that covered
+	// the whole run — is a no-op instead of executing one extra tick. The
+	// classic Run checks termination at the bottom of the loop body; the
+	// latch preserves that order exactly across the RunTo/Finish split.
+	ended bool
 	// Diagnostics.
 	arrived    int
 	unfinished int
@@ -389,6 +399,9 @@ func New(cfg Config) (*Simulator, error) {
 			},
 		}
 		s.powers[i] = gated
+	}
+	if cfg.Migration.Period > 0 {
+		s.nextMigration = cfg.Migration.Period
 	}
 	if cfg.Checks != nil {
 		s.checks = cfg.Checks
@@ -488,6 +501,7 @@ func (s *Simulator) setPower(i int, w units.Watts) {
 	if d := s.eng.dirty; d != nil {
 		d[s.eng.chanIdx[i]] = true
 	}
+	s.eng.unsettle(i)
 }
 
 // idleRank returns the position of id in the sorted idle set (or where it
@@ -509,6 +523,7 @@ func (s *Simulator) idleRank(id geometry.SocketID) int {
 // transition). O(log n) search plus the shift; allocation-free.
 func (s *Simulator) markBusy(i int) {
 	s.busyCount++
+	s.eng.unsettle(i)
 	k := s.idleRank(geometry.SocketID(i))
 	copy(s.idleSet[k:], s.idleSet[k+1:])
 	s.idleSet = s.idleSet[:len(s.idleSet)-1]
@@ -519,6 +534,7 @@ func (s *Simulator) markBusy(i int) {
 // reallocates.
 func (s *Simulator) markIdle(i int) {
 	s.busyCount--
+	s.eng.unsettle(i)
 	id := geometry.SocketID(i)
 	k := s.idleRank(id)
 	s.idleSet = s.idleSet[:len(s.idleSet)+1]
@@ -528,24 +544,46 @@ func (s *Simulator) markIdle(i int) {
 
 // Run executes the simulation to completion and returns the metrics.
 func (s *Simulator) Run() metrics.Result {
+	s.runLoop(neverDone)
+	return s.finalize()
+}
+
+// RunTo advances the simulation tick by tick until the clock reaches t (the
+// first tick boundary at or past it), the run finishes, or the drain limit
+// is hit. Unlike Run it never fast-forwards a dead tail past t, so the state
+// at return is exactly the tick-by-tick state — the boundary Snapshot
+// captures. Continue with further RunTo calls or complete with Finish; the
+// split is bit-exact: RunTo(t) followed by Finish produces the same result,
+// metrics, and telemetry event stream as a single Run.
+func (s *Simulator) RunTo(t units.Seconds) {
+	s.runLoop(t)
+}
+
+// Finish completes a run previously advanced with RunTo (or restored from a
+// snapshot) and returns the metrics.
+func (s *Simulator) Finish() metrics.Result {
+	s.runLoop(neverDone)
+	return s.finalize()
+}
+
+// runLoop is the simulation loop, bounded by an exclusive time limit (pass
+// neverDone to run to completion). The worker pool persists across calls so
+// a RunTo/Finish sequence pays its startup once; finalize stops it.
+func (s *Simulator) runLoop(until units.Seconds) {
+	if s.ended {
+		return
+	}
 	tick := s.cfg.TickPeriod
 	hardStop := s.cfg.DrainLimit
-	nextMigration := units.Seconds(0)
-	if s.cfg.Migration.Period > 0 {
-		nextMigration = s.cfg.Migration.Period
-	}
-	if s.eng.incremental && s.eng.workers >= 2 {
+	if s.eng.incremental && s.eng.workers >= 2 && s.eng.pool == nil {
 		s.eng.pool = newTickPool(s, s.eng.workers)
-		defer func() {
-			s.eng.pool.stop()
-			s.eng.pool = nil
-		}()
 	}
-	for {
-		if s.canStride() {
+	for s.now < until {
+		if until == neverDone && s.canStride() {
 			// Dead tail: nothing can happen before the horizon, and the run
 			// ends at the horizon. Fast-forward and finish.
 			s.strideIdleTail(tick, hardStop)
+			s.ended = true
 			break
 		}
 		tickEnd := s.now + tick
@@ -553,16 +591,26 @@ func (s *Simulator) Run() metrics.Result {
 		s.advanceAllTo(tickEnd)
 		s.now = tickEnd
 		s.powerManagerTick(tick)
-		if s.cfg.Migration.Period > 0 && s.now >= nextMigration {
+		if s.cfg.Migration.Period > 0 && s.now >= s.nextMigration {
 			s.runMigrations()
-			nextMigration += s.cfg.Migration.Period
+			s.nextMigration += s.cfg.Migration.Period
 		}
 		if s.cfg.Probe != nil {
 			s.cfg.Probe(s, s.now)
 		}
 		if s.finished() || s.now >= hardStop {
+			s.ended = true
 			break
 		}
+	}
+}
+
+// finalize digests the run: metrics span and result, harness end-of-run
+// checks, telemetry tail flush, worker-pool shutdown.
+func (s *Simulator) finalize() metrics.Result {
+	if s.eng.pool != nil {
+		s.eng.pool.stop()
+		s.eng.pool = nil
 	}
 	runningLeft := s.busyCount
 	queuedLeft := s.queue.Len()

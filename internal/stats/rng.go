@@ -24,6 +24,14 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state so a snapshot can capture
+// the stream position exactly; SetState resumes it.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state, resuming the stream
+// captured by State bit-for-bit.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Split derives an independent generator from the current one. The child's
 // stream is a deterministic function of the parent state at the time of the
 // call, so fan-out remains reproducible.

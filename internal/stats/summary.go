@@ -122,6 +122,16 @@ func (w *Welford) AddWeighted(x, weight float64) {
 	w.m2 += weight * delta * (x - w.mean)
 }
 
+// State returns the accumulator's raw (weight-sum, mean, M2) triple so a
+// snapshot can capture a mid-stream accumulator exactly; SetState resumes it.
+func (w *Welford) State() (wsum, mean, m2 float64) { return w.wsum, w.mean, w.m2 }
+
+// SetState overwrites the accumulator with a triple captured by State,
+// resuming the stream bit-for-bit.
+func (w *Welford) SetState(wsum, mean, m2 float64) {
+	w.wsum, w.mean, w.m2 = wsum, mean, m2
+}
+
 // N returns the accumulated weight truncated to an integer — the exact
 // observation count for unweighted use.
 func (w *Welford) N() int { return int(w.wsum) }

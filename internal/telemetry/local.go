@@ -87,6 +87,11 @@ func (l *Local) OnStride(n int64) {
 // dirty-lane engine skipped this tick.
 func (l *Local) OnLaneSkips(n int64) { l.counters[CLaneSkips] += n }
 
+// OnSettledTick records one power-manager tick whose whole sweep was skipped
+// because every lane sat at a bit-exact fixed point. The tick itself lands
+// in CTicks through the regular OnTick call.
+func (l *Local) OnSettledTick() { l.counters[CSettledTicks]++ }
+
 // OnWorkerShards records n worker shard executions of the parallel engine
 // for one tick.
 func (l *Local) OnWorkerShards(n int64) { l.counters[CWorkerShards] += n }

@@ -64,6 +64,10 @@ const (
 	// engine (workers x ticks when the pool is engaged) — the denominator
 	// for worker-utilization readings.
 	CWorkerShards
+	// CSettledTicks counts power-manager ticks whose thermal/DVFS sweep the
+	// engine skipped because every lane was at a bit-exact fixed point (each
+	// is also counted in CTicks, like strided ticks).
+	CSettledTicks
 
 	numCounters
 )
@@ -81,6 +85,7 @@ var counterNames = [numCounters]string{
 	CStrideTicks:  "strided_ticks",
 	CLaneSkips:    "skipped_lanes",
 	CWorkerShards: "worker_shards",
+	CSettledTicks: "settled_ticks",
 }
 
 // Name returns the counter's exposition name.
@@ -90,7 +95,7 @@ func (id CounterID) Name() string { return counterNames[id] }
 // rather than by simulation events. Engine-equivalence comparisons exclude
 // exactly these: every other counter must match bit-for-bit across engines.
 func EngineCounters() []CounterID {
-	return []CounterID{CStrideTicks, CLaneSkips, CWorkerShards}
+	return []CounterID{CStrideTicks, CLaneSkips, CWorkerShards, CSettledTicks}
 }
 
 // maxZones bounds the chosen-socket zone counter vector (the SUT has 6

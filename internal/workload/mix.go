@@ -106,6 +106,20 @@ func (a *Arrivals) advance() {
 
 const inf = 1e300
 
+// SnapshotState returns the process's full mutable state — the RNG stream
+// position and the pending arrival instant. Together with the (immutable)
+// mix and rate these determine every future arrival, so a run restored from
+// (rngState, next) replays the remaining sequence bit-for-bit.
+func (a *Arrivals) SnapshotState() (rngState uint64, next units.Seconds) {
+	return a.rng.State(), a.next
+}
+
+// RestoreState resumes the process from a SnapshotState capture.
+func (a *Arrivals) RestoreState(rngState uint64, next units.Seconds) {
+	a.rng.SetState(rngState)
+	a.next = next
+}
+
 // Peek returns the time of the next arrival.
 func (a *Arrivals) Peek() units.Seconds { return a.next }
 

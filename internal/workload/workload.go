@@ -107,10 +107,20 @@ func (b Benchmark) ScaleTo(tdp units.Watts) Benchmark {
 // P-state: the measured 90C total minus reference leakage, scaled cubically
 // in frequency (P_dyn ~ f*V^2 with V tracking f across the DVFS range).
 func (b Benchmark) DynamicPowerAt(f units.MHz) units.Watts {
-	leak90 := chipmodel.LeakageFracAtRef * float64(b.TDPW())
-	dynMax := float64(b.PowerAt90C) - leak90
+	dynMax := float64(b.DynMax())
 	r := float64(f) / float64(chipmodel.FMax)
 	return units.Watts(dynMax * r * r * r)
+}
+
+// DynMax returns the dynamic power at FMax — the single scalar that, with
+// the shared frequency ladder, fully determines the benchmark's dynamic-
+// power curve: DynamicPowerAt(f) = DynMax * (f/FMax)^3. Two benchmarks with
+// bit-equal DynMax values are interchangeable for every power-only
+// computation, which is what lets caches key predictions by DynMax bits
+// instead of benchmark identity.
+func (b Benchmark) DynMax() units.Watts {
+	leak90 := chipmodel.LeakageFracAtRef * float64(b.TDPW())
+	return units.Watts(float64(b.PowerAt90C) - leak90)
 }
 
 // DynamicPower returns the DynamicPowerFn form for the DVFS picker.

@@ -16,6 +16,14 @@
 #       engine's median is more than 10% slower than serial on this
 #       runner. Catches pool regressions that the bit-equivalence tests
 #       cannot (they check answers, not wall clock).
+#
+#   scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]
+#       Diff two BENCH_*.json files on their 'after' entries: print a
+#       per-benchmark speedup table (OLD.after vs NEW.after) with
+#       allocation deltas, and exit 1 if any benchmark present in both
+#       regressed by more than max_regress_pct (default 10) in ns/op or
+#       allocs/op. Only numbers measured on the same machine are
+#       comparable; the JSONs record theirs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,8 +81,40 @@ smoke)
 		exit 1
 	fi
 	;;
+compare)
+	old="${2:?usage: scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]}"
+	new="${3:?usage: scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]}"
+	tol="${4:-10}"
+	extract() { # name ns allocs bytes, one line per benchmark, sorted
+		jq -e '.benchmarks' "$1" > /dev/null || {
+			echo "compare: $1 has no .benchmarks map (older BENCH schema?)" >&2; exit 1; }
+		jq -r '.benchmarks | to_entries[]
+			| "\(.key) \(.value.after.ns_per_op) \(.value.after.allocs_per_op) \(.value.after.bytes_per_op)"' "$1" | sort
+	}
+	join <(extract "$old") <(extract "$new") | awk -v tol="$tol" -v old="$old" -v new="$new" '
+		BEGIN {
+			printf "%-40s %14s %14s %8s %11s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "alloc_diff"
+		}
+		{
+			name = $1; ons = $2; oal = $3; nns = $5; nal = $6
+			speedup = nns > 0 ? ons / nns : 0
+			printf "%-40s %14d %14d %7.2fx %11d\n", name, ons, nns, speedup, nal - oal
+			if (speedup < 1 - tol / 100) {
+				bad = bad sprintf("  %s: %.1f%% slower (%.2fx)\n", name, (1 - speedup) * 100, speedup)
+			}
+			if (nal > oal * (1 + tol / 100)) {
+				bad = bad sprintf("  %s: allocs/op grew %d -> %d\n", name, oal, nal)
+			}
+			n++
+		}
+		END {
+			if (n == 0) { print "compare: no common benchmarks between the two files" > "/dev/stderr"; exit 1 }
+			if (bad != "") { printf "\nregressions (tolerance %s%%):\n%s", tol, bad > "/dev/stderr"; exit 1 }
+		}
+	'
+	;;
 *)
-	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] | smoke]" >&2
+	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] | smoke | compare OLD.json NEW.json [pct]]" >&2
 	exit 2
 	;;
 esac

@@ -68,4 +68,47 @@ for preset in sut-180 half-density-90 double-density-360 conventional-2u; do
     test -s "$tmp/density/density-$preset.csv" || { echo "missing density-$preset.csv" >&2; exit 1; }
 done
 
+echo "== snapshot save/load round-trip"
+"$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 > "$tmp/snap-cold.out"
+"$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 \
+    -snapshot.save "$tmp/warm.dsnp" > "$tmp/snap-save.out"
+test -s "$tmp/warm.dsnp" || { echo "snapshot.save wrote nothing" >&2; exit 1; }
+cmp "$tmp/snap-cold.out" "$tmp/snap-save.out" || {
+    echo "a run that saves a snapshot diverged from the plain run" >&2; exit 1; }
+"$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 \
+    -snapshot.load "$tmp/warm.dsnp" > "$tmp/snap-load.out"
+cmp "$tmp/snap-cold.out" "$tmp/snap-load.out" || {
+    echo "warm-started run diverged from the cold run" >&2; exit 1; }
+
+echo "== snapshot.load fails closed on bad input"
+head -c 40 "$tmp/warm.dsnp" > "$tmp/truncated.dsnp"
+if "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 \
+    -snapshot.load "$tmp/truncated.dsnp" > /dev/null 2>&1; then
+    echo "truncated snapshot was accepted" >&2; exit 1
+fi
+cp "$tmp/warm.dsnp" "$tmp/corrupt.dsnp"
+printf '\xff' | dd of="$tmp/corrupt.dsnp" bs=1 seek=100 conv=notrunc status=none
+if "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 \
+    -snapshot.load "$tmp/corrupt.dsnp" > /dev/null 2>&1; then
+    echo "bit-flipped snapshot was accepted" >&2; exit 1
+fi
+if "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 -load 0.3 \
+    -snapshot.load "$tmp/warm.dsnp" > /dev/null 2>&1; then
+    echo "snapshot from a different configuration was accepted" >&2; exit 1
+fi
+
+echo "== warm-start density sweep reproduces the cold CSVs"
+go run ./cmd/sweep -scenario density -loads 0.5 -out "$tmp/density-warm" \
+    -warmstart.dir "$tmp/warmcache" 2> /dev/null
+ls "$tmp/warmcache"/*.dsnp > /dev/null 2>&1 || { echo "warm-start sweep cached no captures" >&2; exit 1; }
+go run ./cmd/sweep -scenario density -loads 0.5 -out "$tmp/density-hit" \
+    -warmstart.dir "$tmp/warmcache" 2> /dev/null
+for f in "$tmp/density"/*.csv; do
+    name="$(basename "$f")"
+    cmp "$f" "$tmp/density-warm/$name" || {
+        echo "warm-start sweep (populating pass) diverged on $name" >&2; exit 1; }
+    cmp "$f" "$tmp/density-hit/$name" || {
+        echo "warm-start sweep (cache-hit pass) diverged on $name" >&2; exit 1; }
+done
+
 echo "smoke OK"
