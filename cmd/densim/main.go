@@ -49,9 +49,22 @@ func main() {
 		fail(err)
 	}
 	printResult(sc, res)
+	if fs, ok := exp.FaultStats(); ok {
+		printFaultStats(fs)
+	}
 	if err := tel.WriteTrace(t, nil); err != nil {
 		fail(err)
 	}
+}
+
+// printFaultStats reports what the injected fault timeline did to the
+// machine, only for scenarios that carry one.
+func printFaultStats(fs core.FaultStats) {
+	fmt.Printf("  fault ledger:\n")
+	fmt.Printf("    fan energy:          %.1f J\n", fs.FanEnergyJ)
+	fmt.Printf("    flow factor at end:  %.3f\n", fs.FlowFactor)
+	fmt.Printf("    dead sockets:        %d\n", fs.DeadSockets)
+	fmt.Printf("    requeued jobs:       %d\n", fs.Requeues)
 }
 
 func fail(err error) {

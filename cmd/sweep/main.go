@@ -4,7 +4,10 @@
 // -scenario a comma-separated list of scenario refs (presets or files) —
 // or the word "density" for the shipped density family — and it sweeps the
 // load levels across every topology, emitting one CSV per density plus a
-// cross-density summary. Figure 14/15 and density sweeps are expensive;
+// cross-density summary. The word "fault-density" runs the chaos sweep
+// instead: every density point healthy vs. under a single chassis-fan
+// failure (CP vs CF), reporting completed-work degradation per density.
+// Figure 14/15 and density sweeps are expensive;
 // use -quick (default) for the shortened preset or -full for the
 // paper-faithful 30-second socket time constant.
 //
@@ -121,6 +124,28 @@ func main() {
 	}
 
 	if *scenarioRef != "" {
+		if *scenarioRef == "fault-density" {
+			// The chaos sweep: every density point healthy vs. one chassis
+			// fan failing (the sut-180-fanfail preset's timeline), CP vs CF,
+			// at the high-load knee (override with -loads; the first level
+			// is used — the fault, not load, is the swept axis).
+			scenarios, err := experiments.DensityPresets()
+			if err != nil {
+				fail(err)
+			}
+			faultLoad := experiments.FaultLoad
+			if len(loadList) > 0 {
+				faultLoad = loadList[0]
+			}
+			_, tables, err := experiments.FaultSweep(runner, scenarios, nil, faultLoad)
+			if err != nil {
+				fail(err)
+			}
+			for _, t := range tables {
+				emit(t)
+			}
+			return
+		}
 		scenarios, err := resolveScenarios(*scenarioRef)
 		if err != nil {
 			fail(err)

@@ -236,6 +236,13 @@ func (m *Model) EffectiveRateWPerK() float64 {
 // Inlet returns the inlet temperature.
 func (m *Model) Inlet() units.Celsius { return m.params.Inlet }
 
+// SetInlet changes the inlet temperature in place — the hook for inlet
+// transient faults. The inlet enters every ambient recurrence additively at
+// evaluation time; no precomputed coupling structure depends on it, so the
+// mutation is exact and O(1). Callers holding cached ambient outputs must
+// invalidate them (the simulator marks every lane dirty).
+func (m *Model) SetInlet(t units.Celsius) { m.params.Inlet = t }
+
 // Ambient computes the steady-state entry temperature of every socket given
 // the current per-socket total powers. powers must have one entry per
 // socket.

@@ -46,6 +46,7 @@ import (
 	"math"
 	"strings"
 
+	"densim/internal/fan"
 	"densim/internal/metrics"
 	"densim/internal/units"
 )
@@ -72,7 +73,7 @@ const (
 type Violation struct {
 	// Invariant names the family: "energy-conservation", "work-conservation",
 	// "job-count-closure", "thermal-sanity", "completion-cache",
-	// "ambient-cache", "idle-set", "metrics-closure".
+	// "ambient-cache", "idle-set", "metrics-closure", "fault-ledger".
 	Invariant string
 	// Time is the simulation time of detection.
 	Time units.Seconds
@@ -97,12 +98,25 @@ type Stats struct {
 	Outstanding int
 	// EnergyJ is the harness's independent post-warmup power integral.
 	EnergyJ float64
+	// FaultEvents counts applied fault-timeline steps; Requeues counts jobs
+	// displaced by socket deaths; DeadSockets counts sockets marked dead.
+	FaultEvents int
+	Requeues    int
+	DeadSockets int
+	// FanEnergyJ is the harness's independent post-warmup fan-power
+	// integral (zero without a fan audit).
+	FanEnergyJ float64
 }
 
 // jobLedger tracks one in-flight job's work conservation.
 type jobLedger struct {
 	accrued  float64 // FMax-equivalent seconds consumed so far
 	expected float64 // NominalDuration plus accumulated migration costs
+	// requeued marks a job a socket-death fault displaced back into the
+	// queue: its ledger stays open (accrued work is real and must still
+	// reconcile at completion) and the next OnPlace re-arms it instead of
+	// reporting a double placement.
+	requeued bool
 }
 
 // Checks is the invariant harness. One instance audits exactly one run:
@@ -145,6 +159,20 @@ type Checks struct {
 	placed       int
 	ticks        int
 	audits       int
+
+	// Fault-injection shadow state. dead is allocated lazily by MarkDead;
+	// the fan audit arms only when the simulator installs a fan model.
+	dead        []bool
+	deadCount   int
+	requeues    int
+	faultEvents int
+	fanAudit    bool
+	fanBank     fan.Bank
+	fanRequired units.CFM
+	fanPowerW   units.Watts
+	fanFrontier units.Seconds
+	fanCovered  bool
+	fanEnergyJ  float64
 }
 
 // New returns a harness with default tolerances.
@@ -200,14 +228,110 @@ func (c *Checks) violate(invariant string, now units.Seconds, format string, arg
 	}
 }
 
-// OnPlace registers a job starting on a socket with its nominal work.
+// OnPlace registers a job starting on a socket with its nominal work. A job
+// a socket-death fault requeued keeps its open ledger: the re-placement
+// re-arms it, so work accrued before the death still reconciles at
+// completion.
 func (c *Checks) OnPlace(jobID int64, nominal units.Seconds, now units.Seconds) {
-	if _, ok := c.jobs[jobID]; ok {
-		c.violate("work-conservation", now, "job %d placed twice without completing", jobID)
+	if l, ok := c.jobs[jobID]; ok {
+		if !l.requeued {
+			c.violate("work-conservation", now, "job %d placed twice without completing", jobID)
+			return
+		}
+		l.requeued = false
+		c.jobs[jobID] = l
+		c.placed++
 		return
 	}
 	c.placed++
 	c.jobs[jobID] = jobLedger{expected: float64(nominal)}
+}
+
+// OnRequeue marks a running job displaced back into the queue by a socket
+// death. The ledger stays open so the job's eventual completion still
+// reconciles accrued against expected work.
+func (c *Checks) OnRequeue(jobID int64, now units.Seconds) {
+	c.requeues++
+	l, ok := c.jobs[jobID]
+	if !ok {
+		c.violate("fault-ledger", now, "requeue of unknown job %d", jobID)
+		return
+	}
+	if l.requeued {
+		c.violate("fault-ledger", now, "job %d requeued twice without re-placement", jobID)
+		return
+	}
+	l.requeued = true
+	c.jobs[jobID] = l
+}
+
+// MarkDead records a socket-death fault. From this instant the socket must
+// accrue zero-power energy segments only.
+func (c *Checks) MarkDead(socket int, now units.Seconds) {
+	if c.dead == nil {
+		c.dead = make([]bool, len(c.coveredTo))
+	}
+	if socket < 0 || socket >= len(c.dead) {
+		c.violate("fault-ledger", now, "death of out-of-range socket %d", socket)
+		return
+	}
+	if c.dead[socket] {
+		c.violate("fault-ledger", now, "socket %d died twice", socket)
+		return
+	}
+	c.dead[socket] = true
+	c.deadCount++
+}
+
+// OnInletChange tracks an inlet-ramp fault moving the server inlet. The
+// thermal floor only ever loosens: socket ambients lag the inlet, so after a
+// downward ramp they sit above the new inlet but possibly below the old one,
+// and after an upward ramp the old (lower) floor stays valid.
+func (c *Checks) OnInletChange(inlet units.Celsius, now units.Seconds) {
+	if inlet < c.inlet {
+		c.inlet = inlet
+	}
+}
+
+// OnFaultEvent counts one applied fault-timeline step.
+func (c *Checks) OnFaultEvent(now units.Seconds) { c.faultEvents++ }
+
+// SetFanAudit arms the fan-bank shadow: bank and requiredCFM mirror the
+// simulator's provisioning, and every OnFanPoint is recomputed exactly.
+func (c *Checks) SetFanAudit(bank fan.Bank, requiredCFM units.CFM, enabled bool) {
+	c.fanAudit = enabled
+	c.fanBank = bank
+	c.fanRequired = requiredCFM
+}
+
+// OnFanPoint audits the simulator's fan-bank operating point after a fan
+// event: the reported electrical power must equal an independent Operate
+// recompute bit-for-bit (same pure function, same inputs).
+func (c *Checks) OnFanPoint(working int, derate float64, reported units.Watts, now units.Seconds) {
+	if !c.fanAudit {
+		c.violate("fault-ledger", now, "fan point reported without a fan audit armed")
+		return
+	}
+	want := c.fanBank.Operate(c.fanRequired, working, derate).PowerW
+	if reported != want {
+		c.violate("fault-ledger", now,
+			"fan bank power %.9g W reported, exact recompute %.9g W (working=%d derate=%v)",
+			float64(reported), float64(want), working, derate)
+	}
+	c.fanPowerW = reported
+}
+
+// OnFanSegment integrates one post-warmup fan-energy segment and checks the
+// segments tile the fan timeline with no gaps or overlaps.
+func (c *Checks) OnFanSegment(from, to units.Seconds, now units.Seconds) {
+	if c.fanCovered && from != c.fanFrontier {
+		c.violate("fault-ledger", now,
+			"fan segment starts at %.9gs, frontier at %.9gs (gap or overlap)",
+			float64(from), float64(c.fanFrontier))
+	}
+	c.fanCovered = true
+	c.fanFrontier = to
+	c.fanEnergyJ += float64(c.fanPowerW) * float64(to-from)
 }
 
 // OnWorkSegment accrues one busy segment's consumed work for a job.
@@ -277,6 +401,10 @@ func (c *Checks) OnEnergySegment(socket int, from, to units.Seconds, power units
 			socket, float64(from), float64(c.coveredTo[socket]))
 	}
 	c.coveredTo[socket] = to
+	if c.dead != nil && c.dead[socket] && power != 0 {
+		c.violate("fault-ledger", to,
+			"dead socket %d accrued a segment at %.9g W (must be powerless)", socket, float64(power))
+	}
 	// Post-warmup clipping mirrors the collector's semantics (strict >):
 	// the boundary instant itself has zero measure.
 	if to > c.warmup {
@@ -389,9 +517,19 @@ func (c *Checks) End(arrived, runningLeft, queuedLeft, migrations int, res metri
 			"arrived %d != completed %d + running %d + queued %d",
 			arrived, c.completedAll, runningLeft, queuedLeft)
 	}
-	if len(c.jobs) != runningLeft {
+	// A ledger flagged requeued belongs to a job sitting in the queue (its
+	// socket died and the run ended before re-placement) — it counts against
+	// the queued total, not the running one.
+	requeuedOpen := 0
+	for _, l := range c.jobs {
+		if l.requeued {
+			requeuedOpen++
+		}
+	}
+	if len(c.jobs)-requeuedOpen != runningLeft {
 		c.violate("job-count-closure", end,
-			"%d open job ledgers vs %d jobs still running", len(c.jobs), runningLeft)
+			"%d open job ledgers (%d of them requeued) vs %d jobs still running",
+			len(c.jobs), requeuedOpen, runningLeft)
 	}
 	if res.Completed > c.completedAll {
 		c.violate("job-count-closure", end,
@@ -440,6 +578,10 @@ func (c *Checks) Stats() Stats {
 		Migrations:  c.migrations,
 		Outstanding: len(c.jobs),
 		EnergyJ:     c.energyJ,
+		FaultEvents: c.faultEvents,
+		Requeues:    c.requeues,
+		DeadSockets: c.deadCount,
+		FanEnergyJ:  c.fanEnergyJ,
 	}
 }
 

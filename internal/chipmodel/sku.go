@@ -1,0 +1,20 @@
+package chipmodel
+
+import "densim/internal/units"
+
+// SKU is a per-socket part variant: the same microarchitecture binned at a
+// different thermal design power and/or a lower maximum ladder frequency.
+// The zero value means "platform default part" — geometry stores SKUs
+// sparsely and almost every socket is the default. A SKU changes a socket's
+// leakage curve (through NewLeakage of its TDP), its gated idle power, and
+// the ceiling of its DVFS ladder; the dynamic-power curve stays a property
+// of the running benchmark.
+type SKU struct {
+	// TDP is the part's thermal design power (0 = platform default).
+	TDP units.Watts
+	// FMax caps the part's DVFS ladder (0 = full ladder including boost).
+	FMax units.MHz
+}
+
+// IsZero reports whether the SKU is the platform default part.
+func (s SKU) IsZero() bool { return s == SKU{} }

@@ -43,6 +43,9 @@ type Sim struct {
 	// state at end of warmup, or warm-start from a saved capture.
 	SnapshotSave string
 	SnapshotLoad string
+	// FaultsPath injects a fault timeline from a standalone faults file,
+	// replacing whatever faults block the scenario carries.
+	FaultsPath string
 
 	fs *flag.FlagSet
 }
@@ -84,6 +87,8 @@ func AddSim(fs *flag.FlagSet, d SimDefaults) *Sim {
 		"write a full-state snapshot at the end of warmup to this file, then finish the run")
 	fs.StringVar(&s.SnapshotLoad, "snapshot.load", "",
 		"warm-start the run from a snapshot file (must match this run's configuration; fails closed on mismatch or corruption)")
+	fs.StringVar(&s.FaultsPath, "faults", "",
+		"inject a fault timeline from this JSONC file (a scenario faults block: fan_count, fan_nominal_frac, events)")
 	return s
 }
 
@@ -143,6 +148,13 @@ func (s *Sim) Resolve() (*scenario.Scenario, uint64, error) {
 	}
 	if s.SnapshotLoad != "" {
 		sc.Snapshot.Load = s.SnapshotLoad
+	}
+	if s.FaultsPath != "" {
+		f, err := scenario.LoadFaults(s.FaultsPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		sc.Faults = f
 	}
 	if s.TracePath != "" {
 		sc.Workload.Trace = s.TracePath

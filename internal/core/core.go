@@ -93,6 +93,35 @@ type Experiment struct {
 	seed   uint64
 	custom sched.Scheduler // overrides the scenario's policy when non-nil
 	tel    *telemetry.Telemetry
+	faults *FaultStats // ledger of the most recent Run, nil when unfaulted
+}
+
+// FaultStats summarizes the fault machinery's side ledger after a Run: what
+// the injected timeline actually did to the machine. It is only populated
+// for scenarios carrying a faults block — fan energy is deliberately kept
+// out of metrics.Result so unfaulted runs stay bit-identical to historic
+// digests.
+type FaultStats struct {
+	// FanEnergyJ is the chassis fan bank's electrical energy over the
+	// measured window (survivor fans spin up after a failure, so this
+	// rises under fan faults even as compute throughput falls).
+	FanEnergyJ float64
+	// Requeues counts jobs displaced by socket-death events.
+	Requeues int
+	// DeadSockets counts sockets lost by the end of the run.
+	DeadSockets int
+	// FlowFactor is the delivered/required airflow ratio at the end of the
+	// run (1 means the bank kept up; < 1 means the chassis ran starved).
+	FlowFactor float64
+}
+
+// FaultStats returns the fault ledger of the most recent Run and whether
+// the scenario had a fault timeline at all.
+func (e *Experiment) FaultStats() (FaultStats, bool) {
+	if e.faults == nil {
+		return FaultStats{}, false
+	}
+	return *e.faults, true
 }
 
 // scenarioFromOptions resolves Options to a scenario plus run seed.
@@ -243,6 +272,14 @@ func (e *Experiment) Run() (metrics.Result, error) {
 		res = s.Finish()
 	default:
 		res = s.Run()
+	}
+	if cfg.Faults != nil {
+		e.faults = &FaultStats{
+			FanEnergyJ:  float64(s.FanEnergyJ()),
+			Requeues:    s.Requeues(),
+			DeadSockets: s.DeadSockets(),
+			FlowFactor:  s.FlowFactor(),
+		}
 	}
 	if h != nil {
 		if err := h.Err(); err != nil {

@@ -1,0 +1,212 @@
+package experiments
+
+// The fault sweep — the chaos experiment the fault layer exists for. Denser
+// designs concentrate more sockets behind each fan, so a single fan failure
+// strands more compute per failed part; this experiment quantifies that by
+// running every density point healthy and under the canonical chaos fault
+// (one of four chassis fans failing mid-run, the sut-180-fanfail preset's
+// timeline) and reporting the completed-work degradation, for both the
+// coupling-aware CP scheduler and the coolest-first CF baseline.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"densim/internal/metrics"
+	"densim/internal/report"
+	"densim/internal/scenario"
+	"densim/internal/telemetry"
+)
+
+// FaultScheds returns the schedulers the fault sweep contrasts by default:
+// the paper's coupling-aware policy against the coolest-first baseline.
+func FaultScheds() []string { return []string{"CP", "CF"} }
+
+// ChaosFaults returns the sweep's canonical fault timeline — the
+// sut-180-fanfail preset's faults block, so the sweep is reproducible from
+// the shipped preset with any single-run tool.
+func ChaosFaults() (*scenario.Faults, error) {
+	sc, err := scenario.Preset("sut-180-fanfail")
+	if err != nil {
+		return nil, err
+	}
+	return sc.Faults, nil
+}
+
+// FaultRow is one (scenario, scheduler) point: the healthy baseline and the
+// faulted run side by side.
+type FaultRow struct {
+	Scenario string
+	// DoC is the degree of coupling (sockets per airflow lane).
+	DoC     int
+	Sockets int
+	Sched   string
+	// Load is the offered load both runs of the pair used.
+	Load float64
+	// CompletedWorkBase/Fault are FMax-equivalent seconds of completed work
+	// in the measured window; DegradationPct is the fault's completed-work
+	// cost relative to the baseline.
+	CompletedWorkBase  float64
+	CompletedWorkFault float64
+	DegradationPct     float64
+	// Expansion and energy-per-work under both conditions.
+	// ExpansionPenaltyPct is the fault's runtime-expansion cost — the
+	// headline blast-radius number when the drain completes all work and
+	// CompletedWork stays demand-bound (see FaultLoad).
+	ExpansionBase       float64
+	ExpansionFault      float64
+	ExpansionPenaltyPct float64
+	EnergyPerWorkBaseJ  float64
+	EnergyPerWorkFaultJ float64
+}
+
+// FaultResult is the typed outcome of a fault sweep.
+type FaultResult struct {
+	Rows []FaultRow
+}
+
+// FaultLoad is the chaos sweep's default offered load. The fault's blast
+// radius only shows in completed work when capacity binds: at mid load a
+// throttled chassis still completes every arrival (the fault surfaces as
+// expansion and energy instead), so the sweep defaults to the high-load
+// knee where lost capacity is lost work.
+const FaultLoad = 0.9
+
+// FaultSweep runs every scenario with every scheduler twice — healthy and
+// under the canonical single-fan failure — and reports the per-density
+// degradation. A positive load overrides every scenario's declared load
+// (pass FaultLoad for the canonical chaos point); zero keeps the loads as
+// declared, making the fault the only varied axis.
+func FaultSweep(r *Runner, scenarios []*scenario.Scenario, scheds []string, load float64) (*FaultResult, []*report.Table, error) {
+	if len(scenarios) == 0 {
+		return nil, nil, fmt.Errorf("experiments: fault sweep needs at least one scenario")
+	}
+	if len(scheds) == 0 {
+		scheds = FaultScheds()
+	}
+	faults, err := ChaosFaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	type point struct {
+		res metrics.Result
+		err error
+	}
+	// Index: (scenario, sched, faulted) -> flat.
+	idx := func(si, di, fi int) int { return (si*len(scheds)+di)*2 + fi }
+	points := make([]point, len(scenarios)*len(scheds)*2)
+	var wg sync.WaitGroup
+	for si, sc := range scenarios {
+		for di, sched := range scheds {
+			for fi := 0; fi < 2; fi++ {
+				run := *sc
+				if load > 0 {
+					run.Workload.Load = load
+				}
+				run.Scheduler.Name = sched
+				// Pin the placement RNG so multi-seed averages vary arrivals
+				// only, matching the figure sweeps' convention.
+				run.Scheduler.Seed = 1
+				run.Run.Seeds = append([]uint64(nil), r.opts.Seeds...)
+				run.Run.DurationS = float64(r.opts.Duration)
+				run.Run.WarmupS = float64(r.opts.Warmup)
+				run.Run.SinkTauS = float64(r.opts.SinkTau)
+				if fi == 1 {
+					run.Faults = faults
+				}
+				var telFor func() *telemetry.Telemetry
+				if r.opts.Telemetry != nil {
+					telFor = func() *telemetry.Telemetry { return r.opts.Telemetry.For(sched) }
+				}
+				wg.Add(1)
+				go func(p *point, run scenario.Scenario) {
+					// Only the leaf (per-seed) goroutines inside runScenario
+					// hold worker slots, so fanning out all points is safe.
+					defer wg.Done()
+					p.res, p.err = r.runScenario(&run, telFor)
+				}(&points[idx(si, di, fi)], run)
+			}
+		}
+	}
+	wg.Wait()
+
+	res := &FaultResult{}
+	var errs []error
+	for si, sc := range scenarios {
+		srv, err := sc.Server()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("scenario %s: %w", sc.Name, err))
+			continue
+		}
+		for di, sched := range scheds {
+			base, flt := points[idx(si, di, 0)], points[idx(si, di, 1)]
+			if base.err != nil {
+				errs = append(errs, fmt.Errorf("scenario %s sched %s healthy: %w", sc.Name, sched, base.err))
+				continue
+			}
+			if flt.err != nil {
+				errs = append(errs, fmt.Errorf("scenario %s sched %s faulted: %w", sc.Name, sched, flt.err))
+				continue
+			}
+			rowLoad := load
+			if rowLoad <= 0 {
+				if rowLoad = sc.Workload.Load; rowLoad == 0 {
+					rowLoad = 0.5 // the workload layer's default
+				}
+			}
+			row := FaultRow{
+				Scenario:           sc.Name,
+				DoC:                srv.DegreeOfCoupling(),
+				Sockets:            srv.NumSockets(),
+				Sched:              sched,
+				Load:               rowLoad,
+				CompletedWorkBase:  base.res.CompletedWorkSeconds,
+				CompletedWorkFault: flt.res.CompletedWorkSeconds,
+				ExpansionBase:      base.res.MeanExpansion,
+				ExpansionFault:     flt.res.MeanExpansion,
+			}
+			if row.CompletedWorkBase > 0 {
+				row.DegradationPct = 100 * (1 - row.CompletedWorkFault/row.CompletedWorkBase)
+			}
+			if row.ExpansionBase > 0 {
+				row.ExpansionPenaltyPct = 100 * (row.ExpansionFault/row.ExpansionBase - 1)
+			}
+			if base.res.CompletedWorkSeconds > 0 {
+				row.EnergyPerWorkBaseJ = float64(base.res.EnergyJ) / base.res.CompletedWorkSeconds
+			}
+			if flt.res.CompletedWorkSeconds > 0 {
+				row.EnergyPerWorkFaultJ = float64(flt.res.EnergyJ) / flt.res.CompletedWorkSeconds
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, err
+	}
+	return res, []*report.Table{faultTable(res)}, nil
+}
+
+// faultTable renders the sweep as one CSV-able table.
+func faultTable(res *FaultResult) *report.Table {
+	t := &report.Table{
+		Title: "fault-density",
+		Header: []string{"scenario", "doc", "sockets", "sched", "load",
+			"completed_work_base_s", "completed_work_fault_s", "degradation_pct",
+			"expansion_base", "expansion_fault", "expansion_penalty_pct",
+			"energy_per_work_base_j", "energy_per_work_fault_j"},
+	}
+	for _, row := range res.Rows {
+		t.AddRow(row.Scenario, row.DoC, row.Sockets, row.Sched,
+			fmt.Sprintf("%.2f", row.Load),
+			fmt.Sprintf("%.4f", row.CompletedWorkBase),
+			fmt.Sprintf("%.4f", row.CompletedWorkFault),
+			fmt.Sprintf("%.3f", row.DegradationPct),
+			fmt.Sprintf("%.4f", row.ExpansionBase),
+			fmt.Sprintf("%.4f", row.ExpansionFault),
+			fmt.Sprintf("%.3f", row.ExpansionPenaltyPct),
+			fmt.Sprintf("%.4f", row.EnergyPerWorkBaseJ),
+			fmt.Sprintf("%.4f", row.EnergyPerWorkFaultJ))
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"densim/internal/scenario"
+)
+
+func TestFaultSweep(t *testing.T) {
+	opts := SimOptions{Duration: 8, Warmup: 2, SinkTau: 1, Seeds: []uint64{7}}
+	r := NewRunner(opts)
+	family := tinyDensityFamily(t)
+
+	res, tables, err := FaultSweep(r, family, nil, FaultLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := FaultScheds()
+	if got, want := len(res.Rows), len(family)*len(scheds); got != want {
+		t.Fatalf("got %d rows, want %d", got, want)
+	}
+	for _, row := range res.Rows {
+		if row.CompletedWorkBase <= 0 {
+			t.Errorf("%s/%s: no healthy completed work", row.Scenario, row.Sched)
+		}
+		if row.CompletedWorkFault <= 0 {
+			t.Errorf("%s/%s: no faulted completed work", row.Scenario, row.Sched)
+		}
+		if row.ExpansionBase < 1 || row.ExpansionFault < 1 {
+			t.Errorf("%s/%s: expansion below 1 (%v, %v)",
+				row.Scenario, row.Sched, row.ExpansionBase, row.ExpansionFault)
+		}
+	}
+	if len(tables) != 1 || tables[0].Title != "fault-density" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if got, want := len(tables[0].Rows), len(res.Rows); got != want {
+		t.Errorf("table has %d rows, want %d", got, want)
+	}
+}
+
+// TestFaultSweepDeterministic: the sweep fans out all points concurrently,
+// so its output ordering and values must still be reproducible.
+func TestFaultSweepDeterministic(t *testing.T) {
+	opts := SimOptions{Duration: 7, Warmup: 2, SinkTau: 1, Seeds: []uint64{7}}
+	family := tinyDensityFamily(t)[:1]
+	run := func() string {
+		_, tables, err := FaultSweep(NewRunner(opts), family, []string{"CF"}, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tab := range tables {
+			b.WriteString(tab.String())
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("fault sweep not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestChaosFaults pins the sweep's timeline to the shipped preset so the
+// chaos experiment stays reproducible from sut-180-fanfail alone.
+func TestChaosFaults(t *testing.T) {
+	faults, err := ChaosFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults == nil || faults.FanCount != 4 {
+		t.Fatalf("faults = %+v", faults)
+	}
+	if len(faults.Events) != 1 || faults.Events[0].Kind != "fan-fail" {
+		t.Fatalf("events = %+v", faults.Events)
+	}
+	sc, err := scenario.Preset("sut-180-fanfail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec, err := sc.Faults.Spec(); err != nil || spec == nil {
+		t.Fatalf("preset faults spec = %+v, %v", spec, err)
+	}
+}

@@ -71,17 +71,19 @@ func (f Fan) PowerAt(speedFrac float64) units.Watts {
 }
 
 // SpeedFor returns the speed fraction needed for a target flow, clamped to
-// [MinRPMFrac, 1]. The second return reports whether the target is
-// achievable without clamping at the top.
-func (f Fan) SpeedFor(flow units.CFM) (float64, bool) {
-	frac := float64(flow) / float64(f.RatedCFM)
+// [MinRPMFrac, 1]. atFloor reports the low clamp: the fan cannot spin below
+// its stall floor, so it over-delivers — callers accounting flow or power
+// must use the clamped speed, not the request. ok reports whether the
+// target is achievable without clamping at the top.
+func (f Fan) SpeedFor(flow units.CFM) (frac float64, atFloor, ok bool) {
+	frac = float64(flow) / float64(f.RatedCFM)
 	switch {
 	case frac > 1:
-		return 1, false
+		return 1, false, false
 	case frac < f.MinRPMFrac:
-		return f.MinRPMFrac, true
+		return f.MinRPMFrac, true, true
 	default:
-		return frac, true
+		return frac, false, true
 	}
 }
 
@@ -114,9 +116,52 @@ func (b Bank) MaxFlow() units.CFM {
 // flow, and whether the flow is achievable. Flow is split evenly; the cubic
 // law makes even splitting optimal for identical fans.
 func (b Bank) PowerFor(flow units.CFM) (units.Watts, bool) {
-	per := units.CFM(float64(flow) / float64(b.Count))
-	frac, ok := b.Fan.SpeedFor(per)
-	return units.Watts(float64(b.Fan.PowerAt(frac)) * float64(b.Count)), ok
+	p := b.Operate(flow, b.Count, 1)
+	return p.PowerW, !p.Saturated
+}
+
+// BankPoint is a bank's true operating point: what the fans actually do
+// when asked for a flow, which is not always what was asked.
+type BankPoint struct {
+	// Delivered is the flow the bank really moves — above the request when
+	// the stall floor forces over-delivery, below it when the working fans
+	// saturate at rated speed.
+	Delivered units.CFM
+	// PowerW is the electrical power drawn at this point.
+	PowerW units.Watts
+	// AtFloor reports the stall-floor clamp (over-delivery).
+	AtFloor bool
+	// Saturated reports that demand exceeded the working fans' capability.
+	Saturated bool
+}
+
+// Operate computes the bank's operating point delivering a total flow with
+// `working` healthy fans, each derated to `derate` of its rated flow curve
+// (dust loading or bearing wear: less air at the same speed and electrical
+// power). When neither AtFloor nor Saturated is set the bank delivers
+// exactly the request: surviving fans spin up to cover for failed ones
+// until they hit rated speed. Zero working fans (or a non-positive derate)
+// move no air and draw no power.
+func (b Bank) Operate(total units.CFM, working int, derate float64) BankPoint {
+	if working <= 0 || derate <= 0 {
+		return BankPoint{}
+	}
+	if working > b.Count {
+		working = b.Count
+	}
+	per := float64(total) / float64(working)
+	capPer := float64(b.Fan.RatedCFM) * derate
+	var p BankPoint
+	frac := per / capPer
+	switch {
+	case frac > 1:
+		frac, p.Saturated = 1, true
+	case frac < b.Fan.MinRPMFrac:
+		frac, p.AtFloor = b.Fan.MinRPMFrac, true
+	}
+	p.Delivered = units.CFM(capPer * frac * float64(working))
+	p.PowerW = units.Watts(float64(b.Fan.PowerAt(frac)) * float64(working))
+	return p
 }
 
 // CoolingOperatingPoint describes a chassis cooling solution for a given

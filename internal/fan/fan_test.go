@@ -49,14 +49,73 @@ func TestAffinityLaws(t *testing.T) {
 
 func TestSpeedForClamps(t *testing.T) {
 	f := ActiveCool()
-	if frac, ok := f.SpeedFor(50); !ok || math.Abs(frac-0.5) > 1e-12 {
-		t.Errorf("SpeedFor(50) = %v, %v", frac, ok)
+	if frac, atFloor, ok := f.SpeedFor(50); !ok || atFloor || math.Abs(frac-0.5) > 1e-12 {
+		t.Errorf("SpeedFor(50) = %v, %v, %v", frac, atFloor, ok)
 	}
-	if frac, ok := f.SpeedFor(500); ok || frac != 1 {
-		t.Errorf("over-capacity SpeedFor = %v, %v", frac, ok)
+	if frac, atFloor, ok := f.SpeedFor(500); ok || atFloor || frac != 1 {
+		t.Errorf("over-capacity SpeedFor = %v, %v, %v", frac, atFloor, ok)
 	}
-	if frac, ok := f.SpeedFor(1); !ok || frac != f.MinRPMFrac {
-		t.Errorf("under-floor SpeedFor = %v, %v", frac, ok)
+	if frac, atFloor, ok := f.SpeedFor(1); !ok || !atFloor || frac != f.MinRPMFrac {
+		t.Errorf("under-floor SpeedFor = %v, %v, %v", frac, atFloor, ok)
+	}
+}
+
+// TestBankFloorAccounting is the regression test for the silent stall-floor
+// clamp: a request far below the bank's floor must be reported AtFloor, the
+// delivered flow must be the floor flow (above the request), and the power
+// must be the floor power — not the cubic-law power of the requested flow.
+func TestBankFloorAccounting(t *testing.T) {
+	b := SUTBank()
+	req := units.CFM(1) // far below 4 fans x 100 CFM x 20% floor
+	p := b.Operate(req, b.Count, 1)
+	if !p.AtFloor || p.Saturated {
+		t.Fatalf("Operate(%v) = %+v, want AtFloor and not Saturated", req, p)
+	}
+	floorFlow := float64(b.Fan.RatedCFM) * b.Fan.MinRPMFrac * float64(b.Count)
+	if got := float64(p.Delivered); math.Abs(got-floorFlow) > 1e-9 {
+		t.Errorf("delivered %v at the floor, want %v", got, floorFlow)
+	}
+	if float64(p.Delivered) <= float64(req) {
+		t.Error("floor clamp should over-deliver the requested flow")
+	}
+	wantPower := float64(b.Fan.PowerAt(b.Fan.MinRPMFrac)) * float64(b.Count)
+	if got := float64(p.PowerW); math.Abs(got-wantPower) > 1e-9 {
+		t.Errorf("floor power = %v, want %v (per-fan floor power x count)", got, wantPower)
+	}
+}
+
+// TestBankOperateDegraded pins the failure/derate arithmetic: survivors
+// spin up to cover failed fans exactly until they saturate, and derating
+// shrinks the achievable ceiling.
+func TestBankOperateDegraded(t *testing.T) {
+	b := SUTBank() // 4 x 100 CFM
+	// 3 of 4 fans covering 240 CFM: 80 per fan, no clamp, full delivery.
+	p := b.Operate(240, 3, 1)
+	if p.AtFloor || p.Saturated {
+		t.Fatalf("3-fan 240 CFM point clamped: %+v", p)
+	}
+	if math.Abs(float64(p.Delivered)-240) > 1e-9 {
+		t.Errorf("delivered %v, want 240", p.Delivered)
+	}
+	// 2 of 4 fans cannot cover 240 CFM: saturated at 200.
+	p = b.Operate(240, 2, 1)
+	if !p.Saturated {
+		t.Fatal("2-fan 240 CFM point not saturated")
+	}
+	if math.Abs(float64(p.Delivered)-200) > 1e-9 {
+		t.Errorf("saturated delivery %v, want 200", p.Delivered)
+	}
+	if math.Abs(float64(p.PowerW)-120) > 1e-9 {
+		t.Errorf("saturated power %v, want 2 x 60", p.PowerW)
+	}
+	// Derate scales the ceiling: 4 fans at 50% flow capability deliver 200.
+	p = b.Operate(400, 4, 0.5)
+	if !p.Saturated || math.Abs(float64(p.Delivered)-200) > 1e-9 {
+		t.Errorf("derated point = %+v, want saturated at 200", p)
+	}
+	// No working fans move no air.
+	if p := b.Operate(100, 0, 1); p.Delivered != 0 || p.PowerW != 0 {
+		t.Errorf("dead bank operating point = %+v", p)
 	}
 }
 

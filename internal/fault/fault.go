@@ -1,0 +1,324 @@
+// Package fault defines deterministic fault-injection timelines for the
+// simulator: fan degradation and outright fan failure (derating the chassis
+// fan bank), inlet-temperature transient ramps, socket death mid-run (the
+// victim's job is requeued), and forced emergency-throttle windows. A Spec
+// is pure data — validated up front, canonically encodable (the snapshot
+// layer hashes that encoding into the run's configuration signature), and
+// compiled into a time-sorted step list the engine consumes at tick
+// boundaries on its ordinary event path. Nothing here is random: the same
+// Spec against the same run replays bit-identically on every engine.
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"densim/internal/units"
+)
+
+// Kind names one fault event type.
+type Kind uint8
+
+const (
+	// KindFanDegrade caps every fan's achievable flow at FlowFactor of its
+	// rated curve (dust loading, bearing wear). Absolute, not cumulative:
+	// a later degrade event replaces the factor.
+	KindFanDegrade Kind = iota + 1
+	// KindFanFail removes Fans fans from the bank outright. Cumulative
+	// until the next KindFanRecover. Surviving fans spin up to cover the
+	// demanded flow, clamped at their (possibly degraded) rated maximum.
+	KindFanFail
+	// KindFanRecover restores the full bank: all failed fans return and
+	// any degradation factor clears.
+	KindFanRecover
+	// KindInletRamp moves the inlet temperature by DeltaC linearly over
+	// Ramp seconds (a step when Ramp is zero). Ramps chain: a second ramp
+	// starts from wherever the first left the inlet.
+	KindInletRamp
+	// KindSocketDeath kills socket Socket permanently: its running job (if
+	// any) is requeued with its remaining work intact, it leaves the
+	// scheduler's candidate set, and it accrues no further energy.
+	KindSocketDeath
+	// KindThrottle forces socket Socket to the DVFS floor (FMin) for
+	// Duration seconds — a firmware emergency-throttle window.
+	KindThrottle
+	// KindThrottleEnd is emitted only by Compile: the paired end of a
+	// KindThrottle window. Not valid in a Spec's event list.
+	KindThrottleEnd
+)
+
+// String implements fmt.Stringer (also the scenario-schema vocabulary).
+func (k Kind) String() string {
+	switch k {
+	case KindFanDegrade:
+		return "fan-degrade"
+	case KindFanFail:
+		return "fan-fail"
+	case KindFanRecover:
+		return "fan-recover"
+	case KindInletRamp:
+		return "inlet-ramp"
+	case KindSocketDeath:
+		return "socket-death"
+	case KindThrottle:
+		return "throttle"
+	case KindThrottleEnd:
+		return "throttle-end"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
+}
+
+// KindByName maps the scenario-schema names back to kinds (Compile-only
+// kinds excluded).
+func KindByName(name string) (Kind, bool) {
+	switch name {
+	case "fan-degrade":
+		return KindFanDegrade, true
+	case "fan-fail":
+		return KindFanFail, true
+	case "fan-recover":
+		return KindFanRecover, true
+	case "inlet-ramp":
+		return KindInletRamp, true
+	case "socket-death":
+		return KindSocketDeath, true
+	case "throttle":
+		return KindThrottle, true
+	}
+	return 0, false
+}
+
+// Event is one entry of a fault timeline. Only the fields its Kind reads
+// are meaningful; the rest must be zero (Validate enforces this so two
+// specs differing only in dead fields cannot hash differently).
+type Event struct {
+	// At is the injection instant in simulated seconds. The engine applies
+	// events at the first tick boundary >= At; events at or beyond the
+	// run's arrival horizon (Config.Duration) never apply at all.
+	At   units.Seconds
+	Kind Kind
+
+	// FlowFactor is KindFanDegrade's per-fan achievable-flow factor (0,1].
+	FlowFactor float64
+	// Fans is KindFanFail's count of newly failed fans.
+	Fans int
+	// DeltaC and Ramp parameterize KindInletRamp.
+	DeltaC units.Celsius
+	Ramp   units.Seconds
+	// Socket targets KindSocketDeath and KindThrottle.
+	Socket int
+	// Duration is KindThrottle's window length.
+	Duration units.Seconds
+}
+
+// DefaultFanNominalFrac is the duty fraction fans run at to deliver the
+// scenario's nominal airflow when the spec leaves FanNominalFrac zero —
+// i.e. the bank is provisioned with 1/0.85 headroom, so losing one fan of
+// four forces the survivors past their rated maximum and the chassis
+// genuinely loses flow.
+const DefaultFanNominalFrac = 0.85
+
+// Spec is a complete fault timeline plus the chassis fan-bank shape the
+// fan events derate. The zero FanCount means "no fan model": fan events
+// are then invalid and no fan power is accounted.
+type Spec struct {
+	// FanCount is the number of chassis fans sharing the airflow duty.
+	FanCount int
+	// FanNominalFrac is the duty fraction at which the bank delivers the
+	// scenario's nominal flow (0 = DefaultFanNominalFrac). Values below a
+	// fan's stall floor are legal but mean the bank over-delivers from t=0.
+	FanNominalFrac float64
+	// Events is the timeline, sorted by At (ties apply in listed order).
+	Events []Event
+}
+
+// NominalFrac returns the effective fan duty fraction.
+func (s *Spec) NominalFrac() float64 {
+	if s.FanNominalFrac == 0 {
+		return DefaultFanNominalFrac
+	}
+	return s.FanNominalFrac
+}
+
+// finite reports a usable float (no NaN/Inf sneaking into the timeline).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks the whole timeline. numSockets bounds the socket-targeted
+// events; pass numSockets <= 0 to skip that check (topology not yet known).
+func (s *Spec) Validate(numSockets int) error {
+	if s == nil {
+		return nil
+	}
+	if s.FanCount < 0 {
+		return fmt.Errorf("fault: fan_count %d is negative", s.FanCount)
+	}
+	if f := s.FanNominalFrac; f != 0 && (!finite(f) || f <= 0 || f > 1) {
+		return fmt.Errorf("fault: fan_nominal_frac %v outside (0, 1]", f)
+	}
+	working := s.FanCount
+	prev := units.Seconds(math.Inf(-1))
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !finite(float64(e.At)) || e.At < 0 {
+			return fmt.Errorf("fault: event %d at %v: negative or non-finite time", i, e.At)
+		}
+		if e.At < prev {
+			return fmt.Errorf("fault: event %d at %v precedes event %d at %v (events must be time-sorted)", i, e.At, i-1, prev)
+		}
+		prev = e.At
+		if err := s.validateEvent(i, e, &working, numSockets); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateEvent checks one event's kind-specific fields and that every
+// field its kind does not read is zero.
+func (s *Spec) validateEvent(i int, e *Event, working *int, numSockets int) error {
+	zeroExcept := func(flow, fans, inlet, socket, dur bool) error {
+		if !flow && e.FlowFactor != 0 {
+			return fmt.Errorf("fault: event %d (%s): flow_factor set but unused", i, e.Kind)
+		}
+		if !fans && e.Fans != 0 {
+			return fmt.Errorf("fault: event %d (%s): fans set but unused", i, e.Kind)
+		}
+		if !inlet && (e.DeltaC != 0 || e.Ramp != 0) {
+			return fmt.Errorf("fault: event %d (%s): delta_c/ramp_s set but unused", i, e.Kind)
+		}
+		if !socket && e.Socket != 0 {
+			return fmt.Errorf("fault: event %d (%s): socket set but unused", i, e.Kind)
+		}
+		if !dur && e.Duration != 0 {
+			return fmt.Errorf("fault: event %d (%s): duration_s set but unused", i, e.Kind)
+		}
+		return nil
+	}
+	needFans := func() error {
+		if s.FanCount <= 0 {
+			return fmt.Errorf("fault: event %d (%s) needs fan_count > 0", i, e.Kind)
+		}
+		return nil
+	}
+	switch e.Kind {
+	case KindFanDegrade:
+		if err := needFans(); err != nil {
+			return err
+		}
+		if !finite(e.FlowFactor) || e.FlowFactor <= 0 || e.FlowFactor > 1 {
+			return fmt.Errorf("fault: event %d: flow_factor %v outside (0, 1]", i, e.FlowFactor)
+		}
+		return zeroExcept(true, false, false, false, false)
+	case KindFanFail:
+		if err := needFans(); err != nil {
+			return err
+		}
+		if e.Fans <= 0 {
+			return fmt.Errorf("fault: event %d: fan-fail needs fans > 0, got %d", i, e.Fans)
+		}
+		*working -= e.Fans
+		if *working <= 0 {
+			return fmt.Errorf("fault: event %d: fan-fail leaves %d of %d fans (at least one must survive)", i, *working, s.FanCount)
+		}
+		return zeroExcept(false, true, false, false, false)
+	case KindFanRecover:
+		if err := needFans(); err != nil {
+			return err
+		}
+		*working = s.FanCount
+		return zeroExcept(false, false, false, false, false)
+	case KindInletRamp:
+		if !finite(float64(e.DeltaC)) || e.DeltaC == 0 {
+			return fmt.Errorf("fault: event %d: inlet-ramp needs a non-zero finite delta_c", i)
+		}
+		if !finite(float64(e.Ramp)) || e.Ramp < 0 {
+			return fmt.Errorf("fault: event %d: ramp_s %v is negative or non-finite", i, e.Ramp)
+		}
+		return zeroExcept(false, false, true, false, false)
+	case KindSocketDeath:
+		if e.Socket < 0 || (numSockets > 0 && e.Socket >= numSockets) {
+			return fmt.Errorf("fault: event %d: socket %d outside [0, %d)", i, e.Socket, numSockets)
+		}
+		return zeroExcept(false, false, false, true, false)
+	case KindThrottle:
+		if e.Socket < 0 || (numSockets > 0 && e.Socket >= numSockets) {
+			return fmt.Errorf("fault: event %d: socket %d outside [0, %d)", i, e.Socket, numSockets)
+		}
+		if !finite(float64(e.Duration)) || e.Duration <= 0 {
+			return fmt.Errorf("fault: event %d: throttle needs duration_s > 0, got %v", i, e.Duration)
+		}
+		return zeroExcept(false, false, false, true, true)
+	default:
+		return fmt.Errorf("fault: event %d: unknown kind %d", i, e.Kind)
+	}
+}
+
+// Canonical returns a deterministic binary encoding of the spec. Equal
+// specs encode identically and any semantic difference changes the bytes —
+// the snapshot layer hashes this into the run's configuration signature so
+// a capture cannot be restored under a different fault schedule. A nil
+// spec encodes to nil.
+func (s *Spec) Canonical() []byte {
+	if s == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 16+len(s.Events)*48)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+	u32(uint32(s.FanCount))
+	f64(s.FanNominalFrac)
+	u32(uint32(len(s.Events)))
+	for i := range s.Events {
+		e := &s.Events[i]
+		buf = append(buf, byte(e.Kind))
+		f64(float64(e.At))
+		f64(e.FlowFactor)
+		u32(uint32(e.Fans))
+		f64(float64(e.DeltaC))
+		f64(float64(e.Ramp))
+		u32(uint32(e.Socket))
+		f64(float64(e.Duration))
+	}
+	return buf
+}
+
+// Step is one compiled injection: what Compile hands the engine. Throttle
+// windows become a KindThrottle start plus a KindThrottleEnd.
+type Step struct {
+	At     units.Seconds
+	Kind   Kind
+	Factor float64       // KindFanDegrade
+	Fans   int           // KindFanFail
+	DeltaC units.Celsius // KindInletRamp
+	Ramp   units.Seconds // KindInletRamp
+	Socket int           // KindSocketDeath, KindThrottle, KindThrottleEnd
+}
+
+// Compile flattens the timeline into time-sorted steps, applying the fault
+// window: events at or beyond horizon are dropped entirely (a fault
+// scheduled after the arrival horizon is a structural no-op), while a
+// throttle window that opens inside the horizon keeps its end step even
+// when the end falls in the drain phase — otherwise the socket would stay
+// clamped forever.
+func (s *Spec) Compile(horizon units.Seconds) []Step {
+	if s == nil {
+		return nil
+	}
+	steps := make([]Step, 0, len(s.Events)+4)
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.At >= horizon {
+			continue
+		}
+		st := Step{At: e.At, Kind: e.Kind, Factor: e.FlowFactor, Fans: e.Fans,
+			DeltaC: e.DeltaC, Ramp: e.Ramp, Socket: e.Socket}
+		steps = append(steps, st)
+		if e.Kind == KindThrottle {
+			steps = append(steps, Step{At: e.At + e.Duration, Kind: KindThrottleEnd, Socket: e.Socket})
+		}
+	}
+	sort.SliceStable(steps, func(a, b int) bool { return steps[a].At < steps[b].At })
+	return steps
+}

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		FanCount: 4,
+		Events: []Event{
+			{At: 1, Kind: KindFanDegrade, FlowFactor: 0.8},
+			{At: 2, Kind: KindFanFail, Fans: 1},
+			{At: 3, Kind: KindInletRamp, DeltaC: 5, Ramp: 2},
+			{At: 4, Kind: KindThrottle, Socket: 3, Duration: 1},
+			{At: 5, Kind: KindSocketDeath, Socket: 7},
+			{At: 6, Kind: KindFanRecover},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(180); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (*Spec)(nil).Validate(180); err != nil {
+		t.Fatalf("nil spec rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"negative fan count", func(s *Spec) { s.FanCount = -1 }},
+		{"nominal frac above one", func(s *Spec) { s.FanNominalFrac = 1.5 }},
+		{"unsorted events", func(s *Spec) { s.Events[0].At = 10 }},
+		{"negative time", func(s *Spec) { s.Events[0].At = -1 }},
+		{"degrade factor above one", func(s *Spec) { s.Events[0].FlowFactor = 1.5 }},
+		{"degrade factor zero", func(s *Spec) { s.Events[0].FlowFactor = 0 }},
+		{"fan-fail kills whole bank", func(s *Spec) { s.Events[1].Fans = 4 }},
+		{"fan-fail without fans", func(s *Spec) { s.Events[1].Fans = 0 }},
+		{"ramp with zero delta", func(s *Spec) { s.Events[2].DeltaC = 0 }},
+		{"negative ramp", func(s *Spec) { s.Events[2].Ramp = -1 }},
+		{"throttle without duration", func(s *Spec) { s.Events[3].Duration = 0 }},
+		{"socket out of range", func(s *Spec) { s.Events[4].Socket = 180 }},
+		{"negative socket", func(s *Spec) { s.Events[4].Socket = -1 }},
+		{"dead field set", func(s *Spec) { s.Events[5].FlowFactor = 0.5 }},
+		{"unknown kind", func(s *Spec) { s.Events[5].Kind = Kind(99) }},
+		{"throttle-end in timeline", func(s *Spec) { s.Events[5].Kind = KindThrottleEnd }},
+	}
+	for _, tc := range bad {
+		s := validSpec()
+		tc.mut(s)
+		if err := s.Validate(180); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// Fan events without a fan bank are invalid.
+	s := validSpec()
+	s.FanCount = 0
+	if err := s.Validate(180); err == nil {
+		t.Error("fan events without fan_count accepted")
+	}
+	// Cumulative failures across a recovery reset are fine.
+	s = &Spec{FanCount: 2, Events: []Event{
+		{At: 1, Kind: KindFanFail, Fans: 1},
+		{At: 2, Kind: KindFanRecover},
+		{At: 3, Kind: KindFanFail, Fans: 1},
+	}}
+	if err := s.Validate(0); err != nil {
+		t.Errorf("recover-reset failure budget rejected: %v", err)
+	}
+	// Without the recovery the same failures kill the bank.
+	s = &Spec{FanCount: 2, Events: []Event{
+		{At: 1, Kind: KindFanFail, Fans: 1},
+		{At: 3, Kind: KindFanFail, Fans: 1},
+	}}
+	if err := s.Validate(0); err == nil {
+		t.Error("cumulative whole-bank failure accepted")
+	}
+}
+
+func TestCanonicalDistinguishesSpecs(t *testing.T) {
+	a := validSpec()
+	if !bytes.Equal(a.Canonical(), validSpec().Canonical()) {
+		t.Fatal("equal specs encode differently")
+	}
+	if (*Spec)(nil).Canonical() != nil {
+		t.Fatal("nil spec should encode to nil")
+	}
+	muts := []func(*Spec){
+		func(s *Spec) { s.FanCount = 5 },
+		func(s *Spec) { s.FanNominalFrac = 0.9 },
+		func(s *Spec) { s.Events = s.Events[:len(s.Events)-1] },
+		func(s *Spec) { s.Events[0].At = 1.5 },
+		func(s *Spec) { s.Events[0].FlowFactor = 0.7 },
+		func(s *Spec) { s.Events[3].Duration = 2 },
+		func(s *Spec) { s.Events[4].Socket = 8 },
+	}
+	for i, mut := range muts {
+		b := validSpec()
+		mut(b)
+		if bytes.Equal(a.Canonical(), b.Canonical()) {
+			t.Errorf("mutation %d: canonical encoding unchanged", i)
+		}
+	}
+}
+
+func TestCompileWindow(t *testing.T) {
+	s := validSpec()
+	steps := s.Compile(3.5)
+	// Events at 1, 2, 3 survive a 3.5 s horizon; 4, 5, 6 are dropped.
+	if len(steps) != 3 {
+		t.Fatalf("Compile(3.5) = %d steps, want 3", len(steps))
+	}
+	for _, st := range steps {
+		if st.At >= 3.5 {
+			t.Errorf("step at %v survived a 3.5 s horizon", st.At)
+		}
+	}
+
+	// A throttle window opening inside the horizon keeps its end step even
+	// when that end lands past the horizon (the drain phase must unclamp).
+	s = &Spec{Events: []Event{{At: 4, Kind: KindThrottle, Socket: 1, Duration: 10}}}
+	steps = s.Compile(5)
+	if len(steps) != 2 {
+		t.Fatalf("throttle compile = %d steps, want start+end", len(steps))
+	}
+	if steps[0].Kind != KindThrottle || steps[1].Kind != KindThrottleEnd {
+		t.Fatalf("throttle steps out of order: %+v", steps)
+	}
+	if steps[1].At != 14 {
+		t.Errorf("throttle end at %v, want 14", steps[1].At)
+	}
+
+	// Steps come out time-sorted even when ends interleave later events.
+	s = &Spec{FanCount: 2, Events: []Event{
+		{At: 1, Kind: KindThrottle, Socket: 0, Duration: 5},
+		{At: 2, Kind: KindFanFail, Fans: 1},
+	}}
+	steps = s.Compile(100)
+	for i := 1; i < len(steps); i++ {
+		if steps[i].At < steps[i-1].At {
+			t.Fatalf("steps unsorted: %+v", steps)
+		}
+	}
+	if n := len(s.Compile(0)); n != 0 {
+		t.Errorf("zero horizon compiled %d steps, want 0", n)
+	}
+}

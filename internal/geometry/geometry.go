@@ -51,6 +51,7 @@ type Server struct {
 
 	sockets     []Socket
 	socketSinks []chipmodel.Sink // per-socket, defaulted from Sinks[pos]
+	skus        []chipmodel.SKU  // per-socket part overrides; nil = all default
 }
 
 // New constructs a server topology. XPositions and sinks must each have one
@@ -125,6 +126,38 @@ func (s *Server) Sink(id SocketID) chipmodel.Sink {
 // vary within a depth position (e.g. the uncoupled control pair of Figure 3).
 func (s *Server) SetSink(id SocketID, sink chipmodel.Sink) {
 	s.socketSinks[id] = sink
+}
+
+// SKU returns the part variant installed at a socket (the zero SKU is the
+// platform default part).
+func (s *Server) SKU(id SocketID) chipmodel.SKU {
+	if s.skus == nil {
+		return chipmodel.SKU{}
+	}
+	return s.skus[id]
+}
+
+// SetSKU installs a part variant at one socket. Storage is lazy: a server
+// that never sees an override carries no per-socket SKU state at all.
+func (s *Server) SetSKU(id SocketID, sku chipmodel.SKU) {
+	if s.skus == nil {
+		if sku.IsZero() {
+			return
+		}
+		s.skus = make([]chipmodel.SKU, len(s.sockets))
+	}
+	s.skus[id] = sku
+}
+
+// HasSKUs reports whether any socket carries a non-default part — the
+// heterogeneity flag the simulator's fast paths key off.
+func (s *Server) HasSKUs() bool {
+	for _, sku := range s.skus {
+		if !sku.IsZero() {
+			return true
+		}
+	}
+	return false
 }
 
 // IsFrontHalf reports whether the socket is in the front (upstream) half of

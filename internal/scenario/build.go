@@ -38,8 +38,21 @@ func classByName(name string) (workload.Class, error) {
 	return 0, fmt.Errorf("scenario: unknown workload class %q (have %s)", name, strings.Join(names, ", "))
 }
 
-// Server builds the topology the scenario describes.
+// Server builds the topology the scenario describes, with any cartridge SKU
+// overrides installed.
 func (s *Scenario) Server() (*geometry.Server, error) {
+	srv, err := s.baseServer()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.applySKUs(srv); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// baseServer builds the topology before part overrides.
+func (s *Scenario) baseServer() (*geometry.Server, error) {
 	switch s.Topology.Preset {
 	case "sut":
 		return geometry.SUT(), nil
@@ -213,6 +226,11 @@ func (s *Scenario) Config(seed uint64) (sim.Config, error) {
 			Workers: s.Engine.Workers,
 			Stride:  s.Engine.Stride,
 		},
+	}
+	if spec, err := s.Faults.Spec(); err != nil {
+		return sim.Config{}, err
+	} else if spec != nil {
+		cfg.Faults = spec
 	}
 	if tr, err := s.LoadTrace(); err != nil {
 		return sim.Config{}, err

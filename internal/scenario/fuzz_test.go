@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeFaults throws arbitrary bytes at the standalone faults-file
+// reader. Whatever it accepts must be fully valid (Spec conversion and
+// timeline validation both pass — DecodeFaults promises that) and must
+// survive a marshal → decode round trip unchanged; whatever it rejects must
+// fail with an error, never a panic or a silently-partial timeline.
+func FuzzDecodeFaults(f *testing.F) {
+	f.Add([]byte(`{
+  // canonical chaos file
+  "fan_count": 4,
+  "events": [
+    {"at_s": 2, "kind": "fan-degrade", "flow_factor": 0.9},
+    {"at_s": 6, "kind": "fan-fail", "fans": 1},
+    {"at_s": 8, "kind": "inlet-ramp", "delta_c": 5, "ramp_s": 2},
+    {"at_s": 9, "kind": "socket-death", "socket": 42},
+    {"at_s": 10, "kind": "throttle", "socket": 3, "duration_s": 1},
+    {"at_s": 12, "kind": "fan-recover"}
+  ]
+}`))
+	f.Add([]byte(`{"fan_count": 2, "fan_nominal_frac": 0.7, "events": []}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"events": [{"at_s": 1, "kind": "throttle-end"}]}`))
+	f.Add([]byte(`{"fan_count": -1}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := DecodeFaults(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		spec, err := fl.Spec()
+		if err != nil {
+			t.Fatalf("accepted faults failed Spec conversion: %v", err)
+		}
+		if err := spec.Validate(-1); err != nil {
+			t.Fatalf("accepted faults fail validation: %v", err)
+		}
+		out, err := json.Marshal(fl)
+		if err != nil {
+			t.Fatalf("accepted faults failed to re-encode: %v", err)
+		}
+		again, err := DecodeFaults(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("re-encoded faults rejected: %v", err)
+		}
+		// Compare canonical re-encodings: an accepted empty events list
+		// round-trips to a nil slice (omitempty), which is the same timeline.
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !reflect.DeepEqual(out, out2) {
+			t.Fatalf("round trip mismatch:\n got %s\nwant %s", out2, out)
+		}
+	})
+}

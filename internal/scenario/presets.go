@@ -16,6 +16,7 @@ import (
 // Preset call returns an independent Scenario the caller may mutate.
 var presets = map[string]func() *Scenario{
 	"sut-180":            sut180,
+	"sut-180-fanfail":    sut180FanFail,
 	"half-density-90":    halfDensity90,
 	"double-density-360": doubleDensity360,
 	"conventional-2u":    conventional2U,
@@ -69,6 +70,26 @@ func sut180() *Scenario {
 		Scheduler: Scheduler{Name: "CP"},
 		Run:       baseRun(),
 	}
+}
+
+// sut180FanFail is the SUT under the chaos experiment's canonical fault: a
+// four-fan chassis losing one fan at t=6s, deep enough into the run that the
+// thermal state is warmed up but with most of the horizon still ahead. The
+// invariant harness rides along by default — the fault path is exactly where
+// silent accounting bugs would hide.
+func sut180FanFail() *Scenario {
+	s := sut180()
+	s.Name = "sut-180-fanfail"
+	s.Notes = "SUT chaos baseline: one of four chassis fans fails at t=6s; " +
+		"survivors spin up past their rated point and the chassis loses flow."
+	s.Faults = &Faults{
+		FanCount: 4,
+		Events: []FaultEvent{
+			{AtS: 6, Kind: "fan-fail", Fans: 1},
+		},
+	}
+	s.Checks = true
+	return s
 }
 
 // halfDensity90 halves the lane depth: 3 sockets per lane (DoC 3), 90

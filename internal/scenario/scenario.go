@@ -53,6 +53,15 @@ type Scenario struct {
 	// instead of simulating the warmup again.
 	Snapshot Snapshot `json:"snapshot,omitempty"`
 
+	// Faults declares a deterministic fault-injection timeline (fan
+	// degradation/failure, inlet transients, socket death, emergency
+	// throttles) the engine applies at tick boundaries. Nil means no fault
+	// machinery at all — the bit-exact unfaulted fast paths stay engaged.
+	Faults *Faults `json:"faults,omitempty"`
+	// SKUs installs non-default part variants (mixed TDP / capped DVFS
+	// ladders) at cartridge granularity, making the server heterogeneous.
+	SKUs []SKUOverride `json:"skus,omitempty"`
+
 	// Checks asks runners to attach the runtime invariant harness
 	// (internal/check) to every run of this scenario.
 	Checks bool `json:"checks,omitempty"`
@@ -254,7 +263,7 @@ func (s *Scenario) Validate() error {
 	if s.Snapshot.Save != "" && s.Snapshot.Load != "" {
 		return fmt.Errorf("scenario %q: snapshot save and load are mutually exclusive", s.Name)
 	}
-	return nil
+	return s.validateFaults()
 }
 
 // engineModes and engineStrides list the accepted Engine enum values.

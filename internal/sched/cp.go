@@ -150,9 +150,22 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 		cp.ownPickDynMax = make([]units.Watts, n)
 		// CP picks from the single simulation goroutine, so the shared
 		// dynW-keyed bounds pool is safe — and essential: job churn resets
-		// per-socket bounds every few ticks at high load.
+		// per-socket bounds every few ticks at high load. The pool keys
+		// bounds by dynamic power alone, which is only sound when every
+		// socket shares one leakage curve; heterogeneous SKUs fall back to
+		// per-socket bounds.
 		cp.admiss = chipmodel.NewAdmissCache(n)
-		cp.admiss.EnableSharedPool()
+		homogeneous := true
+		first := s.LeakageAt(0)
+		for i := 1; i < n; i++ {
+			if s.LeakageAt(geometry.SocketID(i)) != first {
+				homogeneous = false
+				break
+			}
+		}
+		if homogeneous {
+			cp.admiss.EnableSharedPool()
+		}
 		cp.ownTempAmb = make([]units.Celsius, n)
 		cp.ownTempDynW = make([]units.Watts, n)
 		cp.ownTempLeakW = make([]units.Watts, n)
@@ -219,7 +232,7 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometry.SocketID, util float64) float64 {
 	srv := s.Server()
 	af := s.Airflow()
-	leak := s.Leakage()
+	leak := s.LeakageAt(cand)
 	dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
 	ladder := len(chipmodel.Frequencies) - 1
 
@@ -309,6 +322,7 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		}
 		amb := s.AmbientTemp(down)
 		sink := srv.Sink(down)
+		dleak := s.LeakageAt(down)
 		// The pre-rise prediction is candidate-independent: replayed from
 		// the (ambient bits, DynMax bits) memo — valid across Picks and
 		// ticks while both are unchanged (the raw value — the budget clamp
@@ -326,7 +340,7 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 				return dbm.DynamicPowerAt(chipmodel.Frequencies[k])
 			})
 			bIdx = chipmodel.HighestAdmissible(ladder, func(k int) bool {
-				return cp.admiss.Admissible(int(down), k, amb, dLad[k], sink, leak)
+				return cp.admiss.Admissible(int(down), k, amb, dLad[k], sink, dleak)
 			})
 			before = chipmodel.FMin
 			if bIdx >= 0 {
@@ -348,7 +362,7 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		// costs one probe; rise only heats, so the answer is bIdx or below.
 		ambAfter := amb + rise
 		aIdx := chipmodel.HighestAdmissibleFrom(bIdx, bIdx, func(k int) bool {
-			return cp.admiss.Admissible(int(down), k, ambAfter, dLad[k], sink, leak)
+			return cp.admiss.Admissible(int(down), k, ambAfter, dLad[k], sink, dleak)
 		})
 		after := chipmodel.FMin
 		if aIdx >= 0 {

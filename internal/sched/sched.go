@@ -44,8 +44,10 @@ type State interface {
 	// Frequency returns the socket's current P-state (meaningful while
 	// busy).
 	Frequency(geometry.SocketID) units.MHz
-	// Leakage returns the socket leakage model.
-	Leakage() chipmodel.Leakage
+	// LeakageAt returns the socket's leakage model. Leakage is per-socket:
+	// heterogeneous SKUs bin parts at different TDPs, so two sockets can
+	// carry different leakage curves.
+	LeakageAt(geometry.SocketID) chipmodel.Leakage
 	// BoostCap returns the highest P-state the socket's boost budget
 	// currently permits (the BKDG boost budget [36]): FMax with plenty of
 	// idle residency, stepping down to the sustained frequency for
@@ -265,13 +267,12 @@ func (Predictive) Name() string { return "Predictive" }
 // Pick implements Scheduler.
 func (Predictive) Pick(s State, j *job.Job, idle []geometry.SocketID) geometry.SocketID {
 	srv := s.Server()
-	leak := s.Leakage()
 	// Wrap the curve in a func literal (stack-allocatable) rather than the
 	// DynamicPower method value, which heap-allocates its bound receiver.
 	bm := &j.Benchmark
 	dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
 	return argBest(idle, func(id geometry.SocketID) float64 {
-		f := PredictSocketFrequency(s, id, dyn, srv.Sink(id), leak)
+		f := PredictSocketFrequency(s, id, dyn, srv.Sink(id), s.LeakageAt(id))
 		// Maximize frequency; among equal frequencies prefer cooler air.
 		return -float64(f)*1e3 + float64(s.AmbientTemp(id))
 	})

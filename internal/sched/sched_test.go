@@ -51,7 +51,9 @@ func newFakeState(t *testing.T, srv *geometry.Server) *fakeState {
 
 func (f *fakeState) Server() *geometry.Server                          { return f.srv }
 func (f *fakeState) Airflow() *airflow.Model                           { return f.af }
-func (f *fakeState) Leakage() chipmodel.Leakage                        { return chipmodel.NewLeakage(workload.TDP) }
+func (f *fakeState) LeakageAt(geometry.SocketID) chipmodel.Leakage {
+	return chipmodel.NewLeakage(workload.TDP)
+}
 func (f *fakeState) ChipTemp(id geometry.SocketID) units.Celsius       { return f.chip[id] }
 func (f *fakeState) SocketTemp(id geometry.SocketID) units.Celsius     { return f.chip[id] }
 func (f *fakeState) AmbientTemp(id geometry.SocketID) units.Celsius    { return f.amb[id] }

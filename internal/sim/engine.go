@@ -148,7 +148,6 @@ type engineState struct {
 	// same job — completions and migration sources invalidate, so a
 	// recycled *Job allocation can never alias a stale entry.
 	useDVFS   bool
-	dvfs      TableDVFS
 	pickBench []*workload.Benchmark
 	pickAmb   []units.Celsius
 	pickCap   []units.MHz
@@ -211,9 +210,8 @@ func (s *Simulator) resolveEngine() {
 			e.dirty[c] = true // ambBuf holds nothing yet
 		}
 		e.events = make([]freqEvent, 0, len(s.sockets))
-		if d, ok := s.power.(TableDVFS); ok {
+		if _, ok := s.power.(TableDVFS); ok {
 			e.useDVFS = true
-			e.dvfs = d
 			n := len(s.sockets)
 			e.pickBench = make([]*workload.Benchmark, n)
 			e.pickAmb = make([]units.Celsius, n)
@@ -249,8 +247,9 @@ func (s *Simulator) resolveEngine() {
 	// The admissibility cache's shared dynW-keyed bounds pool and ladder
 	// table survive job churn but are single-goroutine; the tick pool probes
 	// the cache from worker goroutines, so they engage only for the inline
-	// sweep.
-	if e.useDVFS && e.workers < 2 {
+	// sweep. The pool's bounds are exact only under one leakage curve, so
+	// heterogeneous SKUs keep the per-socket entries and skip the pool.
+	if e.useDVFS && e.workers < 2 && !s.hetero {
 		e.shared = true
 		e.admiss.EnableSharedPool()
 		e.pickLad = make([][]units.Watts, len(s.sockets))
@@ -322,7 +321,7 @@ func (s *Simulator) pickFrequency(id geometry.SocketID, st *socketState) units.M
 func (s *Simulator) enginePick(i int, st *socketState) units.MHz {
 	e := &s.eng
 	bench := &st.j.Benchmark
-	cap := s.boostCap(st.utilEWMA)
+	cap := s.capFor(i, st.utilEWMA)
 	if e.pickBench[i] == bench && e.pickAmb[i] == st.ambient && e.pickCap[i] == cap {
 		return e.pickFreq[i]
 	}
@@ -336,7 +335,7 @@ func (s *Simulator) enginePick(i int, st *socketState) units.MHz {
 	}
 	sink := s.srv.Sink(geometry.SocketID(i))
 	ambient := st.ambient
-	leak := e.dvfs.Leak
+	leak := s.leakAt[i]
 	admiss := e.admiss
 	var idx int
 	if e.shared {
@@ -419,9 +418,9 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 					*events = append(*events, freqEvent{sock: int32(i), from: st.freq, to: f})
 					st.freq = f
 				}
-				s.setPower(i, s.busyPower(st))
+				s.setPower(i, s.busyPower(i))
 			} else {
-				s.setPower(i, s.gatedPower)
+				s.setPower(i, s.idlePow(i))
 			}
 			// The channel settles when the sweep was a bit-exact identity on
 			// every socket it owns: re-running it would change nothing.
@@ -507,7 +506,10 @@ func (s *Simulator) canStride() bool {
 		s.busyCount == 0 &&
 		s.queue.Len() == 0 &&
 		s.now < s.cfg.Duration &&
-		math.IsInf(float64(s.nextArrivalTime()), 1)
+		math.IsInf(float64(s.nextArrivalTime()), 1) &&
+		// A pending fault step or an inlet ramp in flight can still change
+		// the (observable) energy accrual and fan ledgers inside the tail.
+		(s.flt == nil || s.flt.idle())
 }
 
 // strideIdleTail fast-forwards the dead tail to the run's end, replaying
@@ -520,9 +522,13 @@ func (s *Simulator) canStride() bool {
 // of the run. Completes the run: afterwards finished() holds or the drain
 // limit was hit.
 func (s *Simulator) strideIdleTail(tick, hardStop units.Seconds) {
+	if s.hetero || s.flt != nil {
+		s.strideIdleTailSlow(tick, hardStop)
+		return
+	}
 	warmup := s.cfg.Warmup
 	dur := s.cfg.Duration
-	perTick := float64(s.gatedPower)
+	perTick := float64(s.gatedPow[0])
 	n := len(s.sockets)
 	var ticks int64
 	for {
@@ -536,6 +542,45 @@ func (s *Simulator) strideIdleTail(tick, hardStop units.Seconds) {
 			s.col.OnEnergyRepeat(units.Joules(perTick*float64(seg)), n)
 		}
 		s.now = tickEnd
+		ticks++
+		if s.now >= dur || s.now >= hardStop {
+			break
+		}
+	}
+	for i := range s.sockets {
+		s.sockets[i].lastUpdate = s.now
+	}
+	if s.tel != nil {
+		s.tel.OnStride(ticks)
+	}
+}
+
+// strideIdleTailSlow is the stride for runs where idle draws differ per
+// socket (heterogeneous SKUs, dead sockets) or a fan ledger keeps accruing:
+// the thermal sweep still freezes, but energy is replayed per tick per
+// socket in the exact serial order (tick-major, socket-minor), so the
+// collector's floating-point accumulation is bit-identical to the unstrided
+// loop. Still skips the whole thermal/DVFS sweep — the dominant cost.
+func (s *Simulator) strideIdleTailSlow(tick, hardStop units.Seconds) {
+	warmup := s.cfg.Warmup
+	dur := s.cfg.Duration
+	var ticks int64
+	for {
+		last := s.now
+		tickEnd := last + tick
+		if tickEnd > warmup {
+			seg := tickEnd - last
+			if last < warmup {
+				seg = tickEnd - warmup
+			}
+			for i := range s.sockets {
+				s.col.OnEnergy(units.Joules(float64(s.sockets[i].power) * float64(seg)))
+			}
+		}
+		s.now = tickEnd
+		if s.flt != nil {
+			s.accrueFanEnergy(last, tickEnd)
+		}
 		ticks++
 		if s.now >= dur || s.now >= hardStop {
 			break

@@ -82,7 +82,7 @@ func (s *Simulator) runMigrations() {
 		bm := &j.Benchmark
 		dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
 		predicted := sched.PredictSocketFrequency(s, dest, dyn,
-			s.srv.Sink(dest), s.leak)
+			s.srv.Sink(dest), s.leakAt[dest])
 		if float64(predicted-curFreq) < mc.MinGainMHz {
 			continue
 		}
@@ -115,7 +115,7 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	s.markIdle(int(srcID))
 	s.eng.invalidatePick(int(srcID))
 	s.setDoneAt(int(srcID), neverDone)
-	s.setPower(int(srcID), s.gatedPower)
+	s.setPower(int(srcID), s.idlePow(int(srcID)))
 
 	// Transfer cost: the job pays extra work-time.
 	j.Work += s.cfg.Migration.Cost
@@ -126,7 +126,7 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 	s.markBusy(int(dstID))
 	dst.freq = s.pickFrequency(dstID, dst)
 	s.refreshDoneAt(int(dstID))
-	s.setPower(int(dstID), s.busyPower(dst))
+	s.setPower(int(dstID), s.busyPower(int(dstID)))
 
 	s.migrations++
 	if s.checks != nil {

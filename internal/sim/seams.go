@@ -48,12 +48,13 @@ var _ ThermalChain = (*airflow.Model)(nil)
 // placement; implementations must not allocate in steady state.
 type PowerManager interface {
 	// IdlePower returns the constant draw of a power-gated idle socket for
-	// the configured per-socket TDP.
+	// the given per-socket TDP.
 	IdlePower(tdp units.Watts) units.Watts
 	// PickFrequency returns the operating frequency for a busy socket given
 	// its (slow-moving) ambient temperature, the running job's benchmark,
-	// the socket's heat sink, and the boost-budget frequency cap.
-	PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz) units.MHz
+	// the socket's heat sink, the boost-budget frequency cap, and the
+	// socket's leakage model (per-socket under heterogeneous SKUs).
+	PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz, leak chipmodel.Leakage) units.MHz
 }
 
 // WorkloadSource is the seam feeding jobs into the simulation: the live
@@ -70,11 +71,9 @@ type WorkloadSource = job.Source
 // keeps the policy conservative — a millisecond job cannot outrun the
 // thermal model — and makes the power manager agree exactly with the
 // schedulers' frequency predictor. IdlePower is the paper's 10%-of-TDP
-// power-gated draw.
-type TableDVFS struct {
-	// Leak is the leakage model feeding the two-step peak prediction.
-	Leak chipmodel.Leakage
-}
+// power-gated draw. TableDVFS is stateless: the leakage model arrives per
+// call, so one manager serves a heterogeneous-SKU server.
+type TableDVFS struct{}
 
 // IdlePower implements PowerManager.
 func (TableDVFS) IdlePower(tdp units.Watts) units.Watts {
@@ -82,10 +81,10 @@ func (TableDVFS) IdlePower(tdp units.Watts) units.Watts {
 }
 
 // PickFrequency implements PowerManager.
-func (d TableDVFS) PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz) units.MHz {
+func (TableDVFS) PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz, leak chipmodel.Leakage) units.MHz {
 	i := chipmodel.HighestAdmissible(chipmodel.CapIndex(cap), func(i int) bool {
 		dyn := b.DynamicPowerAt(chipmodel.Frequencies[i])
-		return chipmodel.PredictTwoStep(ambient, dyn, sink, d.Leak) <= chipmodel.TempLimit
+		return chipmodel.PredictTwoStep(ambient, dyn, sink, leak) <= chipmodel.TempLimit
 	})
 	if i < 0 {
 		return chipmodel.FMin

@@ -25,7 +25,7 @@ func (c constantChain) AmbientInto(powers []units.Watts, out []units.Celsius) {
 type floorDVFS struct{}
 
 func (floorDVFS) IdlePower(tdp units.Watts) units.Watts { return 0 }
-func (floorDVFS) PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz) units.MHz {
+func (floorDVFS) PickFrequency(ambient units.Celsius, b *workload.Benchmark, sink chipmodel.Sink, cap units.MHz, leak chipmodel.Leakage) units.MHz {
 	return chipmodel.FMin
 }
 
@@ -114,7 +114,7 @@ func TestSeamDefaultsMatchExplicit(t *testing.T) {
 	}
 	cfg2 := seamTestConfig(t)
 	cfg2.Thermal = explicitSim.af
-	cfg2.Power = TableDVFS{Leak: explicitSim.leak}
+	cfg2.Power = TableDVFS{}
 	s, err := New(cfg2)
 	if err != nil {
 		t.Fatal(err)

@@ -37,6 +37,7 @@ import (
 	"densim/internal/airflow"
 	"densim/internal/check"
 	"densim/internal/chipmodel"
+	"densim/internal/fault"
 	"densim/internal/geometry"
 	"densim/internal/job"
 	"densim/internal/metrics"
@@ -132,6 +133,13 @@ type Config struct {
 	// Power overrides the per-socket power policy (DVFS pick + idle gating).
 	// Nil uses the Table III TableDVFS policy.
 	Power PowerManager
+	// Faults optionally injects a deterministic fault timeline — fan
+	// degradation and failure, inlet transients, socket death with job
+	// requeue, forced emergency throttles (see internal/fault). Steps apply
+	// at the first tick boundary at or past their timestamp. Fault injection
+	// requires the default airflow thermal chain: fan faults rescale its
+	// per-lane flow, which an opaque custom chain cannot express.
+	Faults *fault.Spec
 	// Engine selects how the tick loop executes (serial, dirty-lane
 	// incremental, lane-sharded parallel, event-horizon striding — see
 	// engine.go). Every engine produces bit-identical results; the zero
@@ -173,6 +181,20 @@ func (c Config) Validate() error {
 	}
 	if err := c.Engine.Validate(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		if c.Thermal != nil {
+			return fmt.Errorf("sim: fault injection requires the default airflow thermal chain (Config.Thermal must be nil)")
+		}
+		// Socket bounds are re-validated in New once the topology has
+		// defaulted; -1 skips them when Server is still nil here.
+		n := -1
+		if c.Server != nil {
+			n = c.Server.NumSockets()
+		}
+		if err := c.Faults.Validate(n); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	return nil
 }
@@ -281,8 +303,18 @@ type Simulator struct {
 	af      *airflow.Model
 	thermal ThermalChain
 	// power is the per-socket power policy (Config.Power or TableDVFS).
-	power   PowerManager
-	leak    chipmodel.Leakage
+	power PowerManager
+	// leakAt, gatedPow and fmaxAt are the per-socket power constants: the
+	// leakage model and power-gated idle draw for the socket's TDP, and the
+	// SKU frequency ceiling (fmaxAt is nil on a homogeneous server; hetero
+	// latches whether any cartridge carries a non-default SKU).
+	leakAt   []chipmodel.Leakage
+	gatedPow []units.Watts
+	fmaxAt   []units.MHz
+	hetero   bool
+	// flt is the fault-injection runtime (nil when Config.Faults is unset:
+	// every fault hook below is a single pointer test).
+	flt     *faultState
 	sockets []socketState
 	powers  []units.Watts
 	queue   job.Queue
@@ -303,8 +335,6 @@ type Simulator struct {
 	// comp indexes the per-socket completion instants for O(1)
 	// next-completion queries (see completionIndex).
 	comp *completionIndex
-	// gatedPower is the constant draw of a power-gated idle socket.
-	gatedPower units.Watts
 	// tickGains caches the four first-order blend factors for the power
 	// manager's fixed tick period, hoisting 1-exp(-dt/tau) out of the
 	// per-socket loop (it depends only on dt).
@@ -359,7 +389,6 @@ func New(cfg Config) (*Simulator, error) {
 		af:      af,
 		thermal: cfg.Thermal,
 		power:   cfg.Power,
-		leak:    chipmodel.NewLeakage(cfg.TDP),
 		sockets: make([]socketState, cfg.Server.NumSockets()),
 		powers:  make([]units.Watts, cfg.Server.NumSockets()),
 		col:     metrics.NewCollector(),
@@ -374,23 +403,42 @@ func New(cfg Config) (*Simulator, error) {
 		s.thermal = af
 	}
 	if s.power == nil {
-		s.power = TableDVFS{Leak: s.leak}
+		s.power = TableDVFS{}
 	}
 	if cfg.Source != nil {
 		s.source = cfg.Source
 	} else {
 		s.source = workload.NewArrivals(cfg.Mix, s.srv.NumSockets(), cfg.Load, stats.NewRNG(cfg.Seed))
 	}
+	// Per-socket power constants. A cartridge SKU override replaces the
+	// platform TDP (and with it the leakage curve and gated draw) and may
+	// pin a frequency ceiling below the shared ladder.
+	n := cfg.Server.NumSockets()
+	s.hetero = cfg.Server.HasSKUs()
+	s.leakAt = make([]chipmodel.Leakage, n)
+	s.gatedPow = make([]units.Watts, n)
+	if s.hetero {
+		s.fmaxAt = make([]units.MHz, n)
+	}
 	inlet := s.thermal.Inlet()
-	gated := s.power.IdlePower(cfg.TDP)
-	s.gatedPower = gated
 	for i := range s.sockets {
 		id := geometry.SocketID(i)
+		tdp := cfg.TDP
+		if sku := s.srv.SKU(id); !sku.IsZero() {
+			if sku.TDP > 0 {
+				tdp = sku.TDP
+			}
+			if sku.FMax > 0 {
+				s.fmaxAt[i] = sku.FMax
+			}
+		}
+		s.leakAt[i] = chipmodel.NewLeakage(tdp)
+		s.gatedPow[i] = s.power.IdlePower(tdp)
 		s.sockets[i] = socketState{
 			ambient:  inlet,
 			chipTemp: inlet,
 			histTemp: inlet,
-			power:    gated,
+			power:    s.gatedPow[i],
 			doneAt:   neverDone,
 			placement: metrics.JobPlacement{
 				Zone:      s.srv.Zone(id),
@@ -398,7 +446,7 @@ func New(cfg Config) (*Simulator, error) {
 				EvenZone:  s.srv.IsEvenZone(id),
 			},
 		}
-		s.powers[i] = gated
+		s.powers[i] = s.gatedPow[i]
 	}
 	if cfg.Migration.Period > 0 {
 		s.nextMigration = cfg.Migration.Period
@@ -407,6 +455,11 @@ func New(cfg Config) (*Simulator, error) {
 		s.checks = cfg.Checks
 		s.checks.Begin(cfg.Server.NumSockets(), cfg.Warmup, inlet,
 			chipmodel.TempLimit, cfg.ChipTau, cfg.TickPeriod)
+	}
+	if cfg.Faults != nil {
+		if err := s.initFaults(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Telemetry != nil {
 		s.inletC = float64(inlet)
@@ -453,8 +506,12 @@ func (s *Simulator) HistoricalTemp(id geometry.SocketID) units.Celsius {
 	return s.sockets[id].histTemp
 }
 
-// Busy implements sched.State.
-func (s *Simulator) Busy(id geometry.SocketID) bool { return s.sockets[id].busy }
+// Busy implements sched.State. A dead socket (socket-death fault) reports
+// busy: it cannot accept work, and every scheduler already knows how to step
+// around busy sockets — no policy needs a third state.
+func (s *Simulator) Busy(id geometry.SocketID) bool {
+	return s.sockets[id].busy || (s.flt != nil && s.flt.dead[id])
+}
 
 // RunningJob implements sched.State.
 func (s *Simulator) RunningJob(id geometry.SocketID) *job.Job { return s.sockets[id].j }
@@ -462,13 +519,30 @@ func (s *Simulator) RunningJob(id geometry.SocketID) *job.Job { return s.sockets
 // Frequency implements sched.State.
 func (s *Simulator) Frequency(id geometry.SocketID) units.MHz { return s.sockets[id].freq }
 
-// Leakage implements sched.State.
-func (s *Simulator) Leakage() chipmodel.Leakage { return s.leak }
+// LeakageAt implements sched.State: the socket's leakage model (per-socket
+// under heterogeneous SKUs, one shared curve otherwise).
+func (s *Simulator) LeakageAt(id geometry.SocketID) chipmodel.Leakage { return s.leakAt[id] }
 
 // BoostCap implements sched.State: the highest P-state the socket's boost
-// budget currently permits.
+// budget, SKU ceiling, and any active throttle fault currently permit.
 func (s *Simulator) BoostCap(id geometry.SocketID) units.MHz {
-	return s.boostCap(s.sockets[id].utilEWMA)
+	return s.capFor(int(id), s.sockets[id].utilEWMA)
+}
+
+// capFor returns socket i's frequency cap at utilization util: the boost
+// budget tier, clamped by the socket's SKU ceiling, and forced to the ladder
+// floor while an emergency-throttle fault pins the socket.
+func (s *Simulator) capFor(i int, util float64) units.MHz {
+	if s.flt != nil && s.flt.capped[i] {
+		return chipmodel.FMin
+	}
+	c := s.boostCap(util)
+	if s.fmaxAt != nil {
+		if m := s.fmaxAt[i]; m > 0 && m < c {
+			c = m
+		}
+	}
+	return c
 }
 
 func (s *Simulator) boostCap(util float64) units.MHz {
@@ -579,6 +653,9 @@ func (s *Simulator) runLoop(until units.Seconds) {
 		s.eng.pool = newTickPool(s, s.eng.workers)
 	}
 	for s.now < until {
+		if s.flt != nil {
+			s.applyFaults()
+		}
 		if until == neverDone && s.canStride() {
 			// Dead tail: nothing can happen before the horizon, and the run
 			// ends at the horizon. Fast-forward and finish.
@@ -586,10 +663,14 @@ func (s *Simulator) runLoop(until units.Seconds) {
 			s.ended = true
 			break
 		}
+		tickStart := s.now
 		tickEnd := s.now + tick
 		s.processEventsUntil(tickEnd)
 		s.advanceAllTo(tickEnd)
 		s.now = tickEnd
+		if s.flt != nil {
+			s.accrueFanEnergy(tickStart, tickEnd)
+		}
 		s.powerManagerTick(tick)
 		if s.cfg.Migration.Period > 0 && s.now >= s.nextMigration {
 			s.runMigrations()
@@ -719,7 +800,16 @@ func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
 	s.markIdle(int(id))
 	s.eng.invalidatePick(int(id))
 	s.setDoneAt(int(id), neverDone)
-	s.setPower(int(id), s.gatedPower)
+	s.setPower(int(id), s.idlePow(int(id)))
+}
+
+// idlePow returns socket i's idle draw: the SKU-scaled power-gated power, or
+// zero once a socket-death fault has cut it from the rails.
+func (s *Simulator) idlePow(i int) units.Watts {
+	if s.flt != nil && s.flt.dead[i] {
+		return 0
+	}
+	return s.gatedPow[i]
 }
 
 // drainQueue places queued jobs on idle sockets until one side is exhausted.
@@ -770,7 +860,7 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	s.markBusy(int(id))
 	st.freq = s.pickFrequency(id, st)
 	s.refreshDoneAt(int(id))
-	s.setPower(int(id), s.busyPower(st))
+	s.setPower(int(id), s.busyPower(int(id)))
 	if s.checks != nil {
 		s.checks.OnPlace(int64(j.ID), j.NominalDuration, t)
 	}
@@ -779,10 +869,11 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	}
 }
 
-// busyPower returns dynamic power at the socket's frequency plus leakage at
-// its current chip temperature.
-func (s *Simulator) busyPower(st *socketState) units.Watts {
-	return st.j.Benchmark.DynamicPowerAt(st.freq) + s.leak.At(st.chipTemp)
+// busyPower returns dynamic power at the socket's frequency plus the
+// socket's leakage at its current chip temperature.
+func (s *Simulator) busyPower(i int) units.Watts {
+	st := &s.sockets[i]
+	return st.j.Benchmark.DynamicPowerAt(st.freq) + s.leakAt[i].At(st.chipTemp)
 }
 
 // advanceSocketTo accrues work, busy-frequency time, and energy on one
@@ -898,9 +989,9 @@ func (s *Simulator) powerManagerTickSerial(dt units.Seconds) {
 				st.freq = f
 				s.refreshDoneAt(i)
 			}
-			st.power = s.busyPower(st)
+			st.power = s.busyPower(i)
 		} else {
-			st.power = s.gatedPower
+			st.power = s.idlePow(i)
 		}
 		s.powers[i] = st.power
 	}
@@ -937,7 +1028,7 @@ func (s *Simulator) auditTick() {
 		// below the limit. The converged fixed point (not the governor's
 		// two-step truncation) is what the chip integrator actually
 		// approaches, so the harness's settled-chip bound is tight.
-		headroom := s.settledChipTemp(st, sink) <= chipmodel.TempLimit
+		headroom := s.settledChipTemp(i, st, sink) <= chipmodel.TempLimit
 		s.checks.OnSocketTick(i, st.busy, st.ambient, st.chipTemp, headroom, s.now)
 	}
 	if s.checks.OnTick(s.now) {
@@ -968,8 +1059,15 @@ func (s *Simulator) auditEngineCaches() {
 		}
 	}
 	scanned := 0
+	dead := 0
 	firstDiff := -1
 	for i := range s.sockets {
+		if s.flt != nil && s.flt.dead[i] {
+			// Dead sockets are neither busy nor schedulable: they are out of
+			// the idle set and out of the busy count.
+			dead++
+			continue
+		}
 		if !s.sockets[i].busy {
 			if firstDiff < 0 && (scanned >= len(s.idleSet) || s.idleSet[scanned] != geometry.SocketID(i)) {
 				firstDiff = scanned
@@ -977,7 +1075,7 @@ func (s *Simulator) auditEngineCaches() {
 			scanned++
 		}
 	}
-	s.checks.AuditIdleSet(len(s.idleSet), scanned, s.busyCount, len(s.sockets)-scanned, firstDiff, s.now)
+	s.checks.AuditIdleSet(len(s.idleSet), scanned, s.busyCount, len(s.sockets)-scanned-dead, firstDiff, s.now)
 }
 
 // settledChipTemp returns the chip temperature the socket's current
@@ -987,14 +1085,15 @@ func (s *Simulator) auditEngineCaches() {
 // the iteration contracts; starting from the current chip temperature it
 // converges in a handful of steps. Idle sockets draw the fixed gated power
 // with no leakage feedback, so their target is already the fixed point.
-func (s *Simulator) settledChipTemp(st *socketState, sink chipmodel.Sink) units.Celsius {
+func (s *Simulator) settledChipTemp(i int, st *socketState, sink chipmodel.Sink) units.Celsius {
 	if !st.busy {
-		return chipmodel.PeakTemp(st.ambient, s.gatedPower, sink)
+		return chipmodel.PeakTemp(st.ambient, s.idlePow(i), sink)
 	}
+	leak := s.leakAt[i]
 	dyn := st.j.Benchmark.DynamicPowerAt(st.freq)
 	t := st.chipTemp
 	for k := 0; k < 64; k++ {
-		nt := chipmodel.PeakTemp(st.ambient, dyn+s.leak.At(t), sink)
+		nt := chipmodel.PeakTemp(st.ambient, dyn+leak.At(t), sink)
 		if math.Abs(float64(nt-t)) < 1e-9 {
 			return nt
 		}
@@ -1008,7 +1107,7 @@ func (s *Simulator) settledChipTemp(st *socketState, sink chipmodel.Sink) units.
 // (highest admissible P-state under the predicted Equation-1 peak, boost
 // budget respected).
 func (s *Simulator) pickFrequencyIndexed(id geometry.SocketID, st *socketState) units.MHz {
-	return s.power.PickFrequency(st.ambient, &st.j.Benchmark, s.srv.Sink(id), s.boostCap(st.utilEWMA))
+	return s.power.PickFrequency(st.ambient, &st.j.Benchmark, s.srv.Sink(id), s.capFor(int(id), st.utilEWMA), s.leakAt[id])
 }
 
 // Arrived returns the number of jobs admitted.

@@ -43,7 +43,7 @@ import (
 // rejected. Bump the version on any payload layout change.
 var snapshotMagic = [4]byte{'D', 'S', 'N', 'P'}
 
-const snapshotVersion uint32 = 1
+const snapshotVersion uint32 = 2
 
 // sourceSnapshotter is the accessor pair a workload source must provide to
 // be snapshottable; workload.Arrivals implements it. Sources without it
@@ -137,6 +137,24 @@ func (s *Simulator) cfgSig() [32]byte {
 	w.f64(float64(c.Migration.Cost))
 	w.f64(c.Migration.MinGainMHz)
 	w.f64(c.Migration.MinRemainingWork)
+	// Heterogeneous SKUs: a per-cartridge override changes the trajectory
+	// from the first tick, so the per-socket (TDP, FMax) pairs are identity.
+	if s.hetero {
+		w.u8(1)
+		for i := range s.sockets {
+			sku := s.srv.SKU(geometry.SocketID(i))
+			w.f64(float64(sku.TDP))
+			w.f64(float64(sku.FMax))
+		}
+	} else {
+		w.u8(0)
+	}
+	// Fault timeline: the canonical encoding covers every semantic field, so
+	// a capture can never restore under a different fault schedule. A run
+	// without faults contributes a zero-length marker.
+	fb := c.Faults.Canonical()
+	w.u32(uint32(len(fb)))
+	w.buf = append(w.buf, fb...)
 	return sha256.Sum256(w.buf)
 }
 
@@ -211,6 +229,40 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	}
 	// Metrics accumulators.
 	p.collector(s.col.State())
+	// Fault runtime (presence is implied by the config signature, but the
+	// flag keeps the payload self-describing).
+	if f := s.flt; f != nil {
+		p.u8(1)
+		p.u64(uint64(f.cursor))
+		p.u64(uint64(f.working))
+		p.f64(f.derate)
+		p.f64(f.flowFactor)
+		p.f64(float64(f.fanPowerW))
+		p.f64(float64(f.fanEnergyJ))
+		p.f64(float64(f.curInlet))
+		if f.rampActive {
+			p.u8(1)
+		} else {
+			p.u8(0)
+		}
+		p.f64(float64(f.rampStart))
+		p.f64(float64(f.rampLen))
+		p.f64(float64(f.rampFrom))
+		p.f64(float64(f.rampTo))
+		p.u64(uint64(f.requeues))
+		for i := range f.dead {
+			b := uint8(0)
+			if f.dead[i] {
+				b |= 1
+			}
+			if f.capped[i] {
+				b |= 2
+			}
+			p.u8(b)
+		}
+	} else {
+		p.u8(0)
+	}
 
 	sig := s.cfgSig()
 	var w snapWriter
@@ -322,6 +374,66 @@ func (s *Simulator) Restore(data []byte) error {
 	if colErr != nil {
 		return colErr
 	}
+	type faultSnap struct {
+		cursor, working    int
+		derate, flowFactor float64
+		fanPowerW          units.Watts
+		fanEnergyJ         units.Joules
+		curInlet           units.Celsius
+		rampActive         bool
+		rampStart, rampLen units.Seconds
+		rampFrom, rampTo   units.Celsius
+		requeues, deadCount int
+		dead, capped        []bool
+	}
+	var fs *faultSnap
+	hasFaults := r.u8()
+	if hasFaults > 1 {
+		return fmt.Errorf("sim: snapshot fault flag %d", hasFaults)
+	}
+	if (hasFaults == 1) != (s.flt != nil) {
+		return fmt.Errorf("sim: snapshot fault-state presence does not match the configured timeline")
+	}
+	if hasFaults == 1 {
+		fs = &faultSnap{
+			cursor:     int(r.u64()),
+			working:    int(r.u64()),
+			derate:     r.f64(),
+			flowFactor: r.f64(),
+			fanPowerW:  units.Watts(r.f64()),
+			fanEnergyJ: units.Joules(r.f64()),
+			curInlet:   units.Celsius(r.f64()),
+		}
+		rampFlag := r.u8()
+		if rampFlag > 1 {
+			return fmt.Errorf("sim: snapshot ramp flag %d", rampFlag)
+		}
+		fs.rampActive = rampFlag == 1
+		fs.rampStart = units.Seconds(r.f64())
+		fs.rampLen = units.Seconds(r.f64())
+		fs.rampFrom = units.Celsius(r.f64())
+		fs.rampTo = units.Celsius(r.f64())
+		fs.requeues = int(r.u64())
+		if fs.cursor < 0 || fs.cursor > len(s.flt.steps) {
+			return fmt.Errorf("sim: snapshot fault cursor %d outside timeline of %d steps", fs.cursor, len(s.flt.steps))
+		}
+		fs.dead = make([]bool, nSockets)
+		fs.capped = make([]bool, nSockets)
+		for i := 0; i < nSockets; i++ {
+			b := r.u8()
+			if b > 3 {
+				return fmt.Errorf("sim: snapshot socket %d fault bits %d", i, b)
+			}
+			fs.dead[i] = b&1 != 0
+			fs.capped[i] = b&2 != 0
+			if fs.dead[i] {
+				fs.deadCount++
+			}
+			if fs.dead[i] && socks[i].state.busy {
+				return fmt.Errorf("sim: snapshot socket %d is both dead and busy", i)
+			}
+		}
+	}
 	if r.err != nil {
 		return fmt.Errorf("sim: snapshot payload truncated")
 	}
@@ -351,7 +463,9 @@ func (s *Simulator) Restore(data []byte) error {
 		s.comp.update(i, st.doneAt)
 		if st.busy {
 			s.busyCount++
-		} else {
+		} else if fs == nil || !fs.dead[i] {
+			// Dead sockets are neither busy nor idle: they stay out of the
+			// scheduler's candidate set.
 			s.idleSet = append(s.idleSet, geometry.SocketID(i))
 		}
 		s.eng.invalidatePick(i)
@@ -367,6 +481,30 @@ func (s *Simulator) Restore(data []byte) error {
 		rc.SetRNGState(schedRNG)
 	}
 	s.col.SetState(colState)
+	if fs != nil {
+		f := s.flt
+		f.cursor = fs.cursor
+		f.working = fs.working
+		f.derate = fs.derate
+		f.flowFactor = fs.flowFactor
+		f.fanPowerW = fs.fanPowerW
+		f.fanEnergyJ = fs.fanEnergyJ
+		f.curInlet = fs.curInlet
+		f.rampActive = fs.rampActive
+		f.rampStart = fs.rampStart
+		f.rampLen = fs.rampLen
+		f.rampFrom = fs.rampFrom
+		f.rampTo = fs.rampTo
+		f.requeues = fs.requeues
+		copy(f.dead, fs.dead)
+		copy(f.capped, fs.capped)
+		f.deadCount = fs.deadCount
+		// Re-apply the fault physics: the airflow model must match the
+		// restored flow factor and inlet. Rebuilding from the original config
+		// is deterministic, so a factor-1 base-inlet rebuild is bit-identical
+		// to the model New constructed.
+		s.applyFlowPhysics()
+	}
 	// Engine caches: every lane's cached ambient is stale relative to the
 	// restored powers, so mark everything dirty and nothing settled; the
 	// first sweep recomputes from scratch, exactly like a cold start.

@@ -99,6 +99,12 @@ func (l *Local) OnWorkerShards(n int64) { l.counters[CWorkerShards] += n }
 // OnArrival records one admitted job.
 func (l *Local) OnArrival() { l.counters[CArrivals]++ }
 
+// OnFaultEvent records one applied fault-timeline step.
+func (l *Local) OnFaultEvent() { l.counters[CFaultEvents]++ }
+
+// OnRequeue records one job displaced back to the queue by a socket death.
+func (l *Local) OnRequeue() { l.counters[CRequeues]++ }
+
 // TimeThisPick reports whether the caller should wall-clock its next Pick
 // call (one in PickSampleInterval, counted per run).
 func (l *Local) TimeThisPick() bool {

@@ -90,6 +90,8 @@ var counterHelp = [numCounters]string{
 	CMigrations:   "Job migrations performed.",
 	CThrottleDown: "DVFS transitions that lowered a busy socket's P-state.",
 	CThrottleUp:   "DVFS transitions that raised a busy socket's P-state.",
+	CFaultEvents:  "Fault-timeline steps applied.",
+	CRequeues:     "Jobs displaced back to the queue by socket-death faults.",
 }
 
 // writeProm renders the instances' metrics, emitting each metric family's

@@ -68,6 +68,12 @@ const (
 	// engine skipped because every lane was at a bit-exact fixed point (each
 	// is also counted in CTicks, like strided ticks).
 	CSettledTicks
+	// CFaultEvents counts fault-timeline steps applied (fan events, inlet
+	// ramps, socket deaths, throttle windows opening and closing).
+	CFaultEvents
+	// CRequeues counts jobs displaced back into the queue by socket-death
+	// faults.
+	CRequeues
 
 	numCounters
 )
@@ -86,6 +92,8 @@ var counterNames = [numCounters]string{
 	CLaneSkips:    "skipped_lanes",
 	CWorkerShards: "worker_shards",
 	CSettledTicks: "settled_ticks",
+	CFaultEvents:  "fault_events",
+	CRequeues:     "requeues",
 }
 
 // Name returns the counter's exposition name.

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"densim/internal/stats"
+	"densim/internal/units"
+)
+
+// TestArrivalsResumeFromZeroRate is the regression test for the inf-sentinel
+// bug: the pre-fix advance() did next += gap unconditionally, so once next
+// hit the 1e300 zero-rate sentinel, re-enabling the rate kept adding finite
+// gaps to 1e300 and the process never produced another arrival. With the
+// explicit disabled state, a rate 0 -> rate > 0 transition must resume the
+// stream from the resume instant.
+func TestArrivalsResumeFromZeroRate(t *testing.T) {
+	mix := ClassMix(Computation)
+	a := NewArrivals(mix, 10, 0, stats.NewRNG(1))
+	if got := a.Peek(); got < units.Seconds(inf) {
+		t.Fatalf("disabled process Peek() = %v, want never (>= %v)", got, units.Seconds(inf))
+	}
+
+	const resumeAt = units.Seconds(5)
+	a.SetRate(mix.ArrivalRate(10, 0.5), resumeAt)
+	next := a.Peek()
+	if next >= units.Seconds(inf) {
+		t.Fatalf("process never resumed: Peek() = %v after SetRate", next)
+	}
+	if next < resumeAt {
+		t.Fatalf("resumed arrival at %v precedes the resume instant %v", next, resumeAt)
+	}
+	// The resumed stream must keep producing ordered finite arrivals.
+	prev := units.Seconds(0)
+	for i := 0; i < 10; i++ {
+		at, _, dur := a.Next()
+		if at >= units.Seconds(inf) {
+			t.Fatalf("arrival %d at the never sentinel", i)
+		}
+		if at < prev {
+			t.Fatalf("arrival %d at %v precedes previous at %v", i, at, prev)
+		}
+		if dur <= 0 {
+			t.Fatalf("arrival %d sampled non-positive duration %v", i, dur)
+		}
+		prev = at
+	}
+}
+
+// TestArrivalsDisableMidStream pins the other direction: disabling a live
+// process parks it at "never", and re-enabling resumes from the given
+// instant rather than from the stale pending arrival.
+func TestArrivalsDisableMidStream(t *testing.T) {
+	mix := ClassMix(Computation)
+	a := NewArrivals(mix, 10, 0.5, stats.NewRNG(7))
+	a.Next()
+	a.SetRate(0, 1)
+	if a.Peek() < units.Seconds(inf) {
+		t.Fatal("disabled mid-stream but Peek is finite")
+	}
+	a.SetRate(mix.ArrivalRate(10, 0.5), 42)
+	if next := a.Peek(); next < 42 || next >= units.Seconds(inf) {
+		t.Fatalf("resume from 42 produced Peek() = %v", next)
+	}
+	// Setting a rate on an already-live process must not reset the stream.
+	before := a.Peek()
+	a.SetRate(mix.ArrivalRate(10, 0.9), 1000)
+	if a.Peek() != before {
+		t.Fatalf("SetRate on a live process moved the pending arrival %v -> %v", before, a.Peek())
+	}
+}
+
+// TestArrivalsSnapshotDisabledState pins the wire encoding: a disabled
+// process snapshots its next at the never sentinel and restores disabled,
+// so warm-started runs cannot resurrect a dead stream by accident.
+func TestArrivalsSnapshotDisabledState(t *testing.T) {
+	mix := ClassMix(Computation)
+	a := NewArrivals(mix, 10, 0, stats.NewRNG(3))
+	rngState, next := a.SnapshotState()
+	if next < units.Seconds(inf) {
+		t.Fatalf("disabled process snapshots next = %v, want >= %v", next, units.Seconds(inf))
+	}
+	b := NewArrivals(mix, 10, 0.5, stats.NewRNG(9))
+	b.RestoreState(rngState, next)
+	if b.Peek() < units.Seconds(inf) {
+		t.Fatal("restore of a disabled capture left the process live")
+	}
+	// And a live capture restores live.
+	c := NewArrivals(mix, 10, 0.5, stats.NewRNG(9))
+	rngState, next = c.SnapshotState()
+	b.RestoreState(rngState, next)
+	if b.Peek() != next {
+		t.Fatalf("live restore Peek() = %v, want %v", b.Peek(), next)
+	}
+}

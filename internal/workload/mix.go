@@ -80,15 +80,21 @@ func (m Mix) ArrivalRate(numSockets int, load float64) float64 {
 }
 
 // Arrivals generates a deterministic Poisson arrival sequence for a mix.
+// A zero (or disabled) rate is an explicit state, not a sentinel time:
+// Peek reports "never" while disabled, and SetRate can resume the process
+// later. The previous implementation parked next at a 1e300 sentinel and
+// kept adding finite gaps to it on advance, so a process that ever hit
+// rate zero could never produce another arrival.
 type Arrivals struct {
-	mix  Mix
-	rng  *stats.RNG
-	rate float64
-	next units.Seconds
+	mix      Mix
+	rng      *stats.RNG
+	rate     float64
+	next     units.Seconds
+	disabled bool
 }
 
 // NewArrivals creates the arrival process; the first arrival is sampled
-// immediately.
+// immediately (unless the load is zero, which starts the process disabled).
 func NewArrivals(mix Mix, numSockets int, load float64, rng *stats.RNG) *Arrivals {
 	a := &Arrivals{mix: mix, rng: rng, rate: mix.ArrivalRate(numSockets, load)}
 	a.advance()
@@ -97,7 +103,7 @@ func NewArrivals(mix Mix, numSockets int, load float64, rng *stats.RNG) *Arrival
 
 func (a *Arrivals) advance() {
 	if a.rate <= 0 {
-		a.next = units.Seconds(inf)
+		a.disabled = true
 		return
 	}
 	gap := stats.Exponential{Mean: 1 / a.rate}.Sample(a.rng)
@@ -106,22 +112,51 @@ func (a *Arrivals) advance() {
 
 const inf = 1e300
 
+// SetRate changes the Poisson rate mid-stream. rate <= 0 disables the
+// process (Peek reports "never"); a positive rate on a disabled process
+// resumes it from now — the next gap is sampled forward from now, not from
+// wherever the stream died.
+func (a *Arrivals) SetRate(rate float64, now units.Seconds) {
+	a.rate = rate
+	if rate <= 0 {
+		a.disabled = true
+		return
+	}
+	if a.disabled {
+		a.disabled = false
+		a.next = now
+		a.advance()
+	}
+}
+
 // SnapshotState returns the process's full mutable state — the RNG stream
 // position and the pending arrival instant. Together with the (immutable)
 // mix and rate these determine every future arrival, so a run restored from
-// (rngState, next) replays the remaining sequence bit-for-bit.
+// (rngState, next) replays the remaining sequence bit-for-bit. The disabled
+// state is encoded on the wire as a next at or beyond the never-arrives
+// sentinel, keeping the format stable.
 func (a *Arrivals) SnapshotState() (rngState uint64, next units.Seconds) {
-	return a.rng.State(), a.next
+	next = a.next
+	if a.disabled {
+		next = units.Seconds(inf)
+	}
+	return a.rng.State(), next
 }
 
 // RestoreState resumes the process from a SnapshotState capture.
 func (a *Arrivals) RestoreState(rngState uint64, next units.Seconds) {
 	a.rng.SetState(rngState)
+	a.disabled = next >= units.Seconds(inf)
 	a.next = next
 }
 
-// Peek returns the time of the next arrival.
-func (a *Arrivals) Peek() units.Seconds { return a.next }
+// Peek returns the time of the next arrival ("never" while disabled).
+func (a *Arrivals) Peek() units.Seconds {
+	if a.disabled {
+		return units.Seconds(inf)
+	}
+	return a.next
+}
 
 // Next consumes the next arrival, returning its time, benchmark, and
 // sampled nominal duration (the FMax run time).
