@@ -1,0 +1,184 @@
+// Command fleetsim runs a fleet-scale simulation: racks x chassis of
+// independent simulators behind a fleet-level dispatcher that splits one
+// shared arrival stream across chassis before intra-chassis scheduling
+// (internal/fleet). Results are bit-reproducible regardless of the worker
+// pool size.
+//
+// Usage:
+//
+//	fleetsim                                  # the fleet-2x2 preset
+//	fleetsim -dispatcher least-loaded         # same fleet, different routing
+//	fleetsim -scenario sut-180 -fleet my-fleet.jsonc -load 0.9
+//	fleetsim -fleet.workers 4 -out fleet.csv  # per-chassis table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"densim/internal/cliflags"
+	"densim/internal/core"
+	"densim/internal/fleet"
+	"densim/internal/metrics"
+	"densim/internal/report"
+	"densim/internal/telemetry"
+)
+
+func main() {
+	simFlags := cliflags.AddSim(flag.CommandLine, cliflags.SimDefaults{
+		Scenario: "fleet-2x2",
+		Seed:     1,
+	})
+	fleetFlags := cliflags.AddFleet(flag.CommandLine)
+	telFlags := cliflags.AddTelemetry(flag.CommandLine)
+	var (
+		out     = flag.String("out", "", "write the per-chassis table as CSV to this file (- for stdout)")
+		checks  = flag.Bool("checks", false, "run every chassis under the runtime invariant harness")
+		warmDir = flag.String("warmstart.dir", "", "cache each chassis's warmup state in this directory and fork later identical runs from it (bit-identical results; created if missing)")
+	)
+	flag.Parse()
+
+	sc, seed, err := simFlags.Resolve()
+	if err != nil {
+		fail(err)
+	}
+	if err := fleetFlags.Apply(sc); err != nil {
+		fail(err)
+	}
+	var set *telemetry.Set
+	if telFlags.Enabled() {
+		set = telemetry.NewSet()
+		if telFlags.Addr != "" {
+			telemetry.Serve(telFlags.Addr, set.Handler(), func(err error) {
+				fmt.Fprintln(os.Stderr, "fleetsim: telemetry server:", err)
+			})
+		}
+	}
+	if *warmDir != "" {
+		if err := os.MkdirAll(*warmDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	exp, err := core.NewFleetExperiment(sc, seed, set, *checks, *warmDir)
+	if err != nil {
+		fail(err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	table := chassisTable(res)
+	if *out != "" {
+		if err := writeCSV(*out, table); err != nil {
+			fail(err)
+		}
+	} else {
+		if err := table.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	printAggregate(res)
+	if err := writeTraces(telFlags, set); err != nil {
+		fail(err)
+	}
+}
+
+// chassisTable lays out the per-chassis results in canonical fleet order.
+func chassisTable(res *fleet.Result) *report.Table {
+	t := &report.Table{
+		Title: "fleet " + res.Dispatcher,
+		Header: []string{"chassis", "scenario", "sockets", "inlet_c",
+			"dispatched", "completed", "unfinished", "mean_expansion",
+			"boost_residency", "energy_j"},
+	}
+	for i := range res.Chassis {
+		cr := &res.Chassis[i]
+		t.AddRow(cr.Name(), cr.Scenario, cr.Sockets, float64(cr.Inlet),
+			cr.Dispatched, cr.Result.Completed, cr.Unfinished,
+			fmt.Sprintf("%.4f", cr.Result.MeanExpansion),
+			cr.Result.BoostResidency, float64(cr.Result.EnergyJ))
+	}
+	return t
+}
+
+// printAggregate reports the fleet-wide merged metrics and, when any chassis
+// carries a fault timeline, the fleet fault ledger.
+func printAggregate(res *fleet.Result) {
+	r := res.Aggregate
+	fmt.Printf("fleet: %d chassis, dispatcher=%s, workers=%d\n",
+		len(res.Chassis), res.Dispatcher, res.Workers)
+	fmt.Printf("  jobs completed:         %d\n", r.Completed)
+	fmt.Printf("  mean runtime expansion: %.4f (1.0 = never below 1900MHz, no waiting)\n", r.MeanExpansion)
+	fmt.Printf("  mean service expansion: %.4f\n", r.MeanServiceExpansion)
+	fmt.Printf("  boost residency:        %.3f\n", r.BoostResidency)
+	fmt.Printf("  energy:                 %.1f J (%.2f J per unit work)\n",
+		float64(r.EnergyJ), r.EnergyPerWork())
+	fmt.Printf("  region breakdown (freq rel FMax / work share):\n")
+	for _, reg := range metrics.Regions {
+		fmt.Printf("    %-11s %.3f / %.3f\n", reg, r.RegionFreq[reg], r.RegionWorkShare[reg])
+	}
+	zones := make([]int, 0, len(r.ZoneWorkShare))
+	for z := range r.ZoneWorkShare {
+		zones = append(zones, z)
+	}
+	sort.Ints(zones)
+	fmt.Printf("  zone work shares:       ")
+	for _, z := range zones {
+		fmt.Printf("z%d=%.3f ", z, r.ZoneWorkShare[z])
+	}
+	fmt.Println()
+	if res.Ledger.Faulted > 0 {
+		fmt.Printf("  fleet fault ledger (%d faulted chassis):\n", res.Ledger.Faulted)
+		fmt.Printf("    fan energy:          %.1f J\n", res.Ledger.FanEnergyJ)
+		fmt.Printf("    worst flow factor:   %.3f\n", res.Ledger.FlowFactor)
+		fmt.Printf("    dead sockets:        %d\n", res.Ledger.DeadSockets)
+		fmt.Printf("    requeued jobs:       %d\n", res.Ledger.Requeues)
+	}
+}
+
+// writeCSV writes the table as CSV to path ("-" = stdout).
+func writeCSV(path string, t *report.Table) error {
+	if path == "-" {
+		return t.RenderCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.RenderCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraces dumps every chassis's telemetry as consecutive JSONL traces.
+func writeTraces(telFlags *cliflags.Telemetry, set *telemetry.Set) error {
+	if telFlags.TracePath == "" || set == nil {
+		return nil
+	}
+	w := os.Stdout
+	if telFlags.TracePath != "-" {
+		f, err := os.Create(telFlags.TracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, tel := range set.Telemetries() {
+		if err := telemetry.WriteJSONL(w, tel.Snapshot(nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,8 @@
 // cross-density summary. The word "fault-density" runs the chaos sweep
 // instead: every density point healthy vs. under a single chassis-fan
 // failure (CP vs CF), reporting completed-work degradation per density.
+// The word "fleet" runs the fleet sweep: dispatcher policies x fleet sizes
+// x CP/CF on hot/cold-aisle SUT fleets (see cmd/fleetsim for single runs).
 // Figure 14/15 and density sweeps are expensive;
 // use -quick (default) for the shortened preset or -full for the
 // paper-faithful 30-second socket time constant.
@@ -42,7 +44,7 @@ import (
 func main() {
 	var (
 		fig         = flag.String("fig", "14", "figure to regenerate: 3, 11, 13, 14, 15, or all")
-		scenarioRef = flag.String("scenario", "", "density sweep: comma-separated scenario refs (presets or files), or \"density\" for the shipped density family; replaces -fig")
+		scenarioRef = flag.String("scenario", "", "density sweep: comma-separated scenario refs (presets or files), \"density\" for the shipped density family, \"fault-density\" for the chaos sweep, or \"fleet\" for the fleet sweep; replaces -fig")
 		outDir      = flag.String("out", "", "write each result table as a CSV file into this directory (created if missing)")
 		full        = flag.Bool("full", false, "use the paper-faithful preset (slow)")
 		loads       = flag.String("loads", "", "comma-separated load levels (default: paper's 10%..100% for figures, a 0.3-0.9 spread for density sweeps)")
@@ -124,6 +126,18 @@ func main() {
 	}
 
 	if *scenarioRef != "" {
+		if *scenarioRef == "fleet" {
+			// The fleet sweep: dispatcher policies x fleet sizes x CP/CF on
+			// hot/cold-aisle SUT fleets at the high-load knee (see
+			// experiments.FleetSweep). -loads is not an axis here; the knee
+			// load is pinned where dispatch quality binds.
+			_, t, err := experiments.FleetSweep(opts, nil, nil, nil, nil)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+			return
+		}
 		if *scenarioRef == "fault-density" {
 			// The chaos sweep: every density point healthy vs. one chassis
 			// fan failing (the sut-180-fanfail preset's timeline), CP vs CF,

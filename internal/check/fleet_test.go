@@ -1,0 +1,26 @@
+package check
+
+import "testing"
+
+func TestFleetClosure(t *testing.T) {
+	ok := func(name string, streamed int, d, a, c, u []int) {
+		t.Helper()
+		if err := FleetClosure(streamed, d, a, c, u); err != nil {
+			t.Errorf("%s: unexpected violation: %v", name, err)
+		}
+	}
+	bad := func(name string, streamed int, d, a, c, u []int) {
+		t.Helper()
+		if err := FleetClosure(streamed, d, a, c, u); err == nil {
+			t.Errorf("%s: violation not caught", name)
+		}
+	}
+	ok("balanced", 10, []int{5, 5}, []int{5, 5}, []int{4, 5}, []int{1, 0})
+	ok("empty fleet stream", 0, []int{0, 0}, []int{0, 0}, []int{0, 0}, []int{0, 0})
+	ok("no chassis", 0, nil, nil, nil, nil)
+	bad("ragged", 1, []int{1}, []int{1}, []int{1}, nil)
+	bad("routing loss", 10, []int{4, 5}, []int{4, 5}, []int{4, 5}, []int{0, 0})
+	bad("replay loss", 10, []int{5, 5}, []int{5, 4}, []int{5, 4}, []int{0, 0})
+	bad("overcount", 10, []int{5, 5}, []int{5, 5}, []int{5, 5}, []int{0, 1})
+	bad("negative", 0, []int{-1}, []int{-1}, []int{0}, []int{0})
+}

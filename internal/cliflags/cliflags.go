@@ -13,6 +13,7 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"densim/internal/scenario"
@@ -169,6 +170,53 @@ func (s *Sim) Resolve() (*scenario.Scenario, uint64, error) {
 		seed = s.Seed
 	}
 	return sc, seed, nil
+}
+
+// Fleet carries the fleet-level flags of cmd/fleetsim: where the fleet
+// block comes from and the two run-time overrides that never change
+// results, only routing policy and wall-clock time.
+type Fleet struct {
+	// FleetPath loads a standalone fleet file (see scenario.DecodeFleet),
+	// replacing whatever fleet block the scenario carries.
+	FleetPath string
+	// Dispatcher overrides the fleet dispatcher policy.
+	Dispatcher string
+	// Workers overrides the chassis worker-pool bound.
+	Workers int
+}
+
+// AddFleet registers the fleet flags on fs.
+func AddFleet(fs *flag.FlagSet) *Fleet {
+	f := &Fleet{}
+	fs.StringVar(&f.FleetPath, "fleet", "",
+		"load the fleet block from this JSONC file (a scenario fleet block: dispatcher, workers, chassis), replacing the scenario's own")
+	fs.StringVar(&f.Dispatcher, "dispatcher", "",
+		"fleet dispatcher override: round-robin, least-loaded, or thermal")
+	fs.IntVar(&f.Workers, "fleet.workers", 0,
+		"chassis worker-pool bound override (0 = scenario or GOMAXPROCS; never affects results)")
+	return f
+}
+
+// Apply folds the fleet flags onto a resolved scenario. The scenario must
+// end up with a fleet block — its own, or one loaded via -fleet.
+func (f *Fleet) Apply(sc *scenario.Scenario) error {
+	if f.FleetPath != "" {
+		fl, err := scenario.LoadFleet(f.FleetPath)
+		if err != nil {
+			return err
+		}
+		sc.Fleet = fl
+	}
+	if sc.Fleet == nil {
+		return fmt.Errorf("scenario %q has no fleet block (pick a fleet preset like fleet-2x2, or pass -fleet FILE)", sc.Name)
+	}
+	if f.Dispatcher != "" {
+		sc.Fleet.Dispatcher = f.Dispatcher
+	}
+	if f.Workers != 0 {
+		sc.Fleet.Workers = f.Workers
+	}
+	return nil
 }
 
 // Telemetry carries the telemetry sink flags shared by every simulating

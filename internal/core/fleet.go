@@ -1,0 +1,38 @@
+package core
+
+// The fleet half of the facade: the same eager-validation contract
+// NewScenarioExperiment gives single-chassis tools, one level up. Tools get
+// configuration errors at build time, then a Run that either returns a fully
+// audited fleet result or an error — never a partial fleet.
+
+import (
+	"densim/internal/fleet"
+	"densim/internal/scenario"
+	"densim/internal/telemetry"
+)
+
+// FleetExperiment is a runnable fleet study.
+type FleetExperiment struct {
+	f *fleet.Fleet
+}
+
+// NewFleetExperiment resolves a scenario's fleet block into a runnable
+// experiment. tel (optional) instruments every chassis, labeled by fleet
+// grid position; checked forces the runtime invariant harness onto every
+// chassis; warmDir (optional) enables the per-chassis warm-start cache.
+func NewFleetExperiment(sc *scenario.Scenario, seed uint64, tel *telemetry.Set, checked bool, warmDir string) (*FleetExperiment, error) {
+	f, err := fleet.New(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	f.Telemetry = tel
+	f.Checked = checked
+	f.WarmDir = warmDir
+	return &FleetExperiment{f: f}, nil
+}
+
+// Fleet exposes the resolved fleet (chassis list, dispatcher).
+func (e *FleetExperiment) Fleet() *fleet.Fleet { return e.f }
+
+// Run executes the fleet and returns the aggregated, closure-audited result.
+func (e *FleetExperiment) Run() (*fleet.Result, error) { return e.f.Run() }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"densim/internal/scenario"
+)
+
+// tinyFleetTemplate keeps the sweep's cost test-sized: 8-socket chassis,
+// short windows.
+func tinyFleetTemplate() *scenario.Scenario {
+	return &scenario.Scenario{
+		Version:   scenario.CurrentVersion,
+		Name:      "fleet-tiny",
+		Topology:  scenario.Topology{Rows: 2, Lanes: 2, Depth: 2},
+		Airflow:   scenario.Airflow{AuxPerSocketW: 10},
+		Workload:  scenario.Workload{Class: "GP", Load: 0.5},
+		Scheduler: scenario.Scheduler{Name: "CP"},
+		Run:       scenario.Run{Seeds: []uint64{1}, DurationS: 3},
+	}
+}
+
+// TestFleetSweep pins the sweep's shape and its headline physics: the
+// thermal dispatcher routes no more hot-aisle work than round-robin's
+// arithmetic half, on every size.
+func TestFleetSweep(t *testing.T) {
+	opts := SimOptions{Duration: 3, Warmup: 1, SinkTau: 0.5, Seeds: []uint64{1}}
+	res, table, err := FleetSweep(opts, tinyFleetTemplate(), []int{2}, nil, []string{"CP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(scenario.FleetDispatchers()) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(scenario.FleetDispatchers()))
+	}
+	if len(table.Rows) != len(res.Rows) {
+		t.Fatalf("table rows = %d, want %d", len(table.Rows), len(res.Rows))
+	}
+	byDisp := map[string]FleetRow{}
+	for _, r := range res.Rows {
+		if r.Completed <= 0 {
+			t.Errorf("%s: no completions", r.Dispatcher)
+		}
+		if r.Load != FaultLoad {
+			t.Errorf("%s: load = %v, want %v", r.Dispatcher, r.Load, FaultLoad)
+		}
+		byDisp[r.Dispatcher] = r
+	}
+	rr, ok := byDisp["round-robin"]
+	if !ok {
+		t.Fatal("no round-robin row")
+	}
+	if rr.HotShare < 0.49 || rr.HotShare > 0.51 {
+		t.Errorf("round-robin hot share = %.3f, want ~0.5", rr.HotShare)
+	}
+	if th := byDisp["thermal"]; th.HotShare > rr.HotShare+1e-9 {
+		t.Errorf("thermal hot share %.3f exceeds round-robin's %.3f", th.HotShare, rr.HotShare)
+	}
+}
+
+// TestFleetSweepRejectsTinySizes: a size-1 fleet has no hot aisle to
+// contrast, so the sweep refuses it rather than reporting a vacuous row.
+func TestFleetSweepRejectsTinySizes(t *testing.T) {
+	opts := SimOptions{Duration: 2, Warmup: 1, SinkTau: 0.5, Seeds: []uint64{1}}
+	if _, _, err := FleetSweep(opts, tinyFleetTemplate(), []int{1}, nil, nil); err == nil {
+		t.Fatal("size-1 sweep accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package fleet
+
+// Shard-scaling benchmark: the same 16-chassis fleet run at different
+// worker-pool bounds. Results are bit-identical across the axis (the
+// equivalence suite proves that); this measures the only thing workers are
+// allowed to change — wall-clock time. BENCH_PR8.json records a run of this
+// benchmark.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkFleet16(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sc := uniformFleet(16, "least-loaded")
+			f, err := New(sc, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package fleet
+
+// The fleet dispatcher seam: routing policies that split the fleet arrival
+// stream across chassis before any intra-chassis scheduler sees a job. The
+// paper's question one level up — does awareness of thermal context pay
+// before placement? — becomes the choice between these policies.
+//
+// Every policy is deterministic and open-loop: dispatch runs serially over
+// the whole stream before any chassis simulates, so policies see estimated
+// chassis state (each routed job assumed to run for its nominal FMax
+// duration), never live simulation state. That estimate is deliberately
+// crude — queueing and thermal throttling stretch real service times — but
+// it is the price of a dispatch that is bit-reproducible and independent of
+// the worker pool. Ties always break toward the lowest chassis index, and
+// chassis are canonically ordered by (rack, slot), so the pick sequence is a
+// pure function of (policy, fleet, stream).
+
+import (
+	"container/heap"
+	"fmt"
+
+	"densim/internal/chipmodel"
+	"densim/internal/units"
+)
+
+// dispatcher routes one arrival to a chassis index.
+type dispatcher interface {
+	pick(at, nominal units.Seconds) int
+}
+
+// newDispatcher builds the named policy over the fleet's chassis. The empty
+// name is round-robin.
+func newDispatcher(name string, chassis []Chassis) (dispatcher, error) {
+	switch name {
+	case "", "round-robin":
+		return &roundRobin{n: len(chassis)}, nil
+	case "least-loaded":
+		return newEstimated(chassis, false), nil
+	case "thermal":
+		return newEstimated(chassis, true), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown dispatcher %q", name)
+	}
+}
+
+// roundRobin cycles the chassis in canonical order — the zero-knowledge
+// baseline every informed policy has to beat.
+type roundRobin struct{ n, next int }
+
+func (r *roundRobin) pick(units.Seconds, units.Seconds) int {
+	i := r.next
+	r.next = (r.next + 1) % r.n
+	return i
+}
+
+// estimated tracks per-chassis in-flight work as a min-heap of estimated
+// completion instants (dispatch time + nominal duration). Both informed
+// policies share it: least-loaded ranks by estimated utilization alone,
+// thermal scales each chassis's ambient headroom by its estimated idleness —
+// a hot-aisle chassis only wins when the cool ones are busy enough to have
+// spent their advantage.
+type estimated struct {
+	chassis []Chassis
+	inflight []completionHeap
+	thermal bool
+}
+
+func newEstimated(chassis []Chassis, thermal bool) *estimated {
+	return &estimated{
+		chassis:  chassis,
+		inflight: make([]completionHeap, len(chassis)),
+		thermal:  thermal,
+	}
+}
+
+func (e *estimated) pick(at, nominal units.Seconds) int {
+	best, bestScore := 0, 0.0
+	for i := range e.chassis {
+		// Retire estimated completions that are due by this arrival.
+		h := &e.inflight[i]
+		for h.Len() > 0 && (*h)[0] <= at {
+			heap.Pop(h)
+		}
+		util := float64(h.Len()) / float64(e.chassis[i].Sockets)
+		var score float64
+		if e.thermal {
+			// Ambient headroom (how far the inlet sits below the throttle
+			// ceiling) discounted by estimated utilization. Estimated
+			// utilization above 1 (a backlog) goes negative and ranks last.
+			headroom := float64(chipmodel.TempLimit - e.chassis[i].Inlet)
+			score = headroom * (1 - util)
+		} else {
+			// Least-loaded: lower utilization is better.
+			score = -util
+		}
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	heap.Push(&e.inflight[best], at+nominal)
+	return best
+}
+
+// completionHeap is a min-heap of estimated completion instants.
+type completionHeap []units.Seconds
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(units.Seconds)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// dispatch routes the whole stream, returning the per-chassis arrival slices
+// and the recorded pick sequence (picks[k] is the chassis index of stream
+// record k) — the dispatcher analog of a job trace, and what the pick-
+// sequence determinism oracle replays.
+func dispatch(d dispatcher, stream []arrival, n int) (assigns [][]arrival, picks []int) {
+	assigns = make([][]arrival, n)
+	picks = make([]int, len(stream))
+	for k := range stream {
+		i := d.pick(stream[k].at, stream[k].nominal)
+		assigns[i] = append(assigns[i], stream[k])
+		picks[k] = i
+	}
+	return assigns, picks
+}

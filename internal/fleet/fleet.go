@@ -1,0 +1,496 @@
+// Package fleet scales the simulator out one level: racks x chassis of
+// independent deterministic sim instances behind a fleet-level dispatcher
+// that splits a single shared arrival stream across chassis before any
+// intra-chassis scheduler runs. It is the paper's density question re-posed
+// at datacenter scale — does thermal awareness pay when routing jobs *to* a
+// chassis, before the in-chassis scheduler ever sees them?
+//
+// Determinism is the package's contract, built from three mechanisms:
+//
+//  1. The fleet arrival stream is generated once, serially, by draining the
+//     same Poisson process a single simulator over the combined socket count
+//     would consume — so a fleet of one chassis replays the exact arrival
+//     sequence of a plain sim.Run and produces its bit-identical Result.
+//  2. Dispatch is a serial pass over that stream with a deterministic
+//     policy; each chassis receives a frozen replay slice before any
+//     simulation starts.
+//  3. Chassis simulate in a bounded worker pool writing into a
+//     position-indexed results slice, and the fleet aggregate is an ordered
+//     reduction over that slice (metrics.Aggregate) — the worker count can
+//     change wall-clock time only, never a byte of the result.
+//
+// The fleet equivalence suite (fleet_test.go) holds the package to exactly
+// that standard, the way TestEngineEquivalenceMatrix holds the engines.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"densim/internal/check"
+	"densim/internal/metrics"
+	"densim/internal/scenario"
+	"densim/internal/sim"
+	"densim/internal/stats"
+	"densim/internal/telemetry"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// Chassis is one resolved fleet member: an independent simulated server with
+// its own scenario (topology, SKUs, faults, scheduler), sharing only the
+// fleet arrival stream and run windows.
+type Chassis struct {
+	// Rack and Slot locate the chassis in the fleet grid.
+	Rack, Slot int
+	// Scenario is the chassis's resolved run specification: the fleet
+	// entry's ref (or the template) with the template's workload and windows
+	// applied and any inlet override folded in.
+	Scenario *scenario.Scenario
+	// Sockets is the chassis's socket count (its share weight in the
+	// dispatcher's utilization estimates).
+	Sockets int
+	// Inlet is the chassis's effective inlet temperature — the thermal
+	// dispatcher's headroom input.
+	Inlet units.Celsius
+}
+
+// Name returns the chassis's fleet-grid label ("r0c1").
+func (c *Chassis) Name() string { return fmt.Sprintf("r%dc%d", c.Rack, c.Slot) }
+
+// Fleet is a resolved, runnable fleet. Build with New; the optional fields
+// may be set before Run.
+type Fleet struct {
+	// WarmDir enables the per-chassis warm-start cache: each chassis's
+	// warmup state is cached keyed by its snapshot signature (which includes
+	// its replay-stream identity), exactly like experiments.SimOptions'
+	// WarmDir. Results are bit-identical either way. Checked or
+	// telemetry-instrumented chassis always run cold.
+	WarmDir string
+	// Telemetry instruments every chassis, each labeled with its grid name
+	// ("r0c1"), including the per-chassis dispatched counter. Nil disables.
+	Telemetry *telemetry.Set
+	// Checked runs every chassis under the runtime invariant harness even
+	// when its scenario does not ask for it.
+	Checked bool
+
+	template   *scenario.Scenario
+	chassis    []Chassis
+	dispatcher string
+	workers    int
+	seed       uint64
+}
+
+// New resolves a scenario's fleet block into a runnable Fleet. The scenario
+// is the template: chassis entries without a ref simulate it, and its
+// workload, load, seeds, and windows define the shared arrival stream for
+// every chassis (a fleet shares one job population by construction; chassis
+// refs contribute hardware — topology, airflow, chip, SKUs, faults — and
+// their own schedulers). Chassis are canonically ordered by (rack, slot), so
+// declaration order never affects routing.
+func New(sc *scenario.Scenario, seed uint64) (*Fleet, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Fleet == nil {
+		return nil, fmt.Errorf("fleet: scenario %q has no fleet block", sc.Name)
+	}
+	template := *sc
+	template.Fleet = nil
+	f := &Fleet{
+		template:   &template,
+		dispatcher: sc.Fleet.Dispatcher,
+		workers:    sc.Fleet.Workers,
+		seed:       seed,
+	}
+	for i := range sc.Fleet.Chassis {
+		entry := &sc.Fleet.Chassis[i]
+		for k := 0; k < entryCount(entry); k++ {
+			ch, err := f.resolveChassis(entry, entry.Chassis+k)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: entry %d (rack %d chassis %d): %w", i, entry.Rack, entry.Chassis+k, err)
+			}
+			f.chassis = append(f.chassis, ch)
+		}
+	}
+	sort.Slice(f.chassis, func(a, b int) bool {
+		if f.chassis[a].Rack != f.chassis[b].Rack {
+			return f.chassis[a].Rack < f.chassis[b].Rack
+		}
+		return f.chassis[a].Slot < f.chassis[b].Slot
+	})
+	// The dispatcher name was validated declaratively; building it here
+	// surfaces any drift between the two layers at New time.
+	if _, err := newDispatcher(f.dispatcher, f.chassis); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// entryCount mirrors the scenario layer's default of 1.
+func entryCount(c *scenario.FleetChassis) int {
+	if c.Count == 0 {
+		return 1
+	}
+	return c.Count
+}
+
+// resolveChassis materializes one fleet slot from its declarative entry.
+func (f *Fleet) resolveChassis(entry *scenario.FleetChassis, slot int) (Chassis, error) {
+	var sc *scenario.Scenario
+	if entry.Scenario == "" {
+		cp := *f.template
+		sc = &cp
+	} else {
+		loaded, err := scenario.Load(entry.Scenario)
+		if err != nil {
+			return Chassis{}, err
+		}
+		if loaded.Fleet != nil {
+			return Chassis{}, fmt.Errorf("chassis scenario %q carries its own fleet block (fleets do not nest)", loaded.Name)
+		}
+		if loaded.Snapshot.Save != "" || loaded.Snapshot.Load != "" {
+			return Chassis{}, fmt.Errorf("chassis scenario %q carries a snapshot block (use the fleet warm-start cache instead)", loaded.Name)
+		}
+		sc = loaded
+	}
+	// The fleet shares one job population and one set of windows: the
+	// template's workload and run blocks override the chassis ref's. A
+	// chassis-level trace would fork the population, so it is overridden
+	// away with the rest of the workload block.
+	sc.Workload = f.template.Workload
+	sc.Run = f.template.Run
+	if entry.InletC != 0 {
+		sc.Airflow.InletC = entry.InletC
+	}
+	if err := sc.Validate(); err != nil {
+		return Chassis{}, err
+	}
+	srv, err := sc.Server()
+	if err != nil {
+		return Chassis{}, err
+	}
+	// Probe the full config once so Run-time assembly cannot fail.
+	if _, err := sc.Config(f.seed); err != nil {
+		return Chassis{}, err
+	}
+	return Chassis{
+		Rack:     entry.Rack,
+		Slot:     slot,
+		Scenario: sc,
+		Sockets:  srv.NumSockets(),
+		Inlet:    sc.AirflowParams().Inlet,
+	}, nil
+}
+
+// Chassis returns the canonically ordered fleet members. Callers must not
+// mutate the slice.
+func (f *Fleet) Chassis() []Chassis { return f.chassis }
+
+// Dispatcher returns the resolved dispatcher policy name.
+func (f *Fleet) Dispatcher() string {
+	if f.dispatcher == "" {
+		return "round-robin"
+	}
+	return f.dispatcher
+}
+
+// SetWorkers overrides the fleet block's worker bound (0 restores the
+// default: the block's value, else GOMAXPROCS).
+func (f *Fleet) SetWorkers(n int) { f.workers = n }
+
+// workerCount resolves the effective pool size.
+func (f *Fleet) workerCount() int {
+	w := f.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(f.chassis) {
+		w = len(f.chassis)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Ledger aggregates the fault machinery's side effects. Per chassis it
+// mirrors core.FaultStats; fleet-wide the energies and counts sum and
+// FlowFactor reports the worst (minimum) chassis — the fleet is as starved
+// as its most starved member.
+type Ledger struct {
+	// FanEnergyJ is the chassis fan bank's electrical energy.
+	FanEnergyJ float64
+	// Requeues counts jobs displaced by socket-death events.
+	Requeues int
+	// DeadSockets counts sockets lost by the end of the run.
+	DeadSockets int
+	// FlowFactor is the delivered/required airflow ratio at end of run.
+	FlowFactor float64
+	// Faulted counts chassis carrying fault timelines (fleet-wide ledger
+	// only; 1 on a per-chassis ledger).
+	Faulted int
+}
+
+// ChassisResult is one chassis's share of a fleet run.
+type ChassisResult struct {
+	// Rack and Slot locate the chassis; Scenario names its spec.
+	Rack, Slot int
+	Scenario   string
+	Sockets    int
+	// Inlet is the effective inlet temperature.
+	Inlet units.Celsius
+	// Dispatched counts the fleet arrivals routed here; Arrived counts the
+	// jobs the chassis simulator admitted (the closure audit requires them
+	// equal); Unfinished counts jobs still in flight when the drain limit
+	// hit.
+	Dispatched, Arrived, Unfinished int
+	// Result is the chassis's own metrics.
+	Result metrics.Result
+	// Ledger is the chassis's fault ledger, nil when it has no timeline.
+	Ledger *Ledger
+}
+
+// Name returns the chassis's fleet-grid label ("r0c1").
+func (r *ChassisResult) Name() string { return fmt.Sprintf("r%dc%d", r.Rack, r.Slot) }
+
+// Result is the outcome of one fleet run.
+type Result struct {
+	// Aggregate is the fleet-wide merged result (metrics.Aggregate over the
+	// chassis results in canonical order).
+	Aggregate metrics.Result
+	// Chassis holds the per-chassis results in canonical (rack, slot)
+	// order.
+	Chassis []ChassisResult
+	// Picks is the dispatcher's routing sequence: Picks[k] is the chassis
+	// index (into Chassis) that fleet arrival k was routed to.
+	Picks []int
+	// Dispatcher and Workers record what actually ran.
+	Dispatcher string
+	Workers    int
+	// Ledger is the fleet-wide fault ledger (zero when no chassis carries a
+	// timeline).
+	Ledger Ledger
+}
+
+// stream drains the fleet arrival process up to the template's horizon: the
+// same mix, combined socket count, load, and seed a single simulator over
+// the whole fleet would consume lazily. For a fleet of one chassis this is
+// bit-for-bit the sequence plain sim.Run would generate.
+func (f *Fleet) stream() ([]arrival, units.Seconds, error) {
+	cfg, err := f.template.Config(f.seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0
+	for i := range f.chassis {
+		total += f.chassis[i].Sockets
+	}
+	src := workload.NewArrivals(cfg.Mix, total, cfg.Load, stats.NewRNG(f.seed))
+	var out []arrival
+	for src.Peek() < cfg.Duration {
+		at, b, nominal := src.Next()
+		out = append(out, arrival{at: at, bench: b, nominal: nominal})
+	}
+	return out, cfg.Duration, nil
+}
+
+// chassisOut is one worker's result slot.
+type chassisOut struct {
+	res        metrics.Result
+	arrived    int
+	unfinished int
+	ledger     *Ledger
+	err        error
+}
+
+// Run executes the fleet: generate the stream, dispatch it serially, shard
+// the chassis across the worker pool, and reduce in canonical order.
+func (f *Fleet) Run() (*Result, error) {
+	stream, _, err := f.stream()
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDispatcher(f.dispatcher, f.chassis)
+	if err != nil {
+		return nil, err
+	}
+	assigns, picks := dispatch(d, stream, len(f.chassis))
+
+	// Bounded worker pool over a position-indexed output slice: workers
+	// race only on the jobs channel, never on results, and the reduction
+	// below walks outs in canonical chassis order.
+	outs := make([]chassisOut, len(f.chassis))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := f.workerCount()
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i] = f.runChassis(i, assigns[i])
+			}
+		}()
+	}
+	for i := range f.chassis {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Ordered reduction.
+	res := &Result{
+		Picks:      picks,
+		Dispatcher: f.Dispatcher(),
+		Workers:    workers,
+	}
+	var errs []error
+	results := make([]metrics.Result, 0, len(f.chassis))
+	dispatched := make([]int, len(f.chassis))
+	arrived := make([]int, len(f.chassis))
+	completed := make([]int, len(f.chassis))
+	unfinished := make([]int, len(f.chassis))
+	for i := range f.chassis {
+		ch := &f.chassis[i]
+		out := &outs[i]
+		if out.err != nil {
+			errs = append(errs, fmt.Errorf("chassis %s: %w", ch.Name(), out.err))
+			continue
+		}
+		results = append(results, out.res)
+		dispatched[i] = len(assigns[i])
+		arrived[i] = out.arrived
+		completed[i] = out.res.Completed
+		unfinished[i] = out.unfinished
+		cr := ChassisResult{
+			Rack:       ch.Rack,
+			Slot:       ch.Slot,
+			Scenario:   ch.Scenario.Name,
+			Sockets:    ch.Sockets,
+			Inlet:      ch.Inlet,
+			Dispatched: len(assigns[i]),
+			Arrived:    out.arrived,
+			Unfinished: out.unfinished,
+			Result:     out.res,
+			Ledger:     out.ledger,
+		}
+		res.Chassis = append(res.Chassis, cr)
+		if out.ledger != nil {
+			res.Ledger.FanEnergyJ += out.ledger.FanEnergyJ
+			res.Ledger.Requeues += out.ledger.Requeues
+			res.Ledger.DeadSockets += out.ledger.DeadSockets
+			res.Ledger.Faulted++
+			if res.Ledger.Faulted == 1 || out.ledger.FlowFactor < res.Ledger.FlowFactor {
+				res.Ledger.FlowFactor = out.ledger.FlowFactor
+			}
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	// The fleet-level closure audit: every dispatched job arrived at its
+	// chassis and the per-chassis accounting adds up. A violation here is a
+	// routing or replay bug, not a simulation result.
+	if err := check.FleetClosure(len(stream), dispatched, arrived, completed, unfinished); err != nil {
+		return nil, err
+	}
+	res.Aggregate = metrics.Aggregate(results)
+	return res, nil
+}
+
+// runChassis simulates one chassis over its dispatched slice.
+func (f *Fleet) runChassis(i int, assigned []arrival) chassisOut {
+	ch := &f.chassis[i]
+	cfg, err := ch.Scenario.Config(f.seed)
+	if err != nil {
+		return chassisOut{err: err}
+	}
+	cfg.Source = newReplaySource(assigned)
+	var h *check.Checks
+	if ch.Scenario.Checks || f.Checked {
+		h = check.New()
+		cfg.Checks = h
+	}
+	if f.Telemetry != nil {
+		tel := f.Telemetry.For(ch.Name())
+		for range assigned {
+			tel.OnDispatch()
+		}
+		cfg.Telemetry = tel
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return chassisOut{err: err}
+	}
+	out := chassisOut{res: f.runSim(s, cfg)}
+	out.arrived = s.Arrived()
+	out.unfinished = s.Unfinished()
+	if h != nil {
+		if err := h.Err(); err != nil {
+			return chassisOut{err: fmt.Errorf("invariant violation: %w", err)}
+		}
+	}
+	if cfg.Faults != nil {
+		out.ledger = &Ledger{
+			FanEnergyJ:  float64(s.FanEnergyJ()),
+			Requeues:    s.Requeues(),
+			DeadSockets: s.DeadSockets(),
+			FlowFactor:  s.FlowFactor(),
+			Faulted:     1,
+		}
+	}
+	return out
+}
+
+// runSim executes one chassis simulation, warm-starting from the WarmDir
+// cache when enabled — the same contract as experiments' runSim: the cache
+// is a pure accelerator, every failure along the warm path degrades to a
+// cold run, and checked or instrumented runs never warm-start. The chassis's
+// snapshot key includes its replay-stream signature (sim's source-identity
+// hook), so two chassis share a cache entry only when their warmups really
+// are bit-identical.
+func (f *Fleet) runSim(s *sim.Simulator, cfg sim.Config) metrics.Result {
+	if f.WarmDir == "" || cfg.Checks != nil || cfg.Telemetry != nil {
+		return s.Run()
+	}
+	key, err := s.SnapshotKey()
+	if err != nil {
+		return s.Run()
+	}
+	path := filepath.Join(f.WarmDir, key+".dsnp")
+	if data, err := os.ReadFile(path); err == nil {
+		if err := s.Restore(data); err == nil {
+			return s.Finish()
+		}
+	}
+	s.RunTo(cfg.Warmup)
+	if data, err := s.Snapshot(); err == nil {
+		writeFileAtomic(path, data)
+	}
+	return s.Finish()
+}
+
+// writeFileAtomic writes data through a temp file plus rename, so concurrent
+// fleet runs racing on one cache entry each land a complete capture.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,100 @@
+package fleet
+
+// The replay source: each chassis simulation consumes its dispatched slice
+// of the fleet arrival stream through this job.Source. Replay is the
+// mechanism behind the fleet's determinism guarantees — dispatch happens
+// once, serially, before any chassis simulates, so the worker pool's
+// scheduling can never reorder what a chassis sees.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// arrival is one fleet-stream job: the tuple the live generator would have
+// produced, frozen at dispatch time.
+type arrival struct {
+	at      units.Seconds
+	bench   workload.Benchmark
+	nominal units.Seconds
+}
+
+// replaySource feeds a chassis its dispatched arrivals in order. It
+// implements job.Source, the sim package's snapshot accessors (the cursor is
+// the whole mutable state — there is no RNG), and the source-identity hook,
+// so fleet runs warm-start through the same WarmDir cache as plain sweeps
+// without two chassis ever sharing a cache key by accident.
+type replaySource struct {
+	arrivals []arrival
+	next     int
+	sig      uint64
+}
+
+// newReplaySource builds the source; the identity signature hashes every
+// record, so equal signatures mean equal replay content (and therefore a
+// genuinely shareable warmup).
+func newReplaySource(arrivals []arrival) *replaySource {
+	return &replaySource{arrivals: arrivals, sig: streamSignature(arrivals)}
+}
+
+// Peek returns the next arrival instant, or +Inf when the slice is drained.
+func (r *replaySource) Peek() units.Seconds {
+	if r.next >= len(r.arrivals) {
+		return units.Seconds(math.Inf(1))
+	}
+	return r.arrivals[r.next].at
+}
+
+// Next consumes the next arrival.
+func (r *replaySource) Next() (units.Seconds, workload.Benchmark, units.Seconds) {
+	a := r.arrivals[r.next]
+	r.next++
+	return a.at, a.bench, a.nominal
+}
+
+// SnapshotState captures the cursor (as the rngState slot of the sim
+// snapshot format — the source has no RNG, so the cursor rides there).
+func (r *replaySource) SnapshotState() (rngState uint64, next units.Seconds) {
+	return uint64(r.next), r.Peek()
+}
+
+// RestoreState resumes replay from a captured cursor.
+func (r *replaySource) RestoreState(rngState uint64, _ units.Seconds) {
+	r.next = int(rngState)
+	if r.next > len(r.arrivals) {
+		r.next = len(r.arrivals)
+	}
+}
+
+// SourceSignature identifies the replay content to the snapshot layer.
+func (r *replaySource) SourceSignature() uint64 { return r.sig }
+
+// streamSignature hashes an arrival slice into the 64-bit source identity:
+// every semantic field of every record, so chassis with different dispatched
+// slices can never share a snapshot key.
+func streamSignature(arrivals []arrival) uint64 {
+	h := sha256.New()
+	var b [8]byte
+	f64 := func(v float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	for i := range arrivals {
+		a := &arrivals[i]
+		f64(float64(a.at))
+		f64(float64(a.nominal))
+		h.Write([]byte(a.bench.Name))
+		binary.LittleEndian.PutUint64(b[:], uint64(a.bench.Class))
+		h.Write(b[:])
+		f64(float64(a.bench.MeanDuration))
+		f64(float64(a.bench.PowerAt90C))
+		f64(a.bench.FreqSensitivity)
+		f64(float64(a.bench.SocketTDP))
+	}
+	sum := h.Sum(nil)
+	return binary.LittleEndian.Uint64(sum[:8])
+}

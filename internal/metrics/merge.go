@@ -1,0 +1,95 @@
+package metrics
+
+// Fleet-wide aggregation: Aggregate merges the results of independent
+// simulation shards (one per chassis) into a single fleet-level Result. It is
+// the disjoint-population counterpart of experiments' per-seed averaging:
+// shards measure different jobs on different hardware, so counts and work
+// sums add, per-job means combine weighted by each shard's completed jobs,
+// and busy-time-weighted rates combine weighted by each shard's busy
+// socket-time.
+//
+// Determinism contract: the merge is an ordered reduction over rs — every
+// accumulator is folded in slice order, each input contributes to any given
+// map key exactly once, and no result depends on Go map iteration order. Two
+// calls over the same slice produce bit-identical Results, which is what
+// lets the fleet layer promise shard-count invariance (the per-chassis
+// results are position-indexed, never collected through a map).
+
+// Aggregate merges shard results into one fleet-wide Result. A single shard
+// aggregates to itself (bit-for-bit — the fleet-of-one degenerate case); an
+// empty slice to the zero Result. Span is the widest shard span: shards run
+// the same horizon but drain independently, and the fleet is done when the
+// slowest chassis is.
+func Aggregate(rs []Result) Result {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := Result{
+		RegionFreq:      map[Region]float64{},
+		RegionWorkShare: map[Region]float64{},
+		ZoneWorkShare:   map[int]float64{},
+		ZoneFreq:        map[int]float64{},
+	}
+	if len(rs) == 0 {
+		return out
+	}
+	// Pass 1: totals that weight the means below.
+	var jobs, busy, work float64
+	for _, r := range rs {
+		jobs += float64(r.Completed)
+		busy += r.BusySocketSeconds
+		work += r.CompletedWorkSeconds
+	}
+	// Pass 2: ordered weighted fold. Per-job means weight by completed jobs;
+	// busy-time-weighted frequencies (and boost residency) weight by busy
+	// socket-seconds; work shares weight by completed work — each recovers
+	// exactly the statistic a single collector over the union would report,
+	// up to float addition order, which the slice order fixes.
+	for _, r := range rs {
+		out.Completed += r.Completed
+		out.EnergyJ += r.EnergyJ
+		out.BusySocketSeconds += r.BusySocketSeconds
+		out.CompletedWorkSeconds += r.CompletedWorkSeconds
+		if r.Span > out.Span {
+			out.Span = r.Span
+		}
+		if jobs > 0 {
+			jw := float64(r.Completed) / jobs
+			out.MeanExpansion += r.MeanExpansion * jw
+			out.MeanServiceExpansion += r.MeanServiceExpansion * jw
+			out.MeanWaitSeconds += r.MeanWaitSeconds * jw
+		}
+		if busy > 0 {
+			bw := r.BusySocketSeconds / busy
+			out.BoostResidency += r.BoostResidency * bw
+			// Shards contribute each key once per input, so per-key fold
+			// order is slice order even though this ranges over a map.
+			for k, v := range r.RegionFreq {
+				out.RegionFreq[k] += v * bw
+			}
+			for k, v := range r.ZoneFreq {
+				out.ZoneFreq[k] += v * bw
+			}
+		}
+		if work > 0 {
+			ww := r.CompletedWorkSeconds / work
+			for k, v := range r.RegionWorkShare {
+				out.RegionWorkShare[k] += v * ww
+			}
+			for k, v := range r.ZoneWorkShare {
+				out.ZoneWorkShare[k] += v * ww
+			}
+		}
+	}
+	return out
+}
+
+// EnergyPerWork returns consumed energy per FMax-equivalent second of
+// completed work (J/s) — the fleet sweep's efficiency column. Zero when the
+// run completed no work.
+func (r Result) EnergyPerWork() float64 {
+	if r.CompletedWorkSeconds == 0 {
+		return 0
+	}
+	return float64(r.EnergyJ) / r.CompletedWorkSeconds
+}

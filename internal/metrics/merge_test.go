@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"densim/internal/units"
+)
+
+func sampleResult(scale float64) Result {
+	return Result{
+		Completed:            int(10 * scale),
+		MeanExpansion:        1.2 * scale,
+		MeanServiceExpansion: 1.1 * scale,
+		MeanWaitSeconds:      0.3 * scale,
+		EnergyJ:              units.Joules(100 * scale),
+		Span:                 units.Seconds(7 * scale),
+		BoostResidency:       0.5,
+		BusySocketSeconds:    40 * scale,
+		CompletedWorkSeconds: 30 * scale,
+		RegionFreq:           map[Region]float64{FrontHalf: 0.9, BackHalf: 0.8, EvenZones: 0.85},
+		RegionWorkShare:      map[Region]float64{FrontHalf: 0.6, BackHalf: 0.4, EvenZones: 0.5},
+		ZoneWorkShare:        map[int]float64{1: 0.5, 2: 0.5},
+		ZoneFreq:             map[int]float64{1: 0.95, 2: 0.75},
+	}
+}
+
+// TestAggregateSingleIsIdentity: a fleet of one aggregates to its only
+// shard bit-for-bit — the degenerate-equivalence case the fleet oracle
+// builds on.
+func TestAggregateSingleIsIdentity(t *testing.T) {
+	r := sampleResult(1)
+	if got := Aggregate([]Result{r}); !reflect.DeepEqual(got, r) {
+		t.Errorf("Aggregate([r]) != r:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+// TestAggregateSums: counts, energy, and work add; Span is the max.
+func TestAggregateSums(t *testing.T) {
+	a, b := sampleResult(1), sampleResult(2)
+	got := Aggregate([]Result{a, b})
+	if got.Completed != a.Completed+b.Completed {
+		t.Errorf("Completed = %d, want %d", got.Completed, a.Completed+b.Completed)
+	}
+	if got.EnergyJ != a.EnergyJ+b.EnergyJ {
+		t.Errorf("EnergyJ = %v, want %v", got.EnergyJ, a.EnergyJ+b.EnergyJ)
+	}
+	if got.CompletedWorkSeconds != a.CompletedWorkSeconds+b.CompletedWorkSeconds {
+		t.Errorf("CompletedWorkSeconds = %v", got.CompletedWorkSeconds)
+	}
+	if got.Span != b.Span {
+		t.Errorf("Span = %v, want max %v", got.Span, b.Span)
+	}
+}
+
+// TestAggregateWeightedMeans: identical shards aggregate to the same means
+// (a weighted mean of equal values is that value), and unequal shards land
+// between their inputs, nearer the heavier one.
+func TestAggregateWeightedMeans(t *testing.T) {
+	r := sampleResult(1)
+	got := Aggregate([]Result{r, r, r})
+	const eps = 1e-12
+	if d := got.MeanExpansion - r.MeanExpansion; d > eps || d < -eps {
+		t.Errorf("MeanExpansion = %v, want %v", got.MeanExpansion, r.MeanExpansion)
+	}
+	if d := got.BoostResidency - r.BoostResidency; d > eps || d < -eps {
+		t.Errorf("BoostResidency = %v, want %v", got.BoostResidency, r.BoostResidency)
+	}
+
+	light, heavy := sampleResult(1), sampleResult(1)
+	light.MeanExpansion, heavy.MeanExpansion = 1.0, 2.0
+	heavy.Completed = 3 * light.Completed
+	g := Aggregate([]Result{light, heavy})
+	if g.MeanExpansion <= 1.5 || g.MeanExpansion >= 2.0 {
+		t.Errorf("MeanExpansion = %v, want in (1.5, 2.0) (weighted toward the heavier shard)", g.MeanExpansion)
+	}
+}
+
+// TestAggregateDeterministic: repeated aggregation of the same ordered slice
+// is bit-identical — the ordered-reduction contract.
+func TestAggregateDeterministic(t *testing.T) {
+	rs := []Result{sampleResult(1), sampleResult(2), sampleResult(3), sampleResult(0.5)}
+	first := Aggregate(rs)
+	for i := 0; i < 10; i++ {
+		if got := Aggregate(rs); !reflect.DeepEqual(got, first) {
+			t.Fatalf("aggregation %d differs from the first", i)
+		}
+	}
+}
+
+// TestAggregateEmptyAndZero: no shards and all-zero shards stay usable.
+func TestAggregateEmptyAndZero(t *testing.T) {
+	empty := Aggregate(nil)
+	if empty.Completed != 0 || empty.MeanExpansion != 0 {
+		t.Errorf("Aggregate(nil) = %+v, want zero", empty)
+	}
+	zeros := Aggregate([]Result{{}, {}})
+	if zeros.Completed != 0 || zeros.MeanExpansion != 0 || zeros.BoostResidency != 0 {
+		t.Errorf("Aggregate(zeros) = %+v, want zero", zeros)
+	}
+}

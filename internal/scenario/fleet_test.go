@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeFleetAccepts pins the happy path: a commented fleet file decodes
+// with defaults applied and count expansion validated.
+func TestDecodeFleetAccepts(t *testing.T) {
+	src := `{
+  // two racks, hot aisle on rack 1
+  "dispatcher": "thermal",
+  "workers": 4,
+  "chassis": [
+    {"rack": 0, "chassis": 0, "count": 2},
+    {"rack": 1, "chassis": 0, "count": 2, "inlet_c": 24},
+    {"rack": 2, "chassis": 0, "scenario": "half-density-90"}
+  ]
+}`
+	f, err := DecodeFleet(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dispatcher != "thermal" || f.Workers != 4 || len(f.Chassis) != 3 {
+		t.Fatalf("fleet = %+v", f)
+	}
+	if f.Chassis[1].InletC != 24 || f.Chassis[2].Scenario != "half-density-90" {
+		t.Fatalf("chassis = %+v", f.Chassis)
+	}
+	minimal, err := DecodeFleet(strings.NewReader(`{"chassis": [{"rack": 0, "chassis": 0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimal.Dispatcher != "" {
+		t.Errorf("minimal dispatcher = %q, want empty (round-robin default)", minimal.Dispatcher)
+	}
+}
+
+// TestDecodeFleetRejects pins the fail-loudly contract of the standalone
+// fleet format: strict JSONC plus the declarative validation layer.
+func TestDecodeFleetRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":       `{"chassis": [{"rack": 0, "chassis": 0}], "warp": 9}`,
+		"unknown entry field": `{"chassis": [{"rack": 0, "chassis": 0, "fans": 4}]}`,
+		"unknown dispatcher":  `{"dispatcher": "coin-flip", "chassis": [{"rack": 0, "chassis": 0}]}`,
+		"trailing data":       `{"chassis": [{"rack": 0, "chassis": 0}]} {}`,
+		"zero chassis":        `{"dispatcher": "round-robin", "chassis": []}`,
+		"no chassis key":      `{"dispatcher": "round-robin"}`,
+		"duplicate slot":      `{"chassis": [{"rack": 0, "chassis": 0}, {"rack": 0, "chassis": 0}]}`,
+		"count overlap":       `{"chassis": [{"rack": 0, "chassis": 0, "count": 3}, {"rack": 0, "chassis": 2}]}`,
+		"negative rack":       `{"chassis": [{"rack": -1, "chassis": 0}]}`,
+		"negative chassis":    `{"chassis": [{"rack": 0, "chassis": -2}]}`,
+		"negative count":      `{"chassis": [{"rack": 0, "chassis": 0, "count": -1}]}`,
+		"negative workers":    `{"workers": -1, "chassis": [{"rack": 0, "chassis": 0}]}`,
+		"negative inlet":      `{"chassis": [{"rack": 0, "chassis": 0, "inlet_c": -4}]}`,
+		"giant count":         `{"chassis": [{"rack": 0, "chassis": 0, "count": 1000000}]}`,
+		"not json":            `chassis: []`,
+	}
+	for name, src := range cases {
+		if _, err := DecodeFleet(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}
+
+// TestScenarioFleetBlock pins the in-scenario validation layer: the fleet
+// block rides Validate, and template features that cannot extend fleet-wide
+// (traces, snapshot blocks) are rejected up front.
+func TestScenarioFleetBlock(t *testing.T) {
+	base := func() *Scenario {
+		s, err := Preset("sut-180")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Fleet = &Fleet{Chassis: []FleetChassis{{Rack: 0, Chassis: 0, Count: 2}}}
+		return s
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid fleet scenario rejected: %v", err)
+	}
+	bad := map[string]func(*Scenario){
+		"duplicate slots": func(s *Scenario) {
+			s.Fleet.Chassis = append(s.Fleet.Chassis, FleetChassis{Rack: 0, Chassis: 1})
+		},
+		"unknown dispatcher": func(s *Scenario) { s.Fleet.Dispatcher = "warmest-first" },
+		"zero chassis":       func(s *Scenario) { s.Fleet.Chassis = nil },
+		"template trace":     func(s *Scenario) { s.Workload.Trace = "jobs.csv" },
+		"template snapshot":  func(s *Scenario) { s.Snapshot.Save = "warm.dsnp" },
+	}
+	for name, mutate := range bad {
+		s := base()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFleetPresetRoundTrip: the fleet-2x2 preset encodes and decodes back to
+// itself through the scenario codec, fleet block included.
+func TestFleetPresetRoundTrip(t *testing.T) {
+	s, err := Preset("fleet-2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet == nil || s.Fleet.Dispatcher != "thermal" {
+		t.Fatalf("preset fleet block = %+v", s.Fleet)
+	}
+	var b strings.Builder
+	if err := s.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Decode(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("re-decoding encoded preset: %v", err)
+	}
+	if again.Fleet == nil || len(again.Fleet.Chassis) != len(s.Fleet.Chassis) {
+		t.Fatalf("fleet block lost in round trip: %+v", again.Fleet)
+	}
+	if again.Fleet.Chassis[1].InletC != 24 {
+		t.Errorf("inlet override lost: %+v", again.Fleet.Chassis[1])
+	}
+}

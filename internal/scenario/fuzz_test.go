@@ -12,6 +12,50 @@ import (
 // timeline validation both pass — DecodeFaults promises that) and must
 // survive a marshal → decode round trip unchanged; whatever it rejects must
 // fail with an error, never a panic or a silently-partial timeline.
+// FuzzDecodeFleet throws arbitrary bytes at the standalone fleet-block
+// reader. Whatever it accepts must be fully valid (the declarative layer
+// passes — DecodeFleet promises that) and must survive a marshal → decode
+// round trip unchanged; whatever it rejects must fail with an error, never a
+// panic or an unbounded allocation (the count expansion is the attack
+// surface: a fuzzed count must never allocate past the fleet-size cap).
+func FuzzDecodeFleet(f *testing.F) {
+	f.Add([]byte(`{
+  // two racks, hot aisle on rack 1
+  "dispatcher": "thermal",
+  "workers": 2,
+  "chassis": [
+    {"rack": 0, "chassis": 0, "count": 2},
+    {"rack": 1, "chassis": 0, "count": 2, "inlet_c": 24}
+  ]
+}`))
+	f.Add([]byte(`{"chassis": [{"rack": 0, "chassis": 0}]}`))
+	f.Add([]byte(`{"dispatcher": "least-loaded", "chassis": [{"rack": 3, "chassis": 7, "scenario": "half-density-90"}]}`))
+	f.Add([]byte(`{"chassis": []}`))
+	f.Add([]byte(`{"chassis": [{"rack": 0, "chassis": 0, "count": 99999999}]}`))
+	f.Add([]byte(`{"chassis": [{"rack": 0, "chassis": 0}, {"rack": 0, "chassis": 0}]}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := DecodeFleet(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if err := fl.validate(); err != nil {
+			t.Fatalf("accepted fleet fails validation: %v", err)
+		}
+		out, err := json.Marshal(fl)
+		if err != nil {
+			t.Fatalf("accepted fleet failed to re-encode: %v", err)
+		}
+		again, err := DecodeFleet(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("re-encoded fleet rejected: %v", err)
+		}
+		if !reflect.DeepEqual(fl, again) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", again, fl)
+		}
+	})
+}
+
 func FuzzDecodeFaults(f *testing.F) {
 	f.Add([]byte(`{
   // canonical chaos file

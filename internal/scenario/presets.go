@@ -20,6 +20,7 @@ var presets = map[string]func() *Scenario{
 	"half-density-90":    halfDensity90,
 	"double-density-360": doubleDensity360,
 	"conventional-2u":    conventional2U,
+	"fleet-2x2":          fleet2x2,
 }
 
 // Names lists the shipped presets, sorted.
@@ -124,6 +125,26 @@ func doubleDensity360() *Scenario {
 		Scheduler: Scheduler{Name: "CP"},
 		Run:       baseRun(),
 	}
+}
+
+// fleet2x2 is the smallest interesting fleet: two racks of two SUT chassis
+// each behind the thermal-aware dispatcher, with rack 1 sitting in a warmer
+// aisle (24C inlet vs the default 18C) so ambient headroom actually ranks.
+// The template is the sut-180 preset; single-chassis tools that load this
+// preset ignore the fleet block and run one SUT.
+func fleet2x2() *Scenario {
+	s := sut180()
+	s.Name = "fleet-2x2"
+	s.Notes = "2 racks x 2 SUT chassis behind the thermal-aware fleet " +
+		"dispatcher; rack 1 breathes 24C hot-aisle air."
+	s.Fleet = &Fleet{
+		Dispatcher: "thermal",
+		Chassis: []FleetChassis{
+			{Rack: 0, Chassis: 0, Count: 2},
+			{Rack: 1, Chassis: 0, Count: 2, InletC: 24},
+		},
+	}
+	return s
 }
 
 // conventional2U is the uncoupled control: the same 180 sockets arranged

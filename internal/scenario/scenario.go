@@ -61,6 +61,12 @@ type Scenario struct {
 	// SKUs installs non-default part variants (mixed TDP / capped DVFS
 	// ladders) at cartridge granularity, making the server heterogeneous.
 	SKUs []SKUOverride `json:"skus,omitempty"`
+	// Fleet scales the scenario out to racks x chassis of independent
+	// servers behind a fleet-level dispatcher (internal/fleet). The rest of
+	// the scenario is the template: its workload and windows define the
+	// shared arrival stream, and chassis entries default to simulating it.
+	// Single-chassis tools ignore the block and run the template alone.
+	Fleet *Fleet `json:"fleet,omitempty"`
 
 	// Checks asks runners to attach the runtime invariant harness
 	// (internal/check) to every run of this scenario.
@@ -263,7 +269,10 @@ func (s *Scenario) Validate() error {
 	if s.Snapshot.Save != "" && s.Snapshot.Load != "" {
 		return fmt.Errorf("scenario %q: snapshot save and load are mutually exclusive", s.Name)
 	}
-	return s.validateFaults()
+	if err := s.validateFaults(); err != nil {
+		return err
+	}
+	return s.validateFleet()
 }
 
 // engineModes and engineStrides list the accepted Engine enum values.

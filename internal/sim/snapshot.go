@@ -54,6 +54,18 @@ type sourceSnapshotter interface {
 	RestoreState(rngState uint64, next units.Seconds)
 }
 
+// sourceIdentifier lets a custom workload source contribute an identity hash
+// to the config signature. Without it, two runs differing only in their
+// injected sources share a signature — the fleet layer feeds each chassis a
+// distinct pre-dispatched arrival slice through the same source type, and a
+// warm-start cache keyed on the signature alone would silently restore one
+// chassis's warmup into another. Sources that implement it (fleet replay
+// sources hash their arrival records) get per-content signatures; sources
+// that don't keep the historical signature, so existing captures stay valid.
+type sourceIdentifier interface {
+	SourceSignature() uint64
+}
+
 // snapshotable reports (with a reason) whether this run supports snapshots.
 // Custom thermal chains and power policies may carry arbitrary hidden state
 // the serializer cannot see, and the invariant harness accumulates run
@@ -113,7 +125,10 @@ func (s *Simulator) cfgSig() [32]byte {
 	w.f64(c.Load)
 	w.u64(c.Seed)
 	if c.Source != nil {
-		w.u8(1) // custom source: identity beyond the type is unhashable
+		w.u8(1) // custom source: identity beyond the interface is opaque...
+		if ident, ok := c.Source.(sourceIdentifier); ok {
+			w.u64(ident.SourceSignature()) // ...unless the source hashes itself
+		}
 	} else {
 		w.u8(0)
 	}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"densim/internal/airflow"
+	"densim/internal/geometry"
+	"densim/internal/sched"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// idListSource is a snapshottable listSource with an explicit identity hash
+// — the shape of the fleet layer's replay sources. The cursor doubles as the
+// snapshot state (there is no RNG to capture).
+type idListSource struct {
+	listSource
+	sig uint64
+}
+
+func (l *idListSource) SnapshotState() (uint64, units.Seconds) {
+	return uint64(l.next), l.Peek()
+}
+
+func (l *idListSource) RestoreState(rngState uint64, _ units.Seconds) {
+	l.next = int(rngState)
+}
+
+func (l *idListSource) SourceSignature() uint64 { return l.sig }
+
+func idSourceConfig(t *testing.T, sig uint64) Config {
+	t.Helper()
+	scheduler, err := sched.ByName("CF", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := workload.ByClass(workload.Computation)[0]
+	return Config{
+		Server:    geometry.SUT(),
+		Scheduler: scheduler,
+		Airflow:   airflow.SUTParams(),
+		Source: &idListSource{
+			listSource: listSource{arrivals: []listArrival{{at: 0, bench: bench, nominal: 0.5}}},
+			sig:        sig,
+		},
+		Seed:     1,
+		Duration: 1,
+		Warmup:   0.3,
+		SinkTau:  0.5,
+	}
+}
+
+// TestSnapshotKeySourceIdentity: custom sources that carry an identity hash
+// get it folded into the snapshot key, so two runs that differ only in their
+// injected arrival content key separately — the property the fleet layer's
+// per-chassis warm-start cache depends on. Equal identities still share a
+// key.
+func TestSnapshotKeySourceIdentity(t *testing.T) {
+	key := func(sig uint64) string {
+		s, err := New(idSourceConfig(t, sig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := s.SnapshotKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key(1) == key(2) {
+		t.Error("distinct source signatures share a snapshot key")
+	}
+	if key(7) != key(7) {
+		t.Error("equal source signatures produce different snapshot keys")
+	}
+}
+
+// TestRestoreRejectsForeignSourceIdentity: a capture from one source
+// identity fails closed when restored under another — the cross-chassis
+// restore the signature extension exists to prevent.
+func TestRestoreRejectsForeignSourceIdentity(t *testing.T) {
+	a, err := New(idSourceConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RunTo(0.3)
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(idSourceConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = b.Restore(data)
+	if err == nil {
+		t.Fatal("restore under a different source identity succeeded")
+	}
+	if !strings.Contains(err.Error(), "signature mismatch") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -92,6 +92,7 @@ var counterHelp = [numCounters]string{
 	CThrottleUp:   "DVFS transitions that raised a busy socket's P-state.",
 	CFaultEvents:  "Fault-timeline steps applied.",
 	CRequeues:     "Jobs displaced back to the queue by socket-death faults.",
+	CDispatched:   "Jobs routed to this chassis by the fleet dispatcher.",
 }
 
 // writeProm renders the instances' metrics, emitting each metric family's

@@ -74,6 +74,10 @@ const (
 	// CRequeues counts jobs displaced back into the queue by socket-death
 	// faults.
 	CRequeues
+	// CDispatched counts jobs a fleet dispatcher routed to this chassis
+	// before intra-chassis scheduling (internal/fleet). Zero outside fleet
+	// runs.
+	CDispatched
 
 	numCounters
 )
@@ -94,6 +98,7 @@ var counterNames = [numCounters]string{
 	CSettledTicks: "settled_ticks",
 	CFaultEvents:  "fault_events",
 	CRequeues:     "requeues",
+	CDispatched:   "dispatched",
 }
 
 // Name returns the counter's exposition name.
@@ -212,6 +217,9 @@ func (t *Telemetry) OnTick() { t.counters[CTicks].Add(1) }
 
 // OnArrival records one admitted job.
 func (t *Telemetry) OnArrival() { t.counters[CArrivals].Add(1) }
+
+// OnDispatch records one job the fleet dispatcher routed to this chassis.
+func (t *Telemetry) OnDispatch() { t.counters[CDispatched].Add(1) }
 
 // PickSampleInterval is the pick-latency sampling period: TimeThisPick asks
 // the caller to wall-clock one pick in this many (a power of two). Timing

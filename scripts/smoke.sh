@@ -94,6 +94,29 @@ fi
 go run ./cmd/sweep -scenario fault-density -loads 0.5 -out "$tmp/chaos"
 test -s "$tmp/chaos/fault-density.csv" || { echo "fault sweep wrote no CSV" >&2; exit 1; }
 
+echo "== fleet: fleetsim end-to-end, byte-identical CSV across runs"
+# A tiny 2x2 fleet (the shipped preset, shortened) through every layer:
+# scenario fleet block -> dispatcher -> sharded chassis sims -> ordered
+# reduction -> CSV. Two runs must produce byte-identical CSVs (the fleet
+# determinism contract), and the worker bound must not change a byte.
+go build -o "$tmp/fleetsim" ./cmd/fleetsim
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -out "$tmp/fleet-a.csv" > "$tmp/fleet-a.out"
+grep -q "dispatcher=thermal" "$tmp/fleet-a.out" || { echo "fleetsim printed no fleet summary" >&2; exit 1; }
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -out "$tmp/fleet-b.csv" > /dev/null
+cmp "$tmp/fleet-a.csv" "$tmp/fleet-b.csv" || {
+    echo "repeated fleetsim runs produced different CSVs" >&2; exit 1; }
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -fleet.workers 4 -out "$tmp/fleet-w4.csv" > /dev/null
+cmp "$tmp/fleet-a.csv" "$tmp/fleet-w4.csv" || {
+    echo "worker bound changed fleetsim results" >&2; exit 1; }
+"$tmp/fleetsim" -scenario examples/scenarios/fleet-2x2.jsonc -duration 1 -sinktau 0.5 \
+    -dispatcher least-loaded -out "$tmp/fleet-file.csv" > /dev/null
+test -s "$tmp/fleet-file.csv" || { echo "fleetsim wrote no CSV from the example file" >&2; exit 1; }
+if "$tmp/fleetsim" -scenario sut-180 -duration 1 -sinktau 0.5 > /dev/null 2>&1; then
+    echo "fleetsim accepted a scenario without a fleet block" >&2; exit 1
+fi
+# The full fleet sweep (sweep -scenario fleet) is too heavy for smoke; the
+# experiments test suite covers it on a test-sized template.
+
 echo "== snapshot save/load round-trip"
 "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 > "$tmp/snap-cold.out"
 "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 \
