@@ -8,6 +8,7 @@
 //
 //	fleetsim                                  # the fleet-2x2 preset
 //	fleetsim -dispatcher least-loaded         # same fleet, different routing
+//	fleetsim -fleet.epoch 0.25                # closed-loop: observe chassis state every 0.25s
 //	fleetsim -scenario sut-180 -fleet my-fleet.jsonc -load 0.9
 //	fleetsim -fleet.workers 4 -out fleet.csv  # per-chassis table as CSV
 package main
@@ -93,14 +94,14 @@ func chassisTable(res *fleet.Result) *report.Table {
 		Title: "fleet " + res.Dispatcher,
 		Header: []string{"chassis", "scenario", "sockets", "inlet_c",
 			"dispatched", "completed", "unfinished", "mean_expansion",
-			"boost_residency", "energy_j"},
+			"boost_residency", "energy_j", "est_err"},
 	}
 	for i := range res.Chassis {
 		cr := &res.Chassis[i]
 		t.AddRow(cr.Name(), cr.Scenario, cr.Sockets, float64(cr.Inlet),
 			cr.Dispatched, cr.Result.Completed, cr.Unfinished,
 			fmt.Sprintf("%.4f", cr.Result.MeanExpansion),
-			cr.Result.BoostResidency, float64(cr.Result.EnergyJ))
+			cr.Result.BoostResidency, float64(cr.Result.EnergyJ), cr.EstErr)
 	}
 	return t
 }
@@ -109,8 +110,20 @@ func chassisTable(res *fleet.Result) *report.Table {
 // carries a fault timeline, the fleet fault ledger.
 func printAggregate(res *fleet.Result) {
 	r := res.Aggregate
-	fmt.Printf("fleet: %d chassis, dispatcher=%s, workers=%d\n",
-		len(res.Chassis), res.Dispatcher, res.Workers)
+	loop := "loop=open"
+	if res.Epochs > 0 {
+		loop = fmt.Sprintf("loop=closed epoch=%gs epochs=%d", float64(res.EpochS), res.Epochs)
+	}
+	fmt.Printf("fleet: %d chassis, dispatcher=%s, workers=%d, %s\n",
+		len(res.Chassis), res.Dispatcher, res.Workers, loop)
+	if res.Epochs > 0 {
+		est := 0
+		for i := range res.Chassis {
+			est += res.Chassis[i].EstErr
+		}
+		fmt.Printf("  open-loop estimate drift: %d job-observations across %d boundaries (per-chassis est_err column)\n",
+			est, res.Epochs)
+	}
 	fmt.Printf("  jobs completed:         %d\n", r.Completed)
 	fmt.Printf("  mean runtime expansion: %.4f (1.0 = never below 1900MHz, no waiting)\n", r.MeanExpansion)
 	fmt.Printf("  mean service expansion: %.4f\n", r.MeanServiceExpansion)

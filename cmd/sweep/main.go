@@ -129,9 +129,10 @@ func main() {
 		if *scenarioRef == "fleet" {
 			// The fleet sweep: dispatcher policies x fleet sizes x CP/CF on
 			// hot/cold-aisle SUT fleets at the high-load knee (see
-			// experiments.FleetSweep). -loads is not an axis here; the knee
+			// experiments.FleetSweep), each crossed open- vs closed-loop (epoch
+			// 0.25s). -loads is not an axis here; the knee
 			// load is pinned where dispatch quality binds.
-			_, t, err := experiments.FleetSweep(opts, nil, nil, nil, nil)
+			_, t, err := experiments.FleetSweep(opts, nil, nil, nil, nil, nil)
 			if err != nil {
 				fail(err)
 			}

@@ -42,3 +42,44 @@ func FleetClosure(streamed int, dispatched, arrived, completed, unfinished []int
 	}
 	return nil
 }
+
+// EpochClosure audits one closed-loop epoch boundary: the conservation law
+// FleetClosure enforces at end of run, checked at every observation point.
+// epoch is the just-completed epoch index; windowStreamed is the number of
+// stream arrivals that fell inside its window; windowDispatched is the
+// per-chassis count routed during it (all slices canonical chassis order);
+// cumDispatched is the running total routed to each chassis through this
+// window; observedArrived is each chassis simulator's admitted-job count at
+// the boundary. Because dispatch for a window happens before the window is
+// simulated and every dispatched arrival lies strictly before the boundary,
+// observed arrivals must exactly equal cumulative dispatched — any gap is a
+// routing or replay bug in the epoch executor, caught at the first boundary
+// it appears instead of at end of run.
+func EpochClosure(epoch, windowStreamed int, windowDispatched, cumDispatched, observedArrived []int) error {
+	n := len(windowDispatched)
+	if len(cumDispatched) != n || len(observedArrived) != n {
+		return fmt.Errorf("check: epoch closure: epoch %d: ragged inputs (%d/%d/%d chassis)",
+			epoch, n, len(cumDispatched), len(observedArrived))
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		if windowDispatched[i] < 0 || cumDispatched[i] < 0 || observedArrived[i] < 0 {
+			return fmt.Errorf("check: epoch closure: epoch %d: chassis %d has negative counts (window=%d cum=%d arrived=%d)",
+				epoch, i, windowDispatched[i], cumDispatched[i], observedArrived[i])
+		}
+		total += windowDispatched[i]
+		if windowDispatched[i] > cumDispatched[i] {
+			return fmt.Errorf("check: epoch closure: epoch %d: chassis %d window dispatched %d > cumulative %d",
+				epoch, i, windowDispatched[i], cumDispatched[i])
+		}
+		if observedArrived[i] != cumDispatched[i] {
+			return fmt.Errorf("check: epoch closure: epoch %d: chassis %d observed arrived %d != cumulative dispatched %d (replay loss at boundary)",
+				epoch, i, observedArrived[i], cumDispatched[i])
+		}
+	}
+	if total != windowStreamed {
+		return fmt.Errorf("check: epoch closure: epoch %d: dispatched %d jobs != window streamed %d (routing loss)",
+			epoch, total, windowStreamed)
+	}
+	return nil
+}

@@ -24,3 +24,27 @@ func TestFleetClosure(t *testing.T) {
 	bad("overcount", 10, []int{5, 5}, []int{5, 5}, []int{5, 5}, []int{0, 1})
 	bad("negative", 0, []int{-1}, []int{-1}, []int{0}, []int{0})
 }
+
+func TestEpochClosure(t *testing.T) {
+	ok := func(name string, epoch, streamed int, win, cum, arr []int) {
+		t.Helper()
+		if err := EpochClosure(epoch, streamed, win, cum, arr); err != nil {
+			t.Errorf("%s: unexpected violation: %v", name, err)
+		}
+	}
+	bad := func(name string, epoch, streamed int, win, cum, arr []int) {
+		t.Helper()
+		if err := EpochClosure(epoch, streamed, win, cum, arr); err == nil {
+			t.Errorf("%s: violation not caught", name)
+		}
+	}
+	ok("first window", 0, 4, []int{3, 1}, []int{3, 1}, []int{3, 1})
+	ok("later window", 3, 2, []int{0, 2}, []int{7, 9}, []int{7, 9})
+	ok("idle window", 5, 0, []int{0, 0}, []int{7, 9}, []int{7, 9})
+	ok("no chassis", 0, 0, nil, nil, nil)
+	bad("ragged", 0, 1, []int{1}, []int{1}, nil)
+	bad("routing loss", 1, 5, []int{2, 2}, []int{2, 2}, []int{2, 2})
+	bad("replay loss at boundary", 2, 2, []int{1, 1}, []int{4, 4}, []int{3, 4})
+	bad("window exceeds cumulative", 0, 3, []int{3}, []int{2}, []int{2})
+	bad("negative", 0, 0, []int{-1}, []int{0}, []int{0})
+}

@@ -183,6 +183,9 @@ type Fleet struct {
 	Dispatcher string
 	// Workers overrides the chassis worker-pool bound.
 	Workers int
+	// EpochS overrides the closed-loop epoch period: -1 keeps the
+	// scenario's, 0 forces open loop, > 0 runs closed-loop at that period.
+	EpochS float64
 }
 
 // AddFleet registers the fleet flags on fs.
@@ -194,6 +197,8 @@ func AddFleet(fs *flag.FlagSet) *Fleet {
 		"fleet dispatcher override: round-robin, least-loaded, or thermal")
 	fs.IntVar(&f.Workers, "fleet.workers", 0,
 		"chassis worker-pool bound override (0 = scenario or GOMAXPROCS; never affects results)")
+	fs.Float64Var(&f.EpochS, "fleet.epoch", -1,
+		"closed-loop epoch period in seconds (a tick multiple); 0 forces open-loop dispatch, -1 keeps the scenario's fleet.epoch block")
 	return f
 }
 
@@ -215,6 +220,12 @@ func (f *Fleet) Apply(sc *scenario.Scenario) error {
 	}
 	if f.Workers != 0 {
 		sc.Fleet.Workers = f.Workers
+	}
+	switch {
+	case f.EpochS > 0:
+		sc.Fleet.Epoch = &scenario.FleetEpoch{PeriodS: f.EpochS}
+	case f.EpochS == 0:
+		sc.Fleet.Epoch = nil
 	}
 	return nil
 }

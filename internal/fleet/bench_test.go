@@ -1,20 +1,24 @@
 package fleet
 
-// Shard-scaling benchmark: the same 16-chassis fleet run at different
-// worker-pool bounds. Results are bit-identical across the axis (the
-// equivalence suite proves that); this measures the only thing workers are
-// allowed to change — wall-clock time. BENCH_PR8.json records a run of this
-// benchmark.
+// Shard-scaling benchmarks: the same 16-chassis fleet run at different
+// worker-pool bounds, open loop (BenchmarkFleet16) and closed loop at a
+// 0.25s epoch (BenchmarkFleetEpoch16). Results are bit-identical across the
+// workers axis (the equivalence suite proves that); this measures the only
+// thing workers are allowed to change — wall-clock time — and, between the
+// two benchmarks, the epoch executor's observe/dispatch fence overhead.
+// BENCH_PR8.json and BENCH_PR9.json record runs of these benchmarks;
+// scripts/bench.sh fleetgate holds the closed/open ratio in CI.
 
 import (
 	"fmt"
 	"testing"
+
+	"densim/internal/scenario"
 )
 
-func BenchmarkFleet16(b *testing.B) {
+func benchFleet16(b *testing.B, sc *scenario.Scenario) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sc := uniformFleet(16, "least-loaded")
 			f, err := New(sc, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -28,4 +32,14 @@ func BenchmarkFleet16(b *testing.B) {
 			}
 		})
 	}
+}
+
+func BenchmarkFleet16(b *testing.B) {
+	benchFleet16(b, uniformFleet(16, "least-loaded"))
+}
+
+func BenchmarkFleetEpoch16(b *testing.B) {
+	sc := uniformFleet(16, "least-loaded")
+	sc.Fleet.Epoch = &scenario.FleetEpoch{PeriodS: 0.25}
+	benchFleet16(b, sc)
 }

@@ -18,8 +18,10 @@ package fleet
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"densim/internal/chipmodel"
+	"densim/internal/sim"
 	"densim/internal/units"
 )
 
@@ -60,9 +62,9 @@ func (r *roundRobin) pick(units.Seconds, units.Seconds) int {
 // a hot-aisle chassis only wins when the cool ones are busy enough to have
 // spent their advantage.
 type estimated struct {
-	chassis []Chassis
+	chassis  []Chassis
 	inflight []completionHeap
-	thermal bool
+	thermal  bool
 }
 
 func newEstimated(chassis []Chassis, thermal bool) *estimated {
@@ -114,6 +116,117 @@ func (h *completionHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// closedDispatcher is the closed-loop half of the seam: the epoch executor
+// feeds it true per-chassis observations at every tick-aligned boundary,
+// and it routes the next window's arrivals over what it saw instead of what
+// it estimated. The observe/pick split is deliberately the whole interface —
+// a future gym-style external controller is exactly an implementation of
+// these two calls.
+type closedDispatcher interface {
+	dispatcher
+	// observe installs the boundary snapshot, indexed by canonical chassis
+	// order. Called once before each dispatch window (including the first,
+	// with the fleet's t=0 state).
+	observe(obs []sim.Observation)
+}
+
+// newClosedDispatcher builds the named policy's closed-loop variant over the
+// fleet's chassis. The same names resolve here as in newDispatcher: every
+// policy has both an open- and a closed-loop form.
+func newClosedDispatcher(name string, chassis []Chassis) (closedDispatcher, error) {
+	switch name {
+	case "", "round-robin":
+		return &closedRoundRobin{roundRobin{n: len(chassis)}}, nil
+	case "least-loaded":
+		return newObserved(chassis, false), nil
+	case "thermal":
+		return newObserved(chassis, true), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown dispatcher %q", name)
+	}
+}
+
+// closedRoundRobin is round-robin with its eyes open and its behavior
+// unchanged: the cycle ignores observations by construction. That identity
+// is load-bearing — closed-loop round-robin must produce the bit-identical
+// per-chassis streams of open-loop round-robin, which is what proves the
+// epoch-stepped executor itself is bit-exact (TestClosedLoopRoundRobin
+// pins it against the pipeline).
+type closedRoundRobin struct{ roundRobin }
+
+func (c *closedRoundRobin) observe([]sim.Observation) {}
+
+// observed is the closed-loop counterpart of estimated, shared by the
+// informed policies: instead of a min-heap of assumed completion instants,
+// it ranks on the in-flight depth and ambient headroom each chassis
+// actually reported at the last boundary, plus the jobs routed to it within
+// the current window (pending — dispatched but not yet visible in any
+// observation). Dead sockets shrink a chassis's capacity, so a half-dead
+// chassis saturates at half the load — state the open-loop estimator cannot
+// see at all.
+type observed struct {
+	chassis  []Chassis
+	thermal  bool
+	inflight []int     // observed queue depth + busy sockets at the boundary
+	pending  []int     // routed this window, not yet observable
+	headroom []float64 // observed hottest-socket headroom (C)
+	alive    []int     // sockets still able to take work
+}
+
+func newObserved(chassis []Chassis, thermal bool) *observed {
+	o := &observed{
+		chassis:  chassis,
+		thermal:  thermal,
+		inflight: make([]int, len(chassis)),
+		pending:  make([]int, len(chassis)),
+		headroom: make([]float64, len(chassis)),
+		alive:    make([]int, len(chassis)),
+	}
+	// Pre-observation state mirrors an idle fleet; the executor always
+	// observes before the first pick, so these are only a safety floor.
+	for i := range chassis {
+		o.headroom[i] = float64(chipmodel.TempLimit - chassis[i].Inlet)
+		o.alive[i] = chassis[i].Sockets
+	}
+	return o
+}
+
+func (o *observed) observe(obs []sim.Observation) {
+	for i := range obs {
+		o.inflight[i] = obs[i].InFlight()
+		o.headroom[i] = obs[i].HeadroomC
+		o.alive[i] = obs[i].AliveSockets()
+		o.pending[i] = 0
+	}
+}
+
+func (o *observed) pick(_, _ units.Seconds) int {
+	best, bestScore := 0, 0.0
+	for i := range o.chassis {
+		var score float64
+		if o.alive[i] == 0 {
+			// A fully dead chassis can complete nothing: rank it last
+			// regardless of how much thermal headroom its idle hulk shows.
+			score = math.Inf(-1)
+		} else {
+			util := float64(o.inflight[i]+o.pending[i]) / float64(o.alive[i])
+			if o.thermal {
+				// Observed hottest-socket headroom discounted by observed
+				// utilization — the same shape as the open-loop score, with
+				// both factors now live instead of estimated.
+				score = o.headroom[i] * (1 - util)
+			} else {
+				score = -util
+			}
+		}
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	o.pending[best]++
+	return best
 }
 
 // dispatch routes the whole stream, returning the per-chassis arrival slices

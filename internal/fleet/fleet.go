@@ -19,8 +19,19 @@
 //     reduction over that slice (metrics.Aggregate) — the worker count can
 //     change wall-clock time only, never a byte of the result.
 //
-// The fleet equivalence suite (fleet_test.go) holds the package to exactly
-// that standard, the way TestEngineEquivalenceMatrix holds the engines.
+// Fleets run in one of two loop modes. Open loop (the default, and the only
+// mode before the epoch executor existed) dispatches the entire stream before
+// any chassis simulates, over estimated chassis state. Closed loop (a
+// fleet.epoch block, epoch.go) interleaves dispatch and simulation in
+// tick-aligned epochs: each boundary, the dispatcher observes every chassis's
+// true state through sim.Observe and routes the next window over what it saw.
+// Determinism survives the feedback because each epoch repeats the same
+// serial-dispatch / parallel-step / serial-observe shape — the worker pool
+// still only parallelizes simulation between two serial fences.
+//
+// The fleet equivalence suite (fleet_test.go, epoch_test.go) holds the
+// package to exactly that standard, the way TestEngineEquivalenceMatrix holds
+// the engines.
 package fleet
 
 import (
@@ -70,7 +81,9 @@ type Fleet struct {
 	// warmup state is cached keyed by its snapshot signature (which includes
 	// its replay-stream identity), exactly like experiments.SimOptions'
 	// WarmDir. Results are bit-identical either way. Checked or
-	// telemetry-instrumented chassis always run cold.
+	// telemetry-instrumented chassis always run cold, and closed-loop runs
+	// ignore WarmDir entirely — a chassis's stream is only discovered epoch
+	// by epoch, so there is no replay identity to key a cache on.
 	WarmDir string
 	// Telemetry instruments every chassis, each labeled with its grid name
 	// ("r0c1"), including the per-chassis dispatched counter. Nil disables.
@@ -84,6 +97,8 @@ type Fleet struct {
 	dispatcher string
 	workers    int
 	seed       uint64
+	epoch      units.Seconds // closed-loop epoch period; 0 = open loop
+	tick       units.Seconds // resolved tick period (epoch boundary quantum)
 }
 
 // New resolves a scenario's fleet block into a runnable Fleet. The scenario
@@ -125,9 +140,31 @@ func New(sc *scenario.Scenario, seed uint64) (*Fleet, error) {
 		return f.chassis[a].Slot < f.chassis[b].Slot
 	})
 	// The dispatcher name was validated declaratively; building it here
-	// surfaces any drift between the two layers at New time.
+	// surfaces any drift between the two layers at New time (both loop
+	// variants, so a policy missing its closed-loop form fails at New).
 	if _, err := newDispatcher(f.dispatcher, f.chassis); err != nil {
 		return nil, err
+	}
+	if _, err := newClosedDispatcher(f.dispatcher, f.chassis); err != nil {
+		return nil, err
+	}
+	if sc.Fleet.Epoch != nil && sc.Fleet.Epoch.PeriodS > 0 {
+		f.epoch = units.Seconds(sc.Fleet.Epoch.PeriodS)
+		// Layer-2 alignment check, against the *resolved* tick period this
+		// time (the declarative layer could only see the scenario's own
+		// numbers; here withDefaults-equivalent resolution has happened).
+		cfg, err := f.template.Config(seed)
+		if err != nil {
+			return nil, err
+		}
+		tick := float64(cfg.TickPeriod)
+		if tick <= 0 {
+			tick = scenario.DefaultTickPeriodS
+		}
+		if !scenario.EpochAligned(float64(f.epoch), tick) {
+			return nil, fmt.Errorf("fleet: epoch period %gs is not a multiple of the tick period %gs", float64(f.epoch), tick)
+		}
+		f.tick = units.Seconds(tick)
 	}
 	return f, nil
 }
@@ -204,6 +241,9 @@ func (f *Fleet) Dispatcher() string {
 // default: the block's value, else GOMAXPROCS).
 func (f *Fleet) SetWorkers(n int) { f.workers = n }
 
+// Epoch returns the closed-loop epoch period, or 0 for an open-loop fleet.
+func (f *Fleet) Epoch() units.Seconds { return f.epoch }
+
 // workerCount resolves the effective pool size.
 func (f *Fleet) workerCount() int {
 	w := f.workers
@@ -254,6 +294,11 @@ type ChassisResult struct {
 	Result metrics.Result
 	// Ledger is the chassis's fault ledger, nil when it has no timeline.
 	Ledger *Ledger
+	// EstErr is the accumulated |estimated − observed| in-flight divergence
+	// of the shadow open-loop estimator at each epoch boundary — how far the
+	// PR-8 pipeline's picture of this chassis drifted from what a closed-loop
+	// observer actually saw. Always 0 on open-loop runs (nothing observes).
+	EstErr int
 }
 
 // Name returns the chassis's fleet-grid label ("r0c1").
@@ -276,6 +321,15 @@ type Result struct {
 	// Ledger is the fleet-wide fault ledger (zero when no chassis carries a
 	// timeline).
 	Ledger Ledger
+	// Epochs counts the closed-loop epochs stepped (0 on open-loop runs) and
+	// EpochS records the epoch period that ran.
+	Epochs int
+	EpochS units.Seconds
+	// EpochStarts indexes the pick sequence by epoch: EpochStarts[k] is the
+	// offset in Picks where epoch k's dispatch window begins, so
+	// Picks[EpochStarts[k]:EpochStarts[k+1]] is exactly what the dispatcher
+	// routed between boundaries k and k+1. Nil on open-loop runs.
+	EpochStarts []int
 }
 
 // stream drains the fleet arrival process up to the template's horizon: the
@@ -306,15 +360,56 @@ type chassisOut struct {
 	arrived    int
 	unfinished int
 	ledger     *Ledger
+	estErr     int
 	err        error
 }
 
-// Run executes the fleet: generate the stream, dispatch it serially, shard
-// the chassis across the worker pool, and reduce in canonical order.
+// parallelEach runs fn(0..n-1) across a bounded worker pool — the fleet's one
+// concurrency primitive, shared by the open-loop pipeline and every epoch
+// step. Workers race only on the jobs channel; fn writes position-indexed
+// state. workers <= 1 runs inline, which keeps single-worker runs trivially
+// serial (and makes the shard-count invariance oracle meaningful).
+func parallelEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Run executes the fleet. Open loop: generate the stream, dispatch it
+// serially over estimated state, shard the chassis across the worker pool,
+// and reduce in canonical order. Closed loop (fleet.epoch set): hand the
+// stream to the epoch executor, which interleaves observation, dispatch, and
+// tick-aligned RunTo windows until the horizon, then drains. Both paths end
+// in the same ordered reduction and closure audit (assemble).
 func (f *Fleet) Run() (*Result, error) {
-	stream, _, err := f.stream()
+	stream, horizon, err := f.stream()
 	if err != nil {
 		return nil, err
+	}
+	if f.epoch > 0 {
+		return f.runEpochs(stream, horizon)
 	}
 	d, err := newDispatcher(f.dispatcher, f.chassis)
 	if err != nil {
@@ -326,33 +421,31 @@ func (f *Fleet) Run() (*Result, error) {
 	// race only on the jobs channel, never on results, and the reduction
 	// below walks outs in canonical chassis order.
 	outs := make([]chassisOut, len(f.chassis))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	workers := f.workerCount()
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				outs[i] = f.runChassis(i, assigns[i])
-			}
-		}()
-	}
-	for i := range f.chassis {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	parallelEach(workers, len(f.chassis), func(i int) {
+		outs[i] = f.runChassis(i, assigns[i])
+	})
 
-	// Ordered reduction.
+	dispatched := make([]int, len(f.chassis))
+	for i := range assigns {
+		dispatched[i] = len(assigns[i])
+	}
 	res := &Result{
 		Picks:      picks,
 		Dispatcher: f.Dispatcher(),
 		Workers:    workers,
 	}
+	return f.assemble(len(stream), dispatched, outs, res)
+}
+
+// assemble is the ordered reduction both loop modes share: fold the
+// position-indexed chassis outputs into per-chassis results, merge the fault
+// ledgers, audit the fleet-level closure, and aggregate. streamed and
+// dispatched feed the closure audit; res arrives carrying the loop-specific
+// fields (picks, workers, epoch accounting) already set.
+func (f *Fleet) assemble(streamed int, dispatched []int, outs []chassisOut, res *Result) (*Result, error) {
 	var errs []error
 	results := make([]metrics.Result, 0, len(f.chassis))
-	dispatched := make([]int, len(f.chassis))
 	arrived := make([]int, len(f.chassis))
 	completed := make([]int, len(f.chassis))
 	unfinished := make([]int, len(f.chassis))
@@ -364,7 +457,6 @@ func (f *Fleet) Run() (*Result, error) {
 			continue
 		}
 		results = append(results, out.res)
-		dispatched[i] = len(assigns[i])
 		arrived[i] = out.arrived
 		completed[i] = out.res.Completed
 		unfinished[i] = out.unfinished
@@ -374,11 +466,12 @@ func (f *Fleet) Run() (*Result, error) {
 			Scenario:   ch.Scenario.Name,
 			Sockets:    ch.Sockets,
 			Inlet:      ch.Inlet,
-			Dispatched: len(assigns[i]),
+			Dispatched: dispatched[i],
 			Arrived:    out.arrived,
 			Unfinished: out.unfinished,
 			Result:     out.res,
 			Ledger:     out.ledger,
+			EstErr:     out.estErr,
 		}
 		res.Chassis = append(res.Chassis, cr)
 		if out.ledger != nil {
@@ -397,7 +490,7 @@ func (f *Fleet) Run() (*Result, error) {
 	// The fleet-level closure audit: every dispatched job arrived at its
 	// chassis and the per-chassis accounting adds up. A violation here is a
 	// routing or replay bug, not a simulation result.
-	if err := check.FleetClosure(len(stream), dispatched, arrived, completed, unfinished); err != nil {
+	if err := check.FleetClosure(streamed, dispatched, arrived, completed, unfinished); err != nil {
 		return nil, err
 	}
 	res.Aggregate = metrics.Aggregate(results)

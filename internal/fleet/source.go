@@ -73,6 +73,39 @@ func (r *replaySource) RestoreState(rngState uint64, _ units.Seconds) {
 // SourceSignature identifies the replay content to the snapshot layer.
 func (r *replaySource) SourceSignature() uint64 { return r.sig }
 
+// appendSource is the closed-loop replay source: the epoch executor appends
+// each window's dispatched arrivals between RunTo steps, and the chassis
+// simulator consumes them in order through the ordinary job.Source seam —
+// the simulator cannot tell it is being fed incrementally. While the
+// appended window is drained Peek reports +Inf, which is correct: the
+// executor never advances a chassis past the boundary its arrivals have
+// been dispatched through. Unlike replaySource it carries no snapshot
+// identity — closed-loop runs never warm-start, because the per-chassis
+// stream is only discovered epoch by epoch.
+type appendSource struct {
+	arrivals []arrival
+	next     int
+}
+
+// push appends one dispatched arrival to the tail of the replay window.
+func (a *appendSource) push(ar arrival) { a.arrivals = append(a.arrivals, ar) }
+
+// Peek returns the next arrival instant, or +Inf when the appended window
+// is drained.
+func (a *appendSource) Peek() units.Seconds {
+	if a.next >= len(a.arrivals) {
+		return units.Seconds(math.Inf(1))
+	}
+	return a.arrivals[a.next].at
+}
+
+// Next consumes the next arrival.
+func (a *appendSource) Next() (units.Seconds, workload.Benchmark, units.Seconds) {
+	ar := a.arrivals[a.next]
+	a.next++
+	return ar.at, ar.bench, ar.nominal
+}
+
 // streamSignature hashes an arrival slice into the 64-bit source identity:
 // every semantic field of every record, so chassis with different dispatched
 // slices can never share a snapshot key.

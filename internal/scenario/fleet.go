@@ -41,8 +41,24 @@ type Fleet struct {
 	// Workers bounds the chassis simulation worker pool (0 = GOMAXPROCS).
 	// The worker count never affects results — only wall-clock time.
 	Workers int `json:"workers,omitempty"`
+	// Epoch switches the fleet to closed-loop epoch-stepped execution: all
+	// chassis advance one tick-aligned window in lockstep, the dispatcher
+	// observes true per-chassis state at each boundary, and assigns the
+	// next window's arrivals. Absent (or with period 0) the fleet runs the
+	// open-loop pipeline: dispatch everything up front over estimated
+	// state, then run each chassis to completion.
+	Epoch *FleetEpoch `json:"epoch,omitempty"`
 	// Chassis is the fleet membership; at least one entry.
 	Chassis []FleetChassis `json:"chassis"`
+}
+
+// FleetEpoch parameterizes closed-loop execution.
+type FleetEpoch struct {
+	// PeriodS is the epoch length in simulated seconds. It must be a
+	// multiple of the effective tick period so observation boundaries are
+	// tick-aligned — that alignment is what keeps closed-loop dispatch
+	// bit-deterministic. 0 keeps the fleet open-loop.
+	PeriodS float64 `json:"period_s"`
 }
 
 // FleetChassis places one or more chassis in the fleet grid.
@@ -82,6 +98,19 @@ func (s *Scenario) validateFleet() error {
 	if err := f.validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if f.Epoch != nil && f.Epoch.PeriodS > 0 {
+		// Layer one of the tick-alignment check: against the declarative
+		// tick period (or its documented default). fleet.New re-checks
+		// against the fully resolved sim config.
+		tick := s.Run.TickPeriodS
+		if tick == 0 {
+			tick = DefaultTickPeriodS
+		}
+		if !EpochAligned(f.Epoch.PeriodS, tick) {
+			return fmt.Errorf("scenario %q: fleet: epoch period %vs is not a positive multiple of the tick period %vs (closed-loop boundaries must be tick-aligned)",
+				s.Name, f.Epoch.PeriodS, tick)
+		}
+	}
 	if s.Workload.Trace != "" {
 		return fmt.Errorf("scenario %q: fleet: a trace replaces the shared arrival stream the dispatcher splits; record per-chassis traces instead", s.Name)
 	}
@@ -99,6 +128,11 @@ func (f *Fleet) validate() error {
 	}
 	if f.Workers < 0 {
 		return fmt.Errorf("fleet: negative workers %d", f.Workers)
+	}
+	if e := f.Epoch; e != nil {
+		if e.PeriodS < 0 || math.IsNaN(e.PeriodS) || math.IsInf(e.PeriodS, 0) {
+			return fmt.Errorf("fleet: bad epoch period_s %v", e.PeriodS)
+		}
 	}
 	if len(f.Chassis) == 0 {
 		return fmt.Errorf("fleet: needs at least one chassis")
@@ -137,6 +171,25 @@ func (f *Fleet) validate() error {
 // maxFleetChassis bounds fleet size: well past any study this simulator can
 // complete, low enough that a fuzzed count cannot allocate the moon.
 const maxFleetChassis = 1 << 16
+
+// DefaultTickPeriodS is the power-manager tick period a scenario gets when
+// Run.TickPeriodS is zero (Table III), shared with the sim layer's default
+// so the two validation layers of the epoch alignment check agree.
+const DefaultTickPeriodS = 0.001
+
+// EpochAligned reports whether an epoch period is a positive whole multiple
+// of the tick period, within one part in 1e9 — the float tolerance that
+// admits every humanly written multiple (0.25s of 0.001s ticks) while
+// rejecting genuinely misaligned periods. Both fleet validation layers (the
+// declarative scenario check and fleet.New's resolved-config check) call
+// this, so they can never drift apart.
+func EpochAligned(period, tick float64) bool {
+	if !(period > 0) || !(tick > 0) || math.IsInf(period, 0) || math.IsInf(tick, 0) {
+		return false
+	}
+	n := math.Round(period / tick)
+	return n >= 1 && math.Abs(period-n*tick) <= 1e-9*period
+}
 
 // DecodeFleet reads one standalone Fleet block from r: JSON with // line
 // comments, unknown fields rejected, trailing data rejected, the block

@@ -35,6 +35,14 @@ func TestDecodeFleetAccepts(t *testing.T) {
 	if minimal.Dispatcher != "" {
 		t.Errorf("minimal dispatcher = %q, want empty (round-robin default)", minimal.Dispatcher)
 	}
+	closed, err := DecodeFleet(strings.NewReader(
+		`{"epoch": {"period_s": 0.25}, "chassis": [{"rack": 0, "chassis": 0, "count": 2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Epoch == nil || closed.Epoch.PeriodS != 0.25 {
+		t.Fatalf("epoch block = %+v", closed.Epoch)
+	}
 }
 
 // TestDecodeFleetRejects pins the fail-loudly contract of the standalone
@@ -56,6 +64,8 @@ func TestDecodeFleetRejects(t *testing.T) {
 		"negative inlet":      `{"chassis": [{"rack": 0, "chassis": 0, "inlet_c": -4}]}`,
 		"giant count":         `{"chassis": [{"rack": 0, "chassis": 0, "count": 1000000}]}`,
 		"not json":            `chassis: []`,
+		"negative epoch":      `{"epoch": {"period_s": -0.25}, "chassis": [{"rack": 0, "chassis": 0}]}`,
+		"unknown epoch field": `{"epoch": {"period_s": 0.25, "jitter": 1}, "chassis": [{"rack": 0, "chassis": 0}]}`,
 	}
 	for name, src := range cases {
 		if _, err := DecodeFleet(strings.NewReader(src)); err == nil {
@@ -87,12 +97,47 @@ func TestScenarioFleetBlock(t *testing.T) {
 		"zero chassis":       func(s *Scenario) { s.Fleet.Chassis = nil },
 		"template trace":     func(s *Scenario) { s.Workload.Trace = "jobs.csv" },
 		"template snapshot":  func(s *Scenario) { s.Snapshot.Save = "warm.dsnp" },
+		"misaligned epoch":   func(s *Scenario) { s.Fleet.Epoch = &FleetEpoch{PeriodS: 0.0015} },
+		"sub-tick epoch":     func(s *Scenario) { s.Fleet.Epoch = &FleetEpoch{PeriodS: 0.0005} },
+		"epoch vs custom tick": func(s *Scenario) {
+			// Aligned with the default tick but not with the scenario's own.
+			s.Run.TickPeriodS = 0.003
+			s.Fleet.Epoch = &FleetEpoch{PeriodS: 0.25}
+		},
 	}
 	for name, mutate := range bad {
 		s := base()
 		mutate(s)
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := base()
+	good.Fleet.Epoch = &FleetEpoch{PeriodS: 0.25}
+	if err := good.Validate(); err != nil {
+		t.Errorf("aligned epoch rejected: %v", err)
+	}
+	zero := base()
+	zero.Fleet.Epoch = &FleetEpoch{PeriodS: 0}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("period_s 0 (open-loop) rejected: %v", err)
+	}
+}
+
+// TestEpochAligned pins the shared alignment predicate both validation
+// layers call: whole multiples pass (including ones whose float quotient is
+// not exact), fractional multiples and degenerate periods fail.
+func TestEpochAligned(t *testing.T) {
+	pass := [][2]float64{{0.25, 0.001}, {0.001, 0.001}, {1, 0.001}, {0.003, 0.003}, {0.3, 0.1}}
+	for _, c := range pass {
+		if !EpochAligned(c[0], c[1]) {
+			t.Errorf("EpochAligned(%v, %v) = false, want true", c[0], c[1])
+		}
+	}
+	fail := [][2]float64{{0.0015, 0.001}, {0.0005, 0.001}, {0, 0.001}, {-0.25, 0.001}, {0.25, 0}}
+	for _, c := range fail {
+		if EpochAligned(c[0], c[1]) {
+			t.Errorf("EpochAligned(%v, %v) = true, want false", c[0], c[1])
 		}
 	}
 }

@@ -33,6 +33,16 @@ func FuzzDecodeFleet(f *testing.F) {
 	f.Add([]byte(`{"chassis": []}`))
 	f.Add([]byte(`{"chassis": [{"rack": 0, "chassis": 0, "count": 99999999}]}`))
 	f.Add([]byte(`{"chassis": [{"rack": 0, "chassis": 0}, {"rack": 0, "chassis": 0}]}`))
+	f.Add([]byte(`{
+  // closed-loop: quarter-second epochs over the default 1ms tick
+  "dispatcher": "least-loaded",
+  "epoch": {"period_s": 0.25},
+  "chassis": [{"rack": 0, "chassis": 0, "count": 4}]
+}`))
+	f.Add([]byte(`{"epoch": {"period_s": 0}, "chassis": [{"rack": 0, "chassis": 0}]}`))
+	f.Add([]byte(`{"epoch": {"period_s": -1}, "chassis": [{"rack": 0, "chassis": 0}]}`))
+	f.Add([]byte(`{"epoch": {"period_s": 1e308}, "chassis": [{"rack": 0, "chassis": 0}]}`))
+	f.Add([]byte(`{"epoch": {}, "chassis": [{"rack": 0, "chassis": 0}]}`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fl, err := DecodeFleet(strings.NewReader(string(data)))

@@ -1,0 +1,93 @@
+package sim
+
+// The observation seam: a read-only snapshot of a simulator's live state,
+// taken between runLoop steps. This is what turns RunTo into a step/observe/
+// act control surface — a fleet executor (internal/fleet) advances every
+// chassis to a tick-aligned boundary, observes each through this API, and
+// lets a dispatcher act on what it saw; a future gym-style external
+// controller plugs into exactly the same three calls. Observe writes into a
+// caller-provided struct and allocates nothing, so observing every chassis
+// at every epoch boundary costs a handful of O(sockets) scans and no GC
+// pressure (TestObserveDoesNotAllocate pins that).
+//
+// Every field is a pure function of simulator state at the instant of the
+// call: observing never mutates the simulator, so observe-then-continue is
+// bit-identical to just continuing (TestObserveIsReadOnly pins that too).
+
+import (
+	"densim/internal/chipmodel"
+	"densim/internal/units"
+)
+
+// Observation is one chassis's state as seen at a run boundary. The counts
+// satisfy the same closure law the invariant harness audits: every admitted
+// job is queued, running, or completed, so
+// Arrived == QueueDepth + BusySockets + Completed always holds.
+type Observation struct {
+	// Now is the simulator clock at the observation instant.
+	Now units.Seconds
+
+	// Arrived counts jobs admitted so far; Completed counts jobs finished
+	// (from the first tick, not warmup-windowed like metrics.Result).
+	Arrived, Completed int
+	// QueueDepth is the number of jobs waiting for a socket; BusySockets the
+	// number currently running one. QueueDepth + BusySockets is the
+	// chassis's true in-flight load — the quantity the open-loop dispatcher
+	// can only estimate.
+	QueueDepth, BusySockets int
+	// IdleSockets counts sockets ready for work; DeadSockets counts sockets
+	// lost to faults (neither idle nor busy). Idle + Busy + Dead equals the
+	// chassis socket count.
+	IdleSockets, DeadSockets int
+	// Requeues counts jobs displaced by socket-death faults so far.
+	Requeues int
+
+	// MeanAmbientC and MaxAmbientC summarize the settled per-socket ambient
+	// field (Celsius). HeadroomC is the distance from the hottest socket's
+	// ambient to the throttle ceiling — the thermal dispatcher's live
+	// gradient, replacing the open-loop policy's static inlet headroom.
+	MeanAmbientC, MaxAmbientC, HeadroomC float64
+	// InletC is the inlet temperature currently applied (the base inlet
+	// unless an inlet-ramp fault moved it).
+	InletC float64
+	// FlowFactor is the delivered/required airflow ratio (1 when the fan
+	// bank keeps up, or without a fan model).
+	FlowFactor float64
+}
+
+// InFlight returns the chassis's true in-flight job count — queued plus
+// running — the observed quantity closed-loop dispatchers rank on.
+func (o *Observation) InFlight() int { return o.QueueDepth + o.BusySockets }
+
+// AliveSockets returns the sockets still able to take work.
+func (o *Observation) AliveSockets() int { return o.IdleSockets + o.BusySockets }
+
+// Observe fills o with the simulator's current state. It is allocation-free
+// and read-only; call it between Run/RunTo/Finish steps (it is not safe
+// concurrently with them).
+func (s *Simulator) Observe(o *Observation) {
+	o.Now = s.now
+	o.Arrived = s.arrived
+	o.QueueDepth = s.queue.Len()
+	o.BusySockets = s.busyCount
+	// Closure: every admitted job is queued, running, or done.
+	o.Completed = s.arrived - o.QueueDepth - o.BusySockets
+	o.IdleSockets = len(s.idleSet)
+	o.DeadSockets = s.DeadSockets()
+	o.Requeues = s.Requeues()
+	sum, max := 0.0, 0.0
+	for i := range s.sockets {
+		a := float64(s.sockets[i].ambient)
+		sum += a
+		if i == 0 || a > max {
+			max = a
+		}
+	}
+	if n := len(s.sockets); n > 0 {
+		o.MeanAmbientC = sum / float64(n)
+	}
+	o.MaxAmbientC = max
+	o.HeadroomC = float64(chipmodel.TempLimit) - max
+	o.InletC = float64(s.InletNow())
+	o.FlowFactor = s.FlowFactor()
+}

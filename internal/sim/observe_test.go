@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"densim/internal/chipmodel"
+	"densim/internal/fault"
+	"densim/internal/units"
+	"densim/internal/workload"
+)
+
+// TestObserveInvariants steps a loaded run boundary by boundary and checks
+// every observation against the closure and range laws the doc comment
+// promises: Arrived == QueueDepth + BusySockets + Completed, the socket
+// partition sums to the topology, the clock is monotone, and the thermal
+// summary brackets the inlet and the throttle ceiling.
+func TestObserveInvariants(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.srv.NumSockets()
+	var o Observation
+	prevNow := units.Seconds(-1)
+	sawInFlight := false
+	for bound := 0.25; bound < float64(cfg.Duration); bound += 0.25 {
+		s.RunTo(units.Seconds(bound))
+		s.Observe(&o)
+		if got := o.QueueDepth + o.BusySockets + o.Completed; got != o.Arrived {
+			t.Fatalf("at %v: queue %d + busy %d + completed %d != arrived %d",
+				o.Now, o.QueueDepth, o.BusySockets, o.Completed, o.Arrived)
+		}
+		if got := o.IdleSockets + o.BusySockets + o.DeadSockets; got != total {
+			t.Fatalf("at %v: idle %d + busy %d + dead %d != sockets %d",
+				o.Now, o.IdleSockets, o.BusySockets, o.DeadSockets, total)
+		}
+		if o.Now <= prevNow {
+			t.Fatalf("clock not monotone: %v after %v", o.Now, prevNow)
+		}
+		prevNow = o.Now
+		if o.MaxAmbientC < o.MeanAmbientC || o.MeanAmbientC < o.InletC-1e-9 {
+			t.Fatalf("at %v: ambient summary out of order: mean %v max %v inlet %v",
+				o.Now, o.MeanAmbientC, o.MaxAmbientC, o.InletC)
+		}
+		if o.HeadroomC != float64(chipmodel.TempLimit)-o.MaxAmbientC {
+			t.Fatalf("at %v: headroom %v != limit - max ambient", o.Now, o.HeadroomC)
+		}
+		if o.FlowFactor != 1 {
+			t.Fatalf("at %v: flow factor %v on an unfaulted run", o.Now, o.FlowFactor)
+		}
+		if o.InFlight() > 0 {
+			sawInFlight = true
+		}
+	}
+	if !sawInFlight {
+		t.Error("a 0.9-load run was never observed with work in flight")
+	}
+	s.Finish()
+}
+
+// TestObserveIsReadOnly: observing between RunTo steps must not perturb the
+// run. A stepped run observed at every boundary produces the bit-identical
+// result of the same stepped run never observed.
+func TestObserveIsReadOnly(t *testing.T) {
+	run := func(observe bool) interface{} {
+		s, err := New(smallConfig("CP", 0.8, workload.Computation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o Observation
+		for bound := 0.5; bound < 2.0; bound += 0.5 {
+			s.RunTo(units.Seconds(bound))
+			if observe {
+				s.Observe(&o)
+			}
+		}
+		return s.Finish()
+	}
+	if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
+		t.Errorf("observing changed the run:\n with: %+v\n without: %+v", a, b)
+	}
+}
+
+// TestObserveDoesNotAllocate pins the observation path to zero allocations —
+// the fleet executor observes every chassis at every epoch boundary, so this
+// is a hot path by construction.
+func TestObserveDoesNotAllocate(t *testing.T) {
+	s, err := New(smallConfig("CP", 0.9, workload.Computation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(1.0)
+	var o Observation
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.Observe(&o)
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %.1f objects/op, want 0", allocs)
+	}
+	s.Finish()
+}
+
+// TestObserveSeesFaults: socket-death faults must show up in the dead-socket
+// partition and the requeue count, and the partition law must keep holding.
+func TestObserveSeesFaults(t *testing.T) {
+	cfg := smallConfig("CP", 0.9, workload.Computation)
+	cfg.Faults = &fault.Spec{
+		Events: []fault.Event{
+			{At: 0.5, Kind: fault.KindSocketDeath, Socket: 0},
+			{At: 0.5, Kind: fault.KindSocketDeath, Socket: 1},
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(1.0)
+	var o Observation
+	s.Observe(&o)
+	if o.DeadSockets != 2 {
+		t.Errorf("dead sockets = %d, want 2", o.DeadSockets)
+	}
+	if got := o.IdleSockets + o.BusySockets + o.DeadSockets; got != s.srv.NumSockets() {
+		t.Errorf("socket partition %d != %d with dead sockets", got, s.srv.NumSockets())
+	}
+	if o.AliveSockets() != s.srv.NumSockets()-2 {
+		t.Errorf("alive sockets = %d, want %d", o.AliveSockets(), s.srv.NumSockets()-2)
+	}
+	s.Finish()
+}

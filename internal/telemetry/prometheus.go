@@ -82,17 +82,20 @@ func (s *Set) Handler() http.Handler {
 
 // counterHelp documents each counter on the exposition.
 var counterHelp = [numCounters]string{
-	CTicks:        "Power-manager ticks executed.",
-	CArrivals:     "Jobs admitted to the queue.",
-	CPicks:        "Scheduler placement decisions.",
-	CPlacements:   "Jobs started on a socket.",
-	CCompletions:  "Jobs finished.",
-	CMigrations:   "Job migrations performed.",
-	CThrottleDown: "DVFS transitions that lowered a busy socket's P-state.",
-	CThrottleUp:   "DVFS transitions that raised a busy socket's P-state.",
-	CFaultEvents:  "Fault-timeline steps applied.",
-	CRequeues:     "Jobs displaced back to the queue by socket-death faults.",
-	CDispatched:   "Jobs routed to this chassis by the fleet dispatcher.",
+	CTicks:          "Power-manager ticks executed.",
+	CArrivals:       "Jobs admitted to the queue.",
+	CPicks:          "Scheduler placement decisions.",
+	CPlacements:     "Jobs started on a socket.",
+	CCompletions:    "Jobs finished.",
+	CMigrations:     "Job migrations performed.",
+	CThrottleDown:   "DVFS transitions that lowered a busy socket's P-state.",
+	CThrottleUp:     "DVFS transitions that raised a busy socket's P-state.",
+	CFaultEvents:    "Fault-timeline steps applied.",
+	CRequeues:       "Jobs displaced back to the queue by socket-death faults.",
+	CDispatched:     "Jobs routed to this chassis by the fleet dispatcher.",
+	CEpochs:         "Closed-loop fleet epochs this chassis stepped through.",
+	CObservations:   "Observation snapshots taken at epoch boundaries.",
+	CDispatchEstErr: "Accumulated |estimated - observed| in-flight divergence at epoch boundaries.",
 }
 
 // writeProm renders the instances' metrics, emitting each metric family's

@@ -78,27 +78,41 @@ const (
 	// before intra-chassis scheduling (internal/fleet). Zero outside fleet
 	// runs.
 	CDispatched
+	// CEpochs counts closed-loop fleet epochs this chassis was stepped
+	// through (internal/fleet's epoch executor). Zero on open-loop runs.
+	CEpochs
+	// CObservations counts observation snapshots taken of this chassis at
+	// epoch boundaries (sim.Observe calls on the fleet's behalf).
+	CObservations
+	// CDispatchEstErr accumulates, over epoch boundaries, the absolute
+	// divergence between the open-loop dispatcher's estimated in-flight job
+	// count and the chassis's observed queue depth plus busy sockets — the
+	// price of dispatching on estimates, made measurable.
+	CDispatchEstErr
 
 	numCounters
 )
 
 // counterNames maps CounterID to its exposition name.
 var counterNames = [numCounters]string{
-	CTicks:        "ticks",
-	CArrivals:     "arrivals",
-	CPicks:        "picks",
-	CPlacements:   "placements",
-	CCompletions:  "completions",
-	CMigrations:   "migrations",
-	CThrottleDown: "throttle_down",
-	CThrottleUp:   "throttle_up",
-	CStrideTicks:  "strided_ticks",
-	CLaneSkips:    "skipped_lanes",
-	CWorkerShards: "worker_shards",
-	CSettledTicks: "settled_ticks",
-	CFaultEvents:  "fault_events",
-	CRequeues:     "requeues",
-	CDispatched:   "dispatched",
+	CTicks:          "ticks",
+	CArrivals:       "arrivals",
+	CPicks:          "picks",
+	CPlacements:     "placements",
+	CCompletions:    "completions",
+	CMigrations:     "migrations",
+	CThrottleDown:   "throttle_down",
+	CThrottleUp:     "throttle_up",
+	CStrideTicks:    "strided_ticks",
+	CLaneSkips:      "skipped_lanes",
+	CWorkerShards:   "worker_shards",
+	CSettledTicks:   "settled_ticks",
+	CFaultEvents:    "fault_events",
+	CRequeues:       "requeues",
+	CDispatched:     "dispatched",
+	CEpochs:         "epochs",
+	CObservations:   "observations",
+	CDispatchEstErr: "dispatch_est_err",
 }
 
 // Name returns the counter's exposition name.
@@ -220,6 +234,20 @@ func (t *Telemetry) OnArrival() { t.counters[CArrivals].Add(1) }
 
 // OnDispatch records one job the fleet dispatcher routed to this chassis.
 func (t *Telemetry) OnDispatch() { t.counters[CDispatched].Add(1) }
+
+// OnEpoch records one closed-loop fleet epoch this chassis stepped through.
+func (t *Telemetry) OnEpoch() { t.counters[CEpochs].Add(1) }
+
+// OnObservation records one observation snapshot taken of this chassis.
+func (t *Telemetry) OnObservation() { t.counters[CObservations].Add(1) }
+
+// OnDispatchEstErr folds one epoch boundary's |estimated − observed|
+// in-flight divergence into the estimate-drift account.
+func (t *Telemetry) OnDispatchEstErr(absErr int64) {
+	if absErr > 0 {
+		t.counters[CDispatchEstErr].Add(absErr)
+	}
+}
 
 // PickSampleInterval is the pick-latency sampling period: TimeThisPick asks
 // the caller to wall-clock one pick in this many (a power of two). Timing

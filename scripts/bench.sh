@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — the BENCH_*.json measurement protocol, in one place.
 #
-#   scripts/bench.sh measure [pattern] [count] [benchtime]
-#       Run the internal/sim benchmarks matching [pattern] (default
-#       'BenchmarkSimSecond') count times (default 3) at -benchtime
-#       (default 5x) with -benchmem, and print per-benchmark medians as
-#       "name median_ns_per_op bytes_per_op allocs_per_op" — the numbers
-#       that go into a BENCH_*.json before/after entry. Before/after pairs
-#       are measured back-to-back on the same machine (the 'before' tree
-#       checked out elsewhere, or an engine-pinned benchmark variant).
+#   scripts/bench.sh measure [pattern] [count] [benchtime] [pkg]
+#       Run the benchmarks in [pkg] (default ./internal/sim/) matching
+#       [pattern] (default 'BenchmarkSimSecond') count times (default 3)
+#       at -benchtime (default 5x) with -benchmem, and print
+#       per-benchmark medians as "name median_ns_per_op bytes_per_op
+#       allocs_per_op" — the numbers that go into a BENCH_*.json
+#       before/after entry. Before/after pairs are measured back-to-back
+#       on the same machine (the 'before' tree checked out elsewhere, or
+#       an engine-pinned benchmark variant). The fleet benchmarks are
+#       measured with pkg ./internal/fleet/ and pattern
+#       'BenchmarkFleet(Epoch)?16' (BENCH_PR9.json records a run).
 #
 #   scripts/bench.sh smoke
 #       CI gate: run the double-density CP90 benchmark under the serial
@@ -16,6 +19,14 @@
 #       engine's median is more than 10% slower than serial on this
 #       runner. Catches pool regressions that the bit-equivalence tests
 #       cannot (they check answers, not wall clock).
+#
+#   scripts/bench.sh fleetgate
+#       CI gate for the epoch executor: run the 16-chassis fleet
+#       benchmark open loop and closed loop (0.25s epochs) at workers=1
+#       and fail if the closed-loop median is more than 25% slower. The
+#       closed loop re-enters the tick engine and observes every chassis
+#       at every boundary; this holds that seam to bounded overhead. The
+#       equivalence tests pin its answers; this pins its wall clock.
 #
 #   scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]
 #       Diff two BENCH_*.json files on their 'after' entries: print a
@@ -61,8 +72,9 @@ measure)
 	pattern="${2:-BenchmarkSimSecond}"
 	count="${3:-3}"
 	benchtime="${4:-5x}"
-	echo "# go test -run XXX -bench '$pattern' -benchtime $benchtime -count $count -benchmem ./internal/sim/" >&2
-	go test -run XXX -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem ./internal/sim/ | medians
+	pkg="${5:-./internal/sim/}"
+	echo "# go test -run XXX -bench '$pattern' -benchtime $benchtime -count $count -benchmem $pkg" >&2
+	go test -run XXX -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem "$pkg" | medians
 	;;
 smoke)
 	out="$(go test -run XXX -bench 'BenchmarkSimSecondDD360CP90(Serial|Parallel)$' \
@@ -78,6 +90,23 @@ smoke)
 	# Fail when parallel > 1.10 x serial (integer math: 10*p > 11*s).
 	if [ $((10 * parallel)) -gt $((11 * serial)) ]; then
 		echo "bench smoke: parallel engine >10% slower than serial" >&2
+		exit 1
+	fi
+	;;
+fleetgate)
+	out="$(go test -run XXX -bench 'BenchmarkFleet(Epoch)?16/workers=1$' \
+		-benchtime 2x -count 3 ./internal/fleet/)"
+	echo "$out"
+	open="$(echo "$out" | medians | awk '$1 == "BenchmarkFleet16/workers=1" {print $2}')"
+	closed="$(echo "$out" | medians | awk '$1 == "BenchmarkFleetEpoch16/workers=1" {print $2}')"
+	if [ -z "$open" ] || [ -z "$closed" ]; then
+		echo "bench fleetgate: missing open/closed-loop medians" >&2
+		exit 1
+	fi
+	echo "open-loop median ${open} ns/op, closed-loop median ${closed} ns/op"
+	# Fail when closed > 1.25 x open (integer math: 4*c > 5*o).
+	if [ $((4 * closed)) -gt $((5 * open)) ]; then
+		echo "bench fleetgate: closed-loop epoch executor >25% slower than open loop" >&2
 		exit 1
 	fi
 	;;
@@ -114,7 +143,7 @@ compare)
 	'
 	;;
 *)
-	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] | smoke | compare OLD.json NEW.json [pct]]" >&2
+	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] [pkg] | smoke | fleetgate | compare OLD.json NEW.json [pct]]" >&2
 	exit 2
 	;;
 esac

@@ -117,6 +117,26 @@ fi
 # The full fleet sweep (sweep -scenario fleet) is too heavy for smoke; the
 # experiments test suite covers it on a test-sized template.
 
+echo "== fleet: closed-loop epochs, byte-identical CSV across runs"
+# The epoch executor through the CLI: closed-loop runs must be just as
+# deterministic as open loop, -fleet.epoch 0 must reproduce the open-loop
+# pipeline byte for byte, and a non-tick-multiple epoch must be rejected.
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -fleet.epoch 0.25 -out "$tmp/fleet-c1.csv" > "$tmp/fleet-c1.out"
+grep -q "loop=closed epoch=0.25s" "$tmp/fleet-c1.out" || {
+    echo "closed-loop fleetsim printed no closed-loop summary" >&2; exit 1; }
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -fleet.epoch 0.25 -out "$tmp/fleet-c2.csv" > /dev/null
+cmp "$tmp/fleet-c1.csv" "$tmp/fleet-c2.csv" || {
+    echo "repeated closed-loop fleetsim runs produced different CSVs" >&2; exit 1; }
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -fleet.epoch 0.25 -fleet.workers 4 -out "$tmp/fleet-c-w4.csv" > /dev/null
+cmp "$tmp/fleet-c1.csv" "$tmp/fleet-c-w4.csv" || {
+    echo "worker bound changed closed-loop fleetsim results" >&2; exit 1; }
+"$tmp/fleetsim" -duration 1 -sinktau 0.5 -fleet.epoch 0 -out "$tmp/fleet-open.csv" > /dev/null
+cmp "$tmp/fleet-a.csv" "$tmp/fleet-open.csv" || {
+    echo "-fleet.epoch 0 diverged from the open-loop pipeline" >&2; exit 1; }
+if "$tmp/fleetsim" -duration 1 -sinktau 0.5 -fleet.epoch 0.0015 > /dev/null 2>&1; then
+    echo "fleetsim accepted a non-tick-multiple epoch" >&2; exit 1
+fi
+
 echo "== snapshot save/load round-trip"
 "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 > "$tmp/snap-cold.out"
 "$tmp/densim" -scenario sut-180 -duration 2 -sinktau 0.5 \
