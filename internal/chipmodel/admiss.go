@@ -72,6 +72,13 @@ type AdmissCache struct {
 	ladKeys []units.Watts
 	ladRows []units.Watts
 	ladLive int
+	// thrRows/thrBuilt is the boundary-snapshot table behind LadderBounds:
+	// per ladder slot, per sink, a copy of the seeded pool bounds for every
+	// P-state of the curve, so a whole ladder search runs on one contiguous
+	// row with no hashing. thrBuilt bit s marks sink s's row of a slot
+	// filled.
+	thrRows  []admissBounds
+	thrBuilt []uint8
 }
 
 type admissEntry struct {
@@ -95,6 +102,15 @@ type admissBounds struct {
 	admLE  units.Celsius
 	inadGE units.Celsius
 }
+
+// BoundsRow is a read-only boundary snapshot for one (power curve, sink)
+// pair: row[k] bounds the admissibility-boundary ambient of the curve's
+// k-th P-state, copied from the shared pool's seeded bounds. Obtained from
+// LadderBounds and consumed by AdmissibleRow; nil (shared pool disabled)
+// makes AdmissibleRow fall through to Admissible unconditionally. Rows stay
+// valid across table growth — a stale row merely holds bounds proven
+// earlier, which remain true.
+type BoundsRow []admissBounds
 
 // admissMargin is the guard band for cross-ambient verdict reuse. The
 // predicate's float evaluation jitters by at most a few ulps of ~100C
@@ -242,6 +258,13 @@ func poolHash(dynW units.Watts) uint64 {
 // curve. Like the shared pool, the ladder table is insert-only and
 // single-goroutine. The returned slice must not be modified.
 func (c *AdmissCache) Ladder(dynMax units.Watts, fill func(k int) units.Watts) []units.Watts {
+	i := c.ladSlot(dynMax, fill)
+	return c.ladRows[i*c.width : (i+1)*c.width : (i+1)*c.width]
+}
+
+// ladSlot finds or inserts the ladder-table slot for dynMax, filling the
+// ladder row on insert.
+func (c *AdmissCache) ladSlot(dynMax units.Watts, fill func(k int) units.Watts) int {
 	if c.ladKeys == nil {
 		c.ladKeys = make([]units.Watts, 64)
 		nan := units.Watts(math.NaN())
@@ -249,6 +272,8 @@ func (c *AdmissCache) Ladder(dynMax units.Watts, fill func(k int) units.Watts) [
 			c.ladKeys[i] = nan
 		}
 		c.ladRows = make([]units.Watts, 64*c.width)
+		c.thrRows = make([]admissBounds, 64*2*c.width)
+		c.thrBuilt = make([]uint8, 64)
 	}
 	if 2*c.ladLive >= len(c.ladKeys) {
 		c.growLadders()
@@ -258,7 +283,7 @@ func (c *AdmissCache) Ladder(dynMax units.Watts, fill func(k int) units.Watts) [
 	for {
 		i := int(h & mask)
 		if c.ladKeys[i] == dynMax {
-			return c.ladRows[i*c.width : (i+1)*c.width : (i+1)*c.width]
+			return i
 		}
 		if math.IsNaN(float64(c.ladKeys[i])) {
 			c.ladKeys[i] = dynMax
@@ -267,20 +292,53 @@ func (c *AdmissCache) Ladder(dynMax units.Watts, fill func(k int) units.Watts) [
 			for k := range row {
 				row[k] = fill(k)
 			}
-			return row
+			return i
 		}
 		h++
 	}
 }
 
+// LadderBounds returns the curve's dynamic-power ladder (exactly Ladder's
+// row) together with the boundary snapshot for sink, building the snapshot
+// from the shared pool's seeded bounds on first use (nil with the pool
+// disabled). Snapshots are sound even after later probes tighten the live
+// pool: every snapshot bound was proven by direct evaluation when
+// recorded, pool admLE only ever rises and inadGE only ever falls, so any
+// verdict the snapshot decides, the live bounds — and a fresh evaluation —
+// decide identically; probes the snapshot cannot decide fall through to
+// the live cache in AdmissibleRow.
+func (c *AdmissCache) LadderBounds(dynMax units.Watts, fill func(k int) units.Watts, sink Sink, leak Leakage) ([]units.Watts, BoundsRow) {
+	i := c.ladSlot(dynMax, fill)
+	lad := c.ladRows[i*c.width : (i+1)*c.width : (i+1)*c.width]
+	if c.pool == nil {
+		return lad, nil
+	}
+	si := 0
+	if sink == Sink30Fin {
+		si = 1
+	}
+	base := (i*2 + si) * c.width
+	thr := BoundsRow(c.thrRows[base : base+c.width : base+c.width])
+	if c.thrBuilt[i]&(1<<si) == 0 {
+		for k := range thr {
+			thr[k] = *c.poolBounds(lad[k], sink, leak)
+		}
+		c.thrBuilt[i] |= 1 << si
+	}
+	return lad, thr
+}
+
 func (c *AdmissCache) growLadders() {
 	oldKeys, oldRows := c.ladKeys, c.ladRows
+	oldThr, oldBuilt := c.thrRows, c.thrBuilt
 	c.ladKeys = make([]units.Watts, 2*len(oldKeys))
 	nan := units.Watts(math.NaN())
 	for i := range c.ladKeys {
 		c.ladKeys[i] = nan
 	}
 	c.ladRows = make([]units.Watts, len(c.ladKeys)*c.width)
+	c.thrRows = make([]admissBounds, len(c.ladKeys)*2*c.width)
+	c.thrBuilt = make([]uint8, len(c.ladKeys))
 	mask := uint64(len(c.ladKeys) - 1)
 	for i := range oldKeys {
 		if math.IsNaN(float64(oldKeys[i])) {
@@ -293,6 +351,8 @@ func (c *AdmissCache) growLadders() {
 		j := int(h & mask)
 		c.ladKeys[j] = oldKeys[i]
 		copy(c.ladRows[j*c.width:(j+1)*c.width], oldRows[i*c.width:(i+1)*c.width])
+		copy(c.thrRows[j*2*c.width:(j+1)*2*c.width], oldThr[i*2*c.width:(i+1)*2*c.width])
+		c.thrBuilt[j] = oldBuilt[i]
 	}
 }
 
@@ -347,4 +407,25 @@ func (c *AdmissCache) Admissible(entity, idx int, ambient units.Celsius, dynW un
 		}
 	}
 	return ok
+}
+
+// AdmissibleRow is Admissible with a LadderBounds snapshot fast path: when
+// row is non-nil and its bounds decide the probe — under the same
+// equality-replay and admissMargin rules as every other bounds level — the
+// verdict costs two comparisons on a contiguous row, with no hashing and
+// no per-entity state. Anything else falls through to Admissible. Every
+// path returns exactly what a fresh PredictTwoStep comparison would; the
+// fast path skips Admissible's bound-tightening side effects, which is
+// sound because bounds only ever prove verdicts, never change them.
+func (c *AdmissCache) AdmissibleRow(row BoundsRow, entity, idx int, ambient units.Celsius, dynW units.Watts, sink Sink, leak Leakage) bool {
+	if row != nil {
+		b := &row[idx]
+		if ambient == b.admLE || ambient <= b.admLE-admissMargin {
+			return true
+		}
+		if ambient == b.inadGE || ambient >= b.inadGE+admissMargin {
+			return false
+		}
+	}
+	return c.Admissible(entity, idx, ambient, dynW, sink, leak)
 }

@@ -79,7 +79,7 @@ func AddSim(fs *flag.FlagSet, d SimDefaults) *Sim {
 	fs.StringVar(&s.TracePath, "trace", "",
 		"replay a recorded trace file (see cmd/tracegen) instead of the live generator")
 	fs.StringVar(&s.Engine, "engine", "",
-		"tick-loop engine: auto, serial, or parallel (bit-identical results; default auto)")
+		"tick-loop engine: auto, serial, parallel, or event (bit-identical results; default auto)")
 	fs.IntVar(&s.EngineWorkers, "engine.workers", 0,
 		"parallel engine worker count (0 = number of CPUs)")
 	fs.StringVar(&s.EngineStride, "engine.stride", "",

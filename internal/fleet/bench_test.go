@@ -43,3 +43,10 @@ func BenchmarkFleetEpoch16(b *testing.B) {
 	sc.Fleet.Epoch = &scenario.FleetEpoch{PeriodS: 0.25}
 	benchFleet16(b, sc)
 }
+
+// BenchmarkFleet64 scales the open-loop shard axis to a 64-chassis fleet —
+// large enough that per-item dispatch overhead (the pre-batching design's
+// channel send per chassis) is visible against real per-chassis work.
+func BenchmarkFleet64(b *testing.B) {
+	benchFleet16(b, uniformFleet(64, "least-loaded"))
+}

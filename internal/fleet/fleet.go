@@ -366,9 +366,15 @@ type chassisOut struct {
 
 // parallelEach runs fn(0..n-1) across a bounded worker pool — the fleet's one
 // concurrency primitive, shared by the open-loop pipeline and every epoch
-// step. Workers race only on the jobs channel; fn writes position-indexed
-// state. workers <= 1 runs inline, which keeps single-worker runs trivially
-// serial (and makes the shard-count invariance oracle meaningful).
+// step. Worker w owns the contiguous batch [w*n/W, (w+1)*n/W): no shared jobs
+// channel, no per-item handoff, and position-indexed outputs land in
+// contiguous runs per worker (adjacent slots share a writer except at batch
+// boundaries, so result buffers don't ping-pong between caches). The epoch
+// executor calls this once per epoch step, where per-item channel sends —
+// one synchronized wakeup per chassis per step — used to dominate the short
+// RunTo windows and drag the 4-worker run below the 1-worker baseline.
+// workers <= 1 runs inline, which keeps single-worker runs trivially serial
+// (and makes the shard-count invariance oracle meaningful).
 func parallelEach(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -379,21 +385,17 @@ func parallelEach(workers, n int, fn func(i int)) {
 		}
 		return
 	}
-	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for i := lo; i < hi; i++ {
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 }
 

@@ -50,6 +50,41 @@ func (j *Job) Expansion() float64 {
 	return service / float64(j.NominalDuration)
 }
 
+// Pool recycles Job allocations. At high load the simulator retires
+// thousands of jobs per simulated second, and each completed job is
+// unreachable the moment the completion hooks return — so the owner hands it
+// back with Put and the next arrival reuses the allocation via Get. Get
+// resets every field to exactly what New would construct, so a recycled job
+// is indistinguishable from a fresh one; the simulator's pick caches key by
+// benchmark value (or are invalidated at the completion that frees the job),
+// never by job pointer identity, which is what makes recycling unobservable.
+// Not safe for concurrent use; give each simulation its own Pool.
+type Pool struct {
+	free []*Job
+}
+
+// Get returns a job with its full work remaining, reusing a previously Put
+// allocation when one is available.
+func (p *Pool) Get(id ID, b workload.Benchmark, arrival, nominal units.Seconds) *Job {
+	n := len(p.free)
+	if n == 0 {
+		return New(id, b, arrival, nominal)
+	}
+	j := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	if nominal <= 0 {
+		panic(fmt.Sprintf("job: non-positive nominal duration %v", nominal))
+	}
+	*j = Job{ID: id, Benchmark: b, Arrival: arrival, NominalDuration: nominal, Work: nominal}
+	return j
+}
+
+// Put hands a job back for reuse. The caller must not touch j afterwards.
+func (p *Pool) Put(j *Job) {
+	p.free = append(p.free, j)
+}
+
 // Queue is the FIFO pending-job queue the central job controller drains
 // (Section III-D: arriving jobs enter a queue; if no socket is idle the
 // scheduler waits for one to free up). Implemented as a ring buffer to keep

@@ -48,12 +48,19 @@ type Collector struct {
 	sojournExp stats.Welford // (done-arrival)/nominal per job
 	serviceExp stats.Welford // (done-started)/nominal per job
 	waitSec    stats.Welford // (started-arrival) per job, seconds
-	totalWork  float64       // seconds of FMax-equivalent work completed
+	totalWork  float64 // seconds of FMax-equivalent work completed
 	regionWork [numRegions]float64
-	zoneWork   map[int]float64
+	// Per-zone accumulators are dense slices indexed by zone number (zones
+	// are small ints), with presence bits distinguishing "zone never seen"
+	// from a genuine zero — the map-based predecessor encoded presence as key
+	// existence. Slices keep the per-job-completion hot path free of map
+	// hashing.
+	zoneWork    []float64
+	zoneWorkSet []bool
 	// Busy-time-weighted relative frequency per region and zone.
-	regionFreq [numRegions]stats.Welford
-	zoneFreq   map[int]*stats.Welford
+	regionFreq  [numRegions]stats.Welford
+	zoneFreq    []stats.Welford
+	zoneFreqSet []bool
 	// Energy.
 	energyJ float64
 	// Wall clock.
@@ -65,9 +72,16 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{
-		zoneWork: map[int]float64{},
-		zoneFreq: map[int]*stats.Welford{},
+	return &Collector{}
+}
+
+// growZone extends the zone slices to cover zone z.
+func (c *Collector) growZone(z int) {
+	for len(c.zoneWork) <= z {
+		c.zoneWork = append(c.zoneWork, 0)
+		c.zoneWorkSet = append(c.zoneWorkSet, false)
+		c.zoneFreq = append(c.zoneFreq, stats.Welford{})
+		c.zoneFreqSet = append(c.zoneFreqSet, false)
 	}
 }
 
@@ -94,7 +108,11 @@ func (c *Collector) OnJobComplete(nominal, sojourn, service units.Seconds, at Jo
 	if at.EvenZone {
 		c.regionWork[EvenZones] += float64(nominal)
 	}
+	if at.Zone >= len(c.zoneWork) {
+		c.growZone(at.Zone)
+	}
 	c.zoneWork[at.Zone] += float64(nominal)
+	c.zoneWorkSet[at.Zone] = true
 }
 
 // OnBusySegment records dt seconds of a socket running at relFreq (frequency
@@ -116,12 +134,11 @@ func (c *Collector) OnBusySegment(dt units.Seconds, relFreq float64, boost bool,
 	if at.EvenZone {
 		c.regionFreq[EvenZones].AddWeighted(relFreq, w)
 	}
-	zf := c.zoneFreq[at.Zone]
-	if zf == nil {
-		zf = &stats.Welford{}
-		c.zoneFreq[at.Zone] = zf
+	if at.Zone >= len(c.zoneFreq) {
+		c.growZone(at.Zone)
 	}
-	zf.AddWeighted(relFreq, w)
+	c.zoneFreq[at.Zone].AddWeighted(relFreq, w)
+	c.zoneFreqSet[at.Zone] = true
 }
 
 // OnEnergy accumulates consumed energy.
@@ -207,12 +224,14 @@ func (c *Collector) Finalize() Result {
 		}
 	}
 	for z, w := range c.zoneWork {
-		if c.totalWork > 0 {
+		if c.zoneWorkSet[z] && c.totalWork > 0 {
 			r.ZoneWorkShare[z] = w / c.totalWork
 		}
 	}
-	for z, wf := range c.zoneFreq {
-		r.ZoneFreq[z] = wf.Mean()
+	for z := range c.zoneFreq {
+		if c.zoneFreqSet[z] {
+			r.ZoneFreq[z] = c.zoneFreq[z].Mean()
+		}
 	}
 	return r
 }

@@ -1,8 +1,6 @@
 package metrics
 
 import (
-	"sort"
-
 	"densim/internal/stats"
 	"densim/internal/units"
 )
@@ -76,16 +74,20 @@ func (c *Collector) State() CollectorState {
 	for i := range c.regionFreq {
 		st.RegionFreq[i] = captureWelford(&c.regionFreq[i])
 	}
+	// The zone slices are indexed by zone, so walking them ascending yields
+	// the sorted-by-zone order the wire format promises.
 	st.ZoneWork = make([]ZoneValue, 0, len(c.zoneWork))
 	for z, w := range c.zoneWork {
-		st.ZoneWork = append(st.ZoneWork, ZoneValue{Zone: z, Value: w})
+		if c.zoneWorkSet[z] {
+			st.ZoneWork = append(st.ZoneWork, ZoneValue{Zone: z, Value: w})
+		}
 	}
-	sort.Slice(st.ZoneWork, func(i, j int) bool { return st.ZoneWork[i].Zone < st.ZoneWork[j].Zone })
 	st.ZoneFreq = make([]ZoneWelford, 0, len(c.zoneFreq))
-	for z, wf := range c.zoneFreq {
-		st.ZoneFreq = append(st.ZoneFreq, ZoneWelford{Zone: z, W: captureWelford(wf)})
+	for z := range c.zoneFreq {
+		if c.zoneFreqSet[z] {
+			st.ZoneFreq = append(st.ZoneFreq, ZoneWelford{Zone: z, W: captureWelford(&c.zoneFreq[z])})
+		}
 	}
-	sort.Slice(st.ZoneFreq, func(i, j int) bool { return st.ZoneFreq[i].Zone < st.ZoneFreq[j].Zone })
 	return st
 }
 
@@ -101,15 +103,17 @@ func (c *Collector) SetState(st CollectorState) {
 	for i := range c.regionFreq {
 		st.RegionFreq[i].restore(&c.regionFreq[i])
 	}
-	c.zoneWork = make(map[int]float64, len(st.ZoneWork))
+	c.zoneWork, c.zoneWorkSet = nil, nil
+	c.zoneFreq, c.zoneFreqSet = nil, nil
 	for _, zv := range st.ZoneWork {
+		c.growZone(zv.Zone)
 		c.zoneWork[zv.Zone] = zv.Value
+		c.zoneWorkSet[zv.Zone] = true
 	}
-	c.zoneFreq = make(map[int]*stats.Welford, len(st.ZoneFreq))
 	for _, zw := range st.ZoneFreq {
-		w := &stats.Welford{}
-		zw.W.restore(w)
-		c.zoneFreq[zw.Zone] = w
+		c.growZone(zw.Zone)
+		zw.W.restore(&c.zoneFreq[zw.Zone])
+		c.zoneFreqSet[zw.Zone] = true
 	}
 	c.energyJ = st.EnergyJ
 	c.start, c.end = st.Start, st.End

@@ -178,8 +178,9 @@ type Run struct {
 // Engine selects how a run's tick loop executes (sim.EngineConfig).
 type Engine struct {
 	// Mode is "auto" (default when empty), "serial" — the pristine
-	// reference sweep — or "parallel", which engages the lane-sharded
-	// worker pool.
+	// reference sweep — "parallel", which engages the lane-sharded
+	// worker pool, or "event", which adds unified-event-queue gap
+	// advancing on top of the incremental engine.
 	Mode string `json:"mode,omitempty"`
 	// Workers sets the parallel pool size; 0 lets the runtime decide.
 	Workers int `json:"workers,omitempty"`
@@ -258,7 +259,7 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario %q: warmup %vs outside [0, duration %vs)", s.Name, s.Run.WarmupS, s.Run.DurationS)
 	}
 	if e := s.Engine; !engineModes[e.Mode] {
-		return fmt.Errorf("scenario %q: unknown engine mode %q (have auto, serial, parallel)", s.Name, e.Mode)
+		return fmt.Errorf("scenario %q: unknown engine mode %q (have auto, serial, parallel, event)", s.Name, e.Mode)
 	}
 	if e := s.Engine; !engineStrides[e.Stride] {
 		return fmt.Errorf("scenario %q: unknown engine stride %q (have auto, on, off)", s.Name, e.Stride)
@@ -277,7 +278,7 @@ func (s *Scenario) Validate() error {
 
 // engineModes and engineStrides list the accepted Engine enum values.
 var engineModes = map[string]bool{
-	"": true, "auto": true, "serial": true, "parallel": true,
+	"": true, "auto": true, "serial": true, "parallel": true, "event": true,
 }
 
 var engineStrides = map[string]bool{

@@ -48,6 +48,17 @@ type CouplingPredictor struct {
 	// rowOf[id] is the socket's cartridge row, precomputed so the per-Pick
 	// binning avoids copying a geometry.Socket per idle socket.
 	rowOf []int32
+	// rowsMono records that rowOf is non-decreasing in socket ID (true for
+	// the standard channel-major layout). Then each row's idle sockets form
+	// one contiguous run of the sorted idle slice, and the per-Pick binning
+	// reduces to boundary detection: rowStart[k] is the index in idle where
+	// rows[k]'s run begins (with a final sentinel at len(idle)), and a row's
+	// candidate list is a subslice — no per-socket appends. Rows are
+	// discovered in ascending ID order either way, so the rows list, the
+	// row-RNG draw, and each bin's contents are identical to the append
+	// binning below.
+	rowsMono bool
+	rowStart []int32
 	// A downwind socket's pre-rise predicted frequency is a pure function
 	// of (its ambient bits, its running benchmark's dynamic-power curve,
 	// its sink, the run's leakage model). The last two are fixed per
@@ -62,10 +73,12 @@ type CouplingPredictor struct {
 	beforeIdx    []int8
 	beforeAmb    []units.Celsius
 	beforeDynMax []units.Watts
-	// beforeLad caches the downwind socket's dynamic-power ladder (the
-	// admiss cache's Ladder row for beforeDynMax) so the post-rise search
-	// needs no table probe on a before-memo hit.
+	// beforeLad/beforeThr cache the downwind socket's dynamic-power ladder
+	// and boundary snapshot (the admiss cache's LadderBounds pair for
+	// beforeDynMax under the socket's sink) so the post-rise search needs
+	// no table probe on a before-memo hit.
 	beforeLad [][]units.Watts
+	beforeThr []chipmodel.BoundsRow
 	// ownPick* memoizes the candidate's own ladder search the same way:
 	// the highest admissible index at (ambient bits, DynMax bits) for the
 	// candidate's fixed sink.
@@ -84,6 +97,24 @@ type CouplingPredictor struct {
 	ownTempAmb   []units.Celsius
 	ownTempDynW  []units.Watts
 	ownTempLeakW []units.Watts
+	// Whole-score memo, used only when the State implements EpochState (and
+	// the IdleWeighted ablation is off — its utilization weight is a global
+	// that no lane epoch covers). A candidate's score reads only its own
+	// channel: its own ambient/boost-cap, and the busy flags, running
+	// benchmarks, ambients, and boost caps of its downwind sockets, which
+	// the advection model keeps strictly within one channel. So the memo key
+	// is (channel epoch, job DynMax): both unchanged proves every score
+	// input bit-identical, and the replayed float is the exact value a fresh
+	// evaluation would produce. chanOf[id] is the socket's channel index.
+	chanOf      []int32
+	scoreEpoch  []uint64
+	scoreDynMax []units.Watts
+	scoreVal    []float64
+	// vec holds the state's per-socket vector views for the duration of one
+	// Pick (zero slices when the State is not a VecState). The downwind loop
+	// reads up to six per-socket quantities per iteration; indexing the
+	// vectors replaces an interface call per quantity.
+	vec StateVectors
 }
 
 // CPOptions selects CP design-point ablations. The zero value is the full
@@ -145,6 +176,7 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 		cp.beforeAmb = make([]units.Celsius, n)
 		cp.beforeDynMax = make([]units.Watts, n)
 		cp.beforeLad = make([][]units.Watts, n)
+		cp.beforeThr = make([]chipmodel.BoundsRow, n)
 		cp.ownPickIdx = make([]int8, n)
 		cp.ownPickAmb = make([]units.Celsius, n)
 		cp.ownPickDynMax = make([]units.Watts, n)
@@ -173,36 +205,85 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 		for i := 0; i < n; i++ {
 			cp.rowOf[i] = int32(srv.Socket(geometry.SocketID(i)).Row)
 		}
+		cp.rowsMono = true
+		for i := 1; i < n; i++ {
+			if cp.rowOf[i] < cp.rowOf[i-1] {
+				cp.rowsMono = false
+				break
+			}
+		}
+		cp.chanOf = make([]int32, n)
+		cp.scoreEpoch = make([]uint64, n)
+		cp.scoreDynMax = make([]units.Watts, n)
+		cp.scoreVal = make([]float64, n)
+		af := s.Airflow()
+		for ch := 0; ch < af.NumChannels(); ch++ {
+			for _, id := range af.Channel(ch) {
+				cp.chanOf[id] = int32(ch)
+			}
+		}
 		nan := math.NaN()
 		for i := 0; i < n; i++ {
 			cp.ownTempAmb[i] = units.Celsius(nan)
 			cp.beforeAmb[i] = units.Celsius(nan)
 			cp.ownPickAmb[i] = units.Celsius(nan)
+			cp.scoreDynMax[i] = units.Watts(nan)
 		}
 	}
 
+	if vs, ok := s.(VecState); ok {
+		cp.vec = vs.Vectors()
+	} else {
+		cp.vec = StateVectors{}
+	}
 	cands := idle
 	if !cp.opts.GlobalSearch {
-		// Rows that currently have idle sockets, binned into the reusable
-		// scratch (idle is sorted by ID, so each row's bin stays in ID
-		// order, matching the append order of the old map-based binning).
-		if len(cp.rowIdle) < srv.Rows {
-			cp.rowIdle = make([][]geometry.SocketID, srv.Rows)
-		}
-		// Clear the bins the previous Pick touched (keeps capacity).
-		for _, r := range cp.rows {
-			cp.rowIdle[r] = cp.rowIdle[r][:0]
-		}
-		cp.rows = cp.rows[:0]
-		for _, id := range idle {
-			row := int(cp.rowOf[id])
-			if len(cp.rowIdle[row]) == 0 {
-				cp.rows = append(cp.rows, row)
+		if cp.rowsMono {
+			// Fast binning: rows are contiguous runs of the sorted idle
+			// slice, so one boundary-detection pass replaces per-socket
+			// appends. Runs are found in ascending ID (= ascending first
+			// occurrence) order, matching the append binning's rows list.
+			cp.rows = cp.rows[:0]
+			cp.rowStart = cp.rowStart[:0]
+			cur := int32(-1)
+			for k, id := range idle {
+				if r := cp.rowOf[id]; r != cur {
+					cur = r
+					cp.rows = append(cp.rows, int(r))
+					cp.rowStart = append(cp.rowStart, int32(k))
+				}
 			}
-			cp.rowIdle[row] = append(cp.rowIdle[row], id)
+			cp.rowStart = append(cp.rowStart, int32(len(idle)))
+			k := cp.rng.Intn(len(cp.rows))
+			cands = idle[cp.rowStart[k]:cp.rowStart[k+1]]
+		} else {
+			// Rows that currently have idle sockets, binned into the
+			// reusable scratch (idle is sorted by ID, so each row's bin
+			// stays in ID order, matching the append order of the old
+			// map-based binning).
+			if len(cp.rowIdle) < srv.Rows {
+				cp.rowIdle = make([][]geometry.SocketID, srv.Rows)
+			}
+			// Clear the bins the previous Pick touched (keeps capacity).
+			for _, r := range cp.rows {
+				cp.rowIdle[r] = cp.rowIdle[r][:0]
+			}
+			cp.rows = cp.rows[:0]
+			for _, id := range idle {
+				row := int(cp.rowOf[id])
+				if len(cp.rowIdle[row]) == 0 {
+					cp.rows = append(cp.rows, row)
+				}
+				cp.rowIdle[row] = append(cp.rowIdle[row], id)
+			}
+			row := cp.rows[cp.rng.Intn(len(cp.rows))]
+			cands = cp.rowIdle[row]
 		}
-		row := cp.rows[cp.rng.Intn(len(cp.rows))]
-		cands = cp.rowIdle[row]
+	}
+	// One candidate needs no scoring: score's only writes are pure
+	// value-keyed memo caches, so skipping it cannot change any later pick.
+	if len(cands) == 1 {
+		return cands[0]
 	}
 
 	// System utilization estimate: the weight given to downwind sockets
@@ -214,14 +295,44 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 	}
 
 	bm := &j.Benchmark
+	var ep EpochState
+	if !cp.opts.IdleWeighted {
+		ep, _ = s.(EpochState)
+	}
 	best := cands[0]
-	bestScore := cp.score(s, bm, best, util)
+	bestScore := cp.scoreCached(s, ep, bm, best, util)
 	for _, id := range cands[1:] {
-		if sc := cp.score(s, bm, id, util); sc > bestScore || (sc == bestScore && id < best) {
+		if sc := cp.scoreCached(s, ep, bm, id, util); sc > bestScore || (sc == bestScore && id < best) {
 			best, bestScore = id, sc
 		}
 	}
 	return best
+}
+
+// scoreCached replays the whole-score memo when the candidate's channel
+// epoch and the job's DynMax both match (see the memo's field comment for
+// the exactness argument), and falls back to a fresh score otherwise. With
+// no EpochState available every call is fresh.
+func (cp *CouplingPredictor) scoreCached(s State, ep EpochState, bm *workload.Benchmark, cand geometry.SocketID, util float64) float64 {
+	if ep == nil {
+		return cp.score(s, bm, cand, util)
+	}
+	ci := int(cand)
+	var e uint64
+	if cp.vec.Epoch != nil {
+		e = cp.vec.Epoch[cp.chanOf[ci]]
+	} else {
+		e = ep.LaneEpoch(int(cp.chanOf[ci]))
+	}
+	dm := bm.DynMax()
+	if cp.scoreEpoch[ci] == e && cp.scoreDynMax[ci] == dm {
+		return cp.scoreVal[ci]
+	}
+	v := cp.score(s, bm, cand, util)
+	cp.scoreEpoch[ci] = e
+	cp.scoreDynMax[ci] = dm
+	cp.scoreVal[ci] = v
+	return v
 }
 
 // score returns the candidate's net predicted frequency benefit in MHz.
@@ -232,7 +343,12 @@ func (cp *CouplingPredictor) Pick(s State, j *job.Job, idle []geometry.SocketID)
 func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometry.SocketID, util float64) float64 {
 	srv := s.Server()
 	af := s.Airflow()
-	leak := s.LeakageAt(cand)
+	var leak chipmodel.Leakage
+	if cp.vec.Leak != nil {
+		leak = cp.vec.Leak[cand]
+	} else {
+		leak = s.LeakageAt(cand)
+	}
 	dyn := func(f units.MHz) units.Watts { return bm.DynamicPowerAt(f) }
 	ladder := len(chipmodel.Frequencies) - 1
 
@@ -242,19 +358,24 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 	// fixed sink — replayed from the per-socket memo when both match, and
 	// found by the same bounds-cache-backed binary search as
 	// chipmodel.PredictFrequency otherwise.
-	candAmb := s.AmbientTemp(cand)
+	var candAmb units.Celsius
+	if cp.vec.Amb != nil {
+		candAmb = cp.vec.Amb[cand]
+	} else {
+		candAmb = s.AmbientTemp(cand)
+	}
 	candSink := srv.Sink(cand)
 	bmDynMax := bm.DynMax()
-	bmLad := cp.admiss.Ladder(bmDynMax, func(k int) units.Watts {
-		return bm.DynamicPowerAt(chipmodel.Frequencies[k])
-	})
 	ci := int(cand)
 	var ownIdx int
 	if cp.ownPickAmb[ci] == candAmb && cp.ownPickDynMax[ci] == bmDynMax {
 		ownIdx = int(cp.ownPickIdx[ci])
 	} else {
+		bmLad, bmThr := cp.admiss.LadderBounds(bmDynMax, func(k int) units.Watts {
+			return bm.DynamicPowerAt(chipmodel.Frequencies[k])
+		}, candSink, leak)
 		ownIdx = chipmodel.HighestAdmissible(ladder, func(k int) bool {
-			return cp.admiss.Admissible(ci, k, candAmb, bmLad[k], candSink, leak)
+			return cp.admiss.AdmissibleRow(bmThr, ci, k, candAmb, bmLad[k], candSink, leak)
 		})
 		cp.ownPickAmb[ci] = candAmb
 		cp.ownPickDynMax[ci] = bmDynMax
@@ -265,7 +386,13 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		ownFreq = chipmodel.Frequencies[ownIdx]
 	}
 	if !cp.opts.IgnoreBudget {
-		if cap := s.BoostCap(cand); ownFreq > cap {
+		var cap units.MHz
+		if cp.vec.Cap != nil {
+			cap = cp.vec.Cap[cand]
+		} else {
+			cap = s.BoostCap(cand)
+		}
+		if ownFreq > cap {
 			ownFreq = cap
 		}
 	}
@@ -310,19 +437,34 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		}
 		weight := util
 		dbm := bm
-		if s.Busy(down) {
-			running := s.RunningJob(down)
-			if running == nil {
+		var amb units.Celsius
+		var dleak chipmodel.Leakage
+		if cp.vec.Bench != nil && util <= 0 {
+			// Vector fast path (the default, non-IdleWeighted config): a
+			// non-nil Bench entry is exactly "busy with a job" — dead
+			// sockets and idle sockets are both nil, and both would be
+			// skipped below. Same verdicts, no interface calls.
+			if dbm = cp.vec.Bench[down]; dbm == nil {
 				continue
 			}
 			weight = 1
-			dbm = &running.Benchmark
-		} else if util <= 0 {
-			continue
+			amb = cp.vec.Amb[down]
+			dleak = cp.vec.Leak[down]
+		} else {
+			if s.Busy(down) {
+				running := s.RunningJob(down)
+				if running == nil {
+					continue
+				}
+				weight = 1
+				dbm = &running.Benchmark
+			} else if util <= 0 {
+				continue
+			}
+			amb = s.AmbientTemp(down)
+			dleak = s.LeakageAt(down)
 		}
-		amb := s.AmbientTemp(down)
 		sink := srv.Sink(down)
-		dleak := s.LeakageAt(down)
 		// The pre-rise prediction is candidate-independent: replayed from
 		// the (ambient bits, DynMax bits) memo — valid across Picks and
 		// ticks while both are unchanged (the raw value — the budget clamp
@@ -331,16 +473,18 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		var before units.MHz
 		var bIdx int
 		var dLad []units.Watts
+		var dThr chipmodel.BoundsRow
 		if cp.beforeAmb[down] == amb && cp.beforeDynMax[down] == dmax {
 			before = cp.beforeFreq[down]
 			bIdx = int(cp.beforeIdx[down])
 			dLad = cp.beforeLad[down]
+			dThr = cp.beforeThr[down]
 		} else {
-			dLad = cp.admiss.Ladder(dmax, func(k int) units.Watts {
+			dLad, dThr = cp.admiss.LadderBounds(dmax, func(k int) units.Watts {
 				return dbm.DynamicPowerAt(chipmodel.Frequencies[k])
-			})
+			}, sink, dleak)
 			bIdx = chipmodel.HighestAdmissible(ladder, func(k int) bool {
-				return cp.admiss.Admissible(int(down), k, amb, dLad[k], sink, dleak)
+				return cp.admiss.AdmissibleRow(dThr, int(down), k, amb, dLad[k], sink, dleak)
 			})
 			before = chipmodel.FMin
 			if bIdx >= 0 {
@@ -351,6 +495,7 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 			cp.beforeAmb[down] = amb
 			cp.beforeDynMax[down] = dmax
 			cp.beforeLad[down] = dLad
+			cp.beforeThr[down] = dThr
 		}
 		// The post-rise search warm-starts at the pre-rise index and is
 		// capped there: the predicate is monotone non-increasing in ambient
@@ -362,7 +507,7 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		// costs one probe; rise only heats, so the answer is bIdx or below.
 		ambAfter := amb + rise
 		aIdx := chipmodel.HighestAdmissibleFrom(bIdx, bIdx, func(k int) bool {
-			return cp.admiss.Admissible(int(down), k, ambAfter, dLad[k], sink, dleak)
+			return cp.admiss.AdmissibleRow(dThr, int(down), k, ambAfter, dLad[k], sink, dleak)
 		})
 		after := chipmodel.FMin
 		if aIdx >= 0 {
@@ -371,7 +516,13 @@ func (cp *CouplingPredictor) score(s State, bm *workload.Benchmark, cand geometr
 		if !cp.opts.IgnoreBudget {
 			// Losses above the downwind socket's budget cap do not count:
 			// it could not have run there anyway.
-			if cap := s.BoostCap(down); before > cap {
+			var cap units.MHz
+			if cp.vec.Cap != nil {
+				cap = cp.vec.Cap[down]
+			} else {
+				cap = s.BoostCap(down)
+			}
+			if before > cap {
 				before = cap
 				if after > cap {
 					after = cap

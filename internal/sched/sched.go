@@ -16,6 +16,7 @@ import (
 	"densim/internal/geometry"
 	"densim/internal/job"
 	"densim/internal/units"
+	"densim/internal/workload"
 )
 
 // State is the scheduler's view of the live system.
@@ -53,6 +54,57 @@ type State interface {
 	// idle residency, stepping down to the sustained frequency for
 	// fully-loaded sockets.
 	BoostCap(geometry.SocketID) units.MHz
+}
+
+// EpochState is an optional extension of State. A state that implements it
+// promises: LaneEpoch(ch) returns unchanged only while every State-visible
+// quantity of airflow channel ch's sockets — ambient/socket/chip/historical
+// temperatures, busy flags, running jobs, frequencies, boost caps — is
+// bit-unchanged since the epoch was last observed. Any mutation (a thermal
+// sweep that was not an exact identity, a placement/completion/migration, a
+// fault application, a state restore) advances the epoch first.
+//
+// Schedulers use this to memoize per-socket predictions and replay them on an
+// unchanged epoch: exact by replay, since an unchanged epoch proves every
+// input of the prediction is bit-identical. Channels are indexed row-major
+// (row*Lanes + lane), matching airflow.Model.Channel.
+type EpochState interface {
+	State
+	// LaneEpoch returns the current change epoch of airflow channel ch.
+	LaneEpoch(ch int) uint64
+}
+
+// StateVectors is a set of contiguous read-only per-socket views of the
+// hottest State accessors, indexed by socket ID. The slices alias the live
+// simulation state: they are valid for the duration of one Pick and must
+// never be written by schedulers.
+//
+//   - Amb[i] is exactly AmbientTemp(i).
+//   - Bench[i] is &RunningJob(i).Benchmark while the socket is busy with a
+//     job, and nil otherwise — for idle sockets and for dead sockets, which
+//     Busy reports busy but which carry no job.
+//   - Leak[i] is exactly LeakageAt(i).
+//   - Epoch[ch] is exactly LaneEpoch(ch), indexed by airflow channel
+//     rather than socket. Nil when the state is not an EpochState.
+//   - Cap[i] is exactly BoostCap(i).
+type StateVectors struct {
+	Amb   []units.Celsius
+	Bench []*workload.Benchmark
+	Leak  []chipmodel.Leakage
+	Epoch []uint64
+	Cap   []units.MHz
+}
+
+// VecState is an optional extension of State: a state whose per-socket
+// storage is already contiguous exposes it directly, so a scheduler that
+// reads many sockets per Pick (CP's downwind loop) replaces per-socket
+// interface calls with slice indexing. The views must agree bit-for-bit
+// with the corresponding State accessors at every instant, so a scheduler
+// switching between the two paths cannot change any decision.
+type VecState interface {
+	State
+	// Vectors returns the per-socket views. O(1): no copying.
+	Vectors() StateVectors
 }
 
 // Scheduler picks a socket for a job from the non-empty idle set.

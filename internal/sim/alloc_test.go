@@ -134,7 +134,7 @@ func TestDrainPathDoesNotAllocate(t *testing.T) {
 		}
 
 		st := &s.sockets[busy]
-		w := st.power
+		w := s.powers[busy]
 		if allocs := testing.AllocsPerRun(50, func() {
 			s.setPower(busy, w+1)
 			s.setPower(busy, w)

@@ -6,6 +6,7 @@ import (
 	"densim/internal/airflow"
 	"densim/internal/geometry"
 	"densim/internal/sched"
+	"densim/internal/units"
 	"densim/internal/workload"
 )
 
@@ -98,6 +99,63 @@ func BenchmarkSimSecondDD360CP90Parallel(b *testing.B) {
 }
 func BenchmarkSimSecondDD360CF90Parallel(b *testing.B) {
 	benchRunServer(b, benchServer(b, "dd360"), "CF", 0.9, EngineConfig{Mode: EngineParallel})
+}
+func BenchmarkSimSecondDD360CP90Event(b *testing.B) {
+	benchRunServer(b, benchServer(b, "dd360"), "CP", 0.9, EngineConfig{Mode: EngineEvent})
+}
+
+// BenchmarkSimSecondDD360CP90Burst isolates the arrival/completion event path
+// the busy knee stresses: a burst of 90 short jobs slams the double-density
+// system every 50 ms, so the run is dominated by queueing, placement picks,
+// and completions rather than by long thermal plateaus. The auto engine runs
+// it; compare against the Event suffix below to see what the unified event
+// queue buys (or costs) when events, not settles, dominate.
+func BenchmarkSimSecondDD360CP90Burst(b *testing.B) {
+	benchBurst(b, EngineConfig{})
+}
+
+// BenchmarkSimSecondDD360CP90BurstEvent is the burst run with the event
+// engine pinned.
+func BenchmarkSimSecondDD360CP90BurstEvent(b *testing.B) {
+	benchBurst(b, EngineConfig{Mode: EngineEvent})
+}
+
+func benchBurst(b *testing.B, eng EngineConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	srv := benchServer(b, "dd360")
+	bench := workload.ByClass(workload.Computation)[0]
+	var arrivals []listArrival
+	for t := 0.0; t < 1.0; t += 0.05 {
+		for k := 0; k < 90; k++ {
+			arrivals = append(arrivals, listArrival{at: units.Seconds(t), bench: bench, nominal: 0.02})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scheduler, err := sched.ByName("CP", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Config{
+			Server:    srv,
+			Scheduler: scheduler,
+			Airflow:   airflow.SUTParams(),
+			Source:    &listSource{arrivals: arrivals},
+			Seed:      uint64(i + 1),
+			Duration:  1,
+			Warmup:    0.1,
+			SinkTau:   1,
+			Engine:    eng,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := s.Run(); res.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
 }
 
 // BenchmarkSimSecondIdleSerial pins the pristine serial engine on the idle

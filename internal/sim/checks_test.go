@@ -204,8 +204,8 @@ func TestMigrationWorkConservation(t *testing.T) {
 	// first migration pass moves it to the cool socket 0 for a >=200 MHz
 	// predicted gain. Once on the cool socket it runs at the boost ceiling,
 	// so no further pass touches it.
-	s.sockets[1].ambient = 70
-	s.sockets[1].histTemp = 70
+	s.amb[1] = 70
+	s.hist[1] = 70
 	res := s.Run()
 	if err := h.Err(); err != nil {
 		t.Errorf("invariant violations: %v", err)

@@ -47,6 +47,10 @@ const (
 	EngineAuto     = "auto"
 	EngineSerial   = "serial"
 	EngineParallel = "parallel"
+	// EngineEvent is the event-driven engine: the incremental sweep plus the
+	// unified event queue (event.go), which advances the clock straight from
+	// event to event while every lane holds a bit-exact fixed point.
+	EngineEvent = "event"
 
 	StrideAuto = "auto"
 	StrideOn   = "on"
@@ -79,9 +83,9 @@ type EngineConfig struct {
 // Validate checks the enum fields.
 func (e EngineConfig) Validate() error {
 	switch e.Mode {
-	case "", EngineAuto, EngineSerial, EngineParallel:
+	case "", EngineAuto, EngineSerial, EngineParallel, EngineEvent:
 	default:
-		return fmt.Errorf("sim: unknown engine mode %q (have auto, serial, parallel)", e.Mode)
+		return fmt.Errorf("sim: unknown engine mode %q (have auto, serial, parallel, event)", e.Mode)
 	}
 	switch e.Stride {
 	case "", StrideAuto, StrideOn, StrideOff:
@@ -119,12 +123,21 @@ type engineState struct {
 	incremental bool
 	// stride enables the dead-tail fast-forward.
 	stride bool
+	// evq enables the unified event queue (event.go): while every lane is
+	// settled, the loop advances straight from event to event, replaying the
+	// per-tick float accumulation for the gap. Requires incremental + stride
+	// (the settled tracking is the fixed-point proof the gap replay rests on).
+	evq bool
 	// workers is the resolved pool size (pool engages at >= 2).
 	workers int
 
 	// afm is the airflow model's channel view (set when incremental).
 	afm     *airflow.Model
 	numChan int
+	// depth is the per-channel socket count: channel c owns the contiguous
+	// ID range [c*depth, (c+1)*depth) (resolveEngine verifies the layout),
+	// which lets the sweep walk the structure-of-arrays state linearly.
+	depth int
 	// chanIdx maps socket ID -> channel index.
 	chanIdx []int32
 	// dirty[ch] records that channel ch's powers changed since its last
@@ -154,10 +167,12 @@ type engineState struct {
 	pickIdx   []int8
 	pickFreq  []units.MHz
 	// shared marks the single-goroutine sweep, where the admiss cache's
-	// shared bounds pool and ladder table are safe; pickLad[i] then holds
-	// the ladder row for pickBench[i]'s power curve.
+	// shared bounds pool and ladder table are safe; pickLad[i]/pickThr[i]
+	// then hold the ladder row and boundary snapshot for pickBench[i]'s
+	// power curve under socket i's sink.
 	shared  bool
 	pickLad [][]units.Watts
+	pickThr []chipmodel.BoundsRow
 	// admiss caches exact admissibility verdicts per (socket, P-state) so
 	// cache-missed picks rarely pay the leakage exponential (see
 	// chipmodel.AdmissCache). Safe under the worker pool: workers own
@@ -199,6 +214,7 @@ func (s *Simulator) resolveEngine() {
 	if e.incremental {
 		e.afm = afm
 		e.numChan = afm.NumChannels()
+		e.depth = len(afm.Channel(0))
 		e.chanIdx = make([]int32, len(s.sockets))
 		for c := 0; c < e.numChan; c++ {
 			for _, id := range afm.Channel(c) {
@@ -253,6 +269,7 @@ func (s *Simulator) resolveEngine() {
 		e.shared = true
 		e.admiss.EnableSharedPool()
 		e.pickLad = make([][]units.Watts, len(s.sockets))
+		e.pickThr = make([]chipmodel.BoundsRow, len(s.sockets))
 	}
 
 	strideWanted := false
@@ -268,6 +285,9 @@ func (s *Simulator) resolveEngine() {
 	if e.stride && e.incremental {
 		e.laneSettled = make([]bool, e.numChan)
 	}
+	// The unified event queue needs the settled tracking as its fixed-point
+	// proof, so it inherits every stride gate above.
+	e.evq = mode == EngineEvent && e.incremental && e.stride
 }
 
 // allSettled reports that the previous sweep was an identity on every lane:
@@ -321,27 +341,27 @@ func (s *Simulator) pickFrequency(id geometry.SocketID, st *socketState) units.M
 func (s *Simulator) enginePick(i int, st *socketState) units.MHz {
 	e := &s.eng
 	bench := &st.j.Benchmark
-	cap := s.capFor(i, st.utilEWMA)
-	if e.pickBench[i] == bench && e.pickAmb[i] == st.ambient && e.pickCap[i] == cap {
+	ambient := s.amb[i]
+	cap := s.caps[i]
+	if e.pickBench[i] == bench && e.pickAmb[i] == ambient && e.pickCap[i] == cap {
 		return e.pickFreq[i]
 	}
+	sink := s.srv.Sink(geometry.SocketID(i))
+	leak := s.leakAt[i]
 	hint := -1
 	if e.pickBench[i] == bench {
 		hint = int(e.pickIdx[i])
 	} else if e.shared {
-		e.pickLad[i] = e.admiss.Ladder(bench.DynMax(), func(k int) units.Watts {
+		e.pickLad[i], e.pickThr[i] = e.admiss.LadderBounds(bench.DynMax(), func(k int) units.Watts {
 			return bench.DynamicPowerAt(chipmodel.Frequencies[k])
-		})
+		}, sink, leak)
 	}
-	sink := s.srv.Sink(geometry.SocketID(i))
-	ambient := st.ambient
-	leak := s.leakAt[i]
 	admiss := e.admiss
 	var idx int
 	if e.shared {
-		lad := e.pickLad[i]
+		lad, thr := e.pickLad[i], e.pickThr[i]
 		idx = chipmodel.HighestAdmissibleFrom(hint, chipmodel.CapIndex(cap), func(k int) bool {
-			return admiss.Admissible(i, k, ambient, lad[k], sink, leak)
+			return admiss.AdmissibleRow(thr, i, k, ambient, lad[k], sink, leak)
 		})
 	} else {
 		idx = chipmodel.HighestAdmissibleFrom(hint, chipmodel.CapIndex(cap), func(k int) bool {
@@ -386,6 +406,13 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 	kSink, kChip := s.tickGains.sink, s.tickGains.chip
 	kHist, kUtil := s.tickGains.hist, s.tickGains.util
 	track := e.laneSettled != nil
+	// Hoist the structure-of-arrays slices once: the channel's sockets are a
+	// contiguous ID range, so the inner loop below walks each slice linearly
+	// with the bounds checks lifted out of the per-socket body.
+	amb, chip, hist := s.amb, s.chip, s.hist
+	util, pewma, freqs := s.util, s.pewma, s.freq
+	powers, caps := s.powers, s.caps
+	depth := e.depth
 	for ch := lo; ch < hi; ch++ {
 		settled := track && !e.dirty[ch]
 		if e.dirty[ch] {
@@ -394,29 +421,33 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 		} else {
 			skipped++
 		}
-		for _, id := range e.afm.Channel(ch) {
-			i := int(id)
+		for i := ch * depth; i < (ch+1)*depth; i++ {
+			id := geometry.SocketID(i)
 			st := &s.sockets[i]
 			sink := s.srv.Sink(id)
-			prevAmb, prevChip := st.ambient, st.chipTemp
-			prevPE, prevHist := st.powerEWMA, st.histTemp
-			prevUtil, prevFreq, prevPower := st.utilEWMA, st.freq, st.power
+			prevAmb, prevChip := amb[i], chip[i]
+			prevPE, prevHist := pewma[i], hist[i]
+			prevUtil, prevFreq, prevPower := util[i], freqs[i], powers[i]
 
-			st.ambient = chipmodel.StepWithGain(st.ambient, ambients[i], kSink)
-			chipTarget := chipmodel.PeakTemp(st.ambient, st.power, sink)
-			st.chipTemp = chipmodel.StepWithGain(st.chipTemp, chipTarget, kChip)
-			st.powerEWMA = units.Watts(chipmodel.StepWithGain(units.Celsius(st.powerEWMA), units.Celsius(st.power), kSink))
-			st.histTemp = chipmodel.StepWithGain(st.histTemp, s.SocketTemp(id), kHist)
+			amb[i] = chipmodel.StepWithGain(prevAmb, ambients[i], kSink)
+			chipTarget := chipmodel.PeakTemp(amb[i], prevPower, sink)
+			chip[i] = chipmodel.StepWithGain(prevChip, chipTarget, kChip)
+			pewma[i] = units.Watts(chipmodel.StepWithGain(units.Celsius(prevPE), units.Celsius(prevPower), kSink))
+			// SocketTemp(id) inlined on the already-updated ambient and power
+			// EWMA — the identical expression, same FP op order.
+			sockT := amb[i] + units.Celsius(float64(pewma[i])*sink.RExt())
+			hist[i] = chipmodel.StepWithGain(prevHist, sockT, kHist)
 			target := units.Celsius(0)
 			if st.busy {
 				target = 1
 			}
-			st.utilEWMA = float64(chipmodel.StepWithGain(units.Celsius(st.utilEWMA), target, kUtil))
+			util[i] = float64(chipmodel.StepWithGain(units.Celsius(prevUtil), target, kUtil))
+			caps[i] = s.capFor(i, util[i])
 
 			if st.busy {
-				if f := s.pickFrequency(id, st); f != st.freq {
-					*events = append(*events, freqEvent{sock: int32(i), from: st.freq, to: f})
-					st.freq = f
+				if f := s.pickFrequency(id, st); f != freqs[i] {
+					*events = append(*events, freqEvent{sock: int32(i), from: freqs[i], to: f})
+					freqs[i] = f
 				}
 				s.setPower(i, s.busyPower(i))
 			} else {
@@ -424,11 +455,18 @@ func (s *Simulator) tickChannels(lo, hi int, events *[]freqEvent) (skipped int64
 			}
 			// The channel settles when the sweep was a bit-exact identity on
 			// every socket it owns: re-running it would change nothing.
-			if settled && (st.ambient != prevAmb || st.chipTemp != prevChip ||
-				st.powerEWMA != prevPE || st.histTemp != prevHist ||
-				st.utilEWMA != prevUtil || st.freq != prevFreq || st.power != prevPower) {
+			if settled && (amb[i] != prevAmb || chip[i] != prevChip ||
+				pewma[i] != prevPE || hist[i] != prevHist ||
+				util[i] != prevUtil || freqs[i] != prevFreq || powers[i] != prevPower) {
 				settled = false
 			}
+		}
+		// A sweep that was not a bit-exact identity may have changed
+		// scheduler-visible state (ambients, utilization EWMAs): advance the
+		// channel's epoch. Epochs are per-channel, so shard workers writing
+		// disjoint ranges stay race-free.
+		if !settled {
+			s.laneEpoch[ch]++
 		}
 		if track {
 			e.laneSettled[ch] = settled
@@ -490,7 +528,7 @@ func (s *Simulator) powerManagerTickIncremental(dt units.Seconds) {
 		s.telTicks++
 		if s.telTicks&7 == 0 {
 			for i := range s.sockets {
-				s.tel.ObserveLaneRise(int(s.laneIdx[i]), float64(s.sockets[i].ambient)-s.inletC)
+				s.tel.ObserveLaneRise(int(s.laneIdx[i]), float64(s.amb[i])-s.inletC)
 			}
 			s.tel.Flush()
 		}
@@ -574,7 +612,7 @@ func (s *Simulator) strideIdleTailSlow(tick, hardStop units.Seconds) {
 				seg = tickEnd - warmup
 			}
 			for i := range s.sockets {
-				s.col.OnEnergy(units.Joules(float64(s.sockets[i].power) * float64(seg)))
+				s.col.OnEnergy(units.Joules(float64(s.powers[i]) * float64(seg)))
 			}
 		}
 		s.now = tickEnd

@@ -15,10 +15,10 @@ import (
 
 // engineVariants is the engine matrix every scheduler/topology pair is run
 // through: the serial reference, the auto engine, the pool at two widths,
-// striding forced on (which also arms settled-stride tracking), and a
-// snapshot fork — the run interrupted mid-flight, serialized, restored in
-// place, and finished. Every variant must reproduce the serial run
-// bit-for-bit.
+// striding forced on (which also arms settled-stride tracking), a snapshot
+// fork — the run interrupted mid-flight, serialized, restored in place, and
+// finished — and the unified-event-queue engine, plain and forked. Every
+// variant must reproduce the serial run bit-for-bit.
 var engineVariants = []struct {
 	name string
 	cfg  EngineConfig
@@ -30,6 +30,8 @@ var engineVariants = []struct {
 	{name: "parallel8", cfg: EngineConfig{Mode: EngineParallel, Workers: 8}},
 	{name: "stride-on", cfg: EngineConfig{Mode: EngineAuto, Stride: StrideOn}},
 	{name: "snapfork", cfg: EngineConfig{Mode: EngineAuto}, fork: true},
+	{name: "event", cfg: EngineConfig{Mode: EngineEvent}},
+	{name: "event-fork", cfg: EngineConfig{Mode: EngineEvent}, fork: true},
 }
 
 // equivTopologies returns the matrix's two topologies: the 180-socket SUT
@@ -273,6 +275,85 @@ func TestEngineSettledStrideFires(t *testing.T) {
 	}
 }
 
+// TestEngineEventGapFires pins the unified event queue to actually engaging
+// on a settled busy plateau — and to changing nothing. With the event engine
+// selected, the run must execute gap-advance ticks (CEventTicks > 0) while
+// jobs are still running, and stay bit-identical to the serial reference,
+// counters included.
+func TestEngineEventGapFires(t *testing.T) {
+	refTel := telemetry.New("serial")
+	refSim, err := New(settledConfig(t, EngineConfig{Mode: EngineSerial}, refTel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := refSim.Run()
+	refCounters := refTel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(refCounters, id.Name())
+	}
+
+	tel := telemetry.New("event")
+	sim, err := New(settledConfig(t, EngineConfig{Mode: EngineEvent}, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.eng.evq {
+		t.Fatal("event queue not armed despite event mode")
+	}
+	res := sim.Run()
+	if got := tel.Counter(telemetry.CEventTicks); got == 0 {
+		t.Error("CEventTicks = 0: the gap advance never engaged")
+	}
+	counters := tel.Snapshot(nil).Counters
+	for _, id := range telemetry.EngineCounters() {
+		delete(counters, id.Name())
+	}
+	if !reflect.DeepEqual(res, refRes) {
+		t.Errorf("event-engine result diverges from serial\n got %+v\nwant %+v", res, refRes)
+	}
+	if !reflect.DeepEqual(counters, refCounters) {
+		t.Errorf("event-engine counters diverge from serial\n got %v\nwant %v", counters, refCounters)
+	}
+}
+
+// TestEventGapAdvanceDoesNotAllocate pins the event engine's gap advance to
+// the same zero-allocation budget as the tick path it replaces: once the run
+// reaches an all-settled state, marching the clock through a whole gap —
+// float replay, fan ledger, settled-tick telemetry — must not allocate.
+func TestEventGapAdvanceDoesNotAllocate(t *testing.T) {
+	// A Probe would disable striding (and with it the event queue), so step
+	// the run with RunTo and measure once the engine reports all-settled.
+	tel := telemetry.New("event-alloc")
+	s, err := New(settledConfig(t, EngineConfig{Mode: EngineEvent}, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.eng.evq {
+		t.Fatal("event queue not armed despite event mode")
+	}
+	settled := false
+	for to := units.Seconds(0.05); to <= 0.25; to += 0.05 {
+		s.RunTo(to)
+		if s.eng.allSettled() {
+			settled = true
+			break
+		}
+	}
+	if !settled {
+		t.Fatal("run never reached an all-settled state")
+	}
+	tick := s.cfg.TickPeriod
+	hardStop := s.cfg.DrainLimit
+	if allocs := testing.AllocsPerRun(20, func() {
+		s.eventGapAdvance(s.now+4*tick, tick, hardStop)
+	}); allocs != 0 {
+		t.Errorf("eventGapAdvance allocates %.1f objects/op, want 0", allocs)
+	}
+	if tel.Counter(telemetry.CEventTicks) == 0 {
+		t.Fatal("no event ticks executed — the measured path was not exercised")
+	}
+}
+
 // TestEngineChecksCrossAudit runs the incremental engine with the invariant
 // harness installed (the DENSIM_CHECKS=1 configuration): the sparse-vs-dense
 // cross-audits — ambient cache against a dense advection recompute, the
@@ -298,6 +379,7 @@ func TestEngineChecksCrossAudit(t *testing.T) {
 func TestEngineConfigValidate(t *testing.T) {
 	good := []EngineConfig{
 		{}, {Mode: "auto"}, {Mode: "serial"}, {Mode: "parallel", Workers: 4},
+		{Mode: "event"}, {Mode: "event", Workers: 2},
 		{Stride: "on"}, {Stride: "off"}, {Stride: "auto"},
 	}
 	for _, e := range good {

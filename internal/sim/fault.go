@@ -61,6 +61,16 @@ func (f *faultState) idle() bool {
 	return f.cursor >= len(f.steps) && !f.rampActive
 }
 
+// nextStepTime returns the instant of the earliest unapplied timeline step,
+// +inf when the timeline is exhausted. The event engine's gap advance stops
+// at this boundary so applyFaults runs at exactly the tick it would have.
+func (f *faultState) nextStepTime() units.Seconds {
+	if f.cursor >= len(f.steps) {
+		return neverDone
+	}
+	return f.steps[f.cursor].At
+}
+
 // initFaults builds the fault runtime from Config.Faults. Called from New
 // after the thermal chain and per-socket constants exist.
 func (s *Simulator) initFaults() error {
@@ -112,7 +122,9 @@ func (s *Simulator) initFaults() error {
 func (s *Simulator) applyFaults() {
 	f := s.flt
 	flowChanged := false
+	mutated := false
 	for f.cursor < len(f.steps) && f.steps[f.cursor].At <= s.now {
+		mutated = true
 		st := &f.steps[f.cursor]
 		f.cursor++
 		if s.checks != nil {
@@ -146,11 +158,13 @@ func (s *Simulator) applyFaults() {
 		case fault.KindThrottle:
 			if !f.capped[st.Socket] {
 				f.capped[st.Socket] = true
+				s.caps[st.Socket] = s.capFor(st.Socket, s.util[st.Socket])
 				s.eng.unsettle(st.Socket)
 			}
 		case fault.KindThrottleEnd:
 			if f.capped[st.Socket] {
 				f.capped[st.Socket] = false
+				s.caps[st.Socket] = s.capFor(st.Socket, s.util[st.Socket])
 				s.eng.unsettle(st.Socket)
 			}
 		}
@@ -165,6 +179,7 @@ func (s *Simulator) applyFaults() {
 		}
 		if t != f.curInlet {
 			f.curInlet = t
+			mutated = true
 			if s.checks != nil {
 				s.checks.OnInletChange(t, s.now)
 			}
@@ -180,6 +195,12 @@ func (s *Simulator) applyFaults() {
 	if flowChanged {
 		s.recomputeFanPoint()
 		s.applyFlowPhysics()
+	}
+	if mutated {
+		// Any applied step can change scheduler-visible state outside the
+		// sweep's view (throttle caps, socket death, inlet): conservatively
+		// age every cached lane-epoch prediction.
+		s.bumpAllLanes()
 	}
 }
 
@@ -256,8 +277,8 @@ func (s *Simulator) killSocket(i int) {
 	if wasBusy {
 		j := st.j
 		st.busy = false
-		st.j = nil
-		st.freq = 0
+		s.setJob(i, nil)
+		s.freq[i] = 0
 		s.busyCount--
 		s.eng.unsettle(i)
 		s.eng.invalidatePick(i)

@@ -74,7 +74,7 @@ func (s *Simulator) runMigrations() {
 		if float64(j.Work) < mc.MinRemainingWork*float64(mc.Cost) {
 			continue
 		}
-		curFreq := src.freq
+		curFreq := s.freq[i]
 		if curFreq >= maxFreq {
 			continue // nothing to gain
 		}
@@ -110,8 +110,8 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 
 	// Source goes idle (gated).
 	src.busy = false
-	src.j = nil
-	src.freq = 0
+	s.setJob(int(srcID), nil)
+	s.freq[srcID] = 0
 	s.markIdle(int(srcID))
 	s.eng.invalidatePick(int(srcID))
 	s.setDoneAt(int(srcID), neverDone)
@@ -122,9 +122,9 @@ func (s *Simulator) migrate(srcID, dstID geometry.SocketID) {
 
 	// Destination starts the job at its locally picked frequency.
 	dst.busy = true
-	dst.j = j
+	s.setJob(int(dstID), j)
 	s.markBusy(int(dstID))
-	dst.freq = s.pickFrequency(dstID, dst)
+	s.freq[dstID] = s.pickFrequency(dstID, dst)
 	s.refreshDoneAt(int(dstID))
 	s.setPower(int(dstID), s.busyPower(int(dstID)))
 

@@ -114,10 +114,10 @@ func TestMigrationReusesFreedSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.sockets[0].ambient = 70
-	s.sockets[0].histTemp = 70
-	s.sockets[1].ambient = 85
-	s.sockets[1].histTemp = 85
+	s.amb[0] = 70
+	s.hist[0] = 70
+	s.amb[1] = 85
+	s.hist[1] = 85
 	s.Run()
 	if err := h.Err(); err != nil {
 		t.Errorf("invariant violations: %v", err)

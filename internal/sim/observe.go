@@ -77,7 +77,7 @@ func (s *Simulator) Observe(o *Observation) {
 	o.Requeues = s.Requeues()
 	sum, max := 0.0, 0.0
 	for i := range s.sockets {
-		a := float64(s.sockets[i].ambient)
+		a := float64(s.amb[i])
 		sum += a
 		if i == 0 || a > max {
 			max = a

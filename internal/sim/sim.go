@@ -247,17 +247,16 @@ func (c Config) withDefaults() (Config, error) {
 // neverDone is the cached completion instant of a socket with no job.
 var neverDone = units.Seconds(math.Inf(1))
 
-// socketState is the live state of one socket.
+// socketState is the live occupancy state of one socket. The hot per-socket
+// thermal/DVFS quantities the tick sweep reads and writes every tick live in
+// the Simulator's parallel structure-of-arrays slices (amb, chip, hist, util,
+// pewma, freq, powers), keeping the sweep's inner loop cache-linear; this
+// struct keeps only the event-path bookkeeping.
 type socketState struct {
-	busy       bool
+	busy bool
+	// j is the running job (nil while idle). Written only through
+	// Simulator.setJob, which keeps the benchOf vector view in sync.
 	j          *job.Job
-	freq       units.MHz
-	ambient    units.Celsius // socket ambient temperature (30 s lag)
-	chipTemp   units.Celsius // peak chip temperature (5 ms lag)
-	histTemp   units.Celsius // slow EWMA for A-Random
-	utilEWMA   float64       // recent utilization for the boost budget
-	powerEWMA  units.Watts   // 30 s power average behind the socket temperature
-	power      units.Watts   // current total draw (dynamic + leakage or gated)
 	lastUpdate units.Seconds
 	// doneAt caches the completion instant of the running job at the
 	// current frequency (neverDone while idle). It is mirrored into the
@@ -265,6 +264,18 @@ type socketState struct {
 	// Simulator.setDoneAt / Simulator.refreshDoneAt.
 	doneAt    units.Seconds
 	placement metrics.JobPlacement
+}
+
+// setJob writes socket i's running-job pointer and keeps the benchOf
+// vector view in sync. Every sockets[i].j write must go through here
+// (mirroring setDoneAt's contract for doneAt).
+func (s *Simulator) setJob(i int, j *job.Job) {
+	s.sockets[i].j = j
+	if j != nil {
+		s.benchOf[i] = &j.Benchmark
+	} else {
+		s.benchOf[i] = nil
+	}
 }
 
 // setDoneAt writes socket i's cached completion instant and keeps the
@@ -289,7 +300,7 @@ func (s *Simulator) recomputeDoneAt(i int) units.Seconds {
 	if !st.busy {
 		return neverDone
 	}
-	rate := st.j.Benchmark.RelPerf(st.freq)
+	rate := st.j.Benchmark.RelPerf(s.freq[i])
 	return st.lastUpdate + units.Seconds(float64(st.j.Work)/rate)
 }
 
@@ -316,8 +327,40 @@ type Simulator struct {
 	// every fault hook below is a single pointer test).
 	flt     *faultState
 	sockets []socketState
-	powers  []units.Watts
+	// Hot per-socket state as parallel structure-of-arrays slices, indexed
+	// by socket ID. The per-tick sweep walks them contiguously (channel
+	// ranges are contiguous ID ranges), so the inner loop is cache-linear
+	// instead of striding through an array of fat structs. powers doubles as
+	// the airflow model's input vector — there is exactly one copy of each
+	// socket's draw.
+	amb    []units.Celsius // socket ambient temperature (30 s lag)
+	chip   []units.Celsius // peak chip temperature (5 ms lag)
+	hist   []units.Celsius // slow EWMA for A-Random
+	util   []float64       // recent utilization for the boost budget
+	pewma  []units.Watts   // 30 s power average behind the socket temperature
+	freq   []units.MHz     // current P-state (0 while idle)
+	powers []units.Watts   // current total draw (dynamic + leakage or gated)
+	// benchOf mirrors each busy socket's running benchmark (&j.Benchmark,
+	// nil while idle or dead): the Vectors view schedulers index instead of
+	// calling Busy/RunningJob per socket. Every st.j write must go through
+	// setJob so the mirror can never drift (audited by the invariant
+	// harness).
+	benchOf []*workload.Benchmark
+	// caps mirrors capFor(i, util[i]) — the BoostCap vector view. Its
+	// inputs change in exactly three places, each of which refreshes the
+	// mirror: the utilization EWMA write in the two tick sweeps, the
+	// throttle-fault toggles in applyFaults, and snapshot restore (which
+	// rewrites util and capped wholesale). fmaxAt and the boost-tier config
+	// are immutable after New. Audited against a fresh capFor by the
+	// invariant harness.
+	caps []units.MHz
 	queue   job.Queue
+	// jobPool recycles completed jobs' allocations into later arrivals,
+	// keeping the steady-state event path allocation-free. Safe because a
+	// completed job is unreachable once completeJob's hooks return: the
+	// socket drops its pointer, the pick caches are invalidated, and every
+	// metrics/telemetry/checks consumer copies values.
+	jobPool job.Pool
 	source  job.Source
 	col     *metrics.Collector
 	now     units.Seconds
@@ -345,13 +388,21 @@ type Simulator struct {
 	// checks is the optional invariant harness (nil = disabled).
 	checks *check.Checks
 	// tel is the optional observability layer (nil = disabled). laneIdx
-	// maps each socket to its airflow lane (row-major) and inletC caches
-	// the inlet for the per-lane ambient-rise extrema; both are built only
-	// when telemetry is installed.
+	// maps each socket to its airflow channel (row-major) — shared by the
+	// telemetry lane scan and the lane-epoch bookkeeping below — and inletC
+	// caches the inlet for the per-lane ambient-rise extrema.
 	tel      *telemetry.Local
 	laneIdx  []int32
 	inletC   float64
 	telTicks uint64 // local tick count gating the lane scan and flush
+	// laneEpoch[ch] backs sched.EpochState: it increases whenever any
+	// scheduler-visible state of channel ch's sockets may have changed — a
+	// thermal sweep that was not a bit-exact identity on the channel, an
+	// occupancy or running-job change, any fault application, a snapshot
+	// restore. Schedulers replay cached per-socket predictions while the
+	// epoch (and their value keys) hold, which is exact: an unchanged epoch
+	// proves every input of the prediction is bit-unchanged.
+	laneEpoch []uint64
 	// eng is the resolved execution engine (see engine.go); checkAmb is the
 	// dense ambient scratch for the harness's ambient-cache cross-audit,
 	// allocated only when both checks and the incremental engine are on.
@@ -390,7 +441,14 @@ func New(cfg Config) (*Simulator, error) {
 		thermal: cfg.Thermal,
 		power:   cfg.Power,
 		sockets: make([]socketState, cfg.Server.NumSockets()),
+		amb:     make([]units.Celsius, cfg.Server.NumSockets()),
+		chip:    make([]units.Celsius, cfg.Server.NumSockets()),
+		hist:    make([]units.Celsius, cfg.Server.NumSockets()),
+		util:    make([]float64, cfg.Server.NumSockets()),
+		pewma:   make([]units.Watts, cfg.Server.NumSockets()),
+		freq:    make([]units.MHz, cfg.Server.NumSockets()),
 		powers:  make([]units.Watts, cfg.Server.NumSockets()),
+		benchOf: make([]*workload.Benchmark, cfg.Server.NumSockets()),
 		col:     metrics.NewCollector(),
 		ambBuf:  make([]units.Celsius, cfg.Server.NumSockets()),
 		idleSet: make([]geometry.SocketID, cfg.Server.NumSockets(), cfg.Server.NumSockets()),
@@ -435,17 +493,16 @@ func New(cfg Config) (*Simulator, error) {
 		s.leakAt[i] = chipmodel.NewLeakage(tdp)
 		s.gatedPow[i] = s.power.IdlePower(tdp)
 		s.sockets[i] = socketState{
-			ambient:  inlet,
-			chipTemp: inlet,
-			histTemp: inlet,
-			power:    s.gatedPow[i],
-			doneAt:   neverDone,
+			doneAt: neverDone,
 			placement: metrics.JobPlacement{
 				Zone:      s.srv.Zone(id),
 				FrontHalf: s.srv.IsFrontHalf(id),
 				EvenZone:  s.srv.IsEvenZone(id),
 			},
 		}
+		s.amb[i] = inlet
+		s.chip[i] = inlet
+		s.hist[i] = inlet
 		s.powers[i] = s.gatedPow[i]
 	}
 	if cfg.Migration.Period > 0 {
@@ -461,12 +518,13 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 	}
+	s.laneIdx = make([]int32, cfg.Server.NumSockets())
+	for _, sk := range cfg.Server.Sockets() {
+		s.laneIdx[sk.ID] = int32(sk.Row*cfg.Server.Lanes + sk.Lane)
+	}
+	s.laneEpoch = make([]uint64, s.af.NumChannels())
 	if cfg.Telemetry != nil {
 		s.inletC = float64(inlet)
-		s.laneIdx = make([]int32, cfg.Server.NumSockets())
-		for _, sk := range cfg.Server.Sockets() {
-			s.laneIdx[sk.ID] = int32(sk.Row*cfg.Server.Lanes + sk.Lane)
-		}
 		// The run accumulates into a private Local (plain increments on the
 		// hot paths) and flushes batches into the shared instance.
 		s.tel = cfg.Telemetry.NewLocal(cfg.Server.Rows*cfg.Server.Lanes, inlet)
@@ -474,6 +532,10 @@ func New(cfg Config) (*Simulator, error) {
 	s.resolveEngine()
 	if s.checks != nil && s.eng.incremental {
 		s.checkAmb = make([]units.Celsius, cfg.Server.NumSockets())
+	}
+	s.caps = make([]units.MHz, n)
+	for i := range s.caps {
+		s.caps[i] = s.capFor(i, s.util[i])
 	}
 	return s, nil
 }
@@ -487,23 +549,22 @@ func (s *Simulator) Server() *geometry.Server { return s.srv }
 func (s *Simulator) Airflow() *airflow.Model { return s.af }
 
 // ChipTemp implements sched.State.
-func (s *Simulator) ChipTemp(id geometry.SocketID) units.Celsius { return s.sockets[id].chipTemp }
+func (s *Simulator) ChipTemp(id geometry.SocketID) units.Celsius { return s.chip[id] }
 
 // SocketTemp implements sched.State: the heatsink-mass (lumped socket)
 // temperature — ambient plus the socket's 30-second power average across the
 // external resistance. This is the "instantaneous socket temperature" the
 // temperature-ordering policies (CF, HF, CN, Balanced, A-Random) read.
 func (s *Simulator) SocketTemp(id geometry.SocketID) units.Celsius {
-	st := &s.sockets[id]
-	return st.ambient + units.Celsius(float64(st.powerEWMA)*s.srv.Sink(id).RExt())
+	return s.amb[id] + units.Celsius(float64(s.pewma[id])*s.srv.Sink(id).RExt())
 }
 
 // AmbientTemp implements sched.State.
-func (s *Simulator) AmbientTemp(id geometry.SocketID) units.Celsius { return s.sockets[id].ambient }
+func (s *Simulator) AmbientTemp(id geometry.SocketID) units.Celsius { return s.amb[id] }
 
 // HistoricalTemp implements sched.State.
 func (s *Simulator) HistoricalTemp(id geometry.SocketID) units.Celsius {
-	return s.sockets[id].histTemp
+	return s.hist[id]
 }
 
 // Busy implements sched.State. A dead socket (socket-death fault) reports
@@ -517,7 +578,7 @@ func (s *Simulator) Busy(id geometry.SocketID) bool {
 func (s *Simulator) RunningJob(id geometry.SocketID) *job.Job { return s.sockets[id].j }
 
 // Frequency implements sched.State.
-func (s *Simulator) Frequency(id geometry.SocketID) units.MHz { return s.sockets[id].freq }
+func (s *Simulator) Frequency(id geometry.SocketID) units.MHz { return s.freq[id] }
 
 // LeakageAt implements sched.State: the socket's leakage model (per-socket
 // under heterogeneous SKUs, one shared curve otherwise).
@@ -526,7 +587,15 @@ func (s *Simulator) LeakageAt(id geometry.SocketID) chipmodel.Leakage { return s
 // BoostCap implements sched.State: the highest P-state the socket's boost
 // budget, SKU ceiling, and any active throttle fault currently permit.
 func (s *Simulator) BoostCap(id geometry.SocketID) units.MHz {
-	return s.capFor(int(id), s.sockets[id].utilEWMA)
+	return s.capFor(int(id), s.util[id])
+}
+
+// Vectors implements sched.VecState: the SoA slices are handed out
+// directly, so schedulers index them instead of making one interface call
+// per socket. benchOf is maintained by the setJob funnel, which keeps it
+// bit-equal to the Busy/RunningJob view at every instant.
+func (s *Simulator) Vectors() sched.StateVectors {
+	return sched.StateVectors{Amb: s.amb, Bench: s.benchOf, Leak: s.leakAt, Epoch: s.laneEpoch, Cap: s.caps}
 }
 
 // capFor returns socket i's frequency cap at utilization util: the boost
@@ -559,18 +628,30 @@ func (s *Simulator) boostCap(util float64) units.MHz {
 }
 
 var _ sched.State = (*Simulator)(nil)
+var _ sched.VecState = (*Simulator)(nil)
+var _ sched.EpochState = (*Simulator)(nil)
 
-// setPower writes socket i's current draw into both the socket state and
-// the powers vector, marking the owning airflow channel dirty when the
-// value actually changed. The dirty-lane engine's exactness rests on every
+// LaneEpoch implements sched.EpochState: see the laneEpoch field for the
+// change events that advance it.
+func (s *Simulator) LaneEpoch(ch int) uint64 { return s.laneEpoch[ch] }
+
+// bumpAllLanes advances every channel's epoch — the conservative bump for
+// events whose blast radius is not channel-local (a serial full sweep, a
+// fault application, a snapshot restore).
+func (s *Simulator) bumpAllLanes() {
+	for i := range s.laneEpoch {
+		s.laneEpoch[i]++
+	}
+}
+
+// setPower writes socket i's current draw into the powers vector, marking
+// the owning airflow channel dirty when the value actually changed. The dirty-lane engine's exactness rests on every
 // event-path and tick-path power write flowing through this funnel (the
 // serial engine ignores the dirty bits entirely).
 func (s *Simulator) setPower(i int, w units.Watts) {
-	st := &s.sockets[i]
-	if st.power == w {
+	if s.powers[i] == w {
 		return
 	}
-	st.power = w
 	s.powers[i] = w
 	if d := s.eng.dirty; d != nil {
 		d[s.eng.chanIdx[i]] = true
@@ -598,6 +679,7 @@ func (s *Simulator) idleRank(id geometry.SocketID) int {
 func (s *Simulator) markBusy(i int) {
 	s.busyCount++
 	s.eng.unsettle(i)
+	s.laneEpoch[s.laneIdx[i]]++
 	k := s.idleRank(geometry.SocketID(i))
 	copy(s.idleSet[k:], s.idleSet[k+1:])
 	s.idleSet = s.idleSet[:len(s.idleSet)-1]
@@ -609,6 +691,7 @@ func (s *Simulator) markBusy(i int) {
 func (s *Simulator) markIdle(i int) {
 	s.busyCount--
 	s.eng.unsettle(i)
+	s.laneEpoch[s.laneIdx[i]]++
 	id := geometry.SocketID(i)
 	k := s.idleRank(id)
 	s.idleSet = s.idleSet[:len(s.idleSet)+1]
@@ -662,6 +745,20 @@ func (s *Simulator) runLoop(until units.Seconds) {
 			s.strideIdleTail(tick, hardStop)
 			s.ended = true
 			break
+		}
+		if s.eng.evq {
+			// Unified event queue: while every lane holds its fixed point,
+			// march straight through the gap to the next indexed event. On
+			// any advance, re-enter the loop top so fault application and
+			// the stride check see the new clock.
+			advanced, done := s.eventGapAdvance(until, tick, hardStop)
+			if done {
+				s.ended = true
+				break
+			}
+			if advanced {
+				continue
+			}
 		}
 		tickStart := s.now
 		tickEnd := s.now + tick
@@ -731,7 +828,7 @@ func (s *Simulator) processEventsUntil(end units.Seconds) {
 			s.completeJob(compID, t)
 		} else {
 			at, b, dur := s.source.Next()
-			j := job.New(s.nextID, b, at, dur)
+			j := s.jobPool.Get(s.nextID, b, at, dur)
 			s.nextID++
 			s.arrived++
 			if s.tel != nil {
@@ -795,12 +892,15 @@ func (s *Simulator) completeJob(id geometry.SocketID, t units.Seconds) {
 		s.tel.OnComplete(t, int(id), j.Done-j.Arrival, j.Done-j.Started)
 	}
 	st.busy = false
-	st.j = nil
-	st.freq = 0
+	s.setJob(int(id), nil)
+	s.freq[id] = 0
 	s.markIdle(int(id))
 	s.eng.invalidatePick(int(id))
 	s.setDoneAt(int(id), neverDone)
 	s.setPower(int(id), s.idlePow(int(id)))
+	// j is unreachable now — every hook above copied what it needed and the
+	// pick caches were invalidated — so its allocation feeds the next arrival.
+	s.jobPool.Put(j)
 }
 
 // idlePow returns socket i's idle draw: the SKU-scaled power-gated power, or
@@ -855,10 +955,10 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 	}
 	s.advanceSocketTo(int(id), t)
 	st.busy = true
-	st.j = j
+	s.setJob(int(id), j)
 	j.Started = t
 	s.markBusy(int(id))
-	st.freq = s.pickFrequency(id, st)
+	s.freq[id] = s.pickFrequency(id, st)
 	s.refreshDoneAt(int(id))
 	s.setPower(int(id), s.busyPower(int(id)))
 	if s.checks != nil {
@@ -872,8 +972,7 @@ func (s *Simulator) placeJob(id geometry.SocketID, j *job.Job, t units.Seconds) 
 // busyPower returns dynamic power at the socket's frequency plus the
 // socket's leakage at its current chip temperature.
 func (s *Simulator) busyPower(i int) units.Watts {
-	st := &s.sockets[i]
-	return st.j.Benchmark.DynamicPowerAt(st.freq) + s.leakAt[i].At(st.chipTemp)
+	return s.sockets[i].j.Benchmark.DynamicPowerAt(s.freq[i]) + s.leakAt[i].At(s.chip[i])
 }
 
 // advanceSocketTo accrues work, busy-frequency time, and energy on one
@@ -885,7 +984,8 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 		return
 	}
 	if st.busy {
-		rate := st.j.Benchmark.RelPerf(st.freq)
+		f := s.freq[i]
+		rate := st.j.Benchmark.RelPerf(f)
 		consumed := units.Seconds(float64(dt) * rate)
 		st.j.Work -= consumed
 		var clipped units.Seconds
@@ -899,8 +999,8 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 			if st.lastUpdate < s.cfg.Warmup {
 				seg = t - s.cfg.Warmup
 			}
-			rel := float64(st.freq) / float64(chipmodel.FMax)
-			s.col.OnBusySegment(seg, rel, chipmodel.IsBoost(st.freq), st.placement)
+			rel := float64(f) / float64(chipmodel.FMax)
+			s.col.OnBusySegment(seg, rel, chipmodel.IsBoost(f), st.placement)
 		}
 		if s.checks != nil {
 			s.checks.OnWorkSegment(int64(st.j.ID), consumed, clipped, t)
@@ -911,10 +1011,10 @@ func (s *Simulator) advanceSocketTo(i int, t units.Seconds) {
 		if st.lastUpdate < s.cfg.Warmup {
 			seg = t - s.cfg.Warmup
 		}
-		s.col.OnEnergy(units.Joules(float64(st.power) * float64(seg)))
+		s.col.OnEnergy(units.Joules(float64(s.powers[i]) * float64(seg)))
 	}
 	if s.checks != nil {
-		s.checks.OnEnergySegment(i, st.lastUpdate, t, st.power)
+		s.checks.OnEnergySegment(i, st.lastUpdate, t, s.powers[i])
 	}
 	st.lastUpdate = t
 }
@@ -935,6 +1035,9 @@ func (s *Simulator) powerManagerTick(dt units.Seconds) {
 		s.powerManagerTickIncremental(dt)
 		return
 	}
+	// The serial reference sweep may move every lane's thermal state; the
+	// incremental sweep bumps per channel, skipping bit-exact identities.
+	s.bumpAllLanes()
 	s.powerManagerTickSerial(dt)
 }
 
@@ -961,39 +1064,39 @@ func (s *Simulator) powerManagerTickSerial(dt units.Seconds) {
 		// 2) The socket ambient moves toward the airflow steady state on
 		// the 30 s socket time constant (the heatsink masses buffer the
 		// local air temperature).
-		st.ambient = chipmodel.StepWithGain(st.ambient, ambients[i], kSink)
+		s.amb[i] = chipmodel.StepWithGain(s.amb[i], ambients[i], kSink)
 
 		// 3) The chip moves toward the Equation-1 peak for the current
 		// ambient on the 5 ms chip time constant.
-		chipTarget := chipmodel.PeakTemp(st.ambient, st.power, sink)
-		st.chipTemp = chipmodel.StepWithGain(st.chipTemp, chipTarget, kChip)
+		chipTarget := chipmodel.PeakTemp(s.amb[i], s.powers[i], sink)
+		s.chip[i] = chipmodel.StepWithGain(s.chip[i], chipTarget, kChip)
 
 		// 4) The socket power average (the 30 s heatsink-mass state behind
 		// SocketTemp), the history EWMA for A-Random, and the boost-budget
 		// utilization EWMA.
-		st.powerEWMA = units.Watts(chipmodel.StepWithGain(units.Celsius(st.powerEWMA), units.Celsius(st.power), kSink))
-		st.histTemp = chipmodel.StepWithGain(st.histTemp, s.SocketTemp(id), kHist)
+		s.pewma[i] = units.Watts(chipmodel.StepWithGain(units.Celsius(s.pewma[i]), units.Celsius(s.powers[i]), kSink))
+		s.hist[i] = chipmodel.StepWithGain(s.hist[i], s.SocketTemp(id), kHist)
 		target := units.Celsius(0)
 		if st.busy {
 			target = 1
 		}
-		st.utilEWMA = float64(chipmodel.StepWithGain(units.Celsius(st.utilEWMA), target, kUtil))
+		s.util[i] = float64(chipmodel.StepWithGain(units.Celsius(s.util[i]), target, kUtil))
+		s.caps[i] = s.capFor(i, s.util[i])
 
 		// 5) DVFS re-pick for busy sockets; refresh power either way. The
 		// cached completion instant only moves when the P-state does.
 		if st.busy {
-			if f := s.pickFrequencyIndexed(id, st); f != st.freq {
+			if f := s.pickFrequencyIndexed(id, st); f != s.freq[i] {
 				if s.tel != nil {
-					s.tel.OnThrottle(s.now, i, st.freq, f)
+					s.tel.OnThrottle(s.now, i, s.freq[i], f)
 				}
-				st.freq = f
+				s.freq[i] = f
 				s.refreshDoneAt(i)
 			}
-			st.power = s.busyPower(i)
+			s.powers[i] = s.busyPower(i)
 		} else {
-			st.power = s.idlePow(i)
+			s.powers[i] = s.idlePow(i)
 		}
-		s.powers[i] = st.power
 	}
 	if s.checks != nil {
 		s.auditTick()
@@ -1008,7 +1111,7 @@ func (s *Simulator) powerManagerTickSerial(dt units.Seconds) {
 		s.telTicks++
 		if s.telTicks&7 == 0 {
 			for i := range s.sockets {
-				s.tel.ObserveLaneRise(int(s.laneIdx[i]), float64(s.sockets[i].ambient)-s.inletC)
+				s.tel.ObserveLaneRise(int(s.laneIdx[i]), float64(s.amb[i])-s.inletC)
 			}
 			s.tel.Flush()
 		}
@@ -1029,7 +1132,21 @@ func (s *Simulator) auditTick() {
 		// two-step truncation) is what the chip integrator actually
 		// approaches, so the harness's settled-chip bound is tight.
 		headroom := s.settledChipTemp(i, st, sink) <= chipmodel.TempLimit
-		s.checks.OnSocketTick(i, st.busy, st.ambient, st.chipTemp, headroom, s.now)
+		s.checks.OnSocketTick(i, st.busy, s.amb[i], s.chip[i], headroom, s.now)
+		// The benchOf vector view must mirror the socket's job exactly: a
+		// desync means some st.j write bypassed the setJob funnel.
+		wantBench := (*workload.Benchmark)(nil)
+		if st.j != nil {
+			wantBench = &st.j.Benchmark
+		}
+		if s.benchOf[i] != wantBench {
+			panic(fmt.Sprintf("sim: benchOf[%d] desynced from the socket's job (a st.j write bypassed setJob)", i))
+		}
+		// The caps mirror must equal a fresh capFor: a desync means some
+		// input (util, throttle flag) changed without refreshing it.
+		if want := s.capFor(i, s.util[i]); s.caps[i] != want {
+			panic(fmt.Sprintf("sim: caps[%d]=%v desynced from capFor=%v (a util or throttle write bypassed the mirror refresh)", i, s.caps[i], want))
+		}
 	}
 	if s.checks.OnTick(s.now) {
 		for i := range s.sockets {
@@ -1087,13 +1204,13 @@ func (s *Simulator) auditEngineCaches() {
 // with no leakage feedback, so their target is already the fixed point.
 func (s *Simulator) settledChipTemp(i int, st *socketState, sink chipmodel.Sink) units.Celsius {
 	if !st.busy {
-		return chipmodel.PeakTemp(st.ambient, s.idlePow(i), sink)
+		return chipmodel.PeakTemp(s.amb[i], s.idlePow(i), sink)
 	}
 	leak := s.leakAt[i]
-	dyn := st.j.Benchmark.DynamicPowerAt(st.freq)
-	t := st.chipTemp
+	dyn := st.j.Benchmark.DynamicPowerAt(s.freq[i])
+	t := s.chip[i]
 	for k := 0; k < 64; k++ {
-		nt := chipmodel.PeakTemp(st.ambient, dyn+leak.At(t), sink)
+		nt := chipmodel.PeakTemp(s.amb[i], dyn+leak.At(t), sink)
 		if math.Abs(float64(nt-t)) < 1e-9 {
 			return nt
 		}
@@ -1107,7 +1224,7 @@ func (s *Simulator) settledChipTemp(i int, st *socketState, sink chipmodel.Sink)
 // (highest admissible P-state under the predicted Equation-1 peak, boost
 // budget respected).
 func (s *Simulator) pickFrequencyIndexed(id geometry.SocketID, st *socketState) units.MHz {
-	return s.power.PickFrequency(st.ambient, &st.j.Benchmark, s.srv.Sink(id), s.capFor(int(id), st.utilEWMA), s.leakAt[id])
+	return s.power.PickFrequency(s.amb[id], &st.j.Benchmark, s.srv.Sink(id), s.capFor(int(id), s.util[id]), s.leakAt[id])
 }
 
 // Arrived returns the number of jobs admitted.

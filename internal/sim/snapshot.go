@@ -216,13 +216,13 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 		} else {
 			p.u8(0)
 		}
-		p.f64(float64(st.freq))
-		p.f64(float64(st.ambient))
-		p.f64(float64(st.chipTemp))
-		p.f64(float64(st.histTemp))
-		p.f64(st.utilEWMA)
-		p.f64(float64(st.powerEWMA))
-		p.f64(float64(st.power))
+		p.f64(float64(s.freq[i]))
+		p.f64(float64(s.amb[i]))
+		p.f64(float64(s.chip[i]))
+		p.f64(float64(s.hist[i]))
+		p.f64(s.util[i])
+		p.f64(float64(s.pewma[i]))
+		p.f64(float64(s.powers[i]))
 		p.f64(float64(st.lastUpdate))
 		p.f64(float64(st.doneAt))
 	}
@@ -348,23 +348,28 @@ func (s *Simulator) Restore(data []byte) error {
 	type sockSnap struct {
 		j     *job.Job
 		state socketState
+		freq  units.MHz
+		amb, chip, hist units.Celsius
+		util  float64
+		pewma, power units.Watts
 	}
 	socks := make([]sockSnap, nSockets)
 	for i := range socks {
-		st := &socks[i].state
+		sn := &socks[i]
+		st := &sn.state
 		if busy := r.u8(); busy == 1 {
 			st.busy = true
 			socks[i].j = r.job()
 		} else if busy != 0 {
 			return fmt.Errorf("sim: snapshot socket %d has busy flag %d", i, busy)
 		}
-		st.freq = units.MHz(r.f64())
-		st.ambient = units.Celsius(r.f64())
-		st.chipTemp = units.Celsius(r.f64())
-		st.histTemp = units.Celsius(r.f64())
-		st.utilEWMA = r.f64()
-		st.powerEWMA = units.Watts(r.f64())
-		st.power = units.Watts(r.f64())
+		sn.freq = units.MHz(r.f64())
+		sn.amb = units.Celsius(r.f64())
+		sn.chip = units.Celsius(r.f64())
+		sn.hist = units.Celsius(r.f64())
+		sn.util = r.f64()
+		sn.pewma = units.Watts(r.f64())
+		sn.power = units.Watts(r.f64())
 		st.lastUpdate = units.Seconds(r.f64())
 		st.doneAt = units.Seconds(r.f64())
 	}
@@ -470,11 +475,19 @@ func (s *Simulator) Restore(data []byte) error {
 	s.busyCount = 0
 	s.idleSet = s.idleSet[:0]
 	for i := range s.sockets {
-		st := &socks[i].state
+		sn := &socks[i]
+		st := &sn.state
 		st.j = socks[i].j
 		st.placement = s.sockets[i].placement // immutable, from topology
 		s.sockets[i] = *st
-		s.powers[i] = st.power
+		s.setJob(i, st.j) // rebuild the benchOf vector view
+		s.freq[i] = sn.freq
+		s.amb[i] = sn.amb
+		s.chip[i] = sn.chip
+		s.hist[i] = sn.hist
+		s.util[i] = sn.util
+		s.pewma[i] = sn.pewma
+		s.powers[i] = sn.power
 		s.comp.update(i, st.doneAt)
 		if st.busy {
 			s.busyCount++
@@ -520,9 +533,17 @@ func (s *Simulator) Restore(data []byte) error {
 		// to the model New constructed.
 		s.applyFlowPhysics()
 	}
+	// The caps mirror is derived from the just-restored util and capped
+	// vectors: rebuild it wholesale.
+	for i := range s.caps {
+		s.caps[i] = s.capFor(i, s.util[i])
+	}
 	// Engine caches: every lane's cached ambient is stale relative to the
 	// restored powers, so mark everything dirty and nothing settled; the
-	// first sweep recomputes from scratch, exactly like a cold start.
+	// first sweep recomputes from scratch, exactly like a cold start. Lane
+	// epochs advance too: a restore can rewind state under an unchanged
+	// epoch, which would otherwise let a scheduler replay a stale score.
+	s.bumpAllLanes()
 	for ch := range s.eng.dirty {
 		s.eng.dirty[ch] = true
 	}

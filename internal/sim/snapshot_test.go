@@ -45,6 +45,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}{
 		{"serial", EngineConfig{Mode: EngineSerial}},
 		{"auto", EngineConfig{Mode: EngineAuto}},
+		{"event", EngineConfig{Mode: EngineEvent}},
 	}
 	boundaries := []units.Seconds{0.05, 0.1, 0.25}
 	for _, schedName := range []string{"CP", "Random", "A-Random", "CF"} {

@@ -127,7 +127,7 @@ func TestSnapshotCounters(t *testing.T) {
 		"ticks": 1, "arrivals": 1, "picks": 1, "placements": 1,
 		"completions": 1, "migrations": 0, "throttle_down": 1, "throttle_up": 0,
 		"strided_ticks": 0, "skipped_lanes": 0, "worker_shards": 0,
-		"settled_ticks": 0, "fault_events": 0, "requeues": 0,
+		"settled_ticks": 0, "event_ticks": 0, "fault_events": 0, "requeues": 0,
 		"dispatched": 0, "epochs": 0, "observations": 0, "dispatch_est_err": 0,
 	}
 	if !reflect.DeepEqual(tr.Counters, want) {

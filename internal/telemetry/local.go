@@ -92,6 +92,11 @@ func (l *Local) OnLaneSkips(n int64) { l.counters[CLaneSkips] += n }
 // in CTicks through the regular OnTick call.
 func (l *Local) OnSettledTick() { l.counters[CSettledTicks]++ }
 
+// OnEventTick records one power-manager tick the event engine executed
+// inside a unified-queue gap advance. The tick itself lands in CTicks (and
+// CSettledTicks) through the regular settled-path calls.
+func (l *Local) OnEventTick() { l.counters[CEventTicks]++ }
+
 // OnWorkerShards records n worker shard executions of the parallel engine
 // for one tick.
 func (l *Local) OnWorkerShards(n int64) { l.counters[CWorkerShards] += n }

@@ -89,6 +89,11 @@ const (
 	// count and the chassis's observed queue depth plus busy sockets — the
 	// price of dispatching on estimates, made measurable.
 	CDispatchEstErr
+	// CEventTicks counts power-manager ticks the event engine executed in
+	// unified-queue gap advances — settled spans where the loop walked
+	// straight from event to event (each is also counted in CTicks and
+	// CSettledTicks, so those stay comparable across engines).
+	CEventTicks
 
 	numCounters
 )
@@ -113,6 +118,7 @@ var counterNames = [numCounters]string{
 	CEpochs:         "epochs",
 	CObservations:   "observations",
 	CDispatchEstErr: "dispatch_est_err",
+	CEventTicks:     "event_ticks",
 }
 
 // Name returns the counter's exposition name.
@@ -122,7 +128,7 @@ func (id CounterID) Name() string { return counterNames[id] }
 // rather than by simulation events. Engine-equivalence comparisons exclude
 // exactly these: every other counter must match bit-for-bit across engines.
 func EngineCounters() []CounterID {
-	return []CounterID{CStrideTicks, CLaneSkips, CWorkerShards, CSettledTicks}
+	return []CounterID{CStrideTicks, CLaneSkips, CWorkerShards, CSettledTicks, CEventTicks}
 }
 
 // maxZones bounds the chosen-socket zone counter vector (the SUT has 6

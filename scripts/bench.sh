@@ -2,16 +2,17 @@
 # bench.sh — the BENCH_*.json measurement protocol, in one place.
 #
 #   scripts/bench.sh measure [pattern] [count] [benchtime] [pkg]
-#       Run the benchmarks in [pkg] (default ./internal/sim/) matching
-#       [pattern] (default 'BenchmarkSimSecond') count times (default 3)
-#       at -benchtime (default 5x) with -benchmem, and print
-#       per-benchmark medians as "name median_ns_per_op bytes_per_op
-#       allocs_per_op" — the numbers that go into a BENCH_*.json
-#       before/after entry. Before/after pairs are measured back-to-back
-#       on the same machine (the 'before' tree checked out elsewhere, or
-#       an engine-pinned benchmark variant). The fleet benchmarks are
-#       measured with pkg ./internal/fleet/ and pattern
-#       'BenchmarkFleet(Epoch)?16' (BENCH_PR9.json records a run).
+#       Run the benchmarks in [pkg] (default ./... — every package, so
+#       alloc deltas land in all BENCH_*.json entries, sim and fleet
+#       alike) matching the regex [pattern] (default 'BenchmarkSimSecond')
+#       count times (default 3) at -benchtime (default 5x) with
+#       -benchmem, and print per-benchmark medians as "name
+#       median_ns_per_op bytes_per_op allocs_per_op" — the numbers that
+#       go into a BENCH_*.json before/after entry. Before/after pairs
+#       are measured back-to-back on the same machine (the 'before' tree
+#       checked out elsewhere, or an engine-pinned benchmark variant).
+#       The fleet benchmarks match pattern 'BenchmarkFleet(Epoch)?16'
+#       (BENCH_PR9.json records a run).
 #
 #   scripts/bench.sh smoke
 #       CI gate: run the double-density CP90 benchmark under the serial
@@ -27,6 +28,17 @@
 #       closed loop re-enters the tick engine and observes every chassis
 #       at every boundary; this holds that seam to bounded overhead. The
 #       equivalence tests pin its answers; this pins its wall clock.
+#
+#   scripts/bench.sh eventgate
+#       CI gate for the unified event queue: run the double-density CP90
+#       busy benchmark under the auto (tick) and the event engine at
+#       -benchtime 2x and fail if the event engine's median is more than
+#       10% slower on this runner. The contract is parity or better
+#       (≤1.0×): at the 90% knee the lanes rarely settle, so the event
+#       engine must degrade gracefully to the tick path and its gap
+#       machinery must cost nothing measurable; the 10% band only
+#       absorbs the shared runner's noise (see BENCH_PR10.json's
+#       single-CPU caveat), not a real regression budget.
 #
 #   scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]
 #       Diff two BENCH_*.json files on their 'after' entries: print a
@@ -72,7 +84,7 @@ measure)
 	pattern="${2:-BenchmarkSimSecond}"
 	count="${3:-3}"
 	benchtime="${4:-5x}"
-	pkg="${5:-./internal/sim/}"
+	pkg="${5:-./...}"
 	echo "# go test -run XXX -bench '$pattern' -benchtime $benchtime -count $count -benchmem $pkg" >&2
 	go test -run XXX -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem "$pkg" | medians
 	;;
@@ -110,6 +122,23 @@ fleetgate)
 		exit 1
 	fi
 	;;
+eventgate)
+	out="$(go test -run XXX -bench 'BenchmarkSimSecondDD360CP90(Event)?$' \
+		-benchtime 2x -count 3 ./internal/sim/)"
+	echo "$out"
+	tick="$(echo "$out" | medians | awk '$1 == "BenchmarkSimSecondDD360CP90" {print $2}')"
+	event="$(echo "$out" | medians | awk '$1 == "BenchmarkSimSecondDD360CP90Event" {print $2}')"
+	if [ -z "$tick" ] || [ -z "$event" ]; then
+		echo "bench eventgate: missing tick/event medians" >&2
+		exit 1
+	fi
+	echo "tick median ${tick} ns/op, event median ${event} ns/op"
+	# Fail when event > 1.10 x tick (integer math: 10*e > 11*t).
+	if [ $((10 * event)) -gt $((11 * tick)) ]; then
+		echo "bench eventgate: event engine >10% slower than tick engine" >&2
+		exit 1
+	fi
+	;;
 compare)
 	old="${2:?usage: scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]}"
 	new="${3:?usage: scripts/bench.sh compare OLD.json NEW.json [max_regress_pct]}"
@@ -143,7 +172,7 @@ compare)
 	'
 	;;
 *)
-	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] [pkg] | smoke | fleetgate | compare OLD.json NEW.json [pct]]" >&2
+	echo "usage: scripts/bench.sh [measure [pattern] [count] [benchtime] [pkg] | smoke | fleetgate | eventgate | compare OLD.json NEW.json [pct]]" >&2
 	exit 2
 	;;
 esac

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# profile.sh — one-command, reproducible CPU profile of a named benchmark.
+#
+#   scripts/profile.sh [bench-regex] [pkg] [benchtime]
+#       Run the benchmark(s) in [pkg] (default ./internal/sim/) matching
+#       [bench-regex] (default 'BenchmarkSimSecondDD360CP90$') once at
+#       -benchtime (default 5x) with -cpuprofile, then print the top-10
+#       flat table from go tool pprof. The profile and the test binary
+#       land under profiles/ (gitignored), named after the regex, so a
+#       before/after pair is two invocations on two trees and the
+#       artifacts survive for deeper pprof sessions:
+#
+#           go tool pprof profiles/<name>.test profiles/<name>.pprof
+#
+#       EXPERIMENTS.md's perf-trajectory entries cite tables produced by
+#       exactly this command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-BenchmarkSimSecondDD360CP90\$}"
+pkg="${2:-./internal/sim/}"
+benchtime="${3:-5x}"
+
+mkdir -p profiles
+name="$(echo "$bench" | tr -cd '[:alnum:]_')"
+prof="profiles/${name}.pprof"
+bin="profiles/${name}.test"
+
+echo "# go test -run XXX -bench '$bench' -benchtime $benchtime -cpuprofile $prof $pkg" >&2
+go test -run XXX -bench "$bench" -benchtime "$benchtime" \
+	-cpuprofile "$prof" -o "$bin" "$pkg"
+go tool pprof -top -nodecount=10 "$bin" "$prof"

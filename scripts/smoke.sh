@@ -41,6 +41,15 @@ go run ./cmd/timeline -sched CF -load 0.6 -duration 2 -sinktau 0.3 \
 go run ./cmd/timeline -render "$tmp/run.jsonl" > "$tmp/rendered.csv" 2> /dev/null
 cmp "$tmp/live.csv" "$tmp/rendered.csv" || {
     echo "timeline -render does not reproduce the live CSV" >&2; exit 1; }
+# The event engine's contract is byte-identical output end to end: the same
+# run rendered under -engine serial and -engine event must produce the same
+# CSV bits (the in-process half of this is TestEngineEquivalenceMatrix).
+go run ./cmd/timeline -sched CP -load 0.9 -duration 2 -sinktau 0.3 \
+    -engine serial > "$tmp/eng-serial.csv" 2> /dev/null
+go run ./cmd/timeline -sched CP -load 0.9 -duration 2 -sinktau 0.3 \
+    -engine event > "$tmp/eng-event.csv" 2> /dev/null
+cmp "$tmp/eng-serial.csv" "$tmp/eng-event.csv" || {
+    echo "event engine CSV differs from serial engine" >&2; exit 1; }
 go run ./cmd/tracegen -workload Computation -load 0.5 -horizon 2 -o "$tmp/jobs.trace" > /dev/null 2>&1
 go run ./cmd/tracegen -inspect "$tmp/jobs.trace" > /dev/null
 go run ./cmd/densim -trace "$tmp/jobs.trace" > /dev/null
